@@ -1,0 +1,111 @@
+// Command thetacrypt runs one standalone Thetacrypt service node: TCP
+// P2P mesh to its peers plus the HTTP service layer for applications.
+//
+// Usage:
+//
+//	thetacrypt -key keys/node1.key -peers keys/peers.txt -listen :7001 -http :8081
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"thetacrypt"
+	"thetacrypt/internal/keys"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thetacrypt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		keyPath   = flag.String("key", "", "path to this node's key file")
+		peersPath = flag.String("peers", "", "path to the peers file (index addr per line)")
+		listen    = flag.String("listen", ":7001", "P2P listen address")
+		httpAddr  = flag.String("http", ":8081", "service-layer HTTP listen address")
+	)
+	flag.Parse()
+	if *keyPath == "" || *peersPath == "" {
+		return fmt.Errorf("both -key and -peers are required")
+	}
+	raw, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return fmt.Errorf("read key file: %w", err)
+	}
+	nk, err := keys.UnmarshalNodeKeys(raw)
+	if err != nil {
+		return fmt.Errorf("parse key file: %w", err)
+	}
+	peers, err := readPeers(*peersPath, nk.Index)
+	if err != nil {
+		return err
+	}
+	node, err := thetacrypt.NewNode(thetacrypt.NodeConfig{
+		Keys:       nk,
+		ListenAddr: *listen,
+		Peers:      peers,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	srv := &http.Server{Addr: *httpAddr, Handler: node.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("node %d up: p2p %s, http %s, n=%d t=%d\n", nk.Index, *listen, *httpAddr, nk.N, nk.T)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		fmt.Println("shutting down")
+		return srv.Close()
+	}
+}
+
+// readPeers parses "index host:port" lines, excluding self.
+func readPeers(path string, self int) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open peers file: %w", err)
+	}
+	defer f.Close()
+	peers := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad peers line %q", line)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer index in %q: %w", line, err)
+		}
+		if idx == self {
+			continue
+		}
+		peers[idx] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read peers file: %w", err)
+	}
+	return peers, nil
+}

@@ -1,0 +1,89 @@
+// Command thetakeygen is the trusted dealer: it generates threshold key
+// material for all schemes and writes one key file per node plus a
+// peers file template for cmd/thetacrypt.
+//
+// Usage:
+//
+//	thetakeygen -n 4 -t 1 -out ./keys [-rsa-bits 2048] [-rsa-fixture]
+//	            [-schemes SG02,BLS04,...] [-group edwards25519|p256]
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thetakeygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 4, "number of nodes")
+		t          = flag.Int("t", 1, "threshold (any t+1 cooperate; up to t corrupted)")
+		out        = flag.String("out", "keys", "output directory")
+		rsaBits    = flag.Int("rsa-bits", 2048, "SH00 modulus size")
+		rsaFixture = flag.Bool("rsa-fixture", false, "use embedded deterministic safe primes (TEST ONLY)")
+		schemeList = flag.String("schemes", "", "comma-separated scheme subset (default: all)")
+		groupName  = flag.String("group", "edwards25519", "DL group for SG02/KG20/CKS05")
+	)
+	flag.Parse()
+
+	g, err := group.ByName(*groupName)
+	if err != nil {
+		return err
+	}
+	var subset []schemes.ID
+	if *schemeList != "" {
+		for _, s := range strings.Split(*schemeList, ",") {
+			id := schemes.ID(strings.TrimSpace(s))
+			if _, err := schemes.Lookup(id); err != nil {
+				return err
+			}
+			subset = append(subset, id)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o700); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	fmt.Printf("dealing keys for n=%d t=%d (quorum %d)...\n", *n, *t, *t+1)
+	nodes, err := keys.Deal(rand.Reader, *t, *n, keys.Options{
+		Group:         g,
+		RSABits:       *rsaBits,
+		UseRSAFixture: *rsaFixture,
+		Schemes:       subset,
+	})
+	if err != nil {
+		return err
+	}
+	for _, nk := range nodes {
+		path := filepath.Join(*out, fmt.Sprintf("node%d.key", nk.Index))
+		if err := os.WriteFile(path, nk.Marshal(), 0o600); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Println("wrote", path)
+	}
+	// Peers file template: node index to host:port, edited by the
+	// operator.
+	var sb strings.Builder
+	for i := 1; i <= *n; i++ {
+		fmt.Fprintf(&sb, "%d 127.0.0.1:%d\n", i, 7000+i)
+	}
+	peersPath := filepath.Join(*out, "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("write peers file: %w", err)
+	}
+	fmt.Println("wrote", peersPath)
+	return nil
+}

@@ -1,0 +1,66 @@
+// Threshold wallet (the paper's key-management application): the
+// signing key of a cryptocurrency wallet is split across custodian
+// nodes; transactions are approved with FROST (KG20) threshold Schnorr
+// signatures, so no single custodian can spend and the resulting
+// signature is indistinguishable from a single-signer Schnorr signature.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"thetacrypt"
+	"thetacrypt/internal/schemes/frost"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wallet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 5 custodians, any 3 approve a spend.
+	cluster, err := thetacrypt.NewCluster(2, 5, thetacrypt.ClusterOptions{
+		Schemes: []thetacrypt.SchemeID{thetacrypt.KG20},
+		Latency: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	pk := cluster.Keys(1).FrostPK
+	fmt.Println("wallet key split across 5 custodians, quorum 3 (FROST two-round signing)")
+
+	for i, tx := range []string{
+		`{"to":"bc1q...","amount":"0.5 BTC","nonce":1}`,
+		`{"to":"bc1p...","amount":"1.2 BTC","nonce":2}`,
+	} {
+		start := time.Now()
+		sigBytes, err := cluster.Execute(ctx, thetacrypt.Request{
+			Scheme:  thetacrypt.KG20,
+			Op:      thetacrypt.OpSign,
+			Payload: []byte(tx),
+		})
+		if err != nil {
+			return fmt.Errorf("sign tx %d: %w", i+1, err)
+		}
+		sig, err := frost.UnmarshalSignature(pk.Group, sigBytes)
+		if err != nil {
+			return err
+		}
+		if err := frost.Verify(pk, []byte(tx), sig); err != nil {
+			return fmt.Errorf("tx %d signature invalid: %w", i+1, err)
+		}
+		fmt.Printf("tx %d approved in %v; Schnorr signature verifies under the wallet key\n",
+			i+1, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("no single custodian ever held the spending key")
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package dkg implements Pedersen's distributed key generation
+// (JF-DKG, the [37] citation of the paper): the dealerless alternative
+// to the trusted-dealer setup in internal/keys. Every participant deals
+// a Feldman verifiable sharing of a random secret; the group key is the
+// sum of the qualified dealings, and no party ever learns it.
+//
+// The protocol has two rounds: (1) every participant broadcasts its
+// coefficient commitments and sends each peer its sub-share, (2) each
+// participant verifies the received sub-shares against the commitments
+// and disqualifies dealers whose shares fail. The happy path completes
+// without complaints; faulty dealers are excluded deterministically, so
+// all honest parties agree on the qualified set as long as they observe
+// the same dealings (e.g., via the TOB channel).
+package dkg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/mathutil"
+	"thetacrypt/internal/share"
+)
+
+// Errors reported by the DKG.
+var (
+	ErrWrongRecipient = errors.New("dkg: sub-share addressed to another party")
+	ErrTooFewDealers  = errors.New("dkg: fewer than t+1 qualified dealers")
+)
+
+// Dealing is participant i's round-1 output: public commitments plus one
+// private sub-share per participant.
+type Dealing struct {
+	Dealer     int
+	Commitment *share.FeldmanCommitment
+	// SubShares[j-1] is f_i(j), to be sent privately to party j.
+	SubShares []share.Share
+}
+
+// PublicDealing is the broadcastable part of a dealing.
+type PublicDealing struct {
+	Dealer     int
+	Commitment *share.FeldmanCommitment
+}
+
+// Participant is one party's DKG state machine.
+type Participant struct {
+	g     group.Group
+	index int
+	t, n  int
+
+	poly     *share.Polynomial
+	dealing  *Dealing
+	received map[int]share.Share              // verified sub-shares by dealer
+	public   map[int]*share.FeldmanCommitment // commitments by dealer
+	excluded map[int]bool
+}
+
+// NewParticipant initializes party `index` of an (t, n) DKG over g.
+func NewParticipant(g group.Group, index, t, n int) (*Participant, error) {
+	if err := share.ValidateParams(t, n); err != nil {
+		return nil, err
+	}
+	if index < 1 || index > n {
+		return nil, fmt.Errorf("dkg: index %d out of range", index)
+	}
+	return &Participant{
+		g: g, index: index, t: t, n: n,
+		received: make(map[int]share.Share, n),
+		public:   make(map[int]*share.FeldmanCommitment, n),
+		excluded: make(map[int]bool),
+	}, nil
+}
+
+// Deal is round 1: sample a random secret, share it, and commit.
+func (p *Participant) Deal(rand io.Reader) (*Dealing, error) {
+	secret, err := p.g.RandomScalar(rand)
+	if err != nil {
+		return nil, fmt.Errorf("sample secret: %w", err)
+	}
+	poly, err := share.NewPolynomial(rand, secret, p.t, p.g.Order())
+	if err != nil {
+		return nil, err
+	}
+	com, err := poly.Commit(p.g)
+	if err != nil {
+		return nil, err
+	}
+	p.poly = poly
+	p.dealing = &Dealing{
+		Dealer:     p.index,
+		Commitment: com,
+		SubShares:  poly.Shares(p.n),
+	}
+	// Account for the self-dealt sub-share immediately.
+	p.public[p.index] = com
+	p.received[p.index] = p.dealing.SubShares[p.index-1]
+	return p.dealing, nil
+}
+
+// ReceiveCommitment records a dealer's broadcast commitment.
+func (p *Participant) ReceiveCommitment(pd *PublicDealing) error {
+	if pd == nil || pd.Commitment == nil || pd.Dealer < 1 || pd.Dealer > p.n {
+		return fmt.Errorf("dkg: malformed public dealing")
+	}
+	if len(pd.Commitment.Points) != p.t+1 {
+		p.excluded[pd.Dealer] = true
+		return fmt.Errorf("dkg: dealer %d committed to degree %d, want %d",
+			pd.Dealer, len(pd.Commitment.Points)-1, p.t)
+	}
+	p.public[pd.Dealer] = pd.Commitment
+	return nil
+}
+
+// ReceiveSubShare is round 2: verify dealer's private sub-share against
+// its commitment; dealers with invalid shares are disqualified.
+func (p *Participant) ReceiveSubShare(dealer int, s share.Share) error {
+	if s.Index != p.index {
+		return ErrWrongRecipient
+	}
+	com, ok := p.public[dealer]
+	if !ok {
+		return fmt.Errorf("dkg: no commitment from dealer %d yet", dealer)
+	}
+	if p.excluded[dealer] {
+		return fmt.Errorf("dkg: dealer %d already disqualified", dealer)
+	}
+	if !com.VerifyShare(s) {
+		p.excluded[dealer] = true
+		return fmt.Errorf("dkg: dealer %d sent an invalid sub-share", dealer)
+	}
+	p.received[dealer] = s.Clone()
+	return nil
+}
+
+// Qualified returns the sorted set of dealers whose sub-share and
+// commitment verified.
+func (p *Participant) Qualified() []int {
+	out := make([]int, 0, len(p.received))
+	for dealer := range p.received {
+		if !p.excluded[dealer] {
+			out = append(out, dealer)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Result is the outcome of the DKG for one party.
+type Result struct {
+	// Index is the party, Share its secret key share x_i.
+	Index int
+	Share *big.Int
+	// PublicKey is the group key Y = x*G; VK are per-party verification
+	// keys x_j*G for the qualified polynomial.
+	PublicKey group.Point
+	VK        []group.Point
+	Qualified []int
+}
+
+// Finalize combines the qualified dealings into the final key share and
+// group public key. All honest parties that agree on the qualified set
+// derive a consistent (t, n) sharing whose secret nobody knows.
+func (p *Participant) Finalize() (*Result, error) {
+	qual := p.Qualified()
+	if len(qual) < p.t+1 {
+		return nil, ErrTooFewDealers
+	}
+	// x_i = Σ_{d ∈ QUAL} f_d(i)
+	xi := new(big.Int)
+	for _, dealer := range qual {
+		xi = mathutil.AddMod(xi, p.received[dealer].Value, p.g.Order())
+	}
+	// Y = Σ A_{d,0}; VK_j = Σ_d f_d(j)*G evaluated in the exponent.
+	y := p.g.Identity()
+	for _, dealer := range qual {
+		y = y.Add(p.public[dealer].PublicKey())
+	}
+	vk := make([]group.Point, p.n)
+	for j := 1; j <= p.n; j++ {
+		acc := p.g.Identity()
+		for _, dealer := range qual {
+			acc = acc.Add(p.public[dealer].EvalInExponent(j))
+		}
+		vk[j-1] = acc
+	}
+	return &Result{
+		Index:     p.index,
+		Share:     xi,
+		PublicKey: y,
+		VK:        vk,
+		Qualified: qual,
+	}, nil
+}

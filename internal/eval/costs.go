@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/schemes/sh00"
+)
+
+// SchemeCosts holds the calibrated service times of one scheme at a
+// specific (t, n) and payload size. They parameterize the simulator;
+// every value is measured live from the real implementations, so the
+// simulated system inherits the actual cryptographic cost structure of
+// this codebase.
+type SchemeCosts struct {
+	// Round1 is FROST's nonce-commitment generation; zero for
+	// non-interactive schemes.
+	Round1 time.Duration
+	// ShareGen computes the local share (round 2 for FROST), including
+	// ciphertext verification for the ciphers.
+	ShareGen time.Duration
+	// ShareVerify validates one peer share.
+	ShareVerify time.Duration
+	// Combine assembles and checks the final result from a full quorum.
+	Combine time.Duration
+	// Parse is the fixed cost of receiving an envelope that needs no
+	// cryptographic processing (late shares, commitment storage).
+	Parse time.Duration
+}
+
+// reps per measured operation; the median damps scheduler noise.
+const calReps = 3
+
+type costKey struct {
+	scheme  schemes.ID
+	t, n    int
+	payload int
+}
+
+var (
+	costCacheMu sync.Mutex
+	costCache   = map[costKey]SchemeCosts{}
+	calKeysMu   sync.Mutex
+	calKeys     = map[[2]int][]*keys.NodeKeys{}
+)
+
+// calibrationKeys deals (and caches) key material at the given (t, n).
+func calibrationKeys(t, n int) ([]*keys.NodeKeys, error) {
+	calKeysMu.Lock()
+	defer calKeysMu.Unlock()
+	k := [2]int{t, n}
+	if nodes, ok := calKeys[k]; ok {
+		return nodes, nil
+	}
+	nodes, err := keys.Deal(rand.Reader, t, n, keys.Options{UseRSAFixture: true})
+	if err != nil {
+		return nil, err
+	}
+	calKeys[k] = nodes
+	return nodes, nil
+}
+
+// median3 measures fn calReps times and returns the median.
+func median3(fn func()) time.Duration {
+	var samples [calReps]time.Duration
+	for i := range samples {
+		start := time.Now()
+		fn()
+		samples[i] = time.Since(start)
+	}
+	// Insertion sort of three elements.
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j] < samples[j-1]; j-- {
+			samples[j], samples[j-1] = samples[j-1], samples[j]
+		}
+	}
+	return samples[calReps/2]
+}
+
+// Calibrate measures the scheme's service times at (t, n) with the given
+// request payload size. Results are cached per configuration.
+func Calibrate(id schemes.ID, t, n, payloadSize int) (SchemeCosts, error) {
+	key := costKey{scheme: id, t: t, n: n, payload: payloadSize}
+	costCacheMu.Lock()
+	if c, ok := costCache[key]; ok {
+		costCacheMu.Unlock()
+		return c, nil
+	}
+	costCacheMu.Unlock()
+
+	nodes, err := calibrationKeys(t, n)
+	if err != nil {
+		return SchemeCosts{}, err
+	}
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var costs SchemeCosts
+	costs.Parse = 2 * time.Microsecond
+
+	quorum := t + 1
+	switch id {
+	case schemes.SG02:
+		pk := nodes[0].SG02PK
+		ct, err := sg02.Encrypt(rand.Reader, pk, payload, []byte("cal"))
+		if err != nil {
+			return SchemeCosts{}, err
+		}
+		shares := make([]*sg02.DecShare, quorum)
+		for i := 0; i < quorum; i++ {
+			ds, err := sg02.DecryptShare(rand.Reader, pk, nodes[i].SG02, ct)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			shares[i] = ds
+		}
+		costs.ShareGen = median3(func() { _, _ = sg02.DecryptShare(rand.Reader, pk, nodes[0].SG02, ct) })
+		costs.ShareVerify = median3(func() { _ = sg02.VerifyShare(pk, ct, shares[0]) })
+		costs.Combine = median3(func() { _, _ = sg02.Combine(pk, ct, shares) })
+
+	case schemes.BZ03:
+		pk := nodes[0].BZ03PK
+		ct, err := bz03.Encrypt(rand.Reader, pk, payload, []byte("cal"))
+		if err != nil {
+			return SchemeCosts{}, err
+		}
+		shares := make([]*bz03.DecShare, quorum)
+		for i := 0; i < quorum; i++ {
+			ds, err := bz03.DecryptShare(pk, nodes[i].BZ03, ct)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			shares[i] = ds
+		}
+		costs.ShareGen = median3(func() { _, _ = bz03.DecryptShare(pk, nodes[0].BZ03, ct) })
+		costs.ShareVerify = median3(func() { _ = bz03.VerifyShare(pk, ct, shares[0]) })
+		costs.Combine = median3(func() { _, _ = bz03.Combine(pk, ct, shares) })
+
+	case schemes.SH00:
+		pk := nodes[0].SH00PK
+		shares := make([]*sh00.SigShare, quorum)
+		for i := 0; i < quorum; i++ {
+			ss, err := sh00.SignShare(rand.Reader, pk, nodes[i].SH00, payload)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			shares[i] = ss
+		}
+		costs.ShareGen = median3(func() { _, _ = sh00.SignShare(rand.Reader, pk, nodes[0].SH00, payload) })
+		costs.ShareVerify = median3(func() { _ = sh00.VerifyShare(pk, payload, shares[0]) })
+		costs.Combine = median3(func() { _, _ = sh00.Combine(pk, payload, shares) })
+
+	case schemes.BLS04:
+		pk := nodes[0].BLS04PK
+		shares := make([]*bls04.SigShare, quorum)
+		for i := 0; i < quorum; i++ {
+			shares[i] = bls04.SignShare(nodes[i].BLS04, payload)
+		}
+		costs.ShareGen = median3(func() { _ = bls04.SignShare(nodes[0].BLS04, payload) })
+		costs.ShareVerify = median3(func() { _ = bls04.VerifyShare(pk, payload, shares[0]) })
+		costs.Combine = median3(func() { _, _ = bls04.Combine(pk, payload, shares) })
+
+	case schemes.KG20:
+		pk := nodes[0].FrostPK
+		g := pk.Group
+		nonces := make([]*frost.Nonce, quorum)
+		comms := make([]*frost.NonceCommitment, quorum)
+		for i := 0; i < quorum; i++ {
+			nonce, comm, err := frost.GenerateNonce(rand.Reader, g, i+1)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			nonces[i], comms[i] = nonce, comm
+		}
+		shares := make([]*frost.SignatureShare, quorum)
+		for i := 0; i < quorum; i++ {
+			ss, err := frost.Sign(pk, nodes[i].Frost, nonces[i], payload, comms)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			shares[i] = ss
+		}
+		costs.Round1 = median3(func() { _, _, _ = frost.GenerateNonce(rand.Reader, g, 1) })
+		costs.ShareGen = median3(func() { _, _ = frost.Sign(pk, nodes[0].Frost, nonces[0], payload, comms) })
+		costs.ShareVerify = median3(func() { _ = frost.VerifyShare(pk, payload, comms, shares[0]) })
+		costs.Combine = median3(func() { _, _ = frost.Combine(pk, payload, comms, shares) })
+
+	case schemes.CKS05:
+		pk := nodes[0].CKS05PK
+		shares := make([]*cks05.CoinShare, quorum)
+		for i := 0; i < quorum; i++ {
+			cs, err := cks05.Share(rand.Reader, pk, nodes[i].CKS05, payload)
+			if err != nil {
+				return SchemeCosts{}, err
+			}
+			shares[i] = cs
+		}
+		costs.ShareGen = median3(func() { _, _ = cks05.Share(rand.Reader, pk, nodes[0].CKS05, payload) })
+		costs.ShareVerify = median3(func() { _ = cks05.VerifyShare(pk, payload, shares[0]) })
+		costs.Combine = median3(func() { _, _ = cks05.Combine(pk, payload, shares) })
+
+	default:
+		return SchemeCosts{}, fmt.Errorf("eval: unknown scheme %q", id)
+	}
+
+	costCacheMu.Lock()
+	costCache[key] = costs
+	costCacheMu.Unlock()
+	return costs, nil
+}

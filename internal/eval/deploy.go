@@ -1,0 +1,123 @@
+// Package eval is the evaluation harness that regenerates every table
+// and figure of the paper's Section 4. Because the original testbed (up
+// to 127 DigitalOcean VMs across four regions, each Thetacrypt container
+// pinned to one vCPU) is not available, the harness substitutes a
+// calibrated discrete-event simulation: cryptographic service times are
+// measured live from the real scheme implementations in this repository
+// (internal/eval/costs.go), network delays come from a region round-trip
+// matrix, and each node is modeled as a single-server queue (the 1-vCPU
+// pin). Virtual time replaces wall-clock time; everything else — message
+// flow, quorum rules, verification work, FROST's second round — follows
+// the real protocol stack, which is itself exercised end-to-end by the
+// integration tests and by `thetabench validate`.
+package eval
+
+import (
+	"fmt"
+	"time"
+)
+
+// Region is one of the paper's DigitalOcean regions.
+type Region int
+
+// Regions used in Table 2.
+const (
+	FRA1 Region = iota
+	SYD1
+	TOR1
+	SFO3
+)
+
+var regionNames = [...]string{"FRA1", "SYD1", "TOR1", "SFO3"}
+
+// String returns the region code.
+func (r Region) String() string { return regionNames[r] }
+
+// rttMillis is the region round-trip matrix in milliseconds. Intra
+// data-center RTT is 0.65 ms (Table 2); inter-region values are typical
+// public-cloud distances for the four regions.
+var rttMillis = [4][4]float64{
+	//            FRA1   SYD1   TOR1   SFO3
+	/* FRA1 */ {0.65, 283.0, 92.0, 147.0},
+	/* SYD1 */ {283.0, 0.65, 198.0, 138.0},
+	/* TOR1 */ {92.0, 198.0, 0.65, 60.0},
+	/* SFO3 */ {147.0, 138.0, 60.0, 0.65},
+}
+
+// Deployment is one Table 2 configuration.
+type Deployment struct {
+	// Name is the paper's acronym, e.g. "DO-31-G".
+	Name string
+	// N and T are the group size and threshold (quorum T+1).
+	N, T int
+	// Global spreads nodes across all four regions round-robin; local
+	// puts everything in FRA1.
+	Global bool
+	// MaxRate is the top of the capacity sweep in req/s (Table 2).
+	MaxRate int
+}
+
+// Table2 returns the paper's six deployment configurations.
+func Table2() []Deployment {
+	return []Deployment{
+		{Name: "DO-7-L", N: 7, T: 2, Global: false, MaxRate: 1024},
+		{Name: "DO-7-G", N: 7, T: 2, Global: true, MaxRate: 1024},
+		{Name: "DO-31-L", N: 31, T: 10, Global: false, MaxRate: 512},
+		{Name: "DO-31-G", N: 31, T: 10, Global: true, MaxRate: 512},
+		{Name: "DO-127-L", N: 127, T: 42, Global: false, MaxRate: 64},
+		{Name: "DO-127-G", N: 127, T: 42, Global: true, MaxRate: 64},
+	}
+}
+
+// DeploymentByName looks a configuration up.
+func DeploymentByName(name string) (Deployment, error) {
+	for _, d := range Table2() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Deployment{}, fmt.Errorf("eval: unknown deployment %q", name)
+}
+
+// NodeRegion returns node i's region (1-indexed; region 0 is also the
+// orchestrator/client's region, FRA1).
+func (d Deployment) NodeRegion(i int) Region {
+	if !d.Global {
+		return FRA1
+	}
+	return Region((i - 1) % 4)
+}
+
+// OneWay returns the base one-way delay between two nodes. Node index 0
+// denotes the orchestrator (client), which runs in FRA1.
+func (d Deployment) OneWay(i, j int) time.Duration {
+	ri, rj := FRA1, FRA1
+	if i > 0 {
+		ri = d.NodeRegion(i)
+	}
+	if j > 0 {
+		rj = d.NodeRegion(j)
+	}
+	ms := rttMillis[ri][rj] / 2
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// AvgNetLatency reports the mean one-way delay between distinct nodes,
+// the "network latency" column of Table 2.
+func (d Deployment) AvgNetLatency() time.Duration {
+	var sum time.Duration
+	var cnt int
+	for i := 1; i <= d.N; i++ {
+		for j := 1; j <= d.N; j++ {
+			if i == j {
+				continue
+			}
+			sum += d.OneWay(i, j)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / time.Duration(cnt)
+}

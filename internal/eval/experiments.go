@@ -1,0 +1,268 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"thetacrypt/internal/schemes"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Duration is the virtual load window per capacity cell (paper:
+	// 60 s; default here 5 s — the shape is rate-driven, not
+	// duration-driven).
+	Duration time.Duration
+	// SteadyDuration is the virtual window for the steady-state runs
+	// (paper: 5 min; default 30 s).
+	SteadyDuration time.Duration
+	// Schemes filters the scheme set (default: all six).
+	Schemes []schemes.ID
+	// Deployments filters Table 2 configurations by name.
+	Deployments []string
+	// Seed for deterministic runs.
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.SteadyDuration == 0 {
+		o.SteadyDuration = 30 * time.Second
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = schemes.All()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o *Options) deployments() ([]Deployment, error) {
+	if len(o.Deployments) == 0 {
+		return Table2(), nil
+	}
+	out := make([]Deployment, 0, len(o.Deployments))
+	for _, name := range o.Deployments {
+		d, err := DeploymentByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// CapacitySweep runs the doubling-rate series of one (deployment,
+// scheme) cell, Fig 4's data series.
+func CapacitySweep(dep Deployment, id schemes.ID, opts Options) ([]*RunResult, error) {
+	opts.fill()
+	var out []*RunResult
+	for rate := 1; rate <= dep.MaxRate; rate *= 2 {
+		r, err := Run(RunSpec{
+			Scheme:     id,
+			Deployment: dep,
+			Rate:       float64(rate),
+			Duration:   opts.Duration,
+			Seed:       opts.Seed + uint64(rate),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig4 regenerates the capacity test: throughput-latency series per
+// deployment and scheme, with knee and usable capacity per cell.
+func Fig4(w io.Writer, opts Options) error {
+	opts.fill()
+	deps, err := opts.deployments()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Figure 4: server-side throughput-latency (virtual duration %s per point)\n", opts.Duration)
+	fmt.Fprintf(w, "%-10s %-6s %8s %12s %12s\n", "deploy", "scheme", "rate", "tput(req/s)", "L95(ms)")
+	for _, dep := range deps {
+		for _, id := range opts.Schemes {
+			series, err := CapacitySweep(dep, id, opts)
+			if err != nil {
+				return err
+			}
+			for _, r := range series {
+				fmt.Fprintf(w, "%-10s %-6s %8.0f %12.2f %12.2f\n",
+					dep.Name, id, r.Spec.Rate, r.Throughput,
+					float64(r.L95All)/float64(time.Millisecond))
+			}
+			knee := Knee(series)
+			if knee != nil {
+				fmt.Fprintf(w, "%-10s %-6s knee=%g req/s  usable=%.1f req/s\n",
+					dep.Name, id, knee.Spec.Rate, UsableCapacity(series))
+			}
+		}
+	}
+	return nil
+}
+
+// SteadyState finds the knee of DO-31-G for a scheme and runs the long
+// steady-state experiment at that rate (the paper's five-minute run).
+func SteadyState(id schemes.ID, opts Options) (knee *RunResult, steady *RunResult, err error) {
+	opts.fill()
+	dep, err := DeploymentByName("DO-31-G")
+	if err != nil {
+		return nil, nil, err
+	}
+	series, err := CapacitySweep(dep, id, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	knee = Knee(series)
+	if knee == nil {
+		return nil, nil, fmt.Errorf("eval: no knee found for %s", id)
+	}
+	steady, err = Run(RunSpec{
+		Scheme:     id,
+		Deployment: dep,
+		Rate:       knee.Spec.Rate,
+		Duration:   opts.SteadyDuration,
+		Seed:       opts.Seed + 1000,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return knee, steady, nil
+}
+
+// Table4 regenerates the performance summary on DO-31-G: knee capacity,
+// residual delay factor, and latency fairness index per scheme.
+func Table4(w io.Writer, opts Options) error {
+	opts.fill()
+	fmt.Fprintf(w, "# Table 4: performance summary, DO-31-G (steady window %s)\n", opts.SteadyDuration)
+	fmt.Fprintf(w, "%-6s %14s %8s %8s\n", "scheme", "knee(req/s)", "δres", "ηθ")
+	for _, id := range opts.Schemes {
+		knee, steady, err := SteadyState(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %14.0f %8.3f %8.3f\n", id, knee.Spec.Rate, steady.DeltaRes, steady.EtaTheta)
+	}
+	return nil
+}
+
+// Fig5a regenerates the percentile comparison (Lθ, L50, L95) of the
+// steady-state runs at knee capacity on DO-31-G.
+func Fig5a(w io.Writer, opts Options) error {
+	opts.fill()
+	fmt.Fprintf(w, "# Figure 5a: latency percentiles at knee capacity, DO-31-G\n")
+	fmt.Fprintf(w, "%-6s %10s %10s %10s\n", "scheme", "Lθ(ms)", "L50(ms)", "L95(ms)")
+	for _, id := range opts.Schemes {
+		_, steady, err := SteadyState(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %10.1f %10.1f %10.1f\n", id,
+			ms(steady.LnetTheta), ms(steady.Lnet50), ms(steady.Lnet95))
+	}
+	return nil
+}
+
+// Fig5b regenerates the payload-size sweep: Lθ for payloads from 256 B
+// to 4 KiB at knee capacity on DO-31-G.
+func Fig5b(w io.Writer, opts Options) error {
+	opts.fill()
+	dep, err := DeploymentByName("DO-31-G")
+	if err != nil {
+		return err
+	}
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	fmt.Fprintf(w, "# Figure 5b: Lθ per request payload size, DO-31-G at knee capacity\n")
+	fmt.Fprintf(w, "%-6s", "scheme")
+	for _, sz := range sizes {
+		fmt.Fprintf(w, " %8dB", sz)
+	}
+	fmt.Fprintln(w)
+	for _, id := range opts.Schemes {
+		knee, _, err := SteadyState(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s", id)
+		for _, sz := range sizes {
+			// One seed across payload sizes: identical arrival patterns
+			// isolate the payload effect from queueing noise.
+			r, err := Run(RunSpec{
+				Scheme:      id,
+				Deployment:  dep,
+				Rate:        knee.Spec.Rate,
+				Duration:    opts.SteadyDuration,
+				PayloadSize: sz,
+				Seed:        opts.Seed + 2000,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %8.1f", ms(r.LnetTheta))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table1 prints the scheme inventory.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "# Table 1: threshold schemes in Thetacrypt")
+	fmt.Fprintf(w, "%-10s %-6s %-9s %-12s %s\n", "kind", "scheme", "hardness", "verification", "reference")
+	for _, info := range schemes.Registry() {
+		fmt.Fprintf(w, "%-10s %-6s %-9s %-12s %s\n",
+			info.Kind, info.ID, info.Hardness, info.Verification, info.Reference)
+	}
+}
+
+// Table2Print prints the deployment configurations with the average
+// one-way network latency of the region matrix.
+func Table2Print(w io.Writer) {
+	fmt.Fprintln(w, "# Table 2: deployment configurations")
+	fmt.Fprintf(w, "%-10s %5s %5s %8s %16s %10s\n", "acronym", "size", "t", "regions", "avg 1-way lat", "max rate")
+	for _, d := range Table2() {
+		regions := "FRA1"
+		if d.Global {
+			regions = "4 (global)"
+		}
+		fmt.Fprintf(w, "%-10s %5d %5d %8s %13.2fms %7d r/s\n",
+			d.Name, d.N, d.T+1, regions,
+			float64(d.AvgNetLatency())/float64(time.Millisecond), d.MaxRate)
+	}
+}
+
+// Table3 prints the schemes' benchmark parameters.
+func Table3(w io.Writer) {
+	fmt.Fprintln(w, "# Table 3: schemes' parameters")
+	fmt.Fprintf(w, "%-6s %-14s %10s %6s %12s\n", "scheme", "arithmetic", "key(bit)", "rounds", "comm.compl.")
+	for _, info := range schemes.Registry() {
+		fmt.Fprintf(w, "%-6s %-14s %10d %6d %12s\n",
+			info.ID, info.Arithmetic, info.KeyBits, info.Rounds, info.Complexity)
+	}
+}
+
+// MicroBench prints the calibrated primitive costs, the "traditional
+// micro-benchmarking" view the paper contrasts with the system view.
+func MicroBench(w io.Writer, t, n, payload int, ids []schemes.ID) error {
+	if len(ids) == 0 {
+		ids = schemes.All()
+	}
+	fmt.Fprintf(w, "# micro-benchmarks at t=%d n=%d payload=%dB\n", t, n, payload)
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s\n", "scheme", "round1", "share-gen", "share-vrfy", "combine")
+	for _, id := range ids {
+		c, err := Calibrate(id, t, n, payload)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %12s %12s %12s %12s\n", id, c.Round1, c.ShareGen, c.ShareVerify, c.Combine)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// percentile returns the p-th percentile (0-100) of sorted durations
+// using nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// summarize computes the paper's metrics from per-request node states.
+func summarize(spec RunSpec, costs SchemeCosts, states []*reqState, quorum, n int, duration, grace time.Duration) *RunResult {
+	res := &RunResult{Spec: spec, Costs: costs, Offered: len(states)}
+
+	// Per-node latency samples and global sample pool.
+	nodeSamples := make([][]time.Duration, n+1)
+	var all []time.Duration
+	var firstDone, lastDone time.Duration
+	firstDone = math.MaxInt64
+
+	window := duration + grace
+	for _, st := range states {
+		finished := 0
+		var reqQuorumDone time.Duration
+		var doneTimes []time.Duration
+		for j := 1; j <= n; j++ {
+			if !st.finished[j] || st.done[j] > window {
+				continue
+			}
+			finished++
+			lat := st.done[j] - st.arrival[j]
+			nodeSamples[j] = append(nodeSamples[j], lat)
+			all = append(all, lat)
+			doneTimes = append(doneTimes, st.done[j])
+		}
+		// A request counts as processed when a quorum of nodes produced
+		// the result within the grace window.
+		if finished >= quorum {
+			res.Completed++
+			sort.Slice(doneTimes, func(a, b int) bool { return doneTimes[a] < doneTimes[b] })
+			reqQuorumDone = doneTimes[quorum-1]
+			if reqQuorumDone < firstDone {
+				firstDone = reqQuorumDone
+			}
+			if reqQuorumDone > lastDone {
+				lastDone = reqQuorumDone
+			}
+		}
+	}
+
+	// Throughput estimator (paper Section 4.3): completed over the span
+	// between first and last processed request; when load is high and
+	// requests remain unprocessed, the full experiment window is used.
+	if res.Completed > 0 {
+		span := lastDone - firstDone
+		if res.Completed < res.Offered {
+			span = window
+		}
+		if span <= 0 {
+			span = duration
+		}
+		res.Throughput = float64(res.Completed) / span.Seconds()
+	}
+
+	res.Samples = len(all)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.L95All = percentile(all, 95)
+
+	// Node-level L95 distribution and the derived fairness metrics.
+	var nodeL95 []time.Duration
+	for j := 1; j <= n; j++ {
+		if len(nodeSamples[j]) == 0 {
+			continue
+		}
+		sort.Slice(nodeSamples[j], func(a, b int) bool { return nodeSamples[j][a] < nodeSamples[j][b] })
+		nodeL95 = append(nodeL95, percentile(nodeSamples[j], 95))
+	}
+	res.NodeL95 = nodeL95
+	if len(nodeL95) > 0 {
+		sorted := append([]time.Duration(nil), nodeL95...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		theta := float64(quorum) / float64(n) * 100
+		res.LnetTheta = percentile(sorted, theta)
+		res.Lnet50 = percentile(sorted, 50)
+		res.Lnet95 = percentile(sorted, 95)
+		if res.LnetTheta > 0 {
+			res.DeltaRes = float64(res.Lnet95-res.LnetTheta) / float64(res.LnetTheta)
+		}
+		if res.Lnet95 > 0 {
+			res.EtaTheta = float64(res.LnetTheta) / float64(res.Lnet95)
+		}
+	}
+	return res
+}
+
+// Knee finds the knee point of a throughput-latency series: the rate
+// maximizing throughput/latency (the paper's optimal efficiency point).
+func Knee(results []*RunResult) *RunResult {
+	var best *RunResult
+	var bestScore float64
+	for _, r := range results {
+		if r.Completed == 0 || r.L95All <= 0 {
+			continue
+		}
+		score := r.Throughput / r.L95All.Seconds()
+		if best == nil || score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best
+}
+
+// UsableCapacity reports the maximum observed throughput across a rate
+// sweep (the rightmost point of the Fig 4 curves).
+func UsableCapacity(results []*RunResult) float64 {
+	var max float64
+	for _, r := range results {
+		if r.Throughput > max {
+			max = r.Throughput
+		}
+	}
+	return max
+}

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/sg02"
+)
+
+// encryptFor creates a real ciphertext for decrypt-type requests.
+func encryptFor(id schemes.ID, nk *keys.NodeKeys, message []byte) ([]byte, error) {
+	switch id {
+	case schemes.SG02:
+		ct, err := sg02.Encrypt(rand.Reader, nk.SG02PK, message, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ct.Marshal(), nil
+	case schemes.BZ03:
+		ct, err := bz03.Encrypt(rand.Reader, nk.BZ03PK, message, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ct.Marshal(), nil
+	default:
+		return nil, fmt.Errorf("eval: %q is not a cipher", id)
+	}
+}
+
+// RunReal executes a small experiment cell on the REAL protocol stack:
+// actual orchestration engines, actual crypto, the memnet transport with
+// the deployment's latency matrix, wall-clock time. It exists to
+// cross-validate the calibrated simulator (thetabench validate): at
+// small scale and low rate, simulated and real latencies must agree.
+func RunReal(spec RunSpec) (*RunResult, error) {
+	d := spec.Deployment
+	n := d.N
+	quorum := d.T + 1
+
+	op, payload, err := realRequestParts(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes, err := calibrationKeys(d.T, n)
+	if err != nil {
+		return nil, err
+	}
+	hub := memnet.NewHub(n, memnet.Options{
+		Latency:    func(i, j int) time.Duration { return d.OneWay(i, j) },
+		JitterFrac: spec.JitterFrac,
+		Seed:       spec.Seed,
+	})
+	engines := make([]*orchestration.Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Stop()
+		}
+		hub.Close()
+	}()
+
+	interval := time.Duration(float64(time.Second) / spec.Rate)
+	deadline := time.Now().Add(spec.Duration)
+	type sample struct {
+		node int
+		lat  time.Duration
+	}
+	var futures []*orchestration.Future
+	futureNode := make(map[*orchestration.Future]int)
+	seq := 0
+	for time.Now().Before(deadline) {
+		req := protocols.Request{
+			Scheme:  spec.Scheme,
+			Op:      op,
+			Payload: payload,
+			Session: fmt.Sprintf("real-%d", seq),
+		}
+		seq++
+		// The replicated-service model: the request reaches every node.
+		for i, e := range engines {
+			f, err := e.Submit(context.Background(), req)
+			if err != nil {
+				return nil, err
+			}
+			futures = append(futures, f)
+			futureNode[f] = i + 1
+		}
+		time.Sleep(interval)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Duration+30*time.Second)
+	defer cancel()
+	var samples []sample
+	for _, f := range futures {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			break // drained what completed in time
+		}
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		samples = append(samples, sample{node: futureNode[f], lat: res.Finished.Sub(res.Started)})
+	}
+
+	// Aggregate with the same estimators as the simulator.
+	out := &RunResult{Spec: spec, Offered: seq, Completed: len(samples) / n}
+	nodeSamples := make([][]time.Duration, n+1)
+	var all []time.Duration
+	for _, s := range samples {
+		nodeSamples[s.node] = append(nodeSamples[s.node], s.lat)
+		all = append(all, s.lat)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out.L95All = percentile(all, 95)
+	var nodeL95 []time.Duration
+	for j := 1; j <= n; j++ {
+		if len(nodeSamples[j]) == 0 {
+			continue
+		}
+		sort.Slice(nodeSamples[j], func(a, b int) bool { return nodeSamples[j][a] < nodeSamples[j][b] })
+		nodeL95 = append(nodeL95, percentile(nodeSamples[j], 95))
+	}
+	out.NodeL95 = nodeL95
+	if len(nodeL95) > 0 {
+		sorted := append([]time.Duration(nil), nodeL95...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		theta := float64(quorum) / float64(n) * 100
+		out.LnetTheta = percentile(sorted, theta)
+		out.Lnet50 = percentile(sorted, 50)
+		out.Lnet95 = percentile(sorted, 95)
+	}
+	if len(all) > 0 {
+		out.Throughput = float64(out.Completed) / spec.Duration.Seconds()
+	}
+	return out, nil
+}
+
+// realRequestParts builds the operation and payload for a scheme.
+func realRequestParts(spec RunSpec) (protocols.Operation, []byte, error) {
+	size := spec.PayloadSize
+	if size <= 0 {
+		size = 256
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(rand.Reader, payload); err != nil {
+		return 0, nil, err
+	}
+	switch spec.Scheme {
+	case schemes.SG02, schemes.BZ03:
+		// Build a real ciphertext under the calibration keys.
+		nodes, err := calibrationKeys(spec.Deployment.T, spec.Deployment.N)
+		if err != nil {
+			return 0, nil, err
+		}
+		ct, err := encryptFor(spec.Scheme, nodes[0], payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return protocols.OpDecrypt, ct, nil
+	case schemes.SH00, schemes.BLS04, schemes.KG20:
+		return protocols.OpSign, payload, nil
+	case schemes.CKS05:
+		return protocols.OpCoin, payload, nil
+	default:
+		return 0, nil, fmt.Errorf("eval: unknown scheme %q", spec.Scheme)
+	}
+}
+
+// Validate runs one low-rate cell on both the simulator and the real
+// stack and prints them side by side. The simulator models one vCPU per
+// node (the paper's testbed); the real stack multiplexes every node onto
+// the host's cores, so on a c-core machine expect the real numbers to be
+// up to n/c times larger.
+func Validate(w io.Writer, id schemes.ID, duration time.Duration) error {
+	dep, err := DeploymentByName("DO-7-L")
+	if err != nil {
+		return err
+	}
+	spec := RunSpec{
+		Scheme:     id,
+		Deployment: dep,
+		Rate:       4,
+		Duration:   duration,
+		Seed:       42,
+	}
+	simRes, err := Run(spec)
+	if err != nil {
+		return err
+	}
+	realRes, err := RunReal(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %-5s offered=%-4d L95=%8.2fms Lθ=%8.2fms\n",
+		id, "sim", simRes.Offered, ms(simRes.L95All), ms(simRes.LnetTheta))
+	fmt.Fprintf(w, "%-6s %-5s offered=%-4d L95=%8.2fms Lθ=%8.2fms\n",
+		id, "real", realRes.Offered, ms(realRes.L95All), ms(realRes.LnetTheta))
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package keys implements the setup phase of Thetacrypt: a trusted
+// dealer that generates key material for every scheme at once, and the
+// key manager used by the protocol executor to access per-node shares
+// (the paper's Section 3.5, orchestration module). Distributed key
+// generation lives in internal/dkg as the dealerless alternative.
+package keys
+
+import (
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/schemes/sh00"
+)
+
+// Options configures the dealer.
+type Options struct {
+	// Group is the DL group for SG02, KG20, CKS05 (default edwards25519,
+	// per Table 3).
+	Group group.Group
+	// RSABits is the SH00 modulus size (default 2048, per Table 3).
+	RSABits int
+	// UseRSAFixture selects the embedded deterministic safe primes
+	// instead of minutes-long fresh generation; intended for tests and
+	// benchmarks.
+	UseRSAFixture bool
+	// Schemes limits dealing to a subset; empty means all six.
+	Schemes []schemes.ID
+}
+
+func (o *Options) fill() {
+	if o.Group == nil {
+		o.Group = group.Edwards25519()
+	}
+	if o.RSABits == 0 {
+		o.RSABits = 2048
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = schemes.All()
+	}
+}
+
+// NodeKeys is the complete key material of one Thetacrypt node. Public
+// parts are shared across nodes; the shares are private.
+type NodeKeys struct {
+	Index int
+	N, T  int
+
+	SG02PK  *sg02.PublicKey
+	SG02    sg02.KeyShare
+	BZ03PK  *bz03.PublicKey
+	BZ03    bz03.KeyShare
+	SH00PK  *sh00.PublicKey
+	SH00    sh00.KeyShare
+	BLS04PK *bls04.PublicKey
+	BLS04   bls04.KeyShare
+	FrostPK *frost.PublicKey
+	Frost   frost.KeyShare
+	CKS05PK *cks05.PublicKey
+	CKS05   cks05.KeyShare
+}
+
+// Has reports whether key material for a scheme is present.
+func (nk *NodeKeys) Has(id schemes.ID) bool {
+	switch id {
+	case schemes.SG02:
+		return nk.SG02PK != nil
+	case schemes.BZ03:
+		return nk.BZ03PK != nil
+	case schemes.SH00:
+		return nk.SH00PK != nil
+	case schemes.BLS04:
+		return nk.BLS04PK != nil
+	case schemes.KG20:
+		return nk.FrostPK != nil
+	case schemes.CKS05:
+		return nk.CKS05PK != nil
+	default:
+		return false
+	}
+}
+
+// Deal runs the trusted-dealer setup for all requested schemes and
+// returns one NodeKeys per party.
+func Deal(rand io.Reader, t, n int, opts Options) ([]*NodeKeys, error) {
+	opts.fill()
+	nodes := make([]*NodeKeys, n)
+	for i := range nodes {
+		nodes[i] = &NodeKeys{Index: i + 1, N: n, T: t}
+	}
+	for _, id := range opts.Schemes {
+		switch id {
+		case schemes.SG02:
+			pk, ks, err := sg02.Deal(rand, opts.Group, t, n)
+			if err != nil {
+				return nil, fmt.Errorf("deal sg02: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].SG02PK, nodes[i].SG02 = pk, ks[i]
+			}
+		case schemes.BZ03:
+			pk, ks, err := bz03.Deal(rand, t, n)
+			if err != nil {
+				return nil, fmt.Errorf("deal bz03: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].BZ03PK, nodes[i].BZ03 = pk, ks[i]
+			}
+		case schemes.SH00:
+			var (
+				pk  *sh00.PublicKey
+				ks  []sh00.KeyShare
+				err error
+			)
+			if opts.UseRSAFixture {
+				pk, ks, err = sh00.FixedTestKey(rand, opts.RSABits, t, n)
+			} else {
+				pk, ks, err = sh00.GenerateKey(rand, opts.RSABits, t, n)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("deal sh00: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].SH00PK, nodes[i].SH00 = pk, ks[i]
+			}
+		case schemes.BLS04:
+			pk, ks, err := bls04.Deal(rand, t, n)
+			if err != nil {
+				return nil, fmt.Errorf("deal bls04: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].BLS04PK, nodes[i].BLS04 = pk, ks[i]
+			}
+		case schemes.KG20:
+			pk, ks, err := frost.Deal(rand, opts.Group, t, n)
+			if err != nil {
+				return nil, fmt.Errorf("deal frost: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].FrostPK, nodes[i].Frost = pk, ks[i]
+			}
+		case schemes.CKS05:
+			pk, ks, err := cks05.Deal(rand, opts.Group, t, n)
+			if err != nil {
+				return nil, fmt.Errorf("deal cks05: %w", err)
+			}
+			for i := range nodes {
+				nodes[i].CKS05PK, nodes[i].CKS05 = pk, ks[i]
+			}
+		default:
+			return nil, fmt.Errorf("keys: unknown scheme %q", id)
+		}
+	}
+	return nodes, nil
+}
+
+// Manager is the key-manager component of the orchestration layer: it
+// hands protocol executors the key material they need.
+type Manager struct {
+	keys *NodeKeys
+}
+
+// NewManager wraps a node's key material.
+func NewManager(nk *NodeKeys) *Manager { return &Manager{keys: nk} }
+
+// Keys returns the underlying node keys.
+func (m *Manager) Keys() *NodeKeys { return m.keys }
+
+// Require returns the node keys if material for the scheme is present.
+func (m *Manager) Require(id schemes.ID) (*NodeKeys, error) {
+	if !m.keys.Has(id) {
+		return nil, fmt.Errorf("keys: no key material for scheme %q on node %d", id, m.keys.Index)
+	}
+	return m.keys, nil
+}

@@ -1,0 +1,123 @@
+package keys
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/sh00"
+)
+
+func TestDealAllSchemes(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{RSABits: 512, UseRSAFixture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	for i, nk := range nodes {
+		if nk.Index != i+1 || nk.N != 4 || nk.T != 1 {
+			t.Fatalf("node %d header wrong: %+v", i, nk)
+		}
+		for _, id := range schemes.All() {
+			if !nk.Has(id) {
+				t.Fatalf("node %d missing %s", i+1, id)
+			}
+		}
+	}
+	// Shared public keys must be identical across nodes.
+	if !nodes[0].BLS04PK.Y.Equal(nodes[3].BLS04PK.Y) {
+		t.Fatal("BLS04 public keys differ across nodes")
+	}
+}
+
+func TestDealSubset(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].Has(schemes.SG02) || !nodes[0].Has(schemes.CKS05) {
+		t.Fatal("subset dealing wrong")
+	}
+	if _, err := NewManager(nodes[0]).Require(schemes.SG02); err == nil {
+		t.Fatal("missing scheme not reported")
+	}
+	if _, err := NewManager(nodes[0]).Require(schemes.CKS05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{RSABits: 512, UseRSAFixture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nk := range nodes {
+		got, err := UnmarshalNodeKeys(nk.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != nk.Index || got.N != nk.N || got.T != nk.T {
+			t.Fatal("header mismatch")
+		}
+		for _, id := range schemes.All() {
+			if !got.Has(id) {
+				t.Fatalf("round trip lost %s", id)
+			}
+		}
+		if got.SG02.X.Cmp(nk.SG02.X) != 0 || got.Frost.X.Cmp(nk.Frost.X) != 0 {
+			t.Fatal("share mismatch")
+		}
+		if !got.CKS05PK.Y.Equal(nk.CKS05PK.Y) {
+			t.Fatal("cks05 pubkey mismatch")
+		}
+	}
+	if _, err := UnmarshalNodeKeys([]byte("garbage")); err == nil {
+		t.Fatal("garbage key file accepted")
+	}
+}
+
+func TestRoundTrippedKeysStillWork(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 3, Options{RSABits: 512, UseRSAFixture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := make([]*NodeKeys, len(nodes))
+	for i, nk := range nodes {
+		r, err := UnmarshalNodeKeys(nk.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored[i] = r
+	}
+	// BLS threshold signature with restored keys.
+	msg := []byte("restored")
+	var sss []*bls04.SigShare
+	for _, nk := range restored[:2] {
+		ss := bls04.SignShare(nk.BLS04, msg)
+		if err := bls04.VerifyShare(nk.BLS04PK, msg, ss); err != nil {
+			t.Fatal(err)
+		}
+		sss = append(sss, ss)
+	}
+	if _, err := bls04.Combine(restored[0].BLS04PK, msg, sss); err != nil {
+		t.Fatal(err)
+	}
+	// SH00 with restored keys (exercises the recomputed Delta).
+	var rs []*sh00.SigShare
+	for _, nk := range restored[:2] {
+		ss, err := sh00.SignShare(rand.Reader, nk.SH00PK, nk.SH00, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh00.VerifyShare(nk.SH00PK, msg, ss); err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, ss)
+	}
+	if _, err := sh00.Combine(restored[0].SH00PK, msg, rs); err != nil {
+		t.Fatal(err)
+	}
+}

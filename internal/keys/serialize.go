@@ -1,0 +1,217 @@
+package keys
+
+import (
+	"fmt"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/mathutil"
+	"thetacrypt/internal/pairing"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/schemes/sh00"
+	"thetacrypt/internal/wire"
+)
+
+// Marshal serializes a node's complete key material. The encoding is the
+// wire format used throughout the system; cmd/thetakeygen writes one
+// file per node.
+func (nk *NodeKeys) Marshal() []byte {
+	w := wire.NewWriter().Int(nk.Index).Int(nk.N).Int(nk.T)
+	var present []schemes.ID
+	for _, id := range schemes.All() {
+		if nk.Has(id) {
+			present = append(present, id)
+		}
+	}
+	w.Int(len(present))
+	for _, id := range present {
+		w.String(string(id))
+		switch id {
+		case schemes.SG02:
+			w.String(nk.SG02PK.Group.Name())
+			w.Bytes(nk.SG02PK.H.Marshal())
+			writePoints(w, nk.SG02PK.VK)
+			w.BigInt(nk.SG02.X)
+		case schemes.BZ03:
+			w.Bytes(nk.BZ03PK.Y.Marshal())
+			w.Int(len(nk.BZ03PK.VK))
+			for _, vk := range nk.BZ03PK.VK {
+				w.Bytes(vk.Marshal())
+			}
+			w.BigInt(nk.BZ03.X)
+		case schemes.SH00:
+			w.BigInt(nk.SH00PK.N).BigInt(nk.SH00PK.E).BigInt(nk.SH00PK.V)
+			w.Int(len(nk.SH00PK.VK))
+			for _, vk := range nk.SH00PK.VK {
+				w.BigInt(vk)
+			}
+			w.BigInt(nk.SH00.S)
+		case schemes.BLS04:
+			w.Bytes(nk.BLS04PK.Y.Marshal())
+			w.Int(len(nk.BLS04PK.VK))
+			for _, vk := range nk.BLS04PK.VK {
+				w.Bytes(vk.Marshal())
+			}
+			w.BigInt(nk.BLS04.X)
+		case schemes.KG20:
+			w.String(nk.FrostPK.Group.Name())
+			w.Bytes(nk.FrostPK.Y.Marshal())
+			writePoints(w, nk.FrostPK.VK)
+			w.BigInt(nk.Frost.X)
+		case schemes.CKS05:
+			w.String(nk.CKS05PK.Group.Name())
+			w.Bytes(nk.CKS05PK.Y.Marshal())
+			writePoints(w, nk.CKS05PK.VK)
+			w.BigInt(nk.CKS05.X)
+		}
+	}
+	return w.Out()
+}
+
+// UnmarshalNodeKeys parses key material written by Marshal.
+func UnmarshalNodeKeys(data []byte) (*NodeKeys, error) {
+	r := wire.NewReader(data)
+	nk := &NodeKeys{Index: r.Int(), N: r.Int(), T: r.Int()}
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("keys header: %w", err)
+	}
+	for i := 0; i < count; i++ {
+		id := schemes.ID(r.String())
+		switch id {
+		case schemes.SG02:
+			g, err := group.ByName(r.String())
+			if err != nil {
+				return nil, err
+			}
+			h, err := readPoint(r, g)
+			if err != nil {
+				return nil, err
+			}
+			vk, err := readPoints(r, g)
+			if err != nil {
+				return nil, err
+			}
+			nk.SG02PK = &sg02.PublicKey{Group: g, H: h, VK: vk, T: nk.T, N: nk.N}
+			nk.SG02 = sg02.KeyShare{Index: nk.Index, X: r.BigInt()}
+		case schemes.BZ03:
+			y, ok := pairing.UnmarshalG1(r.Bytes())
+			if !ok {
+				return nil, fmt.Errorf("keys bz03: bad Y")
+			}
+			cnt := r.Int()
+			vk := make([]*pairing.G2, cnt)
+			for j := 0; j < cnt; j++ {
+				p, ok := pairing.UnmarshalG2(r.Bytes())
+				if !ok {
+					return nil, fmt.Errorf("keys bz03: bad VK[%d]", j)
+				}
+				vk[j] = p
+			}
+			nk.BZ03PK = &bz03.PublicKey{Y: y, VK: vk, T: nk.T, N: nk.N}
+			nk.BZ03 = bz03.KeyShare{Index: nk.Index, X: r.BigInt()}
+		case schemes.SH00:
+			pk := &sh00.PublicKey{
+				N: r.BigInt(), E: r.BigInt(), V: r.BigInt(),
+				T: nk.T, NParties: nk.N,
+			}
+			cnt := r.Int()
+			for j := 0; j < cnt; j++ {
+				pk.VK = append(pk.VK, r.BigInt())
+			}
+			pk.Delta = mathutil.Factorial(nk.N)
+			nk.SH00PK = pk
+			nk.SH00 = sh00.KeyShare{Index: nk.Index, S: r.BigInt()}
+		case schemes.BLS04:
+			y, ok := pairing.UnmarshalG2(r.Bytes())
+			if !ok {
+				return nil, fmt.Errorf("keys bls04: bad Y")
+			}
+			cnt := r.Int()
+			vk := make([]*pairing.G2, cnt)
+			for j := 0; j < cnt; j++ {
+				p, ok := pairing.UnmarshalG2(r.Bytes())
+				if !ok {
+					return nil, fmt.Errorf("keys bls04: bad VK[%d]", j)
+				}
+				vk[j] = p
+			}
+			nk.BLS04PK = &bls04.PublicKey{Y: y, VK: vk, T: nk.T, N: nk.N}
+			nk.BLS04 = bls04.KeyShare{Index: nk.Index, X: r.BigInt()}
+		case schemes.KG20:
+			g, err := group.ByName(r.String())
+			if err != nil {
+				return nil, err
+			}
+			y, err := readPoint(r, g)
+			if err != nil {
+				return nil, err
+			}
+			vk, err := readPoints(r, g)
+			if err != nil {
+				return nil, err
+			}
+			nk.FrostPK = &frost.PublicKey{Group: g, Y: y, VK: vk, T: nk.T, N: nk.N}
+			nk.Frost = frost.KeyShare{Index: nk.Index, X: r.BigInt()}
+		case schemes.CKS05:
+			g, err := group.ByName(r.String())
+			if err != nil {
+				return nil, err
+			}
+			y, err := readPoint(r, g)
+			if err != nil {
+				return nil, err
+			}
+			vk, err := readPoints(r, g)
+			if err != nil {
+				return nil, err
+			}
+			nk.CKS05PK = &cks05.PublicKey{Group: g, Y: y, VK: vk, T: nk.T, N: nk.N}
+			nk.CKS05 = cks05.KeyShare{Index: nk.Index, X: r.BigInt()}
+		default:
+			return nil, fmt.Errorf("keys: unknown scheme %q in key file", id)
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("keys %s: %w", id, err)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("keys: %w", err)
+	}
+	return nk, nil
+}
+
+func writePoints(w *wire.Writer, pts []group.Point) {
+	w.Int(len(pts))
+	for _, p := range pts {
+		w.Bytes(p.Marshal())
+	}
+}
+
+func readPoint(r *wire.Reader, g group.Group) (group.Point, error) {
+	raw := r.Bytes()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return g.UnmarshalPoint(raw)
+}
+
+func readPoints(r *wire.Reader, g group.Group) ([]group.Point, error) {
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]group.Point, cnt)
+	for i := 0; i < cnt; i++ {
+		p, err := readPoint(r, g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

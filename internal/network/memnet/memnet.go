@@ -1,0 +1,214 @@
+// Package memnet provides an in-process P2P network with a configurable
+// per-link latency model. It substitutes for the paper's multi-region
+// DigitalOcean testbed: one-way delays are drawn from a region
+// round-trip matrix plus jitter, so local (≈0.65 ms RTT) and global
+// (≈43-280 ms RTT) deployments from Table 2 can be reproduced on one
+// machine. It also serves as the fault-injection surface for tests
+// (crashed nodes, dropped or delayed messages).
+package memnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"thetacrypt/internal/network"
+)
+
+// ErrClosed is returned on operations against a closed endpoint.
+var ErrClosed = errors.New("memnet: closed")
+
+// LatencyFunc returns the one-way delay for a message from node i to
+// node j (1-indexed).
+type LatencyFunc func(from, to int) time.Duration
+
+// Uniform returns a LatencyFunc with a constant one-way delay.
+func Uniform(d time.Duration) LatencyFunc {
+	return func(int, int) time.Duration { return d }
+}
+
+// Options configures a Hub.
+type Options struct {
+	// Latency is the one-way delay model; nil means zero latency.
+	Latency LatencyFunc
+	// JitterFrac adds uniform jitter in [0, JitterFrac) of the base
+	// latency to every message.
+	JitterFrac float64
+	// Seed makes jitter deterministic.
+	Seed uint64
+	// QueueLen is the inbound queue length per node (default 4096).
+	// A deep queue models kernel socket buffers; the paper's capacity
+	// experiments drive nodes far beyond their service rate.
+	QueueLen int
+}
+
+// Hub connects n in-process endpoints.
+type Hub struct {
+	n    int
+	opts Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	inbox   []chan network.Envelope
+	crashed []bool
+	dropFn  func(env network.Envelope) bool
+	closed  bool
+	wg      sync.WaitGroup
+	// lastArrival and lastDone enforce per-link FIFO: a message never
+	// arrives before an earlier message on the same (from, to) link,
+	// matching TCP semantics.
+	lastArrival map[[2]int]time.Time
+	lastDone    map[[2]int]chan struct{}
+}
+
+// NewHub creates a hub for nodes 1..n.
+func NewHub(n int, opts Options) *Hub {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 4096
+	}
+	h := &Hub{
+		n:           n,
+		opts:        opts,
+		rng:         rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)),
+		inbox:       make([]chan network.Envelope, n+1),
+		crashed:     make([]bool, n+1),
+		lastArrival: make(map[[2]int]time.Time),
+		lastDone:    make(map[[2]int]chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		h.inbox[i] = make(chan network.Envelope, opts.QueueLen)
+	}
+	return h
+}
+
+// Endpoint returns node i's P2P interface.
+func (h *Hub) Endpoint(i int) network.P2P {
+	return &endpoint{hub: h, index: i}
+}
+
+// Crash makes a node unreachable and stops its sends, simulating a
+// crashed replica.
+func (h *Hub) Crash(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed[i] = true
+}
+
+// Restart clears a crash.
+func (h *Hub) Restart(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed[i] = false
+}
+
+// DropIf installs a message filter; envelopes for which fn returns true
+// are silently dropped. Passing nil removes the filter.
+func (h *Hub) DropIf(fn func(env network.Envelope) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dropFn = fn
+}
+
+// Close shuts down all endpoints and waits for in-flight deliveries.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.wg.Wait()
+	h.mu.Lock()
+	for i := 1; i <= h.n; i++ {
+		close(h.inbox[i])
+	}
+	h.mu.Unlock()
+}
+
+// transmit schedules delivery of env to node `to`.
+func (h *Hub) transmit(to int, env network.Envelope) {
+	now := time.Now()
+	h.mu.Lock()
+	if h.closed || h.crashed[env.From] || h.crashed[to] ||
+		(h.dropFn != nil && h.dropFn(env)) {
+		h.mu.Unlock()
+		return
+	}
+	base := time.Duration(0)
+	if h.opts.Latency != nil {
+		base = h.opts.Latency(env.From, to)
+	}
+	if h.opts.JitterFrac > 0 && base > 0 {
+		base += time.Duration(float64(base) * h.rng.Float64() * h.opts.JitterFrac)
+	}
+	arrival := now.Add(base)
+	link := [2]int{env.From, to}
+	if last, ok := h.lastArrival[link]; ok && arrival.Before(last) {
+		arrival = last // FIFO per link
+	}
+	h.lastArrival[link] = arrival
+	prev := h.lastDone[link]
+	done := make(chan struct{})
+	h.lastDone[link] = done
+	h.wg.Add(1)
+	h.mu.Unlock()
+
+	go func() {
+		defer h.wg.Done()
+		defer close(done)
+		if d := time.Until(arrival); d > 0 {
+			timer := time.NewTimer(d)
+			<-timer.C
+		}
+		if prev != nil {
+			<-prev // strict per-link delivery order
+		}
+		h.mu.Lock()
+		dead := h.closed || h.crashed[to]
+		ch := h.inbox[to]
+		h.mu.Unlock()
+		if dead {
+			return
+		}
+		ch <- env
+	}()
+}
+
+type endpoint struct {
+	hub   *Hub
+	index int
+}
+
+var _ network.P2P = (*endpoint)(nil)
+
+func (e *endpoint) Send(_ context.Context, to int, env network.Envelope) error {
+	if to < 1 || to > e.hub.n {
+		return fmt.Errorf("memnet: no such node %d", to)
+	}
+	env.From = e.index
+	env.To = to
+	e.hub.transmit(to, env)
+	return nil
+}
+
+func (e *endpoint) Broadcast(_ context.Context, env network.Envelope) error {
+	env.From = e.index
+	env.To = network.Broadcast
+	for to := 1; to <= e.hub.n; to++ {
+		if to == e.index {
+			continue
+		}
+		e.hub.transmit(to, env)
+	}
+	return nil
+}
+
+func (e *endpoint) Receive() <-chan network.Envelope {
+	return e.hub.inbox[e.index]
+}
+
+func (e *endpoint) Close() error { return nil }

@@ -1,0 +1,94 @@
+// Package network defines the network layer of Thetacrypt: the
+// peer-to-peer (P2P) and total-order broadcast (TOB) interfaces, the
+// wire envelope, and the network manager that assembles a concrete stack
+// from configuration (the paper's Section 3.6).
+//
+// Three P2P implementations exist: memnet (in-process, with a
+// configurable latency matrix, substituting for the paper's multi-region
+// testbed), tcpnet (length-prefixed TCP full mesh for standalone
+// deployments), and proxy (delegation to a host platform). TOB is
+// provided by internal/tob (sequencer-based) or by the TOB proxy.
+package network
+
+import (
+	"context"
+	"fmt"
+
+	"thetacrypt/internal/wire"
+)
+
+// Kind classifies envelope contents.
+type Kind int
+
+// Envelope kinds understood by the orchestration layer.
+const (
+	// KindStart announces a new protocol instance and carries the
+	// marshaled request.
+	KindStart Kind = iota + 1
+	// KindProto carries a protocol round message.
+	KindProto
+)
+
+// Broadcast is the To value addressing all peers.
+const Broadcast = 0
+
+// Envelope is the unit of internode communication.
+type Envelope struct {
+	From     int
+	To       int // Broadcast or a node index
+	Instance string
+	Kind     Kind
+	Round    int
+	Payload  []byte
+}
+
+// Marshal encodes an envelope for byte-oriented transports.
+func (e Envelope) Marshal() []byte {
+	return wire.NewWriter().
+		Int(e.From).Int(e.To).String(e.Instance).
+		Int(int(e.Kind)).Int(e.Round).Bytes(e.Payload).Out()
+}
+
+// UnmarshalEnvelope decodes an envelope.
+func UnmarshalEnvelope(data []byte) (Envelope, error) {
+	r := wire.NewReader(data)
+	env := Envelope{
+		From:     r.Int(),
+		To:       r.Int(),
+		Instance: r.String(),
+	}
+	env.Kind = Kind(r.Int())
+	env.Round = r.Int()
+	env.Payload = r.Bytes()
+	if err := r.Err(); err != nil {
+		return Envelope{}, fmt.Errorf("network envelope: %w", err)
+	}
+	return env, nil
+}
+
+// P2P provides reliable point-to-point communication with every peer.
+// Implementations must deliver each sent envelope at most once per
+// destination and preserve sender order on a per-link basis.
+type P2P interface {
+	// Send delivers the envelope to one peer.
+	Send(ctx context.Context, to int, env Envelope) error
+	// Broadcast delivers the envelope to every other peer.
+	Broadcast(ctx context.Context, env Envelope) error
+	// Receive returns the channel of inbound envelopes. The channel is
+	// closed by Close.
+	Receive() <-chan Envelope
+	// Close releases the transport.
+	Close() error
+}
+
+// TOB provides total-order broadcast: all correct nodes deliver the
+// same sequence of envelopes. Blockchains, sequencers, or the TOB proxy
+// provide this primitive.
+type TOB interface {
+	// Submit hands an envelope to the ordering service.
+	Submit(ctx context.Context, env Envelope) error
+	// Delivered returns the totally ordered delivery channel.
+	Delivered() <-chan Envelope
+	// Close releases the channel.
+	Close() error
+}

@@ -1,0 +1,271 @@
+// Package tcpnet is the standalone P2P transport: a full mesh of
+// length-prefixed TCP connections. It replaces the original system's
+// libp2p gossip overlay; the paper's model only requires reliable
+// point-to-point channels, which persistent TCP links provide directly.
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"thetacrypt/internal/network"
+)
+
+// maxFrame bounds a single wire frame (16 MiB).
+const maxFrame = 16 << 20
+
+// Config describes one node's view of the mesh.
+type Config struct {
+	// Self is this node's index (1-based).
+	Self int
+	// ListenAddr is the local listen address, e.g. ":7001".
+	ListenAddr string
+	// Peers maps node index to dialable address for every OTHER node.
+	Peers map[int]string
+	// DialRetry is the backoff between reconnect attempts (default
+	// 250 ms).
+	DialRetry time.Duration
+	// QueueLen is the inbound queue length (default 4096).
+	QueueLen int
+}
+
+// Transport is a network.P2P over TCP.
+type Transport struct {
+	cfg Config
+	ln  net.Listener
+	in  chan network.Envelope
+
+	mu      sync.Mutex
+	conns   map[int]net.Conn
+	inbound []net.Conn
+	done    sync.WaitGroup
+	stop    chan struct{}
+	close   sync.Once
+}
+
+var _ network.P2P = (*Transport)(nil)
+
+// New starts listening and returns the transport. Outbound connections
+// are dialed lazily with retry.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 250 * time.Millisecond
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	if cfg.Peers == nil {
+		cfg.Peers = make(map[int]string)
+	}
+	t := &Transport{
+		cfg:   cfg,
+		ln:    ln,
+		in:    make(chan network.Envelope, cfg.QueueLen),
+		conns: make(map[int]net.Conn),
+		stop:  make(chan struct{}),
+	}
+	t.done.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer registers (or updates) a peer address; used when ports are
+// assigned dynamically.
+func (t *Transport) SetPeer(index int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Peers[index] = addr
+}
+
+// peerAddr looks up a peer address.
+func (t *Transport) peerAddr(index int) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.cfg.Peers[index]
+	return addr, ok
+}
+
+// peerIndices snapshots the peer set.
+func (t *Transport) peerIndices() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.cfg.Peers))
+	for idx := range t.cfg.Peers {
+		out = append(out, idx)
+	}
+	return out
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.done.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		t.done.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.done.Done()
+	defer conn.Close()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := network.UnmarshalEnvelope(frame)
+		if err != nil {
+			continue // skip malformed frames
+		}
+		select {
+		case t.in <- env:
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// connTo returns (dialing if necessary) the outbound connection to a
+// peer.
+func (t *Transport) connTo(ctx context.Context, to int) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	addr, ok := t.peerAddr(to)
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for peer %d", to)
+	}
+	var dialer net.Dialer
+	for {
+		conn, err := dialer.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			t.mu.Lock()
+			if existing, ok := t.conns[to]; ok {
+				t.mu.Unlock()
+				_ = conn.Close()
+				return existing, nil
+			}
+			t.conns[to] = conn
+			t.mu.Unlock()
+			return conn, nil
+		}
+		select {
+		case <-time.After(t.cfg.DialRetry):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("tcpnet dial %d: %w", to, ctx.Err())
+		case <-t.stop:
+			return nil, errors.New("tcpnet: transport closed")
+		}
+	}
+}
+
+// Send delivers one envelope to a peer, redialing once on a stale
+// connection.
+func (t *Transport) Send(ctx context.Context, to int, env network.Envelope) error {
+	env.From = t.cfg.Self
+	env.To = to
+	frame := env.Marshal()
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.connTo(ctx, to)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		err = writeFrame(conn, frame)
+		if err != nil {
+			_ = conn.Close()
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("tcpnet: send to %d failed", to)
+}
+
+// Broadcast sends to every configured peer; the first error is returned
+// after attempting all peers.
+func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
+	env.To = network.Broadcast
+	var firstErr error
+	for _, to := range t.peerIndices() {
+		if err := t.Send(ctx, to, env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Receive returns the inbound envelope stream.
+func (t *Transport) Receive() <-chan network.Envelope { return t.in }
+
+// Close shuts down the transport.
+func (t *Transport) Close() error {
+	t.close.Do(func() {
+		close(t.stop)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			_ = c.Close()
+		}
+		for _, c := range t.inbound {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+		t.done.Wait()
+		close(t.in)
+	})
+	return nil
+}
+
+// writeFrame writes one 4-byte length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,175 @@
+package network_test
+
+import (
+	"context"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/network/proxy"
+	"thetacrypt/internal/network/tcpnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+func TestEnvelopeMarshalRoundTrip(t *testing.T) {
+	env := network.Envelope{
+		From: 3, To: 0, Instance: "abc", Kind: network.KindProto, Round: 2,
+		Payload: []byte("hello"),
+	}
+	got, err := network.UnmarshalEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 3 || got.Instance != "abc" || got.Kind != network.KindProto ||
+		got.Round != 2 || string(got.Payload) != "hello" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := network.UnmarshalEnvelope([]byte("junk")); err == nil {
+		t.Fatal("junk envelope decoded")
+	}
+}
+
+func TestTCPNetBasic(t *testing.T) {
+	// Two-node mesh over real TCP sockets.
+	t1, err := tcpnet.New(tcpnet.Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := tcpnet.New(tcpnet.Config{Self: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	t1.SetPeer(2, t2.Addr())
+	t2.SetPeer(1, t1.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := t1.Send(ctx, 2, network.Envelope{Instance: "x", Kind: network.KindProto, Payload: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-t2.Receive():
+		if string(env.Payload) != "ping" || env.From != 1 {
+			t.Fatalf("got %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("timed out waiting for envelope")
+	}
+
+	// Broadcast from node 2 reaches node 1.
+	if err := t2.Broadcast(ctx, network.Envelope{Instance: "y", Kind: network.KindStart, Payload: []byte("pong")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-t1.Receive():
+		if string(env.Payload) != "pong" {
+			t.Fatalf("got %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("timed out waiting for broadcast")
+	}
+}
+
+func TestFullClusterOverTCP(t *testing.T) {
+	// A complete threshold signature over real TCP sockets.
+	const tt, n = 1, 4
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		Schemes: []schemes.ID{schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports := make([]*tcpnet.Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := tcpnet.New(tcpnet.Config{Self: i + 1, ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		defer tr.Close()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				transports[i].SetPeer(j+1, transports[j].Addr())
+			}
+		}
+	}
+	engines := make([]*orchestration.Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  transports[i],
+		})
+		defer engines[i].Stop()
+	}
+	req := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("tcp-coin")}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	f, err := engines[0].Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Wait(ctx)
+	if err != nil || r.Err != nil {
+		t.Fatalf("wait: %v / %v", err, r.Err)
+	}
+	if len(r.Value) != 32 {
+		t.Fatalf("coin value %d bytes", len(r.Value))
+	}
+}
+
+func TestProxyBridgesP2P(t *testing.T) {
+	// Node 1 talks through a proxy into a memnet "host platform" where
+	// node 2 lives natively.
+	hub := memnet.NewHub(2, memnet.Options{})
+	defer hub.Close()
+
+	srv, err := proxy.NewServer("127.0.0.1:0", hub.Endpoint(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := proxy.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Outbound: proxied node sends into the host network.
+	if err := client.Send(ctx, 2, network.Envelope{From: 1, Instance: "p", Kind: network.KindProto, Payload: []byte("via-proxy")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-hub.Endpoint(2).Receive():
+		if string(env.Payload) != "via-proxy" {
+			t.Fatalf("got %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("outbound proxy message lost")
+	}
+
+	// Inbound: host network delivery reaches the proxied node.
+	if err := hub.Endpoint(2).Send(ctx, 1, network.Envelope{Instance: "p", Kind: network.KindProto, Payload: []byte("to-proxy")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-client.Receive():
+		if string(env.Payload) != "to-proxy" {
+			t.Fatalf("got %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("inbound proxy message lost")
+	}
+}

@@ -1,0 +1,436 @@
+// Package orchestration implements the core layer's execution engine
+// (the paper's Fig. 3): an instance manager tracking protocol instances,
+// a protocol executor driving each instance's TRI state machine, and the
+// dispatch of protocol messages to and from the network layer.
+//
+// Each engine runs a configurable number of worker goroutines that
+// process events (client requests and network messages) sequentially;
+// the default of one worker models the paper's deployment, where every
+// Thetacrypt container is pinned to a single vCPU.
+package orchestration
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/protocols"
+)
+
+// Errors returned by the engine.
+var (
+	ErrStopped  = errors.New("orchestration: engine stopped")
+	ErrDuplicate = errors.New("orchestration: duplicate instance")
+)
+
+// Result is the outcome of a protocol instance on this node.
+type Result struct {
+	InstanceID string
+	Value      []byte
+	Err        error
+	// Started and Finished delimit the server-side processing of the
+	// request on this node, the paper's server-side latency.
+	Started  time.Time
+	Finished time.Time
+}
+
+// Future delivers the result of a submitted request.
+type Future struct {
+	ch chan Result
+}
+
+// Done returns the channel carrying the final result.
+func (f *Future) Done() <-chan Result { return f.ch }
+
+// Wait blocks for the result or context cancellation.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case r := <-f.ch:
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Keys is the node's key material (index, thresholds, shares).
+	Keys *keys.Manager
+	// Net is the node's P2P endpoint.
+	Net network.P2P
+	// Rand defaults to crypto/rand.Reader.
+	Rand io.Reader
+	// Workers is the number of event-processing goroutines (default 1,
+	// modeling the paper's 1-vCPU pin).
+	Workers int
+	// QueueLen bounds the internal event queue (default 4096).
+	QueueLen int
+	// OnRejectedShare, when set, observes invalid shares (for metrics
+	// and tests). It runs on the worker goroutine and must be fast.
+	OnRejectedShare func(instanceID string, err error)
+}
+
+// Engine is one node's orchestration module.
+type Engine struct {
+	cfg  Config
+	self int
+
+	events chan event
+
+	mu        sync.Mutex
+	instances map[string]*instance
+	stopped   bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+type instance struct {
+	// mu serializes all access to the TRI protocol, which is not safe
+	// for concurrent use (relevant when Workers > 1).
+	mu       sync.Mutex
+	proto    protocols.Protocol
+	futures  []*Future
+	started  time.Time
+	finished bool
+	result   Result
+	// backlog holds protocol messages that arrived before the instance
+	// was started on this node.
+	backlog []protocols.ProtocolMessage
+}
+
+type event struct {
+	// Exactly one of req/env is meaningful.
+	req    *protocols.Request
+	future *Future
+	env    *network.Envelope
+}
+
+// New creates and starts an engine.
+func New(cfg Config) *Engine {
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	e := &Engine{
+		cfg:       cfg,
+		self:      cfg.Keys.Keys().Index,
+		events:    make(chan event, cfg.QueueLen),
+		instances: make(map[string]*instance),
+		stop:      make(chan struct{}),
+	}
+	e.done.Add(1)
+	go e.pump()
+	for i := 0; i < cfg.Workers; i++ {
+		e.done.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Stop shuts the engine down and waits for its goroutines.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.done.Wait()
+}
+
+// Submit starts a protocol instance for the request on this node and
+// announces it to the peers. The same request submitted on several nodes
+// joins a single logical instance.
+func (e *Engine) Submit(ctx context.Context, req protocols.Request) (*Future, error) {
+	f := &Future{ch: make(chan Result, 1)}
+	ev := event{req: &req, future: f}
+	select {
+	case e.events <- ev:
+		return f, nil
+	case <-e.stop:
+		return nil, ErrStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// pump moves network envelopes into the event queue.
+func (e *Engine) pump() {
+	defer e.done.Done()
+	for {
+		select {
+		case env, ok := <-e.cfg.Net.Receive():
+			if !ok {
+				return
+			}
+			select {
+			case e.events <- event{env: &env}:
+			case <-e.stop:
+				return
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// worker processes events sequentially.
+func (e *Engine) worker() {
+	defer e.done.Done()
+	for {
+		select {
+		case ev := <-e.events:
+			e.handle(ev)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) handle(ev event) {
+	switch {
+	case ev.req != nil:
+		e.handleSubmit(*ev.req, ev.future)
+	case ev.env != nil:
+		e.handleEnvelope(*ev.env)
+	}
+}
+
+// ensureInstance creates (or returns) the instance for a request. Lock
+// order is always e.mu before inst.mu.
+func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future) (*instance, error) {
+	id := req.InstanceID()
+	e.mu.Lock()
+	inst, ok := e.instances[id]
+	if ok {
+		if future != nil {
+			inst.mu.Lock()
+			if inst.finished {
+				future.ch <- inst.result
+			} else {
+				inst.futures = append(inst.futures, future)
+			}
+			inst.mu.Unlock()
+		}
+		e.mu.Unlock()
+		return inst, nil
+	}
+	inst = &instance{started: time.Now()}
+	if future != nil {
+		inst.futures = append(inst.futures, future)
+	}
+	e.instances[id] = inst
+	e.mu.Unlock()
+
+	proto, err := protocols.New(e.cfg.Rand, e.cfg.Keys.Keys(), req)
+	if err == nil {
+		// Publish under e.mu so handleEnvelope's proto==nil check is
+		// race free.
+		e.mu.Lock()
+		inst.proto = proto
+		e.mu.Unlock()
+	}
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err != nil {
+		e.finishLocked(id, inst, Result{InstanceID: id, Err: err})
+		return nil, err
+	}
+
+	if announce {
+		start := network.Envelope{
+			Instance: id,
+			Kind:     network.KindStart,
+			Payload:  req.Marshal(),
+		}
+		if err := e.cfg.Net.Broadcast(context.Background(), start); err != nil {
+			e.finishLocked(id, inst, Result{InstanceID: id, Err: fmt.Errorf("announce: %w", err)})
+			return nil, err
+		}
+	}
+	e.advanceLocked(id, inst, true)
+	return inst, nil
+}
+
+func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
+	inst, err := e.ensureInstance(req, true, future)
+	if err != nil {
+		return // ensureInstance already finished the future
+	}
+	// Peer shares may have arrived before the local submission.
+	e.drainBacklog(req.InstanceID(), inst)
+}
+
+func (e *Engine) handleEnvelope(env network.Envelope) {
+	switch env.Kind {
+	case network.KindStart:
+		req, err := protocols.UnmarshalRequest(env.Payload)
+		if err != nil {
+			return // malformed announcement; ignore
+		}
+		if req.InstanceID() != env.Instance {
+			return // inconsistent announcement; ignore
+		}
+		inst, err := e.ensureInstance(req, false, nil)
+		if err != nil {
+			return
+		}
+		e.drainBacklog(env.Instance, inst)
+	case network.KindProto:
+		e.mu.Lock()
+		inst, ok := e.instances[env.Instance]
+		if ok && inst.proto == nil {
+			// Instance creation in flight; treat as unknown.
+			ok = false
+		}
+		if !ok {
+			// Share arrived before the start announcement: park it.
+			if inst == nil {
+				inst = &instance{started: time.Now()}
+				e.instances[env.Instance] = inst
+			}
+			inst.backlog = append(inst.backlog, protocols.ProtocolMessage{
+				Sender: env.From, Round: env.Round, Payload: env.Payload,
+			})
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+		e.deliver(env.Instance, inst, protocols.ProtocolMessage{
+			Sender: env.From, Round: env.Round, Payload: env.Payload,
+		})
+	}
+}
+
+// drainBacklog replays messages that arrived before the instance start.
+func (e *Engine) drainBacklog(id string, inst *instance) {
+	e.mu.Lock()
+	backlog := inst.backlog
+	inst.backlog = nil
+	e.mu.Unlock()
+	for _, msg := range backlog {
+		e.deliver(id, inst, msg)
+	}
+}
+
+func (e *Engine) deliver(id string, inst *instance, msg protocols.ProtocolMessage) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.finished || inst.proto == nil {
+		return
+	}
+	if err := inst.proto.Update(msg); err != nil {
+		if errors.Is(err, protocols.ErrShareRejected) {
+			if e.cfg.OnRejectedShare != nil {
+				e.cfg.OnRejectedShare(id, err)
+			}
+			return
+		}
+		// Non-share errors are protocol failures.
+		e.finishLocked(id, inst, Result{InstanceID: id, Err: err})
+		return
+	}
+	e.advanceLocked(id, inst, false)
+}
+
+// advanceLocked runs the TRI state machine: execute rounds while ready,
+// send produced messages, and finalize when possible. inst.mu is held.
+func (e *Engine) advanceLocked(id string, inst *instance, firstRound bool) {
+	if inst.finished || inst.proto == nil {
+		return
+	}
+	runRound := firstRound
+	for {
+		if runRound {
+			out, err := inst.proto.DoRound()
+			if err != nil {
+				e.finishLocked(id, inst, Result{InstanceID: id, Err: err})
+				return
+			}
+			if out != nil {
+				env := network.Envelope{
+					Instance: id,
+					Kind:     network.KindProto,
+					Round:    out.Round,
+					Payload:  out.Payload,
+				}
+				// The transport hint selects P2P or TOB; with the
+				// default stack both map to the P2P broadcast channel.
+				if err := e.cfg.Net.Broadcast(context.Background(), env); err != nil {
+					e.finishLocked(id, inst, Result{InstanceID: id, Err: fmt.Errorf("broadcast round %d: %w", out.Round, err)})
+					return
+				}
+			}
+		}
+		if inst.proto.IsReadyToFinalize() {
+			value, err := inst.proto.Finalize()
+			e.finishLocked(id, inst, Result{InstanceID: id, Value: value, Err: err})
+			return
+		}
+		if inst.proto.IsReadyForNextRound() {
+			runRound = true
+			continue
+		}
+		return
+	}
+}
+
+// finishLocked completes an instance; inst.mu is held.
+func (e *Engine) finishLocked(id string, inst *instance, res Result) {
+	if inst.finished {
+		return
+	}
+	inst.finished = true
+	res.Started = inst.started
+	res.Finished = time.Now()
+	inst.result = res
+	for _, f := range inst.futures {
+		f.ch <- res
+	}
+	inst.futures = nil
+}
+
+// Attach registers a future on an instance (present or future), used by
+// the service layer's result endpoint. The returned future fires
+// immediately when the instance already finished.
+func (e *Engine) Attach(id string) *Future {
+	f := &Future{ch: make(chan Result, 1)}
+	e.mu.Lock()
+	inst, ok := e.instances[id]
+	if !ok {
+		inst = &instance{started: time.Now()}
+		e.instances[id] = inst
+	}
+	e.mu.Unlock()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.finished {
+		f.ch <- inst.result
+		return f
+	}
+	inst.futures = append(inst.futures, f)
+	return f
+}
+
+// InstanceCount reports the number of tracked instances (for tests and
+// metrics).
+func (e *Engine) InstanceCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.instances)
+}

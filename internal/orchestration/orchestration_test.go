@@ -1,0 +1,333 @@
+package orchestration
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/schemes/sh00"
+)
+
+// cluster is an in-process Θ-network for tests.
+type cluster struct {
+	hub     *memnet.Hub
+	nodes   []*keys.NodeKeys
+	engines []*Engine
+}
+
+func newCluster(t *testing.T, tt, n int, opts memnet.Options) *cluster {
+	t.Helper()
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		RSABits: 512, UseRSAFixture: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(n, opts)
+	engines := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = New(Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+	}
+	c := &cluster{hub: hub, nodes: nodes, engines: engines}
+	t.Cleanup(func() {
+		for _, e := range engines {
+			e.Stop()
+		}
+		hub.Close()
+	})
+	return c
+}
+
+// submitAll submits the request on every engine (the replicated-service
+// deployment model) and returns all futures.
+func (c *cluster) submitAll(t *testing.T, req protocols.Request) []*Future {
+	t.Helper()
+	futures := make([]*Future, len(c.engines))
+	for i, e := range c.engines {
+		f, err := e.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures[i] = f
+	}
+	return futures
+}
+
+func waitAll(t *testing.T, futures []*Future) []Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results := make([]Result, len(futures))
+	for i, f := range futures {
+		r, err := f.Wait(ctx)
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if r.Err != nil {
+			t.Fatalf("future %d: result error: %v", i, r.Err)
+		}
+		results[i] = r
+	}
+	return results
+}
+
+func TestAllSchemesEndToEnd(t *testing.T) {
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{Latency: memnet.Uniform(200 * time.Microsecond)})
+
+	cases := []struct {
+		name string
+		req  func() protocols.Request
+		chk  func(t *testing.T, value []byte)
+	}{
+		{
+			name: "SG02 decrypt",
+			req: func() protocols.Request {
+				ct, err := sg02.Encrypt(rand.Reader, c.nodes[0].SG02PK, []byte("front-running tx"), []byte("L"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return protocols.Request{Scheme: schemes.SG02, Op: protocols.OpDecrypt, Payload: ct.Marshal()}
+			},
+			chk: func(t *testing.T, v []byte) {
+				if string(v) != "front-running tx" {
+					t.Fatalf("decrypted %q", v)
+				}
+			},
+		},
+		{
+			name: "BLS04 sign",
+			req: func() protocols.Request {
+				return protocols.Request{Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("blk")}
+			},
+			chk: func(t *testing.T, v []byte) {
+				sig, err := bls04.UnmarshalSignature(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := bls04.Verify(c.nodes[0].BLS04PK, []byte("blk"), sig); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "SH00 sign",
+			req: func() protocols.Request {
+				return protocols.Request{Scheme: schemes.SH00, Op: protocols.OpSign, Payload: []byte("cert")}
+			},
+			chk: func(t *testing.T, v []byte) {
+				sig, err := sh00.UnmarshalSignature(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sh00.Verify(c.nodes[0].SH00PK, []byte("cert"), sig); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "KG20 sign",
+			req: func() protocols.Request {
+				return protocols.Request{Scheme: schemes.KG20, Op: protocols.OpSign, Payload: []byte("wallet tx")}
+			},
+			chk: func(t *testing.T, v []byte) {
+				sig, err := frost.UnmarshalSignature(c.nodes[0].FrostPK.Group, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := frost.Verify(c.nodes[0].FrostPK, []byte("wallet tx"), sig); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "CKS05 coin",
+			req: func() protocols.Request {
+				return protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("round-3")}
+			},
+			chk: func(t *testing.T, v []byte) {
+				if len(v) != 32 {
+					t.Fatalf("coin value %d bytes", len(v))
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results := waitAll(t, c.submitAll(t, tc.req()))
+			// Every node produced the same result.
+			first := results[0].Value
+			for i, r := range results[1:] {
+				if hex.EncodeToString(r.Value) != hex.EncodeToString(first) {
+					t.Fatalf("node %d result differs", i+2)
+				}
+			}
+			tc.chk(t, first)
+		})
+	}
+}
+
+func TestBZ03EndToEnd(t *testing.T) {
+	// BZ03 runs separately: its pairing-heavy verification is the
+	// slowest path and deserves its own timeout budget.
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{})
+	ct, err := bz03.Encrypt(rand.Reader, c.nodes[0].BZ03PK, []byte("pairing payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := protocols.Request{Scheme: schemes.BZ03, Op: protocols.OpDecrypt, Payload: ct.Marshal()}
+	results := waitAll(t, c.submitAll(t, req))
+	if string(results[0].Value) != "pairing payload" {
+		t.Fatalf("decrypted %q", results[0].Value)
+	}
+}
+
+func TestSingleNodeSubmissionPropagates(t *testing.T) {
+	// A request submitted at ONE node must still complete everywhere via
+	// the start announcement.
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{Latency: memnet.Uniform(100 * time.Microsecond)})
+	req := protocols.Request{Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("solo")}
+	f, err := c.engines[2].Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	r, err := f.Wait(ctx)
+	if err != nil || r.Err != nil {
+		t.Fatalf("wait: %v / %v", err, r.Err)
+	}
+	sig, err := bls04.UnmarshalSignature(r.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bls04.Verify(c.nodes[0].BLS04PK, []byte("solo"), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToleratesCrashedNodes(t *testing.T) {
+	// With t = 1 and n = 4, one crashed node must not block progress for
+	// non-interactive schemes.
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{})
+	c.hub.Crash(4)
+	req := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("crashed")}
+	futures := make([]*Future, 0, 3)
+	for _, e := range c.engines[:3] {
+		f, err := e.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	waitAll(t, futures)
+}
+
+func TestCorruptSharesDoNotBlockProgress(t *testing.T) {
+	// A Byzantine node sending garbage shares is detected (rejected
+	// share callback) and the remaining honest quorum still completes.
+	const tt, n = 1, 4
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{RSABits: 512, UseRSAFixture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(n, memnet.Options{})
+	defer hub.Close()
+
+	var mu sync.Mutex
+	rejected := 0
+	engines := make([]*Engine, 0, 3)
+	for i := 0; i < 3; i++ { // node 4 is the adversary, no engine
+		engines = append(engines, New(Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+			OnRejectedShare: func(string, error) {
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			},
+		}))
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Stop()
+		}
+	}()
+
+	req := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("byz")}
+	// The adversary floods garbage for the instance before honest nodes
+	// even start it.
+	adv := hub.Endpoint(4)
+	garbage := network.Envelope{
+		Instance: req.InstanceID(),
+		Kind:     network.KindProto,
+		Round:    1,
+		Payload:  []byte("not a share"),
+	}
+	if err := adv.Broadcast(context.Background(), garbage); err != nil {
+		t.Fatal(err)
+	}
+
+	futures := make([]*Future, 0, 3)
+	for _, e := range engines {
+		f, err := e.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	waitAll(t, futures)
+	mu.Lock()
+	defer mu.Unlock()
+	if rejected == 0 {
+		t.Fatal("garbage shares were not surfaced to the rejection hook")
+	}
+}
+
+func TestDuplicateSubmissionJoinsInstance(t *testing.T) {
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{})
+	req := protocols.Request{Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("dup")}
+	f1, _ := c.engines[0].Submit(context.Background(), req)
+	f2, _ := c.engines[0].Submit(context.Background(), req)
+	waitAll(t, []*Future{f1})
+	_ = f2 // second future may or may not fire; the engine must not deadlock
+	if c.engines[0].InstanceCount() != 1 {
+		t.Fatalf("duplicate submission created %d instances", c.engines[0].InstanceCount())
+	}
+}
+
+func TestSessionsSeparateInstances(t *testing.T) {
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{})
+	r1 := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("x"), Session: "a"}
+	r2 := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("x"), Session: "b"}
+	if r1.InstanceID() == r2.InstanceID() {
+		t.Fatal("sessions share an instance ID")
+	}
+	res1 := waitAll(t, c.submitAll(t, r1))
+	res2 := waitAll(t, c.submitAll(t, r2))
+	// Same coin name means the same coin value, even across sessions:
+	// CKS05 is a deterministic function of the name.
+	if hex.EncodeToString(res1[0].Value) != hex.EncodeToString(res2[0].Value) {
+		t.Fatal("coin value changed across sessions")
+	}
+}

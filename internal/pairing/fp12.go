@@ -1,0 +1,89 @@
+package pairing
+
+import "math/big"
+
+// fp12 is an element of Fp12 = Fp6[w]/(w^2 - v), represented as c0 + c1*w.
+// The pairing target group GT is the order-r subgroup of Fp12*.
+type fp12 struct {
+	c0, c1 fp6
+}
+
+func fp12One() fp12 { return fp12{c0: fp6One(), c1: fp6Zero()} }
+
+func (a fp12) isOne() bool { return a.c0.equal(fp6One()) && a.c1.isZero() }
+
+func (a fp12) equal(b fp12) bool { return a.c0.equal(b.c0) && a.c1.equal(b.c1) }
+
+func (a fp12) mul(b fp12, pp *bnParams) fp12 {
+	t0 := a.c0.mul(b.c0, pp)
+	t1 := a.c1.mul(b.c1, pp)
+	// c0 = t0 + v*t1 ; c1 = (a0+a1)(b0+b1) - t0 - t1
+	c0 := t0.add(t1.mulByV(pp), pp)
+	c1 := a.c0.add(a.c1, pp).mul(b.c0.add(b.c1, pp), pp).sub(t0, pp).sub(t1, pp)
+	return fp12{c0: c0, c1: c1}
+}
+
+func (a fp12) square(pp *bnParams) fp12 {
+	// Complex squaring: c0' = (c0 + c1)(c0 + v c1) - t - v t ; c1' = 2t
+	// with t = c0 c1.
+	t := a.c0.mul(a.c1, pp)
+	s := a.c0.add(a.c1, pp).mul(a.c0.add(a.c1.mulByV(pp), pp), pp)
+	c0 := s.sub(t, pp).sub(t.mulByV(pp), pp)
+	c1 := t.add(t, pp)
+	return fp12{c0: c0, c1: c1}
+}
+
+// conjugate maps c0 + c1 w to c0 - c1 w, which equals a^(p^6). For
+// elements of the cyclotomic subgroup (all pairing values after the easy
+// part) the conjugate is the inverse.
+func (a fp12) conjugate(pp *bnParams) fp12 {
+	return fp12{c0: a.c0.clone(), c1: a.c1.neg(pp)}
+}
+
+func (a fp12) inv(pp *bnParams) fp12 {
+	// 1/(c0 + c1 w) = (c0 - c1 w) / (c0^2 - v c1^2)
+	t := a.c0.square(pp).sub(a.c1.square(pp).mulByV(pp), pp)
+	tinv := t.inv(pp)
+	return fp12{c0: a.c0.mul(tinv, pp), c1: a.c1.neg(pp).mul(tinv, pp)}
+}
+
+func (a fp12) exp(e *big.Int, pp *bnParams) fp12 {
+	acc := fp12One()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc = acc.square(pp)
+		if e.Bit(i) == 1 {
+			acc = acc.mul(a, pp)
+		}
+	}
+	return acc
+}
+
+// frobenius applies the p-power Frobenius: with w^p = γ1 w,
+// (g + h w)^p = g^p + h^p γ1 w, where g^p, h^p use the Fp6 Frobenius
+// except that h's coefficients pick up odd γ constants:
+// h = h0 + h1 v + h2 v^2 maps to conj(h0) γ1 + conj(h1) γ3 v + conj(h2) γ5 v^2.
+func (a fp12) frobenius(pp *bnParams) fp12 {
+	g := a.c0.frobenius(pp)
+	h := fp6{
+		c0: a.c1.c0.conj(pp).mul(pp.frobGamma[1], pp),
+		c1: a.c1.c1.conj(pp).mul(pp.frobGamma[3], pp),
+		c2: a.c1.c2.conj(pp).mul(pp.frobGamma[5], pp),
+	}
+	return fp12{c0: g, c1: h}
+}
+
+func (a fp12) frobeniusP2(pp *bnParams) fp12 {
+	return a.frobenius(pp).frobenius(pp)
+}
+
+// bytes returns the canonical 384-byte encoding (12 field elements,
+// big-endian, tower order c0.c0.c0, c0.c0.c1, ..., c1.c2.c1).
+func (a fp12) bytes() []byte {
+	out := make([]byte, 0, 384)
+	for _, six := range []fp6{a.c0, a.c1} {
+		for _, two := range []fp2{six.c0, six.c1, six.c2} {
+			out = append(out, two.bytes()...)
+		}
+	}
+	return out
+}

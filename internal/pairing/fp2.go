@@ -1,0 +1,203 @@
+package pairing
+
+import (
+	"math/big"
+
+	"thetacrypt/internal/mathutil"
+)
+
+// fp2 is an element of Fp2 = Fp[i]/(i^2 + 1), represented as c0 + c1*i.
+// All operations are functional: they return fresh values and never
+// mutate their operands.
+type fp2 struct {
+	c0, c1 *big.Int
+}
+
+func fp2Zero() fp2 { return fp2{c0: big.NewInt(0), c1: big.NewInt(0)} }
+func fp2One() fp2  { return fp2{c0: big.NewInt(1), c1: big.NewInt(0)} }
+
+func (a fp2) isZero() bool { return a.c0.Sign() == 0 && a.c1.Sign() == 0 }
+
+func (a fp2) equal(b fp2) bool {
+	return a.c0.Cmp(b.c0) == 0 && a.c1.Cmp(b.c1) == 0
+}
+
+func (a fp2) clone() fp2 {
+	return fp2{c0: mathutil.Clone(a.c0), c1: mathutil.Clone(a.c1)}
+}
+
+func (a fp2) add(b fp2, pp *bnParams) fp2 {
+	return fp2{
+		c0: mathutil.AddMod(a.c0, b.c0, pp.p),
+		c1: mathutil.AddMod(a.c1, b.c1, pp.p),
+	}
+}
+
+func (a fp2) sub(b fp2, pp *bnParams) fp2 {
+	return fp2{
+		c0: mathutil.SubMod(a.c0, b.c0, pp.p),
+		c1: mathutil.SubMod(a.c1, b.c1, pp.p),
+	}
+}
+
+func (a fp2) neg(pp *bnParams) fp2 {
+	return fp2{
+		c0: mathutil.SubMod(big.NewInt(0), a.c0, pp.p),
+		c1: mathutil.SubMod(big.NewInt(0), a.c1, pp.p),
+	}
+}
+
+func (a fp2) dbl(pp *bnParams) fp2 { return a.add(a, pp) }
+
+// mul computes (a0 + a1 i)(b0 + b1 i) = (a0b0 - a1b1) + (a0b1 + a1b0) i.
+func (a fp2) mul(b fp2, pp *bnParams) fp2 {
+	t0 := new(big.Int).Mul(a.c0, b.c0)
+	t1 := new(big.Int).Mul(a.c1, b.c1)
+	t2 := new(big.Int).Mul(a.c0, b.c1)
+	t3 := new(big.Int).Mul(a.c1, b.c0)
+	return fp2{
+		c0: new(big.Int).Mod(t0.Sub(t0, t1), pp.p),
+		c1: new(big.Int).Mod(t2.Add(t2, t3), pp.p),
+	}
+}
+
+// square computes (a0 + a1 i)^2 = (a0+a1)(a0-a1) + 2 a0 a1 i.
+func (a fp2) square(pp *bnParams) fp2 {
+	s := new(big.Int).Add(a.c0, a.c1)
+	d := new(big.Int).Sub(a.c0, a.c1)
+	m := new(big.Int).Mul(a.c0, a.c1)
+	return fp2{
+		c0: new(big.Int).Mod(s.Mul(s, d), pp.p),
+		c1: new(big.Int).Mod(m.Lsh(m, 1), pp.p),
+	}
+}
+
+// mulScalar multiplies both coefficients by an Fp scalar.
+func (a fp2) mulScalar(k *big.Int, pp *bnParams) fp2 {
+	return fp2{
+		c0: mathutil.MulMod(a.c0, k, pp.p),
+		c1: mathutil.MulMod(a.c1, k, pp.p),
+	}
+}
+
+// conj returns the Fp2 conjugate c0 - c1*i, which equals a^p.
+func (a fp2) conj(pp *bnParams) fp2 {
+	return fp2{
+		c0: mathutil.Clone(a.c0),
+		c1: mathutil.SubMod(big.NewInt(0), a.c1, pp.p),
+	}
+}
+
+// mulByXi multiplies by the sextic non-residue ξ = 9 + i:
+// (9 a0 - a1) + (9 a1 + a0) i.
+func (a fp2) mulByXi(pp *bnParams) fp2 {
+	nine := big.NewInt(9)
+	t0 := new(big.Int).Mul(a.c0, nine)
+	t0.Sub(t0, a.c1)
+	t1 := new(big.Int).Mul(a.c1, nine)
+	t1.Add(t1, a.c0)
+	return fp2{
+		c0: new(big.Int).Mod(t0, pp.p),
+		c1: new(big.Int).Mod(t1, pp.p),
+	}
+}
+
+// inv returns 1/a = conj(a) / (a0^2 + a1^2).
+func (a fp2) inv(pp *bnParams) fp2 {
+	norm := new(big.Int).Mul(a.c0, a.c0)
+	norm.Add(norm, new(big.Int).Mul(a.c1, a.c1))
+	norm.Mod(norm, pp.p)
+	ninv := new(big.Int).ModInverse(norm, pp.p)
+	if ninv == nil {
+		// Only the zero element is non-invertible in a field.
+		return fp2Zero()
+	}
+	return fp2{
+		c0: mathutil.MulMod(a.c0, ninv, pp.p),
+		c1: mathutil.MulMod(mathutil.SubMod(big.NewInt(0), a.c1, pp.p), ninv, pp.p),
+	}
+}
+
+// exp computes a^e by square-and-multiply.
+func (a fp2) exp(e *big.Int, pp *bnParams) fp2 {
+	acc := fp2One()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc = acc.square(pp)
+		if e.Bit(i) == 1 {
+			acc = acc.mul(a, pp)
+		}
+	}
+	return acc
+}
+
+// sqrt computes a square root in Fp2 if one exists, using the norm-based
+// method for p ≡ 3 (mod 4). The result is verified by squaring.
+func (a fp2) sqrt(pp *bnParams) (fp2, bool) {
+	if a.isZero() {
+		return fp2Zero(), true
+	}
+	if a.c1.Sign() == 0 {
+		// a is in Fp: either sqrt(a0) in Fp or i*sqrt(-a0).
+		if root, ok := mathutil.Sqrt3Mod4(a.c0, pp.p); ok {
+			return fp2{c0: root, c1: big.NewInt(0)}, true
+		}
+		negA := mathutil.SubMod(big.NewInt(0), a.c0, pp.p)
+		if root, ok := mathutil.Sqrt3Mod4(negA, pp.p); ok {
+			return fp2{c0: big.NewInt(0), c1: root}, true
+		}
+		return fp2Zero(), false
+	}
+	// norm = a0^2 + a1^2 must be a square in Fp.
+	norm := mathutil.AddMod(
+		mathutil.MulMod(a.c0, a.c0, pp.p),
+		mathutil.MulMod(a.c1, a.c1, pp.p), pp.p)
+	s, ok := mathutil.Sqrt3Mod4(norm, pp.p)
+	if !ok {
+		return fp2Zero(), false
+	}
+	twoInv := new(big.Int).ModInverse(big.NewInt(2), pp.p)
+	for _, sign := range []int{1, -1} {
+		var delta *big.Int
+		if sign == 1 {
+			delta = mathutil.AddMod(a.c0, s, pp.p)
+		} else {
+			delta = mathutil.SubMod(a.c0, s, pp.p)
+		}
+		delta = mathutil.MulMod(delta, twoInv, pp.p)
+		x0, ok := mathutil.Sqrt3Mod4(delta, pp.p)
+		if !ok {
+			continue
+		}
+		if x0.Sign() == 0 {
+			continue
+		}
+		x1 := mathutil.MulMod(a.c1, twoInv, pp.p)
+		x0inv := new(big.Int).ModInverse(x0, pp.p)
+		x1 = mathutil.MulMod(x1, x0inv, pp.p)
+		cand := fp2{c0: x0, c1: x1}
+		if cand.square(pp).equal(fp2{c0: mathutil.Mod(a.c0, pp.p), c1: mathutil.Mod(a.c1, pp.p)}) {
+			return cand, true
+		}
+	}
+	return fp2Zero(), false
+}
+
+// bytes returns the fixed 64-byte big-endian encoding c0 || c1.
+func (a fp2) bytes() []byte {
+	out := make([]byte, 64)
+	a.c0.FillBytes(out[:32])
+	a.c1.FillBytes(out[32:])
+	return out
+}
+
+func fp2FromBytes(data []byte, pp *bnParams) (fp2, bool) {
+	if len(data) != 64 {
+		return fp2{}, false
+	}
+	c0 := new(big.Int).SetBytes(data[:32])
+	c1 := new(big.Int).SetBytes(data[32:])
+	if c0.Cmp(pp.p) >= 0 || c1.Cmp(pp.p) >= 0 {
+		return fp2{}, false
+	}
+	return fp2{c0: c0, c1: c1}, true
+}

@@ -1,0 +1,90 @@
+package pairing
+
+// fp6 is an element of Fp6 = Fp2[v]/(v^3 - ξ), represented as
+// c0 + c1*v + c2*v^2.
+type fp6 struct {
+	c0, c1, c2 fp2
+}
+
+func fp6Zero() fp6 { return fp6{c0: fp2Zero(), c1: fp2Zero(), c2: fp2Zero()} }
+func fp6One() fp6  { return fp6{c0: fp2One(), c1: fp2Zero(), c2: fp2Zero()} }
+
+func (a fp6) isZero() bool { return a.c0.isZero() && a.c1.isZero() && a.c2.isZero() }
+
+func (a fp6) equal(b fp6) bool {
+	return a.c0.equal(b.c0) && a.c1.equal(b.c1) && a.c2.equal(b.c2)
+}
+
+func (a fp6) add(b fp6, pp *bnParams) fp6 {
+	return fp6{c0: a.c0.add(b.c0, pp), c1: a.c1.add(b.c1, pp), c2: a.c2.add(b.c2, pp)}
+}
+
+func (a fp6) sub(b fp6, pp *bnParams) fp6 {
+	return fp6{c0: a.c0.sub(b.c0, pp), c1: a.c1.sub(b.c1, pp), c2: a.c2.sub(b.c2, pp)}
+}
+
+func (a fp6) neg(pp *bnParams) fp6 {
+	return fp6{c0: a.c0.neg(pp), c1: a.c1.neg(pp), c2: a.c2.neg(pp)}
+}
+
+// mul uses the Karatsuba-style interpolation for cubic extensions.
+func (a fp6) mul(b fp6, pp *bnParams) fp6 {
+	t0 := a.c0.mul(b.c0, pp)
+	t1 := a.c1.mul(b.c1, pp)
+	t2 := a.c2.mul(b.c2, pp)
+
+	// c0 = t0 + ξ((a1+a2)(b1+b2) - t1 - t2)
+	s12 := a.c1.add(a.c2, pp).mul(b.c1.add(b.c2, pp), pp).sub(t1, pp).sub(t2, pp)
+	c0 := t0.add(s12.mulByXi(pp), pp)
+
+	// c1 = (a0+a1)(b0+b1) - t0 - t1 + ξ t2
+	s01 := a.c0.add(a.c1, pp).mul(b.c0.add(b.c1, pp), pp).sub(t0, pp).sub(t1, pp)
+	c1 := s01.add(t2.mulByXi(pp), pp)
+
+	// c2 = (a0+a2)(b0+b2) - t0 - t2 + t1
+	s02 := a.c0.add(a.c2, pp).mul(b.c0.add(b.c2, pp), pp).sub(t0, pp).sub(t2, pp)
+	c2 := s02.add(t1, pp)
+
+	return fp6{c0: c0, c1: c1, c2: c2}
+}
+
+func (a fp6) square(pp *bnParams) fp6 { return a.mul(a, pp) }
+
+// mulByV multiplies by v: (c0 + c1 v + c2 v^2) * v = ξ c2 + c0 v + c1 v^2.
+func (a fp6) mulByV(pp *bnParams) fp6 {
+	return fp6{c0: a.c2.mulByXi(pp), c1: a.c0.clone(), c2: a.c1.clone()}
+}
+
+// mulByFp2 multiplies every coefficient by an Fp2 element.
+func (a fp6) mulByFp2(k fp2, pp *bnParams) fp6 {
+	return fp6{c0: a.c0.mul(k, pp), c1: a.c1.mul(k, pp), c2: a.c2.mul(k, pp)}
+}
+
+// inv computes the inverse using the standard norm-based method for cubic
+// extensions.
+func (a fp6) inv(pp *bnParams) fp6 {
+	// A = c0^2 - ξ c1 c2
+	A := a.c0.square(pp).sub(a.c1.mul(a.c2, pp).mulByXi(pp), pp)
+	// B = ξ c2^2 - c0 c1
+	B := a.c2.square(pp).mulByXi(pp).sub(a.c0.mul(a.c1, pp), pp)
+	// C = c1^2 - c0 c2
+	C := a.c1.square(pp).sub(a.c0.mul(a.c2, pp), pp)
+	// F = c0 A + ξ(c2 B + c1 C)
+	F := a.c2.mul(B, pp).add(a.c1.mul(C, pp), pp).mulByXi(pp).add(a.c0.mul(A, pp), pp)
+	Finv := F.inv(pp)
+	return fp6{c0: A.mul(Finv, pp), c1: B.mul(Finv, pp), c2: C.mul(Finv, pp)}
+}
+
+// frobenius applies the p-power Frobenius endomorphism:
+// (c0 + c1 v + c2 v^2)^p = conj(c0) + conj(c1) γ2 v + conj(c2) γ4 v^2.
+func (a fp6) frobenius(pp *bnParams) fp6 {
+	return fp6{
+		c0: a.c0.conj(pp),
+		c1: a.c1.conj(pp).mul(pp.frobGamma[2], pp),
+		c2: a.c2.conj(pp).mul(pp.frobGamma[4], pp),
+	}
+}
+
+func (a fp6) clone() fp6 {
+	return fp6{c0: a.c0.clone(), c1: a.c1.clone(), c2: a.c2.clone()}
+}

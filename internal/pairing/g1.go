@@ -1,0 +1,258 @@
+package pairing
+
+import (
+	"crypto/sha256"
+	"io"
+	"math/big"
+
+	"thetacrypt/internal/mathutil"
+)
+
+// G1 is a point on E(Fp): y^2 = x^3 + 3, in Jacobian coordinates
+// (x = X/Z^2, y = Y/Z^3). The group has prime order r (cofactor 1).
+// Operations are functional and never mutate the receiver.
+type G1 struct {
+	x, y, z *big.Int
+}
+
+// G1Identity returns the point at infinity.
+func G1Identity() *G1 {
+	return &G1{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+}
+
+// G1Generator returns the standard generator (1, 2).
+func G1Generator() *G1 {
+	return &G1{x: big.NewInt(1), y: big.NewInt(2), z: big.NewInt(1)}
+}
+
+// G1BaseMul returns k * G1Generator().
+func G1BaseMul(k *big.Int) *G1 { return G1Generator().Mul(k) }
+
+// RandomG1 returns (k, k*G) for a uniform scalar k.
+func RandomG1(r io.Reader) (*big.Int, *G1, error) {
+	k, err := mathutil.RandInt(r, bn.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, G1BaseMul(k), nil
+}
+
+// IsIdentity reports whether the point is at infinity.
+func (p *G1) IsIdentity() bool { return p.z.Sign() == 0 }
+
+// Add returns p + q.
+func (p *G1) Add(q *G1) *G1 {
+	if p.IsIdentity() {
+		return q.clone()
+	}
+	if q.IsIdentity() {
+		return p.clone()
+	}
+	fp := bn.p
+	z1z1 := mathutil.MulMod(p.z, p.z, fp)
+	z2z2 := mathutil.MulMod(q.z, q.z, fp)
+	u1 := mathutil.MulMod(p.x, z2z2, fp)
+	u2 := mathutil.MulMod(q.x, z1z1, fp)
+	s1 := mathutil.MulMod(mathutil.MulMod(p.y, q.z, fp), z2z2, fp)
+	s2 := mathutil.MulMod(mathutil.MulMod(q.y, p.z, fp), z1z1, fp)
+	h := mathutil.SubMod(u2, u1, fp)
+	rr := mathutil.SubMod(s2, s1, fp)
+	if h.Sign() == 0 {
+		if rr.Sign() == 0 {
+			return p.Double()
+		}
+		return G1Identity()
+	}
+	i := mathutil.MulMod(new(big.Int).Lsh(h, 1), new(big.Int).Lsh(h, 1), fp)
+	j := mathutil.MulMod(h, i, fp)
+	rr = mathutil.AddMod(rr, rr, fp)
+	v := mathutil.MulMod(u1, i, fp)
+	x3 := mathutil.SubMod(mathutil.SubMod(mathutil.MulMod(rr, rr, fp), j, fp), new(big.Int).Lsh(v, 1), fp)
+	y3 := mathutil.SubMod(
+		mathutil.MulMod(rr, mathutil.SubMod(v, x3, fp), fp),
+		mathutil.MulMod(new(big.Int).Lsh(s1, 1), j, fp), fp)
+	zs := mathutil.AddMod(p.z, q.z, fp)
+	z3 := mathutil.MulMod(
+		mathutil.SubMod(mathutil.SubMod(mathutil.MulMod(zs, zs, fp), z1z1, fp), z2z2, fp), h, fp)
+	return &G1{x: x3, y: y3, z: z3}
+}
+
+// Double returns 2p using the a = 0 doubling formulas.
+func (p *G1) Double() *G1 {
+	if p.IsIdentity() {
+		return G1Identity()
+	}
+	fp := bn.p
+	a := mathutil.MulMod(p.x, p.x, fp)
+	b := mathutil.MulMod(p.y, p.y, fp)
+	c := mathutil.MulMod(b, b, fp)
+	xb := mathutil.AddMod(p.x, b, fp)
+	d := mathutil.SubMod(mathutil.SubMod(mathutil.MulMod(xb, xb, fp), a, fp), c, fp)
+	d = mathutil.AddMod(d, d, fp)
+	e := mathutil.AddMod(mathutil.AddMod(a, a, fp), a, fp)
+	f := mathutil.MulMod(e, e, fp)
+	x3 := mathutil.SubMod(f, new(big.Int).Lsh(d, 1), fp)
+	c8 := new(big.Int).Lsh(c, 3)
+	y3 := mathutil.SubMod(mathutil.MulMod(e, mathutil.SubMod(d, x3, fp), fp), c8, fp)
+	z3 := mathutil.MulMod(new(big.Int).Lsh(p.y, 1), p.z, fp)
+	return &G1{x: x3, y: y3, z: z3}
+}
+
+// Neg returns -p.
+func (p *G1) Neg() *G1 {
+	if p.IsIdentity() {
+		return G1Identity()
+	}
+	return &G1{
+		x: mathutil.Clone(p.x),
+		y: mathutil.SubMod(big.NewInt(0), p.y, bn.p),
+		z: mathutil.Clone(p.z),
+	}
+}
+
+// Mul returns k*p; k is reduced modulo r.
+func (p *G1) Mul(k *big.Int) *G1 {
+	kk := new(big.Int).Mod(k, bn.r)
+	acc := G1Identity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Double()
+		if kk.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// Equal reports whether two Jacobian representations denote the same
+// affine point.
+func (p *G1) Equal(q *G1) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() == q.IsIdentity()
+	}
+	fp := bn.p
+	z1z1 := mathutil.MulMod(p.z, p.z, fp)
+	z2z2 := mathutil.MulMod(q.z, q.z, fp)
+	if mathutil.MulMod(p.x, z2z2, fp).Cmp(mathutil.MulMod(q.x, z1z1, fp)) != 0 {
+		return false
+	}
+	z1c := mathutil.MulMod(z1z1, p.z, fp)
+	z2c := mathutil.MulMod(z2z2, q.z, fp)
+	return mathutil.MulMod(p.y, z2c, fp).Cmp(mathutil.MulMod(q.y, z1c, fp)) == 0
+}
+
+// affine returns the affine coordinates; ok is false at infinity.
+func (p *G1) affine() (x, y *big.Int, ok bool) {
+	if p.IsIdentity() {
+		return nil, nil, false
+	}
+	fp := bn.p
+	zinv := new(big.Int).ModInverse(p.z, fp)
+	zinv2 := mathutil.MulMod(zinv, zinv, fp)
+	x = mathutil.MulMod(p.x, zinv2, fp)
+	y = mathutil.MulMod(p.y, mathutil.MulMod(zinv2, zinv, fp), fp)
+	return x, y, true
+}
+
+func (p *G1) clone() *G1 {
+	return &G1{x: mathutil.Clone(p.x), y: mathutil.Clone(p.y), z: mathutil.Clone(p.z)}
+}
+
+// Marshal returns a 65-byte encoding: 0x00-prefixed zeros for infinity or
+// 0x04 || x || y.
+func (p *G1) Marshal() []byte {
+	out := make([]byte, 65)
+	x, y, ok := p.affine()
+	if !ok {
+		return out
+	}
+	out[0] = 4
+	x.FillBytes(out[1:33])
+	y.FillBytes(out[33:])
+	return out
+}
+
+// UnmarshalG1 decodes and validates a G1 encoding (on-curve check; the
+// cofactor is 1 so no subgroup check is required).
+func UnmarshalG1(data []byte) (*G1, bool) {
+	if len(data) != 65 {
+		return nil, false
+	}
+	if data[0] == 0 {
+		for _, b := range data[1:] {
+			if b != 0 {
+				return nil, false
+			}
+		}
+		return G1Identity(), true
+	}
+	if data[0] != 4 {
+		return nil, false
+	}
+	x := new(big.Int).SetBytes(data[1:33])
+	y := new(big.Int).SetBytes(data[33:])
+	if x.Cmp(bn.p) >= 0 || y.Cmp(bn.p) >= 0 {
+		return nil, false
+	}
+	if !onCurveG1(x, y) {
+		return nil, false
+	}
+	return &G1{x: x, y: y, z: big.NewInt(1)}, true
+}
+
+func onCurveG1(x, y *big.Int) bool {
+	fp := bn.p
+	lhs := mathutil.MulMod(y, y, fp)
+	rhs := mathutil.AddMod(mathutil.MulMod(mathutil.MulMod(x, x, fp), x, fp), bn.b, fp)
+	return lhs.Cmp(rhs) == 0
+}
+
+// HashToG1 maps domain-separated input onto G1 by try-and-increment.
+func HashToG1(domain string, data ...[]byte) *G1 {
+	seed := hashSeed("thetacrypt/bn254g1/"+domain, data)
+	for ctr := uint64(0); ; ctr++ {
+		x := hashCandidate(seed, ctr, bn.p)
+		if x == nil {
+			continue
+		}
+		y2 := mathutil.AddMod(mathutil.MulMod(mathutil.MulMod(x, x, bn.p), x, bn.p), bn.b, bn.p)
+		y, ok := mathutil.Sqrt3Mod4(y2, bn.p)
+		if !ok {
+			continue
+		}
+		if y.Bit(0) == 1 {
+			y = mathutil.SubMod(big.NewInt(0), y, bn.p)
+		}
+		return &G1{x: x, y: y, z: big.NewInt(1)}
+	}
+}
+
+func hashSeed(domain string, data [][]byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(domain))
+	for _, d := range data {
+		var lenbuf [8]byte
+		for i := 7; i >= 0; i-- {
+			lenbuf[i] = byte(len(d) >> (8 * (7 - i)))
+		}
+		h.Write(lenbuf[:])
+		h.Write(d)
+	}
+	return h.Sum(nil)
+}
+
+// hashCandidate expands seed||ctr to a field element, or nil when the
+// digest falls outside [0, mod).
+func hashCandidate(seed []byte, ctr uint64, mod *big.Int) *big.Int {
+	h := sha256.New()
+	h.Write(seed)
+	var cb [8]byte
+	for i := 7; i >= 0; i-- {
+		cb[i] = byte(ctr >> (8 * (7 - i)))
+	}
+	h.Write(cb[:])
+	x := new(big.Int).SetBytes(h.Sum(nil))
+	if x.Cmp(mod) >= 0 {
+		return nil
+	}
+	return x
+}

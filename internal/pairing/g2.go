@@ -1,0 +1,238 @@
+package pairing
+
+import (
+	"io"
+	"math/big"
+
+	"thetacrypt/internal/mathutil"
+)
+
+// G2 is a point on the sextic twist E'(Fp2): y^2 = x^3 + 3/ξ, in Jacobian
+// coordinates. Only the order-r subgroup is exposed: constructors and
+// UnmarshalG2 clear or check the cofactor 2p - r.
+type G2 struct {
+	x, y, z fp2
+}
+
+// G2Identity returns the point at infinity.
+func G2Identity() *G2 {
+	return &G2{x: fp2One(), y: fp2One(), z: fp2Zero()}
+}
+
+// G2Generator returns the standard order-r generator of the twist.
+func G2Generator() *G2 {
+	return &G2{x: bn.g2GenX.clone(), y: bn.g2GenY.clone(), z: fp2One()}
+}
+
+// G2BaseMul returns k * G2Generator().
+func G2BaseMul(k *big.Int) *G2 { return G2Generator().Mul(k) }
+
+// RandomG2 returns (k, k*G2) for a uniform scalar k.
+func RandomG2(r io.Reader) (*big.Int, *G2, error) {
+	k, err := mathutil.RandInt(r, bn.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, G2BaseMul(k), nil
+}
+
+// IsIdentity reports whether the point is at infinity.
+func (p *G2) IsIdentity() bool { return p.z.isZero() }
+
+// Add returns p + q.
+func (p *G2) Add(q *G2) *G2 {
+	if p.IsIdentity() {
+		return q.clone()
+	}
+	if q.IsIdentity() {
+		return p.clone()
+	}
+	pp := bn
+	z1z1 := p.z.square(pp)
+	z2z2 := q.z.square(pp)
+	u1 := p.x.mul(z2z2, pp)
+	u2 := q.x.mul(z1z1, pp)
+	s1 := p.y.mul(q.z, pp).mul(z2z2, pp)
+	s2 := q.y.mul(p.z, pp).mul(z1z1, pp)
+	h := u2.sub(u1, pp)
+	rr := s2.sub(s1, pp)
+	if h.isZero() {
+		if rr.isZero() {
+			return p.Double()
+		}
+		return G2Identity()
+	}
+	i := h.dbl(pp).square(pp)
+	j := h.mul(i, pp)
+	rr = rr.dbl(pp)
+	v := u1.mul(i, pp)
+	x3 := rr.square(pp).sub(j, pp).sub(v.dbl(pp), pp)
+	y3 := rr.mul(v.sub(x3, pp), pp).sub(s1.dbl(pp).mul(j, pp), pp)
+	z3 := p.z.add(q.z, pp).square(pp).sub(z1z1, pp).sub(z2z2, pp).mul(h, pp)
+	return &G2{x: x3, y: y3, z: z3}
+}
+
+// Double returns 2p.
+func (p *G2) Double() *G2 {
+	if p.IsIdentity() {
+		return G2Identity()
+	}
+	pp := bn
+	a := p.x.square(pp)
+	b := p.y.square(pp)
+	c := b.square(pp)
+	d := p.x.add(b, pp).square(pp).sub(a, pp).sub(c, pp).dbl(pp)
+	e := a.dbl(pp).add(a, pp)
+	f := e.square(pp)
+	x3 := f.sub(d.dbl(pp), pp)
+	y3 := e.mul(d.sub(x3, pp), pp).sub(c.dbl(pp).dbl(pp).dbl(pp), pp)
+	z3 := p.y.dbl(pp).mul(p.z, pp)
+	return &G2{x: x3, y: y3, z: z3}
+}
+
+// Neg returns -p.
+func (p *G2) Neg() *G2 {
+	if p.IsIdentity() {
+		return G2Identity()
+	}
+	return &G2{x: p.x.clone(), y: p.y.neg(bn), z: p.z.clone()}
+}
+
+// Mul returns k*p; k is reduced modulo r.
+func (p *G2) Mul(k *big.Int) *G2 {
+	kk := new(big.Int).Mod(k, bn.r)
+	acc := G2Identity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Double()
+		if kk.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// mulRaw is scalar multiplication without reduction mod r, used for
+// cofactor clearing.
+func (p *G2) mulRaw(k *big.Int) *G2 {
+	acc := G2Identity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Double()
+		if k.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// Equal reports whether two Jacobian representations denote the same
+// affine point.
+func (p *G2) Equal(q *G2) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() == q.IsIdentity()
+	}
+	pp := bn
+	z1z1 := p.z.square(pp)
+	z2z2 := q.z.square(pp)
+	if !p.x.mul(z2z2, pp).equal(q.x.mul(z1z1, pp)) {
+		return false
+	}
+	return p.y.mul(z2z2.mul(q.z, pp), pp).equal(q.y.mul(z1z1.mul(p.z, pp), pp))
+}
+
+// affine returns affine coordinates; ok is false at infinity.
+func (p *G2) affine() (x, y fp2, ok bool) {
+	if p.IsIdentity() {
+		return fp2{}, fp2{}, false
+	}
+	pp := bn
+	zinv := p.z.inv(pp)
+	zinv2 := zinv.square(pp)
+	return p.x.mul(zinv2, pp), p.y.mul(zinv2.mul(zinv, pp), pp), true
+}
+
+func (p *G2) clone() *G2 {
+	return &G2{x: p.x.clone(), y: p.y.clone(), z: p.z.clone()}
+}
+
+// Marshal returns a 129-byte encoding: zero-prefixed zeros for infinity
+// or 0x04 || x.c0 || x.c1 || y.c0 || y.c1.
+func (p *G2) Marshal() []byte {
+	out := make([]byte, 129)
+	x, y, ok := p.affine()
+	if !ok {
+		return out
+	}
+	out[0] = 4
+	copy(out[1:65], x.bytes())
+	copy(out[65:], y.bytes())
+	return out
+}
+
+// UnmarshalG2 decodes an encoding, checking the curve equation and
+// membership in the order-r subgroup.
+func UnmarshalG2(data []byte) (*G2, bool) {
+	if len(data) != 129 {
+		return nil, false
+	}
+	if data[0] == 0 {
+		for _, b := range data[1:] {
+			if b != 0 {
+				return nil, false
+			}
+		}
+		return G2Identity(), true
+	}
+	if data[0] != 4 {
+		return nil, false
+	}
+	x, ok := fp2FromBytes(data[1:65], bn)
+	if !ok {
+		return nil, false
+	}
+	y, ok := fp2FromBytes(data[65:], bn)
+	if !ok {
+		return nil, false
+	}
+	if !onTwist(x, y) {
+		return nil, false
+	}
+	pt := &G2{x: x, y: y, z: fp2One()}
+	// mulRaw avoids the mod-r reduction in Mul, which would trivialize
+	// the subgroup check (r mod r = 0).
+	if !pt.mulRaw(bn.r).IsIdentity() {
+		return nil, false
+	}
+	return pt, true
+}
+
+func onTwist(x, y fp2) bool {
+	pp := bn
+	lhs := y.square(pp)
+	rhs := x.square(pp).mul(x, pp).add(pp.twistB, pp)
+	return lhs.equal(rhs)
+}
+
+// HashToG2 maps domain-separated input onto the order-r subgroup of the
+// twist by try-and-increment followed by cofactor clearing.
+func HashToG2(domain string, data ...[]byte) *G2 {
+	seed := hashSeed("thetacrypt/bn254g2/"+domain, data)
+	for ctr := uint64(0); ; ctr += 2 {
+		c0 := hashCandidate(seed, ctr, bn.p)
+		c1 := hashCandidate(seed, ctr+1, bn.p)
+		if c0 == nil || c1 == nil {
+			continue
+		}
+		x := fp2{c0: c0, c1: c1}
+		y2 := x.square(bn).mul(x, bn).add(bn.twistB, bn)
+		y, ok := y2.sqrt(bn)
+		if !ok {
+			continue
+		}
+		pt := &G2{x: x, y: y, z: fp2One()}
+		cleared := pt.mulRaw(bn.g2Cofactor)
+		if cleared.IsIdentity() {
+			continue
+		}
+		return cleared
+	}
+}

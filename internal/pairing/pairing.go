@@ -1,0 +1,213 @@
+package pairing
+
+import (
+	"math/big"
+
+	"thetacrypt/internal/mathutil"
+)
+
+// GT is an element of the pairing target group, the order-r subgroup of
+// Fp12*.
+type GT struct {
+	v fp12
+}
+
+// GTOne returns the neutral element of GT.
+func GTOne() *GT { return &GT{v: fp12One()} }
+
+// IsOne reports whether the element is the identity.
+func (g *GT) IsOne() bool { return g.v.isOne() }
+
+// Equal reports element equality.
+func (g *GT) Equal(h *GT) bool { return g.v.equal(h.v) }
+
+// Mul returns the product of two GT elements.
+func (g *GT) Mul(h *GT) *GT { return &GT{v: g.v.mul(h.v, bn)} }
+
+// Inv returns the inverse. GT elements lie in the cyclotomic subgroup,
+// where inversion is conjugation.
+func (g *GT) Inv() *GT { return &GT{v: g.v.conjugate(bn)} }
+
+// Exp returns g^k with k reduced modulo r.
+func (g *GT) Exp(k *big.Int) *GT {
+	kk := new(big.Int).Mod(k, bn.r)
+	return &GT{v: g.v.exp(kk, bn)}
+}
+
+// Marshal returns the canonical 384-byte encoding, suitable for hashing.
+func (g *GT) Marshal() []byte { return g.v.bytes() }
+
+// Pair computes the optimal ate pairing e(P, Q) ∈ GT.
+func Pair(p *G1, q *G2) *GT {
+	if p.IsIdentity() || q.IsIdentity() {
+		return GTOne()
+	}
+	px, py, _ := p.affine()
+	qx, qy, _ := q.affine()
+	return &GT{v: finalExponentiation(millerLoopAte(px, py, qx, qy))}
+}
+
+// PairingCheck reports whether e(a1, b1) == e(a2, b2), the form used by
+// BLS04 and BZ03 verification. It multiplies the Miller values of
+// (a1, b1) and (a2, -b2) and applies a single final exponentiation, which
+// halves the cost compared to two independent pairings.
+func PairingCheck(a1 *G1, b1 *G2, a2 *G1, b2 *G2) bool {
+	if a1.IsIdentity() || b1.IsIdentity() || a2.IsIdentity() || b2.IsIdentity() {
+		return Pair(a1, b1).Equal(Pair(a2, b2))
+	}
+	p1x, p1y, _ := a1.affine()
+	q1x, q1y, _ := b1.affine()
+	p2x, p2y, _ := a2.affine()
+	q2x, q2y, _ := b2.Neg().affine()
+	f := millerLoopAte(p1x, p1y, q1x, q1y).mul(millerLoopAte(p2x, p2y, q2x, q2y), bn)
+	return finalExponentiation(f).isOne()
+}
+
+// pairTate computes the reduced Tate pairing. It is retained as an
+// independent reference implementation for property tests: both pairings
+// must be bilinear and non-degenerate, and they expose disjoint Miller
+// loop code paths.
+//
+// The Miller loop iterates over the group order r with line functions
+// whose coefficients live in Fp (P-arithmetic); they are evaluated at the
+// untwisted image ψ(Q) = (x_Q w^2, y_Q w^3) ∈ E(Fp12). Vertical lines and
+// denominators lie in the subfield Fp6 and are eliminated by the final
+// exponentiation, so they are skipped.
+func pairTate(p *G1, q *G2) *GT {
+	if p.IsIdentity() || q.IsIdentity() {
+		return GTOne()
+	}
+	px, py, _ := p.affine()
+	qx, qy, _ := q.affine()
+	return &GT{v: finalExponentiation(millerLoopTate(px, py, qx, qy))}
+}
+
+// millerLoopTate computes f_{r,P}(ψ(Q)) for affine P = (px, py) and twist
+// point Q = (qx, qy).
+func millerLoopTate(px, py *big.Int, qx, qy fp2) fp12 {
+	pp := bn
+	f := fp12One()
+	// T tracks multiples of P in affine coordinates over Fp.
+	tx, ty := mathutil.Clone(px), mathutil.Clone(py)
+	r := pp.r
+	for i := r.BitLen() - 2; i >= 0; i-- {
+		f = f.square(pp)
+		f = f.mul(lineDouble(&tx, &ty, qx, qy), pp)
+		if r.Bit(i) == 1 {
+			if l, ok := lineAdd(&tx, &ty, px, py, qx, qy); ok {
+				f = f.mul(l, pp)
+			}
+		}
+	}
+	return f
+}
+
+// lineDouble evaluates the tangent line at T = (tx, ty) at ψ(Q) and
+// advances T to 2T. The affine slope λ = 3x^2 / 2y requires ty != 0, which
+// holds for all points of odd prime order.
+func lineDouble(tx, ty **big.Int, qx, qy fp2) fp12 {
+	fp := bn.p
+	x, y := *tx, *ty
+	// λ = 3x^2 / (2y)
+	num := mathutil.MulMod(big.NewInt(3), mathutil.MulMod(x, x, fp), fp)
+	den := new(big.Int).ModInverse(mathutil.AddMod(y, y, fp), fp)
+	lambda := mathutil.MulMod(num, den, fp)
+	l := lineEval(lambda, x, y, qx, qy)
+	// x3 = λ^2 - 2x ; y3 = λ(x - x3) - y
+	x3 := mathutil.SubMod(mathutil.MulMod(lambda, lambda, fp), new(big.Int).Lsh(x, 1), fp)
+	y3 := mathutil.SubMod(mathutil.MulMod(lambda, mathutil.SubMod(x, x3, fp), fp), y, fp)
+	*tx, *ty = x3, y3
+	return l
+}
+
+// lineAdd evaluates the line through T and P at ψ(Q) and advances T to
+// T + P. ok is false for vertical lines (T = -P), whose contribution is
+// eliminated by the final exponentiation; T is then set to infinity, which
+// cannot occur before the last iteration of the Miller loop since r is the
+// exact order of P.
+func lineAdd(tx, ty **big.Int, px, py *big.Int, qx, qy fp2) (fp12, bool) {
+	fp := bn.p
+	x1, y1 := *tx, *ty
+	if x1.Cmp(px) == 0 {
+		if y1.Cmp(py) == 0 {
+			return lineDouble(tx, ty, qx, qy), true
+		}
+		// Vertical line: T + P = O.
+		*tx, *ty = big.NewInt(0), big.NewInt(0)
+		return fp12{}, false
+	}
+	num := mathutil.SubMod(py, y1, fp)
+	den := new(big.Int).ModInverse(mathutil.SubMod(px, x1, fp), fp)
+	lambda := mathutil.MulMod(num, den, fp)
+	l := lineEval(lambda, x1, y1, qx, qy)
+	x3 := mathutil.SubMod(mathutil.SubMod(mathutil.MulMod(lambda, lambda, fp), x1, fp), px, fp)
+	y3 := mathutil.SubMod(mathutil.MulMod(lambda, mathutil.SubMod(x1, x3, fp), fp), y1, fp)
+	*tx, *ty = x3, y3
+	return l, true
+}
+
+// lineEval computes l(ψ(Q)) = y_ψ - y_T - λ(x_ψ - x_T) as a sparse Fp12
+// element, where ψ(Q) = (qx w^2, qy w^3):
+//
+//	constant term (Fp):        λ x_T - y_T
+//	coefficient of v (= w^2):  -λ qx      (Fp2, in c0.c1)
+//	coefficient of v w (= w^3): qy        (Fp2, in c1.c1)
+func lineEval(lambda, xt, yt *big.Int, qx, qy fp2) fp12 {
+	fp := bn.p
+	c := mathutil.SubMod(mathutil.MulMod(lambda, xt, fp), yt, fp)
+	negLambda := mathutil.SubMod(big.NewInt(0), lambda, fp)
+	return fp12{
+		c0: fp6{
+			c0: fp2{c0: c, c1: big.NewInt(0)},
+			c1: qx.mulScalar(negLambda, bn),
+			c2: fp2Zero(),
+		},
+		c1: fp6{
+			c0: fp2Zero(),
+			c1: qy.clone(),
+			c2: fp2Zero(),
+		},
+	}
+}
+
+// finalExponentiation raises the Miller value to (p^12 - 1)/r. The easy
+// part (p^6-1)(p^2+1) uses conjugation, one inversion, and Frobenius; the
+// hard part (p^4 - p^2 + 1)/r uses the standard BN addition chain with
+// three exponentiations by the curve parameter u.
+func finalExponentiation(in fp12) fp12 {
+	pp := bn
+
+	// Easy part: t1 = in^(p^6 - 1) = conj(in) * in^-1, then t1 ^= (p^2 + 1).
+	t1 := in.conjugate(pp).mul(in.inv(pp), pp)
+	t1 = t1.frobeniusP2(pp).mul(t1, pp)
+
+	// Hard part (Devegili et al. addition chain).
+	fp := t1.frobenius(pp)
+	fp2v := t1.frobeniusP2(pp)
+	fp3 := fp2v.frobenius(pp)
+
+	fu := t1.exp(pp.u, pp)
+	fu2 := fu.exp(pp.u, pp)
+	fu3 := fu2.exp(pp.u, pp)
+
+	y3 := fu.frobenius(pp)
+	fu2p := fu2.frobenius(pp)
+	fu3p := fu3.frobenius(pp)
+	y2 := fu2.frobeniusP2(pp)
+
+	y0 := fp.mul(fp2v, pp).mul(fp3, pp)
+	y1 := t1.conjugate(pp)
+	y5 := fu2.conjugate(pp)
+	y3 = y3.conjugate(pp)
+	y4 := fu.mul(fu2p, pp).conjugate(pp)
+	y6 := fu3.mul(fu3p, pp).conjugate(pp)
+
+	t0 := y6.square(pp).mul(y4, pp).mul(y5, pp)
+	t1b := y3.mul(y5, pp).mul(t0, pp)
+	t0 = t0.mul(y2, pp)
+	t1b = t1b.square(pp).mul(t0, pp).square(pp)
+	t0 = t1b.mul(y1, pp)
+	t1b = t1b.mul(y0, pp)
+	t0 = t0.square(pp).mul(t1b, pp)
+	return t0
+}

@@ -1,0 +1,85 @@
+// Package pairing implements the BN254 pairing-friendly elliptic curve
+// (also known as alt_bn128) from scratch on math/big: the quadratic /
+// sextic / dodecic extension-field tower, the groups G1 = E(Fp) and
+// G2 ⊂ E'(Fp2), hashing to both groups, and the reduced Tate pairing
+// e: G1 × G2 → GT with a Frobenius-accelerated final exponentiation.
+//
+// BN254 is the curve used by the paper's BZ03 and BLS04 schemes
+// (Table 3). The implementation favours auditability over constant-time
+// execution; correctness is established through bilinearity and
+// non-degeneracy property tests.
+package pairing
+
+import "math/big"
+
+// bnParams collects the BN254 curve constants. The values are the
+// standard alt_bn128 parameters (as used by Ethereum's precompiles).
+type bnParams struct {
+	// p is the base field prime, p = 36u^4 + 36u^3 + 24u^2 + 6u + 1.
+	p *big.Int
+	// r is the prime group order, r = 36u^4 + 36u^3 + 18u^2 + 6u + 1.
+	r *big.Int
+	// u is the BN generation parameter.
+	u *big.Int
+	// b is the G1 curve coefficient: y^2 = x^3 + 3.
+	b *big.Int
+	// g2Cofactor is #E'(Fp2)/r = 2p - r.
+	g2Cofactor *big.Int
+	// pPlus1Over4 is the exponent for square roots in Fp (p ≡ 3 mod 4).
+	pPlus1Over4 *big.Int
+	// xiToPMinus1Over6 powers are the Frobenius twist constants
+	// γ_j = ξ^(j(p-1)/6) for j = 1..5, with ξ = 9 + i.
+	frobGamma [6]fp2 // index 1..5 used
+	// twistB is the twist coefficient b' = 3/ξ for E': y^2 = x^3 + b'.
+	twistB fp2
+	// g2Gen is the standard G2 generator on the twist.
+	g2GenX, g2GenY fp2
+}
+
+var bn = newBNParams()
+
+func newBNParams() *bnParams {
+	p, _ := new(big.Int).SetString("21888242871839275222246405745257275088696311157297823662689037894645226208583", 10)
+	r, _ := new(big.Int).SetString("21888242871839275222246405745257275088548364400416034343698204186575808495617", 10)
+	u, _ := new(big.Int).SetString("4965661367192848881", 10)
+
+	params := &bnParams{
+		p: p,
+		r: r,
+		u: u,
+		b: big.NewInt(3),
+	}
+	params.g2Cofactor = new(big.Int).Sub(new(big.Int).Lsh(p, 1), r)
+	params.pPlus1Over4 = new(big.Int).Rsh(new(big.Int).Add(p, big.NewInt(1)), 2)
+
+	// ξ = 9 + i is the sextic non-residue defining the tower.
+	xi := fp2{c0: big.NewInt(9), c1: big.NewInt(1)}
+
+	// twistB = 3 / ξ.
+	params.twistB = xi.inv(params).mulScalar(big.NewInt(3), params)
+
+	// Frobenius constants γ_j = ξ^(j(p-1)/6).
+	e := new(big.Int).Sub(p, big.NewInt(1))
+	e.Div(e, big.NewInt(6))
+	gamma1 := xi.exp(e, params)
+	params.frobGamma[1] = gamma1
+	for j := 2; j <= 5; j++ {
+		params.frobGamma[j] = params.frobGamma[j-1].mul(gamma1, params)
+	}
+
+	// Standard alt_bn128 G2 generator.
+	x0, _ := new(big.Int).SetString("10857046999023057135944570762232829481370756359578518086990519993285655852781", 10)
+	x1, _ := new(big.Int).SetString("11559732032986387107991004021392285783925812861821192530917403151452391805634", 10)
+	y0, _ := new(big.Int).SetString("8495653923123431417604973247489272438418190587263600148770280649306958101930", 10)
+	y1, _ := new(big.Int).SetString("4082367875863433681332203403145435568316851327593401208105741076214120093531", 10)
+	params.g2GenX = fp2{c0: x0, c1: x1}
+	params.g2GenY = fp2{c0: y0, c1: y1}
+
+	return params
+}
+
+// Order returns the prime order r of G1, G2 and GT.
+func Order() *big.Int { return new(big.Int).Set(bn.r) }
+
+// FieldModulus returns the base field prime p.
+func FieldModulus() *big.Int { return new(big.Int).Set(bn.p) }

@@ -1,0 +1,286 @@
+package protocols
+
+import (
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/schemes/sh00"
+)
+
+// New instantiates the TRI protocol for a request using the node's key
+// material. It is the factory the orchestration executor calls for every
+// new instance.
+func New(rand io.Reader, nk *keys.NodeKeys, req Request) (Protocol, error) {
+	switch {
+	case req.Scheme == schemes.SG02 && req.Op == OpDecrypt:
+		if nk.SG02PK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no SG02 keys", nk.Index)
+		}
+		ct, err := sg02.UnmarshalCiphertext(nk.SG02PK.Group, req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: %w", err)
+		}
+		return newNonInteractive(rand, &sg02Adapter{pk: nk.SG02PK, ks: nk.SG02, ct: ct,
+			shares: make(map[int]*sg02.DecShare)}), nil
+
+	case req.Scheme == schemes.BZ03 && req.Op == OpDecrypt:
+		if nk.BZ03PK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no BZ03 keys", nk.Index)
+		}
+		ct, err := bz03.UnmarshalCiphertext(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: %w", err)
+		}
+		return newNonInteractive(rand, &bz03Adapter{pk: nk.BZ03PK, ks: nk.BZ03, ct: ct,
+			shares: make(map[int]*bz03.DecShare)}), nil
+
+	case req.Scheme == schemes.SH00 && req.Op == OpSign:
+		if nk.SH00PK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no SH00 keys", nk.Index)
+		}
+		return newNonInteractive(rand, &sh00Adapter{pk: nk.SH00PK, ks: nk.SH00, msg: req.Payload,
+			shares: make(map[int]*sh00.SigShare)}), nil
+
+	case req.Scheme == schemes.BLS04 && req.Op == OpSign:
+		if nk.BLS04PK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no BLS04 keys", nk.Index)
+		}
+		return newNonInteractive(rand, &bls04Adapter{pk: nk.BLS04PK, ks: nk.BLS04, msg: req.Payload,
+			shares: make(map[int]*bls04.SigShare)}), nil
+
+	case req.Scheme == schemes.CKS05 && req.Op == OpCoin:
+		if nk.CKS05PK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no CKS05 keys", nk.Index)
+		}
+		return newNonInteractive(rand, &cks05Adapter{pk: nk.CKS05PK, ks: nk.CKS05, name: req.Payload,
+			shares: make(map[int]*cks05.CoinShare)}), nil
+
+	case req.Scheme == schemes.KG20 && req.Op == OpSign:
+		if nk.FrostPK == nil {
+			return nil, fmt.Errorf("protocols: node %d has no KG20 keys", nk.Index)
+		}
+		return NewFrost(rand, nk, req.Payload, nil, nil), nil
+
+	default:
+		return nil, fmt.Errorf("protocols: scheme %q does not support operation %q", req.Scheme, req.Op)
+	}
+}
+
+// sg02Adapter plugs the SG02 threshold cipher into the single-round
+// protocol.
+type sg02Adapter struct {
+	pk     *sg02.PublicKey
+	ks     sg02.KeyShare
+	ct     *sg02.Ciphertext
+	shares map[int]*sg02.DecShare
+}
+
+func (a *sg02Adapter) CreateShare(rand io.Reader) (int, []byte, error) {
+	ds, err := sg02.DecryptShare(rand, a.pk, a.ks, a.ct)
+	if err != nil {
+		return 0, nil, err
+	}
+	return a.ks.Index, ds.Marshal(), nil
+}
+
+func (a *sg02Adapter) OnShare(sender int, payload []byte) error {
+	ds, err := sg02.UnmarshalDecShare(a.pk.Group, payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if ds.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ds.Index, sender)
+	}
+	if err := sg02.VerifyShare(a.pk, a.ct, ds); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	a.shares[ds.Index] = ds
+	return nil
+}
+
+func (a *sg02Adapter) Ready() bool { return len(a.shares) >= a.pk.T+1 }
+
+func (a *sg02Adapter) Combine() ([]byte, error) {
+	dss := make([]*sg02.DecShare, 0, len(a.shares))
+	for _, ds := range a.shares {
+		dss = append(dss, ds)
+	}
+	return sg02.Combine(a.pk, a.ct, dss)
+}
+
+// bz03Adapter plugs the BZ03 threshold cipher into the single-round
+// protocol.
+type bz03Adapter struct {
+	pk     *bz03.PublicKey
+	ks     bz03.KeyShare
+	ct     *bz03.Ciphertext
+	shares map[int]*bz03.DecShare
+}
+
+func (a *bz03Adapter) CreateShare(rand io.Reader) (int, []byte, error) {
+	ds, err := bz03.DecryptShare(a.pk, a.ks, a.ct)
+	if err != nil {
+		return 0, nil, err
+	}
+	return a.ks.Index, ds.Marshal(), nil
+}
+
+func (a *bz03Adapter) OnShare(sender int, payload []byte) error {
+	ds, err := bz03.UnmarshalDecShare(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if ds.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ds.Index, sender)
+	}
+	if err := bz03.VerifyShare(a.pk, a.ct, ds); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	a.shares[ds.Index] = ds
+	return nil
+}
+
+func (a *bz03Adapter) Ready() bool { return len(a.shares) >= a.pk.T+1 }
+
+func (a *bz03Adapter) Combine() ([]byte, error) {
+	dss := make([]*bz03.DecShare, 0, len(a.shares))
+	for _, ds := range a.shares {
+		dss = append(dss, ds)
+	}
+	return bz03.Combine(a.pk, a.ct, dss)
+}
+
+// sh00Adapter plugs the SH00 threshold RSA signature into the
+// single-round protocol.
+type sh00Adapter struct {
+	pk     *sh00.PublicKey
+	ks     sh00.KeyShare
+	msg    []byte
+	shares map[int]*sh00.SigShare
+}
+
+func (a *sh00Adapter) CreateShare(rand io.Reader) (int, []byte, error) {
+	ss, err := sh00.SignShare(rand, a.pk, a.ks, a.msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return a.ks.Index, ss.Marshal(), nil
+}
+
+func (a *sh00Adapter) OnShare(sender int, payload []byte) error {
+	ss, err := sh00.UnmarshalSigShare(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if ss.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ss.Index, sender)
+	}
+	if err := sh00.VerifyShare(a.pk, a.msg, ss); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	a.shares[ss.Index] = ss
+	return nil
+}
+
+func (a *sh00Adapter) Ready() bool { return len(a.shares) >= a.pk.T+1 }
+
+func (a *sh00Adapter) Combine() ([]byte, error) {
+	sss := make([]*sh00.SigShare, 0, len(a.shares))
+	for _, ss := range a.shares {
+		sss = append(sss, ss)
+	}
+	sig, err := sh00.Combine(a.pk, a.msg, sss)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Marshal(), nil
+}
+
+// bls04Adapter plugs the BLS threshold signature into the single-round
+// protocol.
+type bls04Adapter struct {
+	pk     *bls04.PublicKey
+	ks     bls04.KeyShare
+	msg    []byte
+	shares map[int]*bls04.SigShare
+}
+
+func (a *bls04Adapter) CreateShare(io.Reader) (int, []byte, error) {
+	return a.ks.Index, bls04.SignShare(a.ks, a.msg).Marshal(), nil
+}
+
+func (a *bls04Adapter) OnShare(sender int, payload []byte) error {
+	ss, err := bls04.UnmarshalSigShare(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if ss.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ss.Index, sender)
+	}
+	if err := bls04.VerifyShare(a.pk, a.msg, ss); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	a.shares[ss.Index] = ss
+	return nil
+}
+
+func (a *bls04Adapter) Ready() bool { return len(a.shares) >= a.pk.T+1 }
+
+func (a *bls04Adapter) Combine() ([]byte, error) {
+	sss := make([]*bls04.SigShare, 0, len(a.shares))
+	for _, ss := range a.shares {
+		sss = append(sss, ss)
+	}
+	sig, err := bls04.Combine(a.pk, a.msg, sss)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Marshal(), nil
+}
+
+// cks05Adapter plugs the CKS05 coin into the single-round protocol.
+type cks05Adapter struct {
+	pk     *cks05.PublicKey
+	ks     cks05.KeyShare
+	name   []byte
+	shares map[int]*cks05.CoinShare
+}
+
+func (a *cks05Adapter) CreateShare(rand io.Reader) (int, []byte, error) {
+	cs, err := cks05.Share(rand, a.pk, a.ks, a.name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return a.ks.Index, cs.Marshal(), nil
+}
+
+func (a *cks05Adapter) OnShare(sender int, payload []byte) error {
+	cs, err := cks05.UnmarshalCoinShare(a.pk.Group, payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if cs.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, cs.Index, sender)
+	}
+	if err := cks05.VerifyShare(a.pk, a.name, cs); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	a.shares[cs.Index] = cs
+	return nil
+}
+
+func (a *cks05Adapter) Ready() bool { return len(a.shares) >= a.pk.T+1 }
+
+func (a *cks05Adapter) Combine() ([]byte, error) {
+	css := make([]*cks05.CoinShare, 0, len(a.shares))
+	for _, cs := range a.shares {
+		css = append(css, cs)
+	}
+	return cks05.Combine(a.pk, a.name, css)
+}

@@ -1,0 +1,220 @@
+package protocols
+
+import (
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes/frost"
+)
+
+// frostProtocol is the two-round FROST (KG20) signing protocol behind
+// the TRI: round 1 exchanges nonce commitments among the a-priori fixed
+// signer group (the lowest t+1 indices, per the paper's fixed signing
+// group), round 2 exchanges signature shares. With precomputed and
+// pre-exchanged commitments the protocol starts directly in round 2,
+// which is FROST's single-round optimization.
+//
+// FROST is not robust: the protocol waits for the contributions of all
+// signers in the group, and an invalid share aborts the instance at
+// finalization while identifying the culprit.
+type frostProtocol struct {
+	rand io.Reader
+	nk   *keys.NodeKeys
+	pk   *frost.PublicKey
+	msg  []byte
+
+	signers []int // the fixed signer group, ascending
+	inGroup bool
+
+	round       int
+	nonce       *frost.Nonce
+	commitments map[int]*frost.NonceCommitment
+	pending     map[int][]byte // round-2 payloads awaiting verification
+	shares      map[int]*frost.SignatureShare
+	finalized   bool
+}
+
+// NewFrost creates a FROST signing instance. If nonce and preComms are
+// non-nil (a precomputed batch entry plus the pre-exchanged commitments
+// of the whole signer group), round 1 is skipped.
+func NewFrost(rand io.Reader, nk *keys.NodeKeys, msg []byte, nonce *frost.Nonce, preComms []*frost.NonceCommitment) Protocol {
+	pk := nk.FrostPK
+	signers := make([]int, pk.T+1)
+	for i := range signers {
+		signers[i] = i + 1
+	}
+	p := &frostProtocol{
+		rand: rand, nk: nk, pk: pk, msg: msg,
+		signers:     signers,
+		inGroup:     nk.Index <= pk.T+1,
+		round:       1,
+		commitments: make(map[int]*frost.NonceCommitment, pk.T+1),
+		pending:     make(map[int][]byte),
+		shares:      make(map[int]*frost.SignatureShare, pk.T+1),
+	}
+	if nonce != nil && preComms != nil {
+		p.nonce = nonce
+		for _, c := range preComms {
+			p.commitments[c.Index] = c
+		}
+		p.round = 2
+	}
+	return p
+}
+
+func (p *frostProtocol) commitmentSetComplete() bool {
+	for _, idx := range p.signers {
+		if _, ok := p.commitments[idx]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *frostProtocol) commitmentList() []*frost.NonceCommitment {
+	out := make([]*frost.NonceCommitment, 0, len(p.signers))
+	for _, idx := range p.signers {
+		out = append(out, p.commitments[idx])
+	}
+	return out
+}
+
+func (p *frostProtocol) DoRound() (*RoundOutput, error) {
+	if p.finalized {
+		return nil, ErrAlreadyFinalized
+	}
+	switch p.round {
+	case 1:
+		p.round = 0 // wait for commitments; IsReadyForNextRound advances
+		if !p.inGroup {
+			return nil, nil
+		}
+		nonce, comm, err := frost.GenerateNonce(p.rand, p.pk.Group, p.nk.Index)
+		if err != nil {
+			return nil, fmt.Errorf("frost round 1: %w", err)
+		}
+		p.nonce = nonce
+		p.commitments[comm.Index] = comm
+		return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: comm.Marshal()}, nil
+	case 2:
+		p.round = 0
+		if !p.inGroup {
+			return nil, nil
+		}
+		ss, err := frost.Sign(p.pk, p.nk.Frost, p.nonce, p.msg, p.commitmentList())
+		if err != nil {
+			return nil, fmt.Errorf("frost round 2: %w", err)
+		}
+		p.shares[ss.Index] = ss
+		return &RoundOutput{Round: 2, Transport: TransportP2P, Payload: ss.Marshal()}, nil
+	default:
+		return nil, nil
+	}
+}
+
+func (p *frostProtocol) Update(msg ProtocolMessage) error {
+	if p.finalized {
+		return nil
+	}
+	switch msg.Round {
+	case 1:
+		comm, err := frost.UnmarshalNonceCommitment(p.pk.Group, msg.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrShareRejected, err)
+		}
+		if comm.Index != msg.Sender {
+			return fmt.Errorf("%w: commitment index %d from sender %d", ErrShareRejected, comm.Index, msg.Sender)
+		}
+		if _, dup := p.commitments[comm.Index]; dup {
+			return nil // idempotent redelivery
+		}
+		p.commitments[comm.Index] = comm
+		p.drainPending()
+		return nil
+	case 2:
+		if !p.commitmentSetComplete() {
+			// Shares can arrive before the last commitment on slow
+			// links; verification is deferred until the set is complete.
+			p.pending[msg.Sender] = msg.Payload
+			return nil
+		}
+		return p.acceptShare(msg.Sender, msg.Payload)
+	default:
+		return fmt.Errorf("%w: unknown round %d", ErrShareRejected, msg.Round)
+	}
+}
+
+func (p *frostProtocol) drainPending() {
+	if !p.commitmentSetComplete() {
+		return
+	}
+	for sender, payload := range p.pending {
+		// Invalid queued shares are dropped; FROST aborts at combine if
+		// the signer set is incomplete.
+		_ = p.acceptShare(sender, payload)
+		delete(p.pending, sender)
+	}
+}
+
+func (p *frostProtocol) acceptShare(sender int, payload []byte) error {
+	ss, err := frost.UnmarshalSignatureShare(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if ss.Index != sender {
+		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ss.Index, sender)
+	}
+	if err := frost.VerifyShare(p.pk, p.msg, p.commitmentList(), ss); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	p.shares[ss.Index] = ss
+	return nil
+}
+
+func (p *frostProtocol) IsReadyForNextRound() bool {
+	if p.finalized || p.round != 0 {
+		return false
+	}
+	if p.nonce == nil && p.inGroup {
+		return false // round 1 not executed yet
+	}
+	// Advance to round 2 once all signer commitments are known and we
+	// have not signed yet.
+	if p.commitmentSetComplete() && p.inGroup {
+		if _, signed := p.shares[p.nk.Index]; !signed {
+			p.round = 2
+			return true
+		}
+	}
+	return false
+}
+
+func (p *frostProtocol) IsReadyToFinalize() bool {
+	if p.finalized || !p.commitmentSetComplete() {
+		return false
+	}
+	p.drainPending()
+	for _, idx := range p.signers {
+		if _, ok := p.shares[idx]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *frostProtocol) Finalize() ([]byte, error) {
+	if !p.IsReadyToFinalize() {
+		return nil, ErrNotReady
+	}
+	shares := make([]*frost.SignatureShare, 0, len(p.signers))
+	for _, idx := range p.signers {
+		shares = append(shares, p.shares[idx])
+	}
+	sig, err := frost.Combine(p.pk, p.msg, p.commitmentList(), shares)
+	if err != nil {
+		return nil, err
+	}
+	p.finalized = true
+	return sig.Marshal(), nil
+}

@@ -1,0 +1,225 @@
+// Package protocols implements the core layer's protocol module: the
+// Threshold Round Interface (TRI) that unifies non-interactive and
+// multi-round threshold protocols, the generic single-round executor
+// used by all non-interactive schemes, and the two-round FROST protocol.
+//
+// The TRI reproduces the paper's five functions (Section 3.5): DoRound,
+// Update, IsReadyForNextRound, IsReadyToFinalize, and Finalize. A round
+// is the local computation performed in response to network input until
+// the party produces a result or a message for the other parties.
+package protocols
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/wire"
+)
+
+// Transport selects the channel a protocol message travels on.
+type Transport int
+
+// Message transports: point-to-point gossip or total-order broadcast.
+const (
+	TransportP2P Transport = iota + 1
+	TransportTOB
+)
+
+// Operation is the threshold operation requested by a client.
+type Operation int
+
+// Operations offered by the protocol API.
+const (
+	OpSign Operation = iota + 1
+	OpDecrypt
+	OpCoin
+)
+
+// String returns the lowercase operation name.
+func (o Operation) String() string {
+	switch o {
+	case OpSign:
+		return "sign"
+	case OpDecrypt:
+		return "decrypt"
+	case OpCoin:
+		return "coin"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is a client request for one threshold operation.
+type Request struct {
+	Scheme schemes.ID
+	Op     Operation
+	// Payload is the message to sign, the marshaled ciphertext to
+	// decrypt, or the coin name.
+	Payload []byte
+	// Session distinguishes repeated requests on the same payload.
+	Session string
+}
+
+// InstanceID derives the deterministic protocol instance identifier all
+// nodes agree on for this request.
+func (r Request) InstanceID() string {
+	h := sha256.New()
+	h.Write([]byte(r.Scheme))
+	h.Write([]byte{byte(r.Op)})
+	h.Write([]byte(r.Session))
+	h.Write(r.Payload)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Marshal encodes the request.
+func (r Request) Marshal() []byte {
+	return wire.NewWriter().
+		String(string(r.Scheme)).Int(int(r.Op)).Bytes(r.Payload).String(r.Session).Out()
+}
+
+// UnmarshalRequest decodes a request.
+func UnmarshalRequest(data []byte) (Request, error) {
+	rd := wire.NewReader(data)
+	req := Request{
+		Scheme: schemes.ID(rd.String()),
+		Op:     Operation(rd.Int()),
+	}
+	req.Payload = rd.Bytes()
+	req.Session = rd.String()
+	if err := rd.Err(); err != nil {
+		return Request{}, fmt.Errorf("protocols request: %w", err)
+	}
+	return req, nil
+}
+
+// ProtocolMessage is one protocol-level message received from or sent to
+// the network.
+type ProtocolMessage struct {
+	Sender  int
+	Round   int
+	Payload []byte
+}
+
+// RoundOutput is the product of one DoRound call: a message to forward
+// to the other parties, or nil when the party has nothing to send in
+// this round.
+type RoundOutput struct {
+	Round     int
+	Transport Transport
+	Payload   []byte
+}
+
+// Protocol is the Threshold Round Interface. Implementations are NOT
+// safe for concurrent use; the orchestration executor serializes calls.
+type Protocol interface {
+	// DoRound triggers the local computation of the current round and
+	// returns the resulting protocol message, if any. It is called once
+	// at the start of the protocol and again whenever
+	// IsReadyForNextRound reports true.
+	DoRound() (*RoundOutput, error)
+	// Update records a message received from the network.
+	Update(msg ProtocolMessage) error
+	// IsReadyForNextRound reports whether enough messages arrived to
+	// advance to the next round.
+	IsReadyForNextRound() bool
+	// IsReadyToFinalize reports whether the result can be computed.
+	IsReadyToFinalize() bool
+	// Finalize assembles and returns the final result.
+	Finalize() ([]byte, error)
+}
+
+// Errors shared by protocol implementations.
+var (
+	// ErrShareRejected flags an invalid share from a peer; the instance
+	// keeps running and waits for further shares (robustness for
+	// non-interactive schemes).
+	ErrShareRejected = errors.New("protocols: share rejected")
+	// ErrNotReady is returned by Finalize before the quorum is reached.
+	ErrNotReady = errors.New("protocols: result not ready")
+	// ErrAlreadyFinalized is returned when DoRound is called after the
+	// protocol terminated.
+	ErrAlreadyFinalized = errors.New("protocols: instance already finalized")
+)
+
+// shareAdapter is the minimal surface a non-interactive scheme exposes
+// to the generic single-round protocol: create the local share, verify
+// and accumulate peer shares, and combine once a quorum is reached. This
+// is the seam that lets a new scheme plug into the protocol module
+// without touching it (the paper's extensibility claim).
+type shareAdapter interface {
+	// CreateShare computes this party's share of the result.
+	CreateShare(rand io.Reader) (selfIndex int, payload []byte, err error)
+	// OnShare verifies and accumulates a peer share. Invalid shares
+	// return ErrShareRejected (wrapped).
+	OnShare(sender int, payload []byte) error
+	// Ready reports whether a combining quorum has accumulated.
+	Ready() bool
+	// Combine assembles the final result from accumulated shares.
+	Combine() ([]byte, error)
+}
+
+// nonInteractive runs any shareAdapter as a one-round TRI protocol.
+type nonInteractive struct {
+	adapter   shareAdapter
+	rand      io.Reader
+	started   bool
+	finalized bool
+}
+
+// newNonInteractive wraps a scheme adapter into the TRI.
+func newNonInteractive(rand io.Reader, adapter shareAdapter) Protocol {
+	return &nonInteractive{adapter: adapter, rand: rand}
+}
+
+func (p *nonInteractive) DoRound() (*RoundOutput, error) {
+	if p.finalized {
+		return nil, ErrAlreadyFinalized
+	}
+	if p.started {
+		// Single-round protocol: nothing to do in later rounds.
+		return nil, nil
+	}
+	p.started = true
+	self, payload, err := p.adapter.CreateShare(p.rand)
+	if err != nil {
+		return nil, fmt.Errorf("create share: %w", err)
+	}
+	// Account for the local share immediately: with t+1 = 1 the quorum
+	// may already be complete.
+	if err := p.adapter.OnShare(self, payload); err != nil {
+		return nil, fmt.Errorf("accumulate own share: %w", err)
+	}
+	return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: payload}, nil
+}
+
+func (p *nonInteractive) Update(msg ProtocolMessage) error {
+	if p.finalized {
+		return nil // late shares are ignored
+	}
+	if err := p.adapter.OnShare(msg.Sender, msg.Payload); err != nil {
+		return fmt.Errorf("share from %d: %w", msg.Sender, err)
+	}
+	return nil
+}
+
+func (p *nonInteractive) IsReadyForNextRound() bool { return false }
+
+func (p *nonInteractive) IsReadyToFinalize() bool {
+	return p.started && !p.finalized && p.adapter.Ready()
+}
+
+func (p *nonInteractive) Finalize() ([]byte, error) {
+	if !p.adapter.Ready() {
+		return nil, ErrNotReady
+	}
+	out, err := p.adapter.Combine()
+	if err != nil {
+		return nil, err
+	}
+	p.finalized = true
+	return out, nil
+}

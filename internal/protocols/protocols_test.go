@@ -1,0 +1,250 @@
+package protocols
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/frost"
+)
+
+func dealNodes(t *testing.T, tt, n int, ids ...schemes.ID) []*keys.NodeKeys {
+	t.Helper()
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		RSABits: 512, UseRSAFixture: true, Schemes: ids,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+// drive runs a set of TRI instances to completion by shuttling their
+// messages directly, without any network.
+func drive(t *testing.T, protos []Protocol) [][]byte {
+	t.Helper()
+	type pending struct {
+		sender int
+		out    *RoundOutput
+	}
+	var queue []pending
+	for i, p := range protos {
+		out, err := p.DoRound()
+		if err != nil {
+			t.Fatalf("node %d DoRound: %v", i+1, err)
+		}
+		if out != nil {
+			queue = append(queue, pending{sender: i + 1, out: out})
+		}
+	}
+	results := make([][]byte, len(protos))
+	for steps := 0; steps < 10000; steps++ {
+		allDone := true
+		for i := range protos {
+			if results[i] == nil {
+				allDone = false
+			}
+		}
+		if allDone {
+			return results
+		}
+		if len(queue) == 0 {
+			t.Fatal("deadlock: no messages in flight and not all finalized")
+		}
+		msg := queue[0]
+		queue = queue[1:]
+		for i, p := range protos {
+			if i+1 == msg.sender {
+				continue
+			}
+			if results[i] != nil {
+				continue
+			}
+			err := p.Update(ProtocolMessage{Sender: msg.sender, Round: msg.out.Round, Payload: msg.out.Payload})
+			if err != nil && !errors.Is(err, ErrShareRejected) {
+				t.Fatalf("node %d update: %v", i+1, err)
+			}
+			for p.IsReadyForNextRound() {
+				out, err := p.DoRound()
+				if err != nil {
+					t.Fatalf("node %d DoRound: %v", i+1, err)
+				}
+				if out != nil {
+					queue = append(queue, pending{sender: i + 1, out: out})
+				}
+			}
+			if p.IsReadyToFinalize() {
+				val, err := p.Finalize()
+				if err != nil {
+					t.Fatalf("node %d finalize: %v", i+1, err)
+				}
+				results[i] = val
+			}
+		}
+	}
+	t.Fatal("drive did not converge")
+	return nil
+}
+
+func TestRequestInstanceIDDeterministic(t *testing.T) {
+	r1 := Request{Scheme: schemes.BLS04, Op: OpSign, Payload: []byte("x")}
+	r2 := Request{Scheme: schemes.BLS04, Op: OpSign, Payload: []byte("x")}
+	if r1.InstanceID() != r2.InstanceID() {
+		t.Fatal("identical requests produced different IDs")
+	}
+	r3 := Request{Scheme: schemes.BLS04, Op: OpSign, Payload: []byte("y")}
+	if r1.InstanceID() == r3.InstanceID() {
+		t.Fatal("different payloads collided")
+	}
+	r4 := Request{Scheme: schemes.SH00, Op: OpSign, Payload: []byte("x")}
+	if r1.InstanceID() == r4.InstanceID() {
+		t.Fatal("different schemes collided")
+	}
+}
+
+func TestRequestMarshalRoundTrip(t *testing.T) {
+	r := Request{Scheme: schemes.CKS05, Op: OpCoin, Payload: []byte("name"), Session: "s"}
+	got, err := UnmarshalRequest(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InstanceID() != r.InstanceID() {
+		t.Fatal("round trip changed instance ID")
+	}
+	if _, err := UnmarshalRequest([]byte("junk")); err == nil {
+		t.Fatal("junk request decoded")
+	}
+}
+
+func TestUnsupportedCombos(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.BLS04)
+	bad := []Request{
+		{Scheme: schemes.BLS04, Op: OpDecrypt},
+		{Scheme: schemes.CKS05, Op: OpSign},
+		{Scheme: "NOPE", Op: OpSign},
+		{Scheme: schemes.SG02, Op: OpDecrypt}, // no SG02 keys dealt
+	}
+	for _, req := range bad {
+		if _, err := New(rand.Reader, nodes[0], req); err == nil {
+			t.Fatalf("request %v accepted", req)
+		}
+	}
+}
+
+func TestNonInteractiveTRISemantics(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.CKS05)
+	protos := make([]Protocol, len(nodes))
+	req := Request{Scheme: schemes.CKS05, Op: OpCoin, Payload: []byte("tri")}
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+		if p.IsReadyToFinalize() {
+			t.Fatal("ready to finalize before DoRound")
+		}
+		if _, err := p.Finalize(); !errors.Is(err, ErrNotReady) {
+			t.Fatal("early finalize did not report ErrNotReady")
+		}
+	}
+	results := drive(t, protos)
+	for _, r := range results[1:] {
+		if string(r) != string(results[0]) {
+			t.Fatal("nodes disagree on coin value")
+		}
+	}
+	// A second DoRound on a finalized instance errors.
+	if _, err := protos[0].DoRound(); !errors.Is(err, ErrAlreadyFinalized) {
+		t.Fatalf("want ErrAlreadyFinalized, got %v", err)
+	}
+}
+
+func TestFrostTRITwoRounds(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.KG20)
+	protos := make([]Protocol, len(nodes))
+	req := Request{Scheme: schemes.KG20, Op: OpSign, Payload: []byte("frost tri")}
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+	}
+	results := drive(t, protos)
+	sig, err := frost.UnmarshalSignature(nodes[0].FrostPK.Group, results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frost.Verify(nodes[0].FrostPK, []byte("frost tri"), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrostPrecomputedSkipsRound1(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.KG20)
+	pk := nodes[0].FrostPK
+	g := pk.Group
+	quorum := pk.T + 1
+	// Pre-exchange commitments for the signer group.
+	nonces := make([]*frost.Nonce, quorum)
+	comms := make([]*frost.NonceCommitment, quorum)
+	for i := 0; i < quorum; i++ {
+		n, c, err := frost.GenerateNonce(rand.Reader, g, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonces[i], comms[i] = n, c
+	}
+	msg := []byte("one round")
+	// Assertion instance: with precomputed commitments the very first
+	// DoRound emits a round-2 signature share, no commitment exchange.
+	probe := NewFrost(rand.Reader, nodes[0], msg, nonces[0], comms)
+	out, err := probe.DoRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.Round != 2 {
+		t.Fatalf("expected round-2 output, got %+v", out)
+	}
+
+	protos := make([]Protocol, len(nodes))
+	for i, nk := range nodes {
+		var nonce *frost.Nonce
+		if i < quorum {
+			nonce = nonces[i]
+		} else {
+			nonce = nonces[0] // non-signers ignore the nonce
+		}
+		protos[i] = NewFrost(rand.Reader, nk, msg, nonce, comms)
+	}
+	results := drive(t, protos)
+	sig, err := frost.UnmarshalSignature(g, results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frost.Verify(pk, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectedSharesSurfaceButDoNotKill(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.CKS05)
+	req := Request{Scheme: schemes.CKS05, Op: OpCoin, Payload: []byte("byz")}
+	p, err := New(rand.Reader, nodes[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DoRound(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Update(ProtocolMessage{Sender: 2, Round: 1, Payload: []byte("garbage")})
+	if !errors.Is(err, ErrShareRejected) {
+		t.Fatalf("want ErrShareRejected, got %v", err)
+	}
+	if p.IsReadyToFinalize() {
+		t.Fatal("garbage share advanced the quorum")
+	}
+}

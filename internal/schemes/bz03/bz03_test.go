@@ -1,0 +1,171 @@
+package bz03
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"thetacrypt/internal/pairing"
+	"thetacrypt/internal/share"
+)
+
+func deal(t *testing.T, tt, n int) (*PublicKey, []KeyShare) {
+	t.Helper()
+	pk, ks, err := Deal(rand.Reader, tt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, ks
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	pk, ks := deal(t, 1, 4)
+	msg := []byte("mempool tx payload")
+	label := []byte("height-9")
+	ct, err := Encrypt(rand.Reader, pk, msg, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCiphertext(pk, ct); err != nil {
+		t.Fatalf("fresh ciphertext rejected: %v", err)
+	}
+	var shares []*DecShare
+	for _, k := range []KeyShare{ks[0], ks[3]} {
+		ds, err := DecryptShare(pk, k, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyShare(pk, ct, ds); err != nil {
+			t.Fatalf("valid share %d rejected: %v", ds.Index, err)
+		}
+		shares = append(shares, ds)
+	}
+	got, err := Combine(pk, ct, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decrypted %q, want %q", got, msg)
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	pk, ks := deal(t, 1, 4)
+	ct, _ := Encrypt(rand.Reader, pk, []byte("secret"), []byte("L"))
+
+	mutations := map[string]func(*Ciphertext){
+		"enckey":  func(c *Ciphertext) { c.EncKey[0] ^= 1 },
+		"payload": func(c *Ciphertext) { c.Payload[0] ^= 1 },
+		"label":   func(c *Ciphertext) { c.Label = []byte("other") },
+		"u":       func(c *Ciphertext) { c.U = pairing.G1Generator() },
+		"w":       func(c *Ciphertext) { c.W = pairing.G2Generator() },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			clone, err := UnmarshalCiphertext(ct.Marshal())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutate(clone)
+			if err := VerifyCiphertext(pk, clone); err == nil {
+				t.Fatal("tampered ciphertext accepted")
+			}
+			if _, err := DecryptShare(pk, ks[0], clone); err == nil {
+				t.Fatal("decrypt share produced for tampered ciphertext")
+			}
+		})
+	}
+}
+
+func TestForgedShareRejected(t *testing.T) {
+	pk, ks := deal(t, 1, 4)
+	ct, _ := Encrypt(rand.Reader, pk, []byte("m"), nil)
+	ds, _ := DecryptShare(pk, ks[0], ct)
+
+	wrongIndex := &DecShare{Index: 2, D: ds.D}
+	if err := VerifyShare(pk, ct, wrongIndex); err == nil {
+		t.Fatal("share attributed to wrong party accepted")
+	}
+	forged := &DecShare{Index: 1, D: pairing.G1Generator()}
+	if err := VerifyShare(pk, ct, forged); !errors.Is(err, ErrInvalidShare) {
+		t.Fatal("forged share accepted")
+	}
+	oob := &DecShare{Index: 42, D: ds.D}
+	if err := VerifyShare(pk, ct, oob); !errors.Is(err, ErrInvalidShare) {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Shares are bound to the ciphertext's U: replaying against another
+	// ciphertext fails.
+	ct2, _ := Encrypt(rand.Reader, pk, []byte("m"), nil)
+	if err := VerifyShare(pk, ct2, ds); err == nil {
+		t.Fatal("share replayed across ciphertexts")
+	}
+}
+
+func TestCombineQuorumRules(t *testing.T) {
+	pk, ks := deal(t, 2, 5)
+	ct, _ := Encrypt(rand.Reader, pk, []byte("m"), nil)
+	d0, _ := DecryptShare(pk, ks[0], ct)
+	d1, _ := DecryptShare(pk, ks[1], ct)
+	if _, err := Combine(pk, ct, []*DecShare{d0, d1}); !errors.Is(err, share.ErrNotEnoughShares) {
+		t.Fatalf("want ErrNotEnoughShares, got %v", err)
+	}
+	if _, err := Combine(pk, ct, []*DecShare{d0, d0, d1}); err == nil {
+		t.Fatal("duplicate shares satisfied the quorum")
+	}
+}
+
+func TestCorruptQuorumCannotDecrypt(t *testing.T) {
+	pk, ks := deal(t, 1, 4)
+	ct, _ := Encrypt(rand.Reader, pk, []byte("m"), nil)
+	good, _ := DecryptShare(pk, ks[0], ct)
+	bad, _ := DecryptShare(pk, ks[1], ct)
+	bad.D = bad.D.Add(pairing.G1Generator())
+	if _, err := Combine(pk, ct, []*DecShare{good, bad}); err == nil {
+		t.Fatal("corrupted quorum still decrypted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	pk, ks := deal(t, 1, 3)
+	ct, _ := Encrypt(rand.Reader, pk, []byte("roundtrip"), []byte("L"))
+	ct2, err := UnmarshalCiphertext(ct.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCiphertext(pk, ct2); err != nil {
+		t.Fatalf("round-tripped ciphertext invalid: %v", err)
+	}
+	ds, _ := DecryptShare(pk, ks[0], ct2)
+	ds2, err := UnmarshalDecShare(ds.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShare(pk, ct2, ds2); err != nil {
+		t.Fatalf("round-tripped share invalid: %v", err)
+	}
+	if _, err := UnmarshalCiphertext([]byte("junk")); err == nil {
+		t.Fatal("junk ciphertext decoded")
+	}
+}
+
+func TestAnyQuorumDecrypts(t *testing.T) {
+	pk, ks := deal(t, 2, 7)
+	msg := []byte("quorum independence")
+	ct, _ := Encrypt(rand.Reader, pk, msg, nil)
+	for _, subset := range [][]int{{0, 1, 2}, {4, 5, 6}} {
+		var shares []*DecShare
+		for _, i := range subset {
+			ds, err := DecryptShare(pk, ks[i], ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares = append(shares, ds)
+		}
+		got, err := Combine(pk, ct, shares)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("subset %v failed: %v", subset, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package cks05
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"thetacrypt/internal/schemes/sh00"
+)
+
+func sh00Coin(t *testing.T, tt, n int) (*SH00Coin, []sh00.KeyShare) {
+	t.Helper()
+	pk, ks, err := sh00.FixedTestKey(rand.Reader, 512, tt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SH00Coin{PK: pk}, ks
+}
+
+func TestSH00CoinAgreement(t *testing.T) {
+	// Unique signatures mean every quorum derives the same coin.
+	coin, ks := sh00Coin(t, 2, 7)
+	name := []byte("epoch-5")
+	flip := func(idxs []int) []byte {
+		var shares []*SH00CoinShare
+		for _, i := range idxs {
+			cs, err := coin.Share(rand.Reader, ks[i], name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := coin.VerifyShare(name, cs); err != nil {
+				t.Fatal(err)
+			}
+			shares = append(shares, cs)
+		}
+		v, err := coin.Combine(name, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	v1 := flip([]int{0, 1, 2})
+	v2 := flip([]int{4, 5, 6})
+	if !bytes.Equal(v1, v2) {
+		t.Fatal("different quorums derived different SH00-based coins")
+	}
+	if bytes.Equal(v1, flip2(t, coin, ks, []byte("epoch-6"))) {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func flip2(t *testing.T, coin *SH00Coin, ks []sh00.KeyShare, name []byte) []byte {
+	t.Helper()
+	var shares []*SH00CoinShare
+	for _, k := range ks[:3] {
+		cs, err := coin.Share(rand.Reader, k, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, cs)
+	}
+	v, err := coin.Combine(name, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSH00CoinRejectsBadShare(t *testing.T) {
+	coin, ks := sh00Coin(t, 1, 4)
+	name := []byte("coin")
+	cs, err := coin.Share(rand.Reader, ks[0], name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coin.VerifyShare([]byte("other"), cs); err == nil {
+		t.Fatal("share verified under wrong coin name")
+	}
+	// Both constructions on the same name are independent functions.
+	other, err := coin.Share(rand.Reader, ks[1], name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := coin.Combine(name, []*SH00CoinShare{cs, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != ValueSize {
+		t.Fatalf("coin value %d bytes", len(v))
+	}
+}

@@ -1,0 +1,91 @@
+// Package schemes defines the common vocabulary of the cryptographic
+// core: scheme identifiers, kinds, and the static registry reproduced in
+// the paper's Table 1 and Table 3. The concrete schemes live in the
+// child packages sg02, bz03, sh00, bls04, frost, and cks05.
+package schemes
+
+import "fmt"
+
+// Kind classifies a threshold scheme by its function.
+type Kind int
+
+// Scheme kinds, matching the paper's three categories.
+const (
+	KindCipher Kind = iota + 1
+	KindSignature
+	KindRandomness
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindCipher:
+		return "cipher"
+	case KindSignature:
+		return "signature"
+	case KindRandomness:
+		return "randomness"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ID identifies a scheme implementation.
+type ID string
+
+// The six schemes of the paper's Table 1.
+const (
+	SG02  ID = "SG02"
+	BZ03  ID = "BZ03"
+	SH00  ID = "SH00"
+	BLS04 ID = "BLS04"
+	KG20  ID = "KG20"
+	CKS05 ID = "CKS05"
+)
+
+// Info is the static description of a scheme: Table 1 columns (kind,
+// hardness assumption, verification strategy) plus Table 3 columns
+// (arithmetic structure, key length, communication complexity, rounds).
+type Info struct {
+	ID           ID
+	Kind         Kind
+	Reference    string
+	Hardness     string
+	Verification string
+	Arithmetic   string
+	KeyBits      int
+	Complexity   string
+	Rounds       int
+}
+
+// Registry returns the scheme inventory in the paper's Table 1 order.
+func Registry() []Info {
+	return []Info{
+		{ID: SH00, Kind: KindSignature, Reference: "Shoup, EUROCRYPT 2000", Hardness: "RSA", Verification: "ZKP", Arithmetic: "RSA", KeyBits: 2048, Complexity: "O(n)", Rounds: 1},
+		{ID: KG20, Kind: KindSignature, Reference: "Komlo-Goldberg, SAC 2020 (FROST)", Hardness: "DL", Verification: "ZKP", Arithmetic: "EC (Ed25519)", KeyBits: 256, Complexity: "O(n^2)", Rounds: 2},
+		{ID: BLS04, Kind: KindSignature, Reference: "Boneh-Lynn-Shacham, J.Cryptol 2004", Hardness: "DL", Verification: "Pairings", Arithmetic: "EC (Bn254)", KeyBits: 254, Complexity: "O(n)", Rounds: 1},
+		{ID: SG02, Kind: KindCipher, Reference: "Shoup-Gennaro, J.Cryptol 2002 (TDH2)", Hardness: "DL", Verification: "ZKP", Arithmetic: "EC (Ed25519)", KeyBits: 256, Complexity: "O(n)", Rounds: 1},
+		{ID: BZ03, Kind: KindCipher, Reference: "Baek-Zheng, GLOBECOM 2003", Hardness: "DL", Verification: "Pairings", Arithmetic: "EC (Bn254)", KeyBits: 254, Complexity: "O(n)", Rounds: 1},
+		{ID: CKS05, Kind: KindRandomness, Reference: "Cachin-Kursawe-Shoup, J.Cryptol 2005", Hardness: "DL", Verification: "ZKP", Arithmetic: "EC (Ed25519)", KeyBits: 256, Complexity: "O(n)", Rounds: 1},
+	}
+}
+
+// Lookup returns the registry entry for an ID.
+func Lookup(id ID) (Info, error) {
+	for _, info := range Registry() {
+		if info.ID == id {
+			return info, nil
+		}
+	}
+	return Info{}, fmt.Errorf("schemes: unknown scheme %q", id)
+}
+
+// All returns the scheme IDs in registry order.
+func All() []ID {
+	reg := Registry()
+	out := make([]ID, len(reg))
+	for i, info := range reg {
+		out[i] = info.ID
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package schemes
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestRegistryCoversAllSix(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 6 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	kinds := map[Kind]int{}
+	for _, info := range reg {
+		kinds[info.Kind]++
+		if info.Rounds < 1 || info.KeyBits < 254 {
+			t.Fatalf("implausible entry %+v", info)
+		}
+	}
+	if kinds[KindCipher] != 2 || kinds[KindSignature] != 3 || kinds[KindRandomness] != 1 {
+		t.Fatalf("kind distribution wrong: %v", kinds)
+	}
+	if _, err := Lookup(SG02); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("XX99"); err == nil {
+		t.Fatal("unknown scheme found")
+	}
+	if len(All()) != 6 {
+		t.Fatal("All() incomplete")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCipher.String() != "cipher" || KindSignature.String() != "signature" ||
+		KindRandomness.String() != "randomness" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still stringify")
+	}
+}
+
+func TestHybridSealOpen(t *testing.T) {
+	key, err := NewDEK(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("payload under the DEK")
+	label := []byte("assoc")
+	sealed, err := SealPayload(rand.Reader, key, msg, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenPayload(key, sealed, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestHybridAuthFailures(t *testing.T) {
+	key, _ := NewDEK(rand.Reader)
+	sealed, _ := SealPayload(rand.Reader, key, []byte("m"), []byte("L"))
+
+	// Wrong key.
+	other, _ := NewDEK(rand.Reader)
+	if _, err := OpenPayload(other, sealed, []byte("L")); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+	// Wrong label (associated data).
+	if _, err := OpenPayload(key, sealed, []byte("M")); err == nil {
+		t.Fatal("wrong label accepted")
+	}
+	// Flipped ciphertext bit.
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)-1] ^= 1
+	if _, err := OpenPayload(key, bad, []byte("L")); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	// Truncated.
+	if _, err := OpenPayload(key, sealed[:4], []byte("L")); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Bad key sizes.
+	if _, err := SealPayload(rand.Reader, key[:7], []byte("m"), nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestXORBytes(t *testing.T) {
+	a := []byte{0xff, 0x00, 0xaa}
+	b := []byte{0x0f, 0xf0, 0x55}
+	out, err := XORBytes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{0xf0, 0xf0, 0xff}) {
+		t.Fatalf("xor = %x", out)
+	}
+	again, _ := XORBytes(out, b)
+	if !bytes.Equal(again, a) {
+		t.Fatal("xor not involutive")
+	}
+	if _, err := XORBytes(a, b[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

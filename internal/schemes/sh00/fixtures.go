@@ -1,0 +1,46 @@
+package sh00
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Deterministic safe-prime fixtures. Generating safe primes for 1024+
+// bit moduli takes minutes, which would dominate every test run and
+// benchmark; these pairs were generated once with mathutil.SafePrime and
+// embedded. They are TEST KEYS: the factorization is public by
+// definition, so they must never guard real data.
+var fixturePrimes = map[int][2]string{
+	512: {
+		"f377d3e437f5032159ff7ee22dd2332190504bd04ff331cf4fbac9ade1cae717",
+		"c26a20db97a59caa15e3d8c0eb896370b095760a93b598cac9397bb059c5543b",
+	},
+	1024: {
+		"ffd32ddc4182c612c6700d72b69df667db29b5c48023a256e3062f2b612870dc806ae590b2094604c816859fe392c9019cf31a2b1d40b7f24ce0dc746c9f75cb",
+		"cf46f0cb99791f5bc4726a2a087736ef266c69262014d98cb1709b50df44fd0bac7b798dcac23a2f133d6ba01bf681f11c92fbec2551ed3468e6ff021cd80eab",
+	},
+	2048: {
+		"c909e95fbe7587c7f2f1f6caa9b52700cd032d97d8b7eba270df871815cc64c7288340e0f6e582cf5f20331cfc47e73263fef16e36db4f75d57b0c3b8b6aeebc71b528dfe2e0d5f0c93e1f960043004719b6705d1d80d2fc6ad0bfc6bc05a0360e1bf012af92be11bfba5da8ac4cd1d921a84acc9010c967b639e7b1fb6d63db",
+		"c1936e8805fb9e353224fefb0a0eb3cf724bf4f3388a0d343a63455d25cf67efce738848fe089803a5235614314d3fb4a9a28dcfb5af8a92c06a407c470990c18de62d6166d6b283739d3ef1fc5f50a2c86e74e0fc028eb53190569a97269df214f1fdc7ca39abe724708cb405e677db5bd8f82bb2bb7bd4264541c9e3fc20b3",
+	},
+}
+
+// FixedTestKey deals a threshold key from embedded safe-prime fixtures
+// (512, 1024, or 2048-bit modulus). Sharing and verification keys still
+// use the caller's randomness; only the primes are fixed.
+func FixedTestKey(rand io.Reader, bits, t, n int) (*PublicKey, []KeyShare, error) {
+	primes, ok := fixturePrimes[bits]
+	if !ok {
+		return nil, nil, fmt.Errorf("sh00: no fixture for %d-bit modulus (have 512, 1024, 2048)", bits)
+	}
+	p, ok1 := new(big.Int).SetString(primes[0], 16)
+	q, ok2 := new(big.Int).SetString(primes[1], 16)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("sh00: corrupt fixture for %d bits", bits)
+	}
+	one := big.NewInt(1)
+	pp := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1)
+	qq := new(big.Int).Rsh(new(big.Int).Sub(q, one), 1)
+	return dealFromPrimes(rand, p, pp, q, qq, t, n)
+}

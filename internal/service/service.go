@@ -1,0 +1,313 @@
+// Package service implements Thetacrypt's service layer (Section 3.4):
+// the two RPC endpoints applications integrate against. The protocol API
+// executes threshold protocols as a black box; the scheme API gives
+// direct access to cryptographic primitives (here: encryption under the
+// service's public keys and verification of results). The original
+// system exposes these over gRPC/Protocol Buffers; this reproduction
+// uses HTTP/1.1 with JSON bodies (stdlib net/http), preserving the
+// two-endpoint shape.
+package service
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/sg02"
+)
+
+// SubmitRequest is the protocol-API request body.
+type SubmitRequest struct {
+	Scheme  string `json:"scheme"`
+	Op      string `json:"op"` // "sign" | "decrypt" | "coin"
+	Payload []byte `json:"payload"`
+	Session string `json:"session,omitempty"`
+}
+
+// SubmitResponse returns the instance handle.
+type SubmitResponse struct {
+	InstanceID string `json:"instance_id"`
+}
+
+// ResultResponse carries a finished instance's outcome.
+type ResultResponse struct {
+	InstanceID string `json:"instance_id"`
+	Done       bool   `json:"done"`
+	Value      []byte `json:"value,omitempty"`
+	Error      string `json:"error,omitempty"`
+	LatencyMS  int64  `json:"latency_ms"`
+}
+
+// EncryptRequest is the scheme-API encryption request.
+type EncryptRequest struct {
+	Scheme  string `json:"scheme"`
+	Message []byte `json:"message"`
+	Label   []byte `json:"label,omitempty"`
+}
+
+// EncryptResponse carries the marshaled ciphertext.
+type EncryptResponse struct {
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// InfoResponse describes the node and its schemes (scheme API).
+type InfoResponse struct {
+	NodeIndex int      `json:"node_index"`
+	N         int      `json:"n"`
+	T         int      `json:"t"`
+	Schemes   []string `json:"schemes"`
+}
+
+// Server exposes the service layer over HTTP.
+type Server struct {
+	engine *orchestration.Engine
+	keys   *keys.NodeKeys
+	mux    *http.ServeMux
+}
+
+// NewServer wires the endpoints.
+func NewServer(engine *orchestration.Engine, nk *keys.NodeKeys) *Server {
+	s := &Server{engine: engine, keys: nk, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/protocol/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/protocol/result/{id}", s.handleResult)
+	s.mux.HandleFunc("POST /v1/scheme/encrypt", s.handleEncrypt)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var _ http.Handler = (*Server)(nil)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func parseOp(op string) (protocols.Operation, error) {
+	switch op {
+	case "sign":
+		return protocols.OpSign, nil
+	case "decrypt":
+		return protocols.OpDecrypt, nil
+	case "coin":
+		return protocols.OpCoin, nil
+	default:
+		return 0, fmt.Errorf("service: unknown operation %q", op)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	op, err := parseOp(body.Op)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := protocols.Request{
+		Scheme:  schemes.ID(body.Scheme),
+		Op:      op,
+		Payload: body.Payload,
+		Session: body.Session,
+	}
+	if _, err := schemes.Lookup(req.Scheme); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := s.engine.Submit(r.Context(), req); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{InstanceID: req.InstanceID()})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, errors.New("service: missing instance id"))
+		return
+	}
+	future := s.engine.Attach(id)
+	if r.URL.Query().Get("wait") != "1" {
+		select {
+		case res := <-future.Done():
+			writeResult(w, id, res)
+		default:
+			writeJSON(w, http.StatusOK, ResultResponse{InstanceID: id, Done: false})
+		}
+		return
+	}
+	res, err := future.Wait(r.Context())
+	if err != nil {
+		httpError(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeResult(w, id, res)
+}
+
+func writeResult(w http.ResponseWriter, id string, res orchestration.Result) {
+	out := ResultResponse{
+		InstanceID: id,
+		Done:       true,
+		Value:      res.Value,
+		LatencyMS:  res.Finished.Sub(res.Started).Milliseconds(),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEncrypt is part of the scheme API: clients encrypt against the
+// service public key locally at any node, without a threshold protocol.
+func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
+	var body EncryptRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	switch schemes.ID(body.Scheme) {
+	case schemes.SG02:
+		if s.keys.SG02PK == nil {
+			httpError(w, http.StatusNotFound, errors.New("service: no SG02 keys"))
+			return
+		}
+		ct, err := sg02.Encrypt(rand.Reader, s.keys.SG02PK, body.Message, body.Label)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EncryptResponse{Ciphertext: ct.Marshal()})
+	case schemes.BZ03:
+		if s.keys.BZ03PK == nil {
+			httpError(w, http.StatusNotFound, errors.New("service: no BZ03 keys"))
+			return
+		}
+		ct, err := bz03.Encrypt(rand.Reader, s.keys.BZ03PK, body.Message, body.Label)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EncryptResponse{Ciphertext: ct.Marshal()})
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: scheme %q does not encrypt", body.Scheme))
+	}
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	var present []string
+	for _, id := range schemes.All() {
+		if s.keys.Has(id) {
+			present = append(present, string(id))
+		}
+	}
+	writeJSON(w, http.StatusOK, InfoResponse{
+		NodeIndex: s.keys.Index,
+		N:         s.keys.N,
+		T:         s.keys.T,
+		Schemes:   present,
+	})
+}
+
+// Client is the Go client of the service layer.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a node's service endpoint, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 60 * time.Second}}
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("encode request: %w", err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit starts a protocol instance.
+func (c *Client) Submit(scheme schemes.ID, op, session string, payload []byte) (string, error) {
+	var out SubmitResponse
+	err := c.post("/v1/protocol/submit", SubmitRequest{
+		Scheme: string(scheme), Op: op, Payload: payload, Session: session,
+	}, &out)
+	return out.InstanceID, err
+}
+
+// WaitResult blocks until the instance completes.
+func (c *Client) WaitResult(instanceID string) (*ResultResponse, error) {
+	var out ResultResponse
+	resp, err := c.http.Get(c.base + "/v1/protocol/result/" + instanceID + "?wait=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("service: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return &out, fmt.Errorf("service: instance failed: %s", out.Error)
+	}
+	return &out, nil
+}
+
+// Encrypt calls the scheme API's local encryption.
+func (c *Client) Encrypt(scheme schemes.ID, message, label []byte) ([]byte, error) {
+	var out EncryptResponse
+	err := c.post("/v1/scheme/encrypt", EncryptRequest{
+		Scheme: string(scheme), Message: message, Label: label,
+	}, &out)
+	return out.Ciphertext, err
+}
+
+// Info fetches node metadata.
+func (c *Client) Info() (*InfoResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/info")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"crypto/rand"
+	"net/http/httptest"
+	"testing"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+)
+
+// testService spins up a full 4-node Θ-network with HTTP front ends.
+func testService(t *testing.T) ([]*Client, []*keys.NodeKeys) {
+	t.Helper()
+	const tt, n = 1, 4
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		Schemes: []schemes.ID{schemes.SG02, schemes.BLS04, schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(n, memnet.Options{})
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		engine := orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+		srv := httptest.NewServer(NewServer(engine, nodes[i]))
+		clients[i] = NewClient(srv.URL)
+		t.Cleanup(srv.Close)
+		t.Cleanup(engine.Stop)
+	}
+	t.Cleanup(hub.Close)
+	return clients, nodes
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	clients, _ := testService(t)
+	info, err := clients[0].Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NodeIndex != 1 || info.N != 4 || info.T != 1 {
+		t.Fatalf("unexpected info: %+v", info)
+	}
+	if len(info.Schemes) != 3 {
+		t.Fatalf("schemes: %v", info.Schemes)
+	}
+}
+
+func TestSignOverHTTP(t *testing.T) {
+	clients, nodes := testService(t)
+	id, err := clients[1].Submit(schemes.BLS04, "sign", "", []byte("http sig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clients[1].WaitResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := bls04.UnmarshalSignature(res.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bls04.Verify(nodes[0].BLS04PK, []byte("http sig"), sig); err != nil {
+		t.Fatal(err)
+	}
+	// Any node can serve the result of the shared instance.
+	res2, err := clients[3].WaitResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2.Value) != string(res.Value) {
+		t.Fatal("nodes disagree on result")
+	}
+}
+
+func TestEncryptThenThresholdDecrypt(t *testing.T) {
+	clients, _ := testService(t)
+	// Scheme API: encrypt at node 3 (local operation).
+	ct, err := clients[2].Encrypt(schemes.SG02, []byte("pending tx"), []byte("L"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Protocol API: decrypt through the Θ-network.
+	id, err := clients[0].Submit(schemes.SG02, "decrypt", "", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clients[0].WaitResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "pending tx" {
+		t.Fatalf("decrypted %q", res.Value)
+	}
+}
+
+func TestCoinOverHTTP(t *testing.T) {
+	clients, _ := testService(t)
+	id, err := clients[0].Submit(schemes.CKS05, "coin", "s1", []byte("beacon-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clients[0].WaitResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value) != 32 {
+		t.Fatalf("coin %d bytes", len(res.Value))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	clients, _ := testService(t)
+	if _, err := clients[0].Submit("NOPE", "sign", "", []byte("x")); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := clients[0].Submit(schemes.BLS04, "frobnicate", "", []byte("x")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := clients[0].Encrypt(schemes.BLS04, []byte("x"), nil); err == nil {
+		t.Fatal("encrypt under signature scheme accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package share
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"thetacrypt/internal/group"
+)
+
+// runReshare refreshes a (t, n) sharing into a (newT, newN) sharing and
+// returns the new shares plus the new public data.
+func runReshare(t *testing.T, g group.Group, secret *big.Int, tt, n, newT, newN int) ([]Share, []group.Point, group.Point) {
+	t.Helper()
+	old, err := Split(rand.Reader, secret, tt, n, g.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldVK := make([]group.Point, n)
+	for i, s := range old {
+		oldVK[i] = g.BaseMul(s.Value)
+	}
+	// A quorum of tt+1 old holders deals.
+	dealings := make(map[int]*ReshareDealing, tt+1)
+	commitments := make(map[int]*FeldmanCommitment, tt+1)
+	for i := 0; i < tt+1; i++ {
+		d, err := Reshare(rand.Reader, g, old[i], newT, newN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyReshareDealing(g, d, oldVK[i], newT); err != nil {
+			t.Fatalf("dealer %d rejected: %v", d.Dealer, err)
+		}
+		dealings[d.Dealer] = d
+		commitments[d.Dealer] = d.Commitment
+	}
+	newShares := make([]Share, newN)
+	for j := 1; j <= newN; j++ {
+		sub := make(map[int]Share, tt+1)
+		for d, dealing := range dealings {
+			sub[d] = dealing.SubShares[j-1]
+		}
+		v, err := CombineReshares(g, j, tt, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newShares[j-1] = Share{Index: j, Value: v}
+	}
+	vk, pub, err := NewVerificationKeys(g, tt, newN, commitments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newShares, vk, pub
+}
+
+func TestResharePreservesSecret(t *testing.T) {
+	g := group.Edwards25519()
+	secret, _ := g.RandomScalar(rand.Reader)
+	newShares, vk, pub := runReshare(t, g, secret, 2, 7, 2, 7)
+
+	got, err := Reconstruct(newShares, 2, g.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("resharing changed the secret")
+	}
+	if !pub.Equal(g.BaseMul(secret)) {
+		t.Fatal("resharing changed the public key")
+	}
+	for j, s := range newShares {
+		if !g.BaseMul(s.Value).Equal(vk[j]) {
+			t.Fatalf("new VK %d inconsistent with new share", j+1)
+		}
+	}
+}
+
+func TestReshareToNewCommitteeSize(t *testing.T) {
+	// Migrate from (2, 7) to (3, 10): the committee grows, the secret
+	// stays, the old shares become useless in the new polynomial.
+	g := group.Edwards25519()
+	secret := big.NewInt(987654321)
+	newShares, _, pub := runReshare(t, g, secret, 2, 7, 3, 10)
+	if len(newShares) != 10 {
+		t.Fatalf("got %d new shares", len(newShares))
+	}
+	got, err := Reconstruct(newShares[3:], 3, g.Order()) // any 4 of 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("migration changed the secret")
+	}
+	if !pub.Equal(g.BaseMul(secret)) {
+		t.Fatal("public key drifted")
+	}
+}
+
+func TestReshareRefreshInvalidatesOldShareMixing(t *testing.T) {
+	// After a refresh with the SAME parameters, old and new shares must
+	// not interpolate together: mixing t old and 1 new share yields a
+	// wrong secret (this is what makes refresh proactive).
+	g := group.Edwards25519()
+	secret := big.NewInt(5555)
+	old, _ := Split(rand.Reader, secret, 2, 7, g.Order())
+	newShares, _, _ := runReshare(t, g, secret, 2, 7, 2, 7)
+	mixed := []Share{old[0], old[1], newShares[2]}
+	got, err := Reconstruct(mixed, 2, g.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) == 0 {
+		t.Fatal("old and refreshed shares interpolated to the secret; epochs not separated")
+	}
+}
+
+func TestVerifyReshareDealingRejectsCheating(t *testing.T) {
+	g := group.Edwards25519()
+	secret, _ := g.RandomScalar(rand.Reader)
+	old, _ := Split(rand.Reader, secret, 1, 4, g.Order())
+	honest, err := Reshare(rand.Reader, g, old[0], 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightVK := g.BaseMul(old[0].Value)
+	if err := VerifyReshareDealing(g, honest, rightVK, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Dealer reshares a DIFFERENT value than its share.
+	forged, _ := Reshare(rand.Reader, g, Share{Index: 1, Value: big.NewInt(1)}, 1, 4)
+	if err := VerifyReshareDealing(g, forged, rightVK, 1); err == nil {
+		t.Fatal("resharing of a non-share value accepted")
+	}
+	// Wrong degree.
+	tooWide, _ := Reshare(rand.Reader, g, old[0], 2, 4)
+	if err := VerifyReshareDealing(g, tooWide, rightVK, 1); err == nil {
+		t.Fatal("over-degree resharing accepted")
+	}
+}
+
+func TestCombineResharesErrors(t *testing.T) {
+	g := group.Edwards25519()
+	if _, err := CombineReshares(g, 1, 2, map[int]Share{1: {Index: 1, Value: big.NewInt(1)}}); err == nil {
+		t.Fatal("sub-quorum combine accepted")
+	}
+	bad := map[int]Share{
+		1: {Index: 2, Value: big.NewInt(1)}, // addressed to party 2, not 1
+		2: {Index: 1, Value: big.NewInt(1)},
+	}
+	if _, err := CombineReshares(g, 1, 1, bad); err == nil {
+		t.Fatal("misaddressed sub-share accepted")
+	}
+}

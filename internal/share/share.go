@@ -1,0 +1,254 @@
+// Package share implements the secret-sharing substrate: Shamir sharing
+// over prime fields, Feldman verifiable secret sharing over a group, and
+// the integer-coefficient Lagrange interpolation (with the Δ = l!
+// clearing factor) required by Shoup's threshold RSA scheme.
+//
+// Threshold semantics follow the paper: with parameters (t, n), any t+1
+// of the n shares reconstruct the secret and any t shares reveal nothing.
+// Polynomials therefore have degree t.
+package share
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/mathutil"
+)
+
+var (
+	// ErrNotEnoughShares is returned when fewer than t+1 distinct shares
+	// are supplied to a reconstruction.
+	ErrNotEnoughShares = errors.New("share: not enough shares")
+	// ErrDuplicateIndex is returned when two shares carry the same index.
+	ErrDuplicateIndex = errors.New("share: duplicate share index")
+)
+
+// Share is one evaluation point f(Index) of the sharing polynomial.
+// Indices run from 1 to n; index 0 is the secret and never leaves the
+// dealer.
+type Share struct {
+	Index int
+	Value *big.Int
+}
+
+// Clone returns a deep copy.
+func (s Share) Clone() Share {
+	return Share{Index: s.Index, Value: mathutil.Clone(s.Value)}
+}
+
+// ValidateParams checks threshold parameters.
+func ValidateParams(t, n int) error {
+	if t < 0 {
+		return fmt.Errorf("share: negative threshold %d", t)
+	}
+	if n < 1 {
+		return fmt.Errorf("share: invalid group size %d", n)
+	}
+	if t+1 > n {
+		return fmt.Errorf("share: quorum %d exceeds group size %d", t+1, n)
+	}
+	return nil
+}
+
+// Polynomial is a degree-t polynomial over Z_q used by the dealer and by
+// DKG participants.
+type Polynomial struct {
+	// Coeffs[0] is the secret; len(Coeffs) == t+1.
+	Coeffs  []*big.Int
+	Modulus *big.Int
+}
+
+// NewPolynomial samples a random degree-t polynomial with f(0) = secret.
+func NewPolynomial(rand io.Reader, secret *big.Int, t int, modulus *big.Int) (*Polynomial, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("share: negative degree %d", t)
+	}
+	coeffs := make([]*big.Int, t+1)
+	coeffs[0] = mathutil.Mod(secret, modulus)
+	for i := 1; i <= t; i++ {
+		c, err := mathutil.RandInt(rand, modulus)
+		if err != nil {
+			return nil, fmt.Errorf("sample coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	return &Polynomial{Coeffs: coeffs, Modulus: mathutil.Clone(modulus)}, nil
+}
+
+// Eval returns f(x) mod q by Horner's rule.
+func (p *Polynomial) Eval(x int) *big.Int {
+	xv := big.NewInt(int64(x))
+	acc := new(big.Int)
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, xv)
+		acc.Add(acc, p.Coeffs[i])
+		acc.Mod(acc, p.Modulus)
+	}
+	return acc
+}
+
+// Shares returns the n shares f(1), ..., f(n).
+func (p *Polynomial) Shares(n int) []Share {
+	out := make([]Share, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = Share{Index: i, Value: p.Eval(i)}
+	}
+	return out
+}
+
+// Split shares a secret with threshold t among n parties over Z_q.
+func Split(rand io.Reader, secret *big.Int, t, n int, modulus *big.Int) ([]Share, error) {
+	if err := ValidateParams(t, n); err != nil {
+		return nil, err
+	}
+	poly, err := NewPolynomial(rand, secret, t, modulus)
+	if err != nil {
+		return nil, err
+	}
+	return poly.Shares(n), nil
+}
+
+// LagrangeCoefficient computes λ_j = Π_{k∈S, k≠j} k/(k-j) mod q, the
+// weight of share j when interpolating f(0) from the index subset S.
+func LagrangeCoefficient(j int, subset []int, modulus *big.Int) (*big.Int, error) {
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	seen := false
+	for _, k := range subset {
+		if k == j {
+			seen = true
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(k)))
+		num.Mod(num, modulus)
+		den.Mul(den, big.NewInt(int64(k-j)))
+		den.Mod(den, modulus)
+	}
+	if !seen {
+		return nil, fmt.Errorf("share: index %d not in subset", j)
+	}
+	dinv, err := mathutil.InvMod(den, modulus)
+	if err != nil {
+		return nil, fmt.Errorf("lagrange denominator: %w", err)
+	}
+	return mathutil.MulMod(num, dinv, modulus), nil
+}
+
+// Reconstruct interpolates f(0) from at least t+1 distinct shares.
+func Reconstruct(shares []Share, t int, modulus *big.Int) (*big.Int, error) {
+	if len(shares) < t+1 {
+		return nil, ErrNotEnoughShares
+	}
+	use := shares[:t+1]
+	subset := make([]int, len(use))
+	dup := make(map[int]bool, len(use))
+	for i, s := range use {
+		if dup[s.Index] {
+			return nil, ErrDuplicateIndex
+		}
+		dup[s.Index] = true
+		subset[i] = s.Index
+	}
+	acc := new(big.Int)
+	for _, s := range use {
+		lambda, err := LagrangeCoefficient(s.Index, subset, modulus)
+		if err != nil {
+			return nil, err
+		}
+		acc.Add(acc, new(big.Int).Mul(lambda, s.Value))
+		acc.Mod(acc, modulus)
+	}
+	return acc, nil
+}
+
+// InterpolateInExponent combines group elements P_j = f(j)*G into
+// f(0)*G using Lagrange coefficients, the core of every threshold
+// combine step. points maps share index to group element.
+func InterpolateInExponent(g group.Group, points map[int]group.Point) (group.Point, error) {
+	if len(points) == 0 {
+		return nil, ErrNotEnoughShares
+	}
+	subset := make([]int, 0, len(points))
+	for idx := range points {
+		subset = append(subset, idx)
+	}
+	acc := g.Identity()
+	for idx, pt := range points {
+		lambda, err := LagrangeCoefficient(idx, subset, g.Order())
+		if err != nil {
+			return nil, err
+		}
+		acc = acc.Add(pt.Mul(lambda))
+	}
+	return acc, nil
+}
+
+// FeldmanCommitment is the public commitment A_i = a_i*G to each
+// polynomial coefficient, enabling share verification.
+type FeldmanCommitment struct {
+	Group  group.Group
+	Points []group.Point // Points[i] commits to Coeffs[i]
+}
+
+// Commit produces the Feldman commitment of a polynomial over the scalar
+// field of g. The polynomial modulus must equal g.Order().
+func (p *Polynomial) Commit(g group.Group) (*FeldmanCommitment, error) {
+	if p.Modulus.Cmp(g.Order()) != 0 {
+		return nil, fmt.Errorf("share: polynomial modulus does not match group order")
+	}
+	pts := make([]group.Point, len(p.Coeffs))
+	for i, c := range p.Coeffs {
+		pts[i] = g.BaseMul(c)
+	}
+	return &FeldmanCommitment{Group: g, Points: pts}, nil
+}
+
+// PublicKey returns the commitment to the secret, f(0)*G.
+func (c *FeldmanCommitment) PublicKey() group.Point { return c.Points[0] }
+
+// VerifyShare checks s.Value*G == Σ A_i * index^i.
+func (c *FeldmanCommitment) VerifyShare(s Share) bool {
+	expected := c.EvalInExponent(s.Index)
+	return c.Group.BaseMul(s.Value).Equal(expected)
+}
+
+// EvalInExponent computes f(x)*G from the coefficient commitments.
+func (c *FeldmanCommitment) EvalInExponent(x int) group.Point {
+	xv := big.NewInt(int64(x))
+	acc := c.Group.Identity()
+	// Horner in the exponent: acc = acc*x + A_i.
+	for i := len(c.Points) - 1; i >= 0; i-- {
+		acc = acc.Mul(xv).Add(c.Points[i])
+	}
+	return acc
+}
+
+// IntegerLagrangeCoefficient computes the Shoup coefficient
+// λ^S_{0,j} = Δ · Π_{k∈S, k≠j} k / (j-k)... specifically
+// Δ·Π_{k∈S,k≠j} (0-k)/(j-k), which is an integer because Δ = l!
+// clears all denominators. Used for combining RSA signature shares where
+// no modular inverse exists.
+func IntegerLagrangeCoefficient(delta *big.Int, j int, subset []int) (*big.Int, error) {
+	num := new(big.Int).Set(delta)
+	den := big.NewInt(1)
+	seen := false
+	for _, k := range subset {
+		if k == j {
+			seen = true
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(-k)))
+		den.Mul(den, big.NewInt(int64(j-k)))
+	}
+	if !seen {
+		return nil, fmt.Errorf("share: index %d not in subset", j)
+	}
+	q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+	if r.Sign() != 0 {
+		return nil, fmt.Errorf("share: Δ does not clear denominator for subset %v at %d", subset, j)
+	}
+	return q, nil
+}

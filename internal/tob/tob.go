@@ -1,0 +1,184 @@
+// Package tob implements a sequencer-based total-order broadcast channel
+// on top of the P2P layer. The paper treats TOB as a black box provided
+// by the hosting platform (typically a blockchain); this implementation
+// provides the same interface — every correct node delivers the same
+// sequence of messages — with a designated sequencer assigning sequence
+// numbers. Fault tolerance of the sequencer itself is out of scope, as
+// it is for the paper's host-platform assumption.
+package tob
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"thetacrypt/internal/network"
+)
+
+// Envelope kinds used on the underlying P2P channel. Values are disjoint
+// from the orchestration kinds so a misrouted message is detectable.
+const (
+	kindSubmit network.Kind = 100 + iota
+	kindOrder
+)
+
+// Sequencer is one node's endpoint of the TOB channel. It must run on a
+// dedicated P2P transport (not shared with the orchestration traffic).
+type Sequencer struct {
+	p2p    network.P2P
+	self   int
+	leader int
+
+	mu      sync.Mutex
+	nextSeq int // leader: next sequence number to assign
+	nextDel int // next sequence number to deliver
+	pending map[int]network.Envelope
+	closed  bool
+
+	out  chan network.Envelope
+	stop chan struct{}
+	done chan struct{}
+}
+
+var _ network.TOB = (*Sequencer)(nil)
+
+// New creates a TOB endpoint for node self (1-indexed) with the given
+// sequencer (leader) index.
+func New(p2p network.P2P, self, leader int) *Sequencer {
+	s := &Sequencer{
+		p2p:     p2p,
+		self:    self,
+		leader:  leader,
+		nextSeq: 1,
+		nextDel: 1,
+		pending: make(map[int]network.Envelope),
+		out:     make(chan network.Envelope, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Submit hands an envelope to the ordering service.
+func (s *Sequencer) Submit(ctx context.Context, env network.Envelope) error {
+	env.From = s.self
+	if s.self == s.leader {
+		s.order(env)
+		return nil
+	}
+	wrapped := network.Envelope{
+		From:     s.self,
+		Instance: env.Instance,
+		Kind:     kindSubmit,
+		Payload:  env.Marshal(),
+	}
+	return s.p2p.Send(ctx, s.leader, wrapped)
+}
+
+// Delivered returns the totally ordered stream.
+func (s *Sequencer) Delivered() <-chan network.Envelope { return s.out }
+
+// Close stops the endpoint.
+func (s *Sequencer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	close(s.out)
+	return s.p2p.Close()
+}
+
+// order assigns the next sequence number and broadcasts the ORDER
+// message (leader only).
+func (s *Sequencer) order(env network.Envelope) {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+	ordered := network.Envelope{
+		From:     s.leader,
+		Instance: env.Instance,
+		Kind:     kindOrder,
+		Round:    seq,
+		Payload:  env.Marshal(),
+	}
+	// Deliver locally and broadcast to the others.
+	s.enqueue(seq, env)
+	_ = s.p2p.Broadcast(context.Background(), ordered)
+}
+
+// enqueue buffers an ordered message and flushes the in-order prefix.
+func (s *Sequencer) enqueue(seq int, env network.Envelope) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.pending[seq] = env
+	var ready []network.Envelope
+	for {
+		next, ok := s.pending[s.nextDel]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.nextDel)
+		s.nextDel++
+		ready = append(ready, next)
+	}
+	s.mu.Unlock()
+	for _, e := range ready {
+		select {
+		case s.out <- e:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Sequencer) run() {
+	defer close(s.done)
+	for {
+		select {
+		case env, ok := <-s.p2p.Receive():
+			if !ok {
+				return
+			}
+			switch env.Kind {
+			case kindSubmit:
+				if s.self != s.leader {
+					continue // not ours to order
+				}
+				inner, err := network.UnmarshalEnvelope(env.Payload)
+				if err != nil {
+					continue
+				}
+				s.order(inner)
+			case kindOrder:
+				if env.From != s.leader {
+					continue // only the sequencer may order
+				}
+				inner, err := network.UnmarshalEnvelope(env.Payload)
+				if err != nil {
+					continue
+				}
+				s.enqueue(env.Round, inner)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Validate reports configuration errors early.
+func Validate(self, leader, n int) error {
+	if self < 1 || self > n || leader < 1 || leader > n {
+		return fmt.Errorf("tob: invalid self=%d leader=%d n=%d", self, leader, n)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package tob
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/memnet"
+)
+
+func newTOBCluster(t *testing.T, n, leader int) []*Sequencer {
+	t.Helper()
+	hub := memnet.NewHub(n, memnet.Options{Latency: memnet.Uniform(100 * time.Microsecond), JitterFrac: 0.5, Seed: 7})
+	seqs := make([]*Sequencer, n)
+	for i := 1; i <= n; i++ {
+		seqs[i-1] = New(hub.Endpoint(i), i, leader)
+	}
+	t.Cleanup(func() {
+		for _, s := range seqs {
+			_ = s.Close()
+		}
+	})
+	return seqs
+}
+
+func collect(t *testing.T, s *Sequencer, count int) []string {
+	t.Helper()
+	out := make([]string, 0, count)
+	timeout := time.After(10 * time.Second)
+	for len(out) < count {
+		select {
+		case env := <-s.Delivered():
+			out = append(out, string(env.Payload))
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d deliveries", len(out), count)
+		}
+	}
+	return out
+}
+
+func TestTotalOrder(t *testing.T) {
+	const n, msgs = 4, 20
+	seqs := newTOBCluster(t, n, 1)
+
+	// Every node submits concurrently; all nodes must deliver the same
+	// sequence.
+	for i, s := range seqs {
+		s := s
+		i := i
+		go func() {
+			for m := 0; m < msgs; m++ {
+				env := network.Envelope{
+					Instance: "bcast",
+					Payload:  []byte(fmt.Sprintf("n%d-m%d", i+1, m)),
+				}
+				if err := s.Submit(context.Background(), env); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	total := n * msgs
+	sequences := make([][]string, n)
+	for i, s := range seqs {
+		sequences[i] = collect(t, s, total)
+	}
+	for i := 1; i < n; i++ {
+		for j := range sequences[0] {
+			if sequences[i][j] != sequences[0][j] {
+				t.Fatalf("node %d delivered %q at position %d, node 1 delivered %q",
+					i+1, sequences[i][j], j, sequences[0][j])
+			}
+		}
+	}
+}
+
+func TestLeaderSubmitsToo(t *testing.T) {
+	seqs := newTOBCluster(t, 3, 2)
+	if err := seqs[1].Submit(context.Background(), network.Envelope{Payload: []byte("from leader")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seqs {
+		got := collect(t, s, 1)
+		if got[0] != "from leader" {
+			t.Fatalf("delivered %q", got[0])
+		}
+	}
+}
+
+func TestSenderOrderPreservedThroughSequencer(t *testing.T) {
+	// A single submitter's messages must be delivered in submission
+	// order (FIFO through the sequencer's per-link ordering).
+	seqs := newTOBCluster(t, 3, 1)
+	const msgs = 10
+	for m := 0; m < msgs; m++ {
+		if err := seqs[2].Submit(context.Background(), network.Envelope{
+			Payload: []byte(fmt.Sprintf("m%02d", m)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, seqs[0], msgs)
+	for m := 0; m < msgs; m++ {
+		want := fmt.Sprintf("m%02d", m)
+		if got[m] != want {
+			t.Fatalf("position %d: got %q, want %q (FIFO violated)", m, got[m], want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(0, 1, 4); err == nil {
+		t.Fatal("self=0 accepted")
+	}
+	if err := Validate(1, 5, 4); err == nil {
+		t.Fatal("leader out of range accepted")
+	}
+}

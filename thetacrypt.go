@@ -1,0 +1,221 @@
+// Package thetacrypt is the public facade of the Thetacrypt
+// reproduction: a distributed service for threshold cryptography
+// on-demand. It re-exports the request vocabulary of the protocol API
+// and provides two integration styles, mirroring the paper's dual API:
+//
+//   - Cluster: an embedded in-process Θ-network (simulated transport)
+//     for applications, tests, and the examples/ programs.
+//   - Node: one member of a real deployment over TCP, exposing the
+//     HTTP service layer (used by cmd/thetacrypt).
+//
+// Low-level scheme access (the paper's scheme API) is available through
+// the re-exported key material: sg02/bz03 ciphertexts can be created
+// with Cluster.Encrypt, signatures verified with the scheme packages.
+package thetacrypt
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/network/tcpnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/sg02"
+	"thetacrypt/internal/service"
+)
+
+// Re-exported request vocabulary.
+type (
+	// Request is a threshold operation request.
+	Request = protocols.Request
+	// Operation selects sign, decrypt, or coin.
+	Operation = protocols.Operation
+	// SchemeID identifies one of the six schemes.
+	SchemeID = schemes.ID
+	// Result is a finished operation's outcome.
+	Result = orchestration.Result
+	// Future resolves to a Result.
+	Future = orchestration.Future
+	// NodeKeys is the per-node key material produced by the dealer.
+	NodeKeys = keys.NodeKeys
+)
+
+// Operations.
+const (
+	OpSign    = protocols.OpSign
+	OpDecrypt = protocols.OpDecrypt
+	OpCoin    = protocols.OpCoin
+)
+
+// Scheme identifiers (Table 1).
+const (
+	SG02  = schemes.SG02
+	BZ03  = schemes.BZ03
+	SH00  = schemes.SH00
+	BLS04 = schemes.BLS04
+	KG20  = schemes.KG20
+	CKS05 = schemes.CKS05
+)
+
+// ClusterOptions configures an embedded cluster.
+type ClusterOptions struct {
+	// Schemes to deal keys for; empty means all six.
+	Schemes []SchemeID
+	// RSABits for SH00 (default 2048). Fixture keys are used so cluster
+	// startup stays fast; see keys.Options.
+	RSABits int
+	// Latency is the simulated one-way network delay between nodes.
+	Latency time.Duration
+}
+
+// Cluster is an embedded in-process Θ-network of n nodes.
+type Cluster struct {
+	nodes   []*keys.NodeKeys
+	engines []*orchestration.Engine
+	hub     *memnet.Hub
+}
+
+// NewCluster deals fresh keys and starts n in-process nodes with
+// threshold t (any t+1 cooperate, up to t may be corrupted).
+func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
+	nodes, err := keys.Deal(rand.Reader, t, n, keys.Options{
+		Schemes:       opts.Schemes,
+		RSABits:       opts.RSABits,
+		UseRSAFixture: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thetacrypt: deal keys: %w", err)
+	}
+	var latency memnet.LatencyFunc
+	if opts.Latency > 0 {
+		latency = memnet.Uniform(opts.Latency)
+	}
+	hub := memnet.NewHub(n, memnet.Options{Latency: latency})
+	engines := make([]*orchestration.Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+	}
+	return &Cluster{nodes: nodes, engines: engines, hub: hub}, nil
+}
+
+// Close stops all nodes.
+func (c *Cluster) Close() {
+	for _, e := range c.engines {
+		e.Stop()
+	}
+	c.hub.Close()
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Keys returns node i's key material (1-indexed); the public parts serve
+// as the scheme API.
+func (c *Cluster) Keys(i int) *NodeKeys { return c.nodes[i-1] }
+
+// Submit starts a threshold operation at node i (1-indexed).
+func (c *Cluster) Submit(ctx context.Context, i int, req Request) (*Future, error) {
+	return c.engines[i-1].Submit(ctx, req)
+}
+
+// Execute submits at node 1 and waits for the result.
+func (c *Cluster) Execute(ctx context.Context, req Request) ([]byte, error) {
+	f, err := c.Submit(ctx, 1, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Value, nil
+}
+
+// Encrypt creates a threshold ciphertext under the cluster's public key
+// (scheme API; SG02 or BZ03).
+func (c *Cluster) Encrypt(scheme SchemeID, message, label []byte) ([]byte, error) {
+	switch scheme {
+	case SG02:
+		ct, err := sg02.Encrypt(rand.Reader, c.nodes[0].SG02PK, message, label)
+		if err != nil {
+			return nil, err
+		}
+		return ct.Marshal(), nil
+	case BZ03:
+		ct, err := bz03.Encrypt(rand.Reader, c.nodes[0].BZ03PK, message, label)
+		if err != nil {
+			return nil, err
+		}
+		return ct.Marshal(), nil
+	default:
+		return nil, fmt.Errorf("thetacrypt: scheme %q is not a cipher", scheme)
+	}
+}
+
+// DefaultGroup returns the group used by the DL-based schemes.
+func DefaultGroup() group.Group { return group.Edwards25519() }
+
+// NodeConfig configures a standalone deployment member.
+type NodeConfig struct {
+	// Keys is this node's material (from cmd/thetakeygen or keys.Deal).
+	Keys *NodeKeys
+	// ListenAddr is the P2P listen address.
+	ListenAddr string
+	// Peers maps node index to P2P address for all other nodes.
+	Peers map[int]string
+}
+
+// Node is one standalone Thetacrypt service node over TCP.
+type Node struct {
+	engine    *orchestration.Engine
+	transport *tcpnet.Transport
+	handler   *service.Server
+}
+
+// NewNode starts the network transport and orchestration engine.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	transport, err := tcpnet.New(tcpnet.Config{
+		Self:       cfg.Keys.Index,
+		ListenAddr: cfg.ListenAddr,
+		Peers:      cfg.Peers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thetacrypt: transport: %w", err)
+	}
+	engine := orchestration.New(orchestration.Config{
+		Keys: keys.NewManager(cfg.Keys),
+		Net:  transport,
+	})
+	return &Node{
+		engine:    engine,
+		transport: transport,
+		handler:   service.NewServer(engine, cfg.Keys),
+	}, nil
+}
+
+// Handler returns the HTTP handler of the service layer.
+func (n *Node) Handler() *service.Server { return n.handler }
+
+// Submit starts a threshold operation locally.
+func (n *Node) Submit(ctx context.Context, req Request) (*Future, error) {
+	return n.engine.Submit(ctx, req)
+}
+
+// Close stops the node.
+func (n *Node) Close() {
+	n.engine.Stop()
+	_ = n.transport.Close()
+}
