@@ -1,0 +1,157 @@
+// Package api defines version 2 of Thetacrypt's client-facing surface:
+// the Service interface implemented by every deployment style, the
+// structured error model, and the JSON wire types of the /v2 HTTP
+// endpoints.
+//
+// The paper exposes two integration styles — an embedded library and a
+// remote RPC service — that had drifted into incompatible shapes.
+// Service unifies them: thetacrypt.Cluster (embedded, simulated
+// transport), thetacrypt.Node (one standalone deployment member), and
+// client.Client (typed SDK over the /v2 HTTP endpoints) all implement
+// it, so applications and benchmarks are written once and swap
+// deployment styles with a constructor change.
+package api
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+// Handle identifies a submitted protocol instance. Handles are
+// deterministic (derived from the request), so any node of a deployment
+// can serve the result and re-submitting a request yields the same
+// handle.
+type Handle struct {
+	InstanceID string
+}
+
+// Result is the client-facing outcome of a protocol instance.
+type Result struct {
+	InstanceID string
+	// Value is the operation's output: a signature, a plaintext, or a
+	// coin value.
+	Value []byte
+	// Err is non-nil when the instance failed; its Code (see CodeOf)
+	// classifies the failure.
+	Err error
+	// ServerLatency is the server-side processing time of the instance
+	// on the answering node (the paper's server-side latency metric).
+	ServerLatency time.Duration
+}
+
+// Info describes a deployment endpoint and the schemes it holds keys
+// for.
+type Info struct {
+	// NodeIndex is the answering node's 1-based index.
+	NodeIndex int
+	// N and T are the deployment size and corruption threshold.
+	N, T int
+	// Schemes lists the schemes with dealt key material.
+	Schemes []schemes.ID
+}
+
+// Service is the one client-facing interface over every deployment
+// style (the tentpole of API v2). Submit and SubmitBatch start protocol
+// instances (the protocol API); Encrypt and Info are local operations
+// against the node's public key material (the scheme API).
+//
+// Submission is idempotent: submitting an identical request — same
+// scheme, operation, payload, and session — joins the existing instance
+// and returns the same handle instead of failing. Per-request deadlines
+// travel via the submit context (remote implementations forward the
+// context deadline to the server) and via Wait's context.
+type Service interface {
+	// Submit starts one protocol instance and returns its handle.
+	Submit(ctx context.Context, req protocols.Request) (Handle, error)
+	// SubmitBatch starts 1..N instances in one call, amortizing
+	// per-request dispatch (and, remotely, round-trips and JSON
+	// decoding). Handles are returned in request order.
+	SubmitBatch(ctx context.Context, reqs []protocols.Request) ([]Handle, error)
+	// Wait blocks until the instance finishes or ctx expires. A failed
+	// instance is reported inside the Result (Result.Err), transport
+	// and deadline failures as the second return value.
+	Wait(ctx context.Context, h Handle) (Result, error)
+	// Encrypt creates a ciphertext under the service-wide public key of
+	// an encryption scheme (SG02 or BZ03). It is a local computation at
+	// the answering node; decryption requires a threshold quorum.
+	Encrypt(ctx context.Context, scheme schemes.ID, message, label []byte) ([]byte, error)
+	// Info reports deployment parameters and available schemes.
+	Info(ctx context.Context) (Info, error)
+}
+
+// BatchWaiter is implemented by Services that can wait for many handles
+// more efficiently than one Wait call per handle (the client SDK
+// streams all results over a single connection). Results are returned
+// in handle order.
+type BatchWaiter interface {
+	WaitBatch(ctx context.Context, hs []Handle) ([]Result, error)
+}
+
+// ValidateRequest classifies a request's defects into the structured
+// error model before any instance state is created. Both Service
+// implementations funnel submissions through it, so embedded and remote
+// deployments reject identical requests with identical codes. The
+// checks themselves live in protocols.Request.Validate; this maps its
+// sentinels to codes.
+func ValidateRequest(req protocols.Request) *Error {
+	err := req.Validate()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, protocols.ErrPayloadTooLarge):
+		return Errf(CodePayloadTooLarge, "%v", err)
+	case errors.Is(err, protocols.ErrUnknownOperation):
+		return Errf(CodeBadRequest, "%v", err)
+	default:
+		// The remaining Validate failure is the scheme-registry lookup.
+		return Errf(CodeSchemeUnknown, "%v", err)
+	}
+}
+
+// Execute submits one request and waits for its value — the one-liner
+// of the protocol API, written once against any Service.
+func Execute(ctx context.Context, s Service, req protocols.Request) ([]byte, error) {
+	h, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Wait(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Value, nil
+}
+
+// WaitAll waits for every handle, using the service's batch streaming
+// when available and falling back to sequential waits otherwise.
+// Results are in handle order.
+func WaitAll(ctx context.Context, s Service, hs []Handle) ([]Result, error) {
+	if bw, ok := s.(BatchWaiter); ok {
+		return bw.WaitBatch(ctx, hs)
+	}
+	out := make([]Result, len(hs))
+	for i, h := range hs {
+		res, err := s.Wait(ctx, h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// ExecuteBatch submits a batch and waits for all results.
+func ExecuteBatch(ctx context.Context, s Service, reqs []protocols.Request) ([]Result, error) {
+	hs, err := s.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return WaitAll(ctx, s, hs)
+}

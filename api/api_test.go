@@ -1,0 +1,84 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+func TestCodeOf(t *testing.T) {
+	if got := CodeOf(nil); got != "" {
+		t.Fatalf("nil error: %q", got)
+	}
+	if got := CodeOf(Errf(CodeTimeout, "late")); got != CodeTimeout {
+		t.Fatalf("direct: %q", got)
+	}
+	wrapped := fmt.Errorf("outer: %w", Errf(CodeSchemeUnknown, "nope"))
+	if got := CodeOf(wrapped); got != CodeSchemeUnknown {
+		t.Fatalf("wrapped: %q", got)
+	}
+	if got := CodeOf(errors.New("plain")); got != CodeInternal {
+		t.Fatalf("plain: %q", got)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := map[Code]int{
+		CodeBadRequest:      http.StatusBadRequest,
+		CodeSchemeUnknown:   http.StatusBadRequest,
+		CodeOpUnknown:       http.StatusBadRequest,
+		CodeSchemeNotCipher: http.StatusBadRequest,
+		CodeSchemeNoKeys:    http.StatusNotFound,
+		CodeNotFound:        http.StatusNotFound,
+		CodePayloadTooLarge: http.StatusRequestEntityTooLarge,
+		CodeTimeout:         http.StatusGatewayTimeout,
+		CodeUnavailable:     http.StatusServiceUnavailable,
+		CodeInternal:        http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := HTTPStatus(code); got != want {
+			t.Errorf("%s: got %d want %d", code, got, want)
+		}
+	}
+}
+
+func TestValidateRequest(t *testing.T) {
+	ok := protocols.Request{Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("m")}
+	if e := ValidateRequest(ok); e != nil {
+		t.Fatalf("valid request rejected: %v", e)
+	}
+	if e := ValidateRequest(protocols.Request{Scheme: "NOPE", Op: protocols.OpSign}); e == nil || e.Code != CodeSchemeUnknown {
+		t.Fatalf("unknown scheme: %v", e)
+	}
+	big := protocols.Request{Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: make([]byte, protocols.MaxPayload+1)}
+	if e := ValidateRequest(big); e == nil || e.Code != CodePayloadTooLarge {
+		t.Fatalf("oversized payload: %v", e)
+	}
+	bad := protocols.Request{Scheme: schemes.BLS04, Op: protocols.Operation(42), Payload: []byte("m")}
+	if e := ValidateRequest(bad); e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("bad op: %v", e)
+	}
+}
+
+func TestItemRoundTrip(t *testing.T) {
+	req := protocols.Request{
+		Scheme: schemes.SG02, Op: protocols.OpDecrypt,
+		Payload: []byte("ct"), Session: "s-1",
+	}
+	it := Item(req)
+	back, err := it.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.InstanceID() != req.InstanceID() {
+		t.Fatal("wire round-trip changed the instance identity")
+	}
+	it.Op = "frobnicate"
+	if _, err := it.Request(); CodeOf(err) != CodeOpUnknown {
+		t.Fatalf("bad op: %v", err)
+	}
+}

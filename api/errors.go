@@ -1,0 +1,93 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a machine-readable error classification shared by every v2
+// endpoint and by both Service implementations. Clients branch on the
+// code, never on error strings.
+type Code string
+
+// Error codes of the v2 API.
+const (
+	// CodeBadRequest flags a request the server could not parse
+	// (malformed JSON, missing fields, empty batch).
+	CodeBadRequest Code = "bad_request"
+	// CodeSchemeUnknown flags a scheme identifier outside Table 1.
+	CodeSchemeUnknown Code = "scheme_unknown"
+	// CodeOpUnknown flags an operation other than sign|decrypt|coin.
+	CodeOpUnknown Code = "op_unknown"
+	// CodeSchemeNoKeys flags a scheme the node holds no key material
+	// for (keys were not dealt for it).
+	CodeSchemeNoKeys Code = "scheme_no_keys"
+	// CodeSchemeNotCipher flags an encryption request against a
+	// signature or coin scheme.
+	CodeSchemeNotCipher Code = "scheme_not_cipher"
+	// CodeDuplicateInstance marks a submission that joined an existing
+	// protocol instance. v2 submissions are idempotent, so this code
+	// appears as metadata (HTTP 200 + existing handle), never as a
+	// failure.
+	CodeDuplicateInstance Code = "duplicate_instance"
+	// CodePayloadTooLarge flags a payload above MaxPayload.
+	CodePayloadTooLarge Code = "payload_too_large"
+	// CodeTimeout flags a per-request deadline or wait deadline that
+	// expired before the instance finished.
+	CodeTimeout Code = "timeout"
+	// CodeNotFound flags an unknown instance or route.
+	CodeNotFound Code = "not_found"
+	// CodeUnavailable flags a node that is shutting down or overloaded.
+	CodeUnavailable Code = "unavailable"
+	// CodeInternal flags any other server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Error is the structured error model of the v2 API. It is the JSON
+// body of every non-2xx response ({"error":{"code":...,"message":...}})
+// and the error type returned by the client SDK.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errf builds a structured error.
+func Errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the machine-readable code from any error; errors that
+// are not (or do not wrap) an *Error report CodeInternal, and nil
+// reports the empty code.
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// HTTPStatus maps an error code to its transport status.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeBadRequest, CodeSchemeUnknown, CodeOpUnknown, CodeSchemeNotCipher:
+		return http.StatusBadRequest
+	case CodeSchemeNoKeys, CodeNotFound:
+		return http.StatusNotFound
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,154 @@
+package api
+
+import (
+	"time"
+
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+func msToDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// The /v2 endpoints and their JSON wire types. All payload byte fields
+// are standard-library base64 (encoding/json []byte encoding).
+//
+//	POST /v2/protocol/submit    SubmitBatchRequest  -> SubmitBatchResponse
+//	GET  /v2/protocol/results   ?ids=a,b&timeout_ms=N[&stream=1]
+//	                            -> ResultsResponse, or an SSE stream of
+//	                               one ResultEntry per "data:" event
+//	POST /v2/scheme/encrypt     EncryptRequest      -> EncryptResponse
+//	GET  /v2/info               -> InfoResponse
+//
+// Non-2xx responses carry ErrorResponse. Batch submission is partial:
+// invalid items fail individually inside SubmitBatchResponse while the
+// rest of the batch proceeds.
+
+// SubmitItem is one protocol request of a v2 submission.
+type SubmitItem struct {
+	Scheme  string `json:"scheme"`
+	Op      string `json:"op"` // "sign" | "decrypt" | "coin"
+	Payload []byte `json:"payload"`
+	// Session distinguishes repeated requests over the same payload.
+	Session string `json:"session,omitempty"`
+	// TimeoutMS is the per-request deadline: once elapsed, result
+	// queries for this instance report CodeTimeout instead of blocking.
+	// Zero means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Item converts a typed request into its wire form.
+func Item(req protocols.Request) SubmitItem {
+	return SubmitItem{
+		Scheme:  string(req.Scheme),
+		Op:      req.Op.String(),
+		Payload: req.Payload,
+		Session: req.Session,
+	}
+}
+
+// Request converts the wire form back into a typed request.
+func (it SubmitItem) Request() (protocols.Request, error) {
+	op, err := protocols.ParseOperation(it.Op)
+	if err != nil {
+		return protocols.Request{}, Errf(CodeOpUnknown, "%v", err)
+	}
+	req := protocols.Request{
+		Scheme:  schemes.ID(it.Scheme),
+		Op:      op,
+		Payload: it.Payload,
+		Session: it.Session,
+	}
+	return req, nil
+}
+
+// SubmitBatchRequest is the body of POST /v2/protocol/submit: 1..N
+// requests decoded and dispatched in one round-trip.
+type SubmitBatchRequest struct {
+	Requests []SubmitItem `json:"requests"`
+}
+
+// SubmitEntry is the per-item outcome of a batch submission.
+type SubmitEntry struct {
+	// InstanceID is the handle of the (new or joined) instance; empty
+	// when Error is set.
+	InstanceID string `json:"instance_id,omitempty"`
+	// Duplicate reports that the request joined an instance that
+	// already existed (idempotent re-submission).
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Error classifies a rejected item; the other items of the batch
+	// are unaffected.
+	Error *Error `json:"error,omitempty"`
+}
+
+// SubmitBatchResponse answers a batch submission in request order. The
+// HTTP status is 200 when every accepted item joined an existing
+// instance and 202 when at least one new instance was started.
+type SubmitBatchResponse struct {
+	Results []SubmitEntry `json:"results"`
+}
+
+// ResultEntry is one instance's state in a results query or stream.
+type ResultEntry struct {
+	InstanceID string `json:"instance_id"`
+	// Done reports whether the instance finished (successfully or not).
+	// A long-poll that hits its window returns pending entries with
+	// Done=false and no Error; callers re-poll.
+	Done  bool   `json:"done"`
+	Value []byte `json:"value,omitempty"`
+	// Error is set when the instance failed or its per-request deadline
+	// expired (CodeTimeout).
+	Error *Error `json:"error,omitempty"`
+	// LatencyMS is the server-side processing time of a finished
+	// instance.
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+}
+
+// Result converts the wire entry into the typed result.
+func (re ResultEntry) Result() Result {
+	res := Result{InstanceID: re.InstanceID, Value: re.Value}
+	if re.Error != nil {
+		res.Err = re.Error
+	}
+	res.ServerLatency = msToDuration(re.LatencyMS)
+	return res
+}
+
+// ResultsResponse answers a non-streaming results query.
+type ResultsResponse struct {
+	Results []ResultEntry `json:"results"`
+}
+
+// EncryptRequest is the scheme-API encryption request.
+type EncryptRequest struct {
+	Scheme  string `json:"scheme"`
+	Message []byte `json:"message"`
+	Label   []byte `json:"label,omitempty"`
+}
+
+// EncryptResponse carries the marshaled ciphertext.
+type EncryptResponse struct {
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// InfoResponse describes the node and its schemes.
+type InfoResponse struct {
+	APIVersion int      `json:"api_version"`
+	NodeIndex  int      `json:"node_index"`
+	N          int      `json:"n"`
+	T          int      `json:"t"`
+	Schemes    []string `json:"schemes"`
+}
+
+// Info converts the wire form into the typed info.
+func (ir InfoResponse) Info() Info {
+	ids := make([]schemes.ID, len(ir.Schemes))
+	for i, s := range ir.Schemes {
+		ids[i] = schemes.ID(s)
+	}
+	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids}
+}
+
+// ErrorResponse is the body of every non-2xx v2 response.
+type ErrorResponse struct {
+	Error *Error `json:"error"`
+}

@@ -10,7 +10,9 @@
 //	fig5b                      payload-size sweep
 //	micro                      primitive micro-benchmarks (calibration)
 //	validate                   simulator vs real-stack cross check
-//	all                        everything above
+//	remote                     drive a deployment through the v2 Service
+//	                           API (embedded, or -addr URL via the SDK)
+//	all                        everything above (except remote)
 //
 // Flags: -duration (capacity window, default 5s), -steady (steady-state
 // window, default 30s), -schemes, -deployments, -seed. The paper's full
@@ -45,7 +47,7 @@ func run() error {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|all)")
+		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|remote|all)")
 	}
 	opts := eval.Options{
 		Duration:       *duration,
@@ -68,6 +70,8 @@ func run() error {
 	w := os.Stdout
 	cmd := flag.Arg(0)
 	switch cmd {
+	case "remote":
+		return remoteBench(w, flag.Args()[1:])
 	case "table1":
 		eval.Table1(w)
 	case "table2":

@@ -1,0 +1,154 @@
+package main
+
+// The remote benchmark drives a deployment through the unified Service
+// interface (API v2): the same load loop runs against an embedded
+// cluster or, via the client SDK, against a deployed node over HTTP.
+// It contrasts batched submission (one round-trip per batch, one SSE
+// stream for the results) with sequential submit+wait cycles.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"thetacrypt"
+	"thetacrypt/api"
+	"thetacrypt/client"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+// remoteBench implements the "remote" subcommand.
+func remoteBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("remote", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "service URL of a deployed node; empty runs an embedded cluster through the same code path")
+		scheme   = fs.String("scheme", "CKS05", "scheme to drive")
+		op       = fs.String("op", "coin", "operation: sign|decrypt|coin")
+		requests = fs.Int("requests", 64, "total requests per mode")
+		batch    = fs.Int("batch", 16, "batch size for the batched mode")
+		nodes    = fs.Int("n", 4, "cluster size (embedded only)")
+		thresh   = fs.Int("t", 1, "corruption threshold (embedded only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := schemes.ID(*scheme)
+	if _, err := schemes.Lookup(id); err != nil {
+		return err
+	}
+	operation, err := protocols.ParseOperation(*op)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	var svc api.Service
+	var cl *client.Client
+	if *addr != "" {
+		cl = client.New(*addr)
+		svc = cl
+		fmt.Fprintf(w, "# remote bench against %s via the v2 client SDK\n", *addr)
+	} else {
+		cluster, err := thetacrypt.NewCluster(*thresh, *nodes, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{id},
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		svc = cluster
+		fmt.Fprintf(w, "# embedded bench (n=%d t=%d) through the same Service interface\n", *nodes, *thresh)
+	}
+	info, err := svc.Info(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# deployment n=%d t=%d, scheme %s op %s, %d requests\n",
+		info.N, info.T, id, operation, *requests)
+
+	// Payloads are prepared outside the timed sections: decrypt needs
+	// ciphertexts from the scheme API.
+	build := func(mode string, i int) (thetacrypt.Request, error) {
+		req := thetacrypt.Request{
+			Scheme:  id,
+			Op:      operation,
+			Session: fmt.Sprintf("bench-%s-%d", mode, i),
+			Payload: []byte(fmt.Sprintf("bench payload %s %d", mode, i)),
+		}
+		if operation == thetacrypt.OpDecrypt {
+			ct, err := svc.Encrypt(ctx, id, req.Payload, nil)
+			if err != nil {
+				return thetacrypt.Request{}, fmt.Errorf("prepare ciphertext: %w", err)
+			}
+			req.Payload = ct
+		}
+		return req, nil
+	}
+
+	seqReqs := make([]thetacrypt.Request, *requests)
+	batchReqs := make([]thetacrypt.Request, *requests)
+	for i := 0; i < *requests; i++ {
+		if seqReqs[i], err = build("seq", i); err != nil {
+			return err
+		}
+		if batchReqs[i], err = build("batch", i); err != nil {
+			return err
+		}
+	}
+
+	// Mode 1: sequential submit+wait cycles.
+	tripsBefore := clientTrips(cl)
+	start := time.Now()
+	for i, req := range seqReqs {
+		if _, err := api.Execute(ctx, svc, req); err != nil {
+			return fmt.Errorf("sequential request %d: %w", i, err)
+		}
+	}
+	seqWall := time.Since(start)
+	seqTrips := clientTrips(cl) - tripsBefore
+	report(w, "sequential", *requests, seqWall, seqTrips)
+
+	// Mode 2: batched submission + streamed results.
+	tripsBefore = clientTrips(cl)
+	start = time.Now()
+	for off := 0; off < *requests; off += *batch {
+		size := min(*batch, *requests-off)
+		results, err := api.ExecuteBatch(ctx, svc, batchReqs[off:off+size])
+		if err != nil {
+			return fmt.Errorf("batch at offset %d: %w", off, err)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				return fmt.Errorf("batch request %d: %w", off+i, res.Err)
+			}
+		}
+	}
+	batchWall := time.Since(start)
+	batchTrips := clientTrips(cl) - tripsBefore
+	report(w, fmt.Sprintf("batched(%d)", *batch), *requests, batchWall, batchTrips)
+	if seqWall > 0 && batchWall > 0 {
+		fmt.Fprintf(w, "batched/sequential wall-clock: %.2fx\n", float64(batchWall)/float64(seqWall))
+	}
+	return nil
+}
+
+// clientTrips reports HTTP round-trips so far, or 0 when embedded.
+func clientTrips(cl *client.Client) int64 {
+	if cl == nil {
+		return 0
+	}
+	return cl.RoundTrips()
+}
+
+func report(w io.Writer, mode string, n int, wall time.Duration, trips int64) {
+	fmt.Fprintf(w, "%-14s %d requests in %v (%.1f req/s)", mode, n, wall.Round(time.Millisecond),
+		float64(n)/wall.Seconds())
+	if trips > 0 {
+		fmt.Fprintf(w, ", %d HTTP round-trips", trips)
+	}
+	fmt.Fprintln(w)
+}

@@ -61,7 +61,7 @@ func run() error {
 	defer cancel()
 	fmt.Println("== clients submit encrypted transactions ==")
 	for i, tx := range txs {
-		ct, err := cluster.Encrypt(thetacrypt.SG02, []byte(tx), []byte(fmt.Sprintf("tx-%d", i)))
+		ct, err := cluster.Encrypt(ctx, thetacrypt.SG02, []byte(tx), []byte(fmt.Sprintf("tx-%d", i)))
 		if err != nil {
 			return err
 		}
@@ -75,25 +75,35 @@ func run() error {
 		fmt.Printf("  tx %d: %d ciphertext bytes submitted (content hidden)\n", i, len(ct))
 	}
 
-	// Validators deliver the same order everywhere, then jointly decrypt
-	// in committed order.
+	// Validators deliver the same order everywhere. Once the order is
+	// fixed, the whole committed block is decrypted as one batch
+	// submission against the unified Service interface.
 	fmt.Println("== validators decrypt in committed order ==")
+	var ordered []string
+	var reqs []thetacrypt.Request
 	for i := 0; i < len(txs); i++ {
 		select {
 		case env := <-channels[0].Delivered():
-			plain, err := cluster.Execute(ctx, thetacrypt.Request{
+			ordered = append(ordered, env.Instance)
+			reqs = append(reqs, thetacrypt.Request{
 				Scheme:  thetacrypt.SG02,
 				Op:      thetacrypt.OpDecrypt,
 				Payload: env.Payload,
 				Session: env.Instance,
 			})
-			if err != nil {
-				return fmt.Errorf("decrypt %s: %w", env.Instance, err)
-			}
-			fmt.Printf("  position %d (%s): %s\n", i+1, env.Instance, plain)
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	}
+	results, err := thetacrypt.ExecuteBatch(ctx, cluster, reqs)
+	if err != nil {
+		return fmt.Errorf("decrypt block: %w", err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("decrypt %s: %w", ordered[i], res.Err)
+		}
+		fmt.Printf("  position %d (%s): %s\n", i+1, ordered[i], res.Value)
 	}
 	fmt.Println("order was fixed before any validator could read the transactions")
 	return nil

@@ -1,42 +1,66 @@
-// Quickstart: start an embedded 4-node Θ-network, produce a threshold
-// BLS signature, and run a threshold decryption — the two headline
-// operations of the protocol API.
+// Quickstart: produce a threshold BLS signature and run a threshold
+// decryption — the two headline operations of the protocol API — then
+// submit a signature batch in one call.
+//
+// The demo is written once against the unified Service interface
+// (API v2) and runs against either deployment style:
+//
+//	go run ./examples/quickstart                              # embedded cluster
+//	go run ./examples/quickstart -remote http://127.0.0.1:8081  # deployed node
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"thetacrypt"
+	"thetacrypt/client"
 	"thetacrypt/internal/schemes/bls04"
 )
 
 func main() {
-	if err := run(); err != nil {
+	remote := flag.String("remote", "", "service URL of a deployed node (empty: embedded cluster)")
+	flag.Parse()
+	if err := run(*remote); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	// A 4-node cluster tolerating t = 1 Byzantine node (n = 3t+1).
-	cluster, err := thetacrypt.NewCluster(1, 4, thetacrypt.ClusterOptions{
-		Schemes: []thetacrypt.SchemeID{thetacrypt.BLS04, thetacrypt.SG02},
-		Latency: 500 * time.Microsecond,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
+func run(remote string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// 1. Threshold signature: any t+1 = 2 nodes jointly sign; the result
-	// is an ordinary BLS signature under the service-wide public key.
+	var svc thetacrypt.Service
+	var cluster *thetacrypt.Cluster // non-nil only embedded; holds the public keys
+	if remote != "" {
+		svc = client.New(remote)
+	} else {
+		// A 4-node cluster tolerating t = 1 Byzantine node (n = 3t+1).
+		var err error
+		cluster, err = thetacrypt.NewCluster(1, 4, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{thetacrypt.BLS04, thetacrypt.SG02},
+			Latency: 500 * time.Microsecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		svc = cluster
+	}
+	info, err := svc.Info(ctx)
+	if err != nil {
+		return fmt.Errorf("info: %w", err)
+	}
+	fmt.Printf("deployment: n=%d t=%d schemes=%v\n", info.N, info.T, info.Schemes)
+
+	// 1. Threshold signature: any t+1 nodes jointly sign; the result is
+	// an ordinary BLS signature under the service-wide public key.
 	msg := []byte("hello, threshold world")
-	sigBytes, err := cluster.Execute(ctx, thetacrypt.Request{
+	sigBytes, err := thetacrypt.Execute(ctx, svc, thetacrypt.Request{
 		Scheme:  thetacrypt.BLS04,
 		Op:      thetacrypt.OpSign,
 		Payload: msg,
@@ -44,23 +68,29 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("threshold sign: %w", err)
 	}
-	sig, err := bls04.UnmarshalSignature(sigBytes)
-	if err != nil {
-		return err
+	if cluster != nil {
+		// Verification needs the service public key, available here
+		// through the embedded scheme API.
+		sig, err := bls04.UnmarshalSignature(sigBytes)
+		if err != nil {
+			return err
+		}
+		if err := bls04.Verify(cluster.Keys(1).BLS04PK, msg, sig); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		fmt.Printf("threshold BLS signature over %q verifies (%d bytes)\n", msg, len(sigBytes))
+	} else {
+		fmt.Printf("threshold BLS signature over %q produced (%d bytes)\n", msg, len(sigBytes))
 	}
-	if err := bls04.Verify(cluster.Keys(1).BLS04PK, msg, sig); err != nil {
-		return fmt.Errorf("verify: %w", err)
-	}
-	fmt.Printf("threshold BLS signature over %q verifies (%d bytes)\n", msg, len(sigBytes))
 
 	// 2. Threshold decryption: anyone encrypts against the service
 	// public key (scheme API); decryption requires a quorum.
 	secret := []byte("launch code: 0000")
-	ct, err := cluster.Encrypt(thetacrypt.SG02, secret, []byte("label-1"))
+	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, secret, []byte("label-1"))
 	if err != nil {
 		return fmt.Errorf("encrypt: %w", err)
 	}
-	plain, err := cluster.Execute(ctx, thetacrypt.Request{
+	plain, err := thetacrypt.Execute(ctx, svc, thetacrypt.Request{
 		Scheme:  thetacrypt.SG02,
 		Op:      thetacrypt.OpDecrypt,
 		Payload: ct,
@@ -69,5 +99,26 @@ func run() error {
 		return fmt.Errorf("threshold decrypt: %w", err)
 	}
 	fmt.Printf("threshold decryption recovered %q\n", plain)
+
+	// 3. Batch submission: sign several messages in one call — one
+	// round-trip for the batch instead of one per request.
+	batch := make([]thetacrypt.Request, 4)
+	for i := range batch {
+		batch[i] = thetacrypt.Request{
+			Scheme:  thetacrypt.BLS04,
+			Op:      thetacrypt.OpSign,
+			Payload: []byte(fmt.Sprintf("batch message %d", i)),
+		}
+	}
+	results, err := thetacrypt.ExecuteBatch(ctx, svc, batch)
+	if err != nil {
+		return fmt.Errorf("batch sign: %w", err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("batch item %d: %w", i, res.Err)
+		}
+	}
+	fmt.Printf("batch of %d signatures completed\n", len(results))
 	return nil
 }

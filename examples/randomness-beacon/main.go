@@ -3,42 +3,61 @@
 // threshold-random function on the round number chained with the
 // previous value. No quorum smaller than t+1 can predict or bias the
 // output, and every quorum derives the same value.
+//
+// The beacon loop is written against the unified Service interface and
+// runs embedded (default) or against a deployed node (-remote URL).
 package main
 
 import (
 	"context"
 	"encoding/hex"
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"thetacrypt"
+	"thetacrypt/client"
 )
 
 func main() {
-	if err := run(); err != nil {
+	remote := flag.String("remote", "", "service URL of a deployed node (empty: embedded cluster)")
+	flag.Parse()
+	if err := run(*remote); err != nil {
 		fmt.Fprintln(os.Stderr, "randomness-beacon:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	cluster, err := thetacrypt.NewCluster(2, 7, thetacrypt.ClusterOptions{
-		Schemes: []thetacrypt.SchemeID{thetacrypt.CKS05},
-		Latency: time.Millisecond,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
+func run(remote string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	fmt.Println("7-node beacon, threshold 3 (any 3 of 7 produce the value)")
+	var svc thetacrypt.Service
+	if remote != "" {
+		svc = client.New(remote)
+	} else {
+		cluster, err := thetacrypt.NewCluster(2, 7, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{thetacrypt.CKS05},
+			Latency: time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		svc = cluster
+	}
+	info, err := svc.Info(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-node beacon, threshold %d (any %d of %d produce the value)\n",
+		info.N, info.T, info.T+1, info.N)
+
 	prev := []byte("genesis")
 	for round := 1; round <= 5; round++ {
 		name := fmt.Sprintf("round-%d|%s", round, hex.EncodeToString(prev))
-		value, err := cluster.Execute(ctx, thetacrypt.Request{
+		value, err := thetacrypt.Execute(ctx, svc, thetacrypt.Request{
 			Scheme:  thetacrypt.CKS05,
 			Op:      thetacrypt.OpCoin,
 			Payload: []byte(name),

@@ -3,64 +3,95 @@
 // nodes; transactions are approved with FROST (KG20) threshold Schnorr
 // signatures, so no single custodian can spend and the resulting
 // signature is indistinguishable from a single-signer Schnorr signature.
+//
+// The approval flow is written against the unified Service interface
+// and runs embedded (default) or against a deployed custodian node
+// (-remote URL). The pending transactions are approved as one batch
+// submission.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"thetacrypt"
+	"thetacrypt/client"
 	"thetacrypt/internal/schemes/frost"
 )
 
 func main() {
-	if err := run(); err != nil {
+	remote := flag.String("remote", "", "service URL of a custodian node (empty: embedded cluster)")
+	flag.Parse()
+	if err := run(*remote); err != nil {
 		fmt.Fprintln(os.Stderr, "wallet:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	// 5 custodians, any 3 approve a spend.
-	cluster, err := thetacrypt.NewCluster(2, 5, thetacrypt.ClusterOptions{
-		Schemes: []thetacrypt.SchemeID{thetacrypt.KG20},
-		Latency: 2 * time.Millisecond,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
+func run(remote string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	pk := cluster.Keys(1).FrostPK
-	fmt.Println("wallet key split across 5 custodians, quorum 3 (FROST two-round signing)")
-
-	for i, tx := range []string{
-		`{"to":"bc1q...","amount":"0.5 BTC","nonce":1}`,
-		`{"to":"bc1p...","amount":"1.2 BTC","nonce":2}`,
-	} {
-		start := time.Now()
-		sigBytes, err := cluster.Execute(ctx, thetacrypt.Request{
-			Scheme:  thetacrypt.KG20,
-			Op:      thetacrypt.OpSign,
-			Payload: []byte(tx),
+	var svc thetacrypt.Service
+	var pk *frost.PublicKey
+	if remote != "" {
+		svc = client.New(remote)
+		fmt.Println("driving a deployed custodian network over the v2 API")
+	} else {
+		// 5 custodians, any 3 approve a spend.
+		cluster, err := thetacrypt.NewCluster(2, 5, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{thetacrypt.KG20},
+			Latency: 2 * time.Millisecond,
 		})
-		if err != nil {
-			return fmt.Errorf("sign tx %d: %w", i+1, err)
-		}
-		sig, err := frost.UnmarshalSignature(pk.Group, sigBytes)
 		if err != nil {
 			return err
 		}
-		if err := frost.Verify(pk, []byte(tx), sig); err != nil {
-			return fmt.Errorf("tx %d signature invalid: %w", i+1, err)
-		}
-		fmt.Printf("tx %d approved in %v; Schnorr signature verifies under the wallet key\n",
-			i+1, time.Since(start).Round(time.Millisecond))
+		defer cluster.Close()
+		svc = cluster
+		pk = cluster.Keys(1).FrostPK
+		fmt.Println("wallet key split across 5 custodians, quorum 3 (FROST two-round signing)")
 	}
+
+	txs := []string{
+		`{"to":"bc1q...","amount":"0.5 BTC","nonce":1}`,
+		`{"to":"bc1p...","amount":"1.2 BTC","nonce":2}`,
+	}
+	reqs := make([]thetacrypt.Request, len(txs))
+	for i, tx := range txs {
+		reqs[i] = thetacrypt.Request{
+			Scheme:  thetacrypt.KG20,
+			Op:      thetacrypt.OpSign,
+			Payload: []byte(tx),
+		}
+	}
+
+	// One batch submission approves the whole pending set.
+	start := time.Now()
+	results, err := thetacrypt.ExecuteBatch(ctx, svc, reqs)
+	if err != nil {
+		return fmt.Errorf("approve batch: %w", err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("sign tx %d: %w", i+1, res.Err)
+		}
+		if pk != nil {
+			sig, err := frost.UnmarshalSignature(pk.Group, res.Value)
+			if err != nil {
+				return err
+			}
+			if err := frost.Verify(pk, []byte(txs[i]), sig); err != nil {
+				return fmt.Errorf("tx %d signature invalid: %w", i+1, err)
+			}
+			fmt.Printf("tx %d approved; Schnorr signature verifies under the wallet key\n", i+1)
+		} else {
+			fmt.Printf("tx %d approved (%d signature bytes)\n", i+1, len(res.Value))
+		}
+	}
+	fmt.Printf("batch of %d approvals in %v\n", len(txs), time.Since(start).Round(time.Millisecond))
 	fmt.Println("no single custodian ever held the spending key")
 	return nil
 }

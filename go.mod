@@ -1,0 +1,3 @@
+module thetacrypt
+
+go 1.22

@@ -25,7 +25,7 @@ import (
 
 // Errors returned by the engine.
 var (
-	ErrStopped  = errors.New("orchestration: engine stopped")
+	ErrStopped   = errors.New("orchestration: engine stopped")
 	ErrDuplicate = errors.New("orchestration: duplicate instance")
 )
 
@@ -103,13 +103,27 @@ type instance struct {
 	// backlog holds protocol messages that arrived before the instance
 	// was started on this node.
 	backlog []protocols.ProtocolMessage
+	// starting marks that a worker has claimed the instance for
+	// protocol creation (guarded by Engine.mu). It distinguishes a
+	// placeholder — created by Attach or by a peer share arriving
+	// before the start announcement — from an instance whose protocol
+	// is being (or has been) set up, so exactly one submission adopts
+	// and starts each placeholder.
+	starting bool
 }
 
 type event struct {
-	// Exactly one of req/env is meaningful.
+	// Exactly one of req/batch/env is meaningful.
 	req    *protocols.Request
 	future *Future
+	batch  []batchItem
 	env    *network.Envelope
+}
+
+// batchItem is one request of a batched submission.
+type batchItem struct {
+	req    protocols.Request
+	future *Future
 }
 
 // New creates and starts an engine.
@@ -168,6 +182,54 @@ func (e *Engine) Submit(ctx context.Context, req protocols.Request) (*Future, er
 	}
 }
 
+// Submission describes one request of a batched submission: its
+// deterministic instance id, the future delivering its result, and
+// whether the request joined an instance that already existed on this
+// node (idempotent re-submission).
+type Submission struct {
+	InstanceID string
+	Future     *Future
+	Duplicate  bool
+}
+
+// SubmitBatch starts protocol instances for 1..N requests with a single
+// event-queue hand-off, amortizing dispatch across the batch: the whole
+// batch is processed in one worker pass instead of N queue round-trips.
+// Submissions are returned in request order. Duplicate detection is a
+// snapshot taken at enqueue time; concurrent submitters racing on the
+// same request still join one instance, only the flag is best-effort
+// for the loser of the race.
+func (e *Engine) SubmitBatch(ctx context.Context, reqs []protocols.Request) ([]Submission, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	subs := make([]Submission, len(reqs))
+	items := make([]batchItem, len(reqs))
+	inBatch := make(map[string]bool, len(reqs))
+	e.mu.Lock()
+	for i, req := range reqs {
+		id := req.InstanceID()
+		// A bare placeholder (created by Attach or an early peer share)
+		// is not a running instance: the submission that adopts it is
+		// still the first submission.
+		inst, exists := e.instances[id]
+		dup := exists && (inst.starting || inst.proto != nil)
+		f := &Future{ch: make(chan Result, 1)}
+		subs[i] = Submission{InstanceID: id, Future: f, Duplicate: dup || inBatch[id]}
+		items[i] = batchItem{req: req, future: f}
+		inBatch[id] = true
+	}
+	e.mu.Unlock()
+	select {
+	case e.events <- event{batch: items}:
+		return subs, nil
+	case <-e.stop:
+		return nil, ErrStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // pump moves network envelopes into the event queue.
 func (e *Engine) pump() {
 	defer e.done.Done()
@@ -205,36 +267,48 @@ func (e *Engine) handle(ev event) {
 	switch {
 	case ev.req != nil:
 		e.handleSubmit(*ev.req, ev.future)
+	case ev.batch != nil:
+		for _, item := range ev.batch {
+			e.handleSubmit(item.req, item.future)
+		}
 	case ev.env != nil:
 		e.handleEnvelope(*ev.env)
 	}
 }
 
-// ensureInstance creates (or returns) the instance for a request. Lock
+// ensureInstance creates (or returns) the instance for a request. A
+// placeholder instance — left behind by Attach or by a peer share that
+// arrived before the start announcement — is adopted: its futures and
+// backlog are kept and the protocol is created and started here. Lock
 // order is always e.mu before inst.mu.
 func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future) (*instance, error) {
 	id := req.InstanceID()
 	e.mu.Lock()
 	inst, ok := e.instances[id]
+	adopt := false
 	if ok {
-		if future != nil {
-			inst.mu.Lock()
-			if inst.finished {
-				future.ch <- inst.result
-			} else {
-				inst.futures = append(inst.futures, future)
-			}
-			inst.mu.Unlock()
+		if inst.proto == nil && !inst.starting {
+			inst.starting = true
+			adopt = true
 		}
-		e.mu.Unlock()
+	} else {
+		inst = &instance{started: time.Now(), starting: true}
+		e.instances[id] = inst
+		adopt = true
+	}
+	e.mu.Unlock()
+	if future != nil {
+		inst.mu.Lock()
+		if inst.finished {
+			future.ch <- inst.result
+		} else {
+			inst.futures = append(inst.futures, future)
+		}
+		inst.mu.Unlock()
+	}
+	if !adopt {
 		return inst, nil
 	}
-	inst = &instance{started: time.Now()}
-	if future != nil {
-		inst.futures = append(inst.futures, future)
-	}
-	e.instances[id] = inst
-	e.mu.Unlock()
 
 	proto, err := protocols.New(e.cfg.Rand, e.cfg.Keys.Keys(), req)
 	if err == nil {

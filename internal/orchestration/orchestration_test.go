@@ -331,3 +331,76 @@ func TestSessionsSeparateInstances(t *testing.T) {
 		t.Fatal("coin value changed across sessions")
 	}
 }
+
+// TestSubmitBatch drives a batch of coin requests through one engine
+// hand-off: all instances finish, duplicate flags reflect idempotent
+// re-submission, and futures deliver in request order.
+func TestSubmitBatch(t *testing.T) {
+	c := newCluster(t, 1, 4, memnet.Options{})
+	reqs := make([]protocols.Request, 8)
+	for i := range reqs {
+		reqs[i] = protocols.Request{
+			Scheme:  schemes.CKS05,
+			Op:      protocols.OpCoin,
+			Payload: []byte("batch-coin"),
+			Session: hex.EncodeToString([]byte{byte(i)}),
+		}
+	}
+	subs, err := c.engines[0].SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != len(reqs) {
+		t.Fatalf("got %d submissions for %d requests", len(subs), len(reqs))
+	}
+	for i, sub := range subs {
+		if sub.Duplicate {
+			t.Fatalf("fresh request %d flagged duplicate", i)
+		}
+		if sub.InstanceID != reqs[i].InstanceID() {
+			t.Fatalf("submission %d id mismatch", i)
+		}
+		res, err := sub.Future.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("request %d failed: %v", i, res.Err)
+		}
+		if len(res.Value) == 0 {
+			t.Fatalf("request %d produced empty coin", i)
+		}
+	}
+
+	// Re-submitting the same batch joins the existing instances.
+	resubs, err := c.engines[0].SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range resubs {
+		if !sub.Duplicate {
+			t.Fatalf("re-submission %d not flagged duplicate", i)
+		}
+		res, err := sub.Future.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("re-submission %d failed: %v", i, res.Err)
+		}
+	}
+
+	// Identical requests inside one batch share an instance; the second
+	// occurrence is the duplicate.
+	twice := []protocols.Request{reqs[0], reqs[0]}
+	twin, err := c.engines[1].SubmitBatch(context.Background(), twice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twin[1].Duplicate {
+		t.Fatal("in-batch duplicate not flagged")
+	}
+	if twin[0].InstanceID != twin[1].InstanceID {
+		t.Fatal("in-batch duplicate got a different instance")
+	}
+}

@@ -53,6 +53,26 @@ func (o Operation) String() string {
 	}
 }
 
+// ParseOperation maps the wire names of the service layer back to
+// operations.
+func ParseOperation(op string) (Operation, error) {
+	switch op {
+	case "sign":
+		return OpSign, nil
+	case "decrypt":
+		return OpDecrypt, nil
+	case "coin":
+		return OpCoin, nil
+	default:
+		return 0, fmt.Errorf("protocols: unknown operation %q", op)
+	}
+}
+
+// MaxPayload bounds the request payload accepted by Validate (and with
+// it the service layer); larger messages are hashed or chunked by the
+// application.
+const MaxPayload = 1 << 20
+
 // Request is a client request for one threshold operation.
 type Request struct {
 	Scheme schemes.ID
@@ -62,6 +82,33 @@ type Request struct {
 	Payload []byte
 	// Session distinguishes repeated requests on the same payload.
 	Session string
+}
+
+// Validation sentinels distinguished by the service layer's error
+// model (api.ValidateRequest); scheme failures surface as the scheme
+// registry's own lookup error.
+var (
+	ErrUnknownOperation = errors.New("protocols: unknown operation")
+	ErrPayloadTooLarge  = errors.New("protocols: payload too large")
+)
+
+// Validate checks the request against the scheme registry and the
+// protocol module's structural limits before any instance state is
+// created. It is the single validation seam shared by the embedded
+// facade and the service layer.
+func (r Request) Validate() error {
+	if _, err := schemes.Lookup(r.Scheme); err != nil {
+		return err
+	}
+	switch r.Op {
+	case OpSign, OpDecrypt, OpCoin:
+	default:
+		return fmt.Errorf("%w %d", ErrUnknownOperation, int(r.Op))
+	}
+	if len(r.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes exceeds limit %d", ErrPayloadTooLarge, len(r.Payload), MaxPayload)
+	}
+	return nil
 }
 
 // InstanceID derives the deterministic protocol instance identifier all

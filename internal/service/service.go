@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"thetacrypt/internal/keys"
@@ -67,20 +68,33 @@ type InfoResponse struct {
 	Schemes   []string `json:"schemes"`
 }
 
-// Server exposes the service layer over HTTP.
+// Server exposes the service layer over HTTP: the legacy /v1 endpoints
+// and the /v2 API (batch submit, result streaming, structured errors;
+// see v2.go).
 type Server struct {
 	engine *orchestration.Engine
 	keys   *keys.NodeKeys
 	mux    *http.ServeMux
+
+	// mu guards deadlines, the per-request deadlines recorded by v2
+	// submissions and enforced by the v2 results endpoints.
+	mu        sync.Mutex
+	deadlines map[string]time.Time
 }
 
 // NewServer wires the endpoints.
 func NewServer(engine *orchestration.Engine, nk *keys.NodeKeys) *Server {
-	s := &Server{engine: engine, keys: nk, mux: http.NewServeMux()}
+	s := &Server{
+		engine:    engine,
+		keys:      nk,
+		mux:       http.NewServeMux(),
+		deadlines: make(map[string]time.Time),
+	}
 	s.mux.HandleFunc("POST /v1/protocol/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/protocol/result/{id}", s.handleResult)
 	s.mux.HandleFunc("POST /v1/scheme/encrypt", s.handleEncrypt)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.registerV2()
 	return s
 }
 

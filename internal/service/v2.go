@@ -1,0 +1,347 @@
+package service
+
+// The /v2 endpoints: batch submission, long-poll and SSE result
+// streaming, structured machine-readable errors, idempotent
+// re-submission, and per-request deadlines. The wire types live in the
+// api package so the client SDK and this server cannot drift apart; v1
+// (service.go) remains mounted for existing integrations.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"thetacrypt/api"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bz03"
+	"thetacrypt/internal/schemes/sg02"
+)
+
+// Result-wait bounds: a long poll blocks at most maxWaitWindow even if
+// the client asks for more; without an explicit timeout_ms it blocks up
+// to defaultWaitWindow.
+const (
+	defaultWaitWindow = 30 * time.Second
+	maxWaitWindow     = 2 * time.Minute
+)
+
+// maxResultIDs bounds one results query. Each id attaches a watcher to
+// the engine (creating a placeholder for ids it has never seen), so an
+// unbounded list would let a single request manufacture arbitrary
+// engine state.
+const maxResultIDs = 1024
+
+func (s *Server) registerV2() {
+	s.mux.HandleFunc("POST /v2/protocol/submit", s.handleSubmitV2)
+	s.mux.HandleFunc("GET /v2/protocol/results", s.handleResultsV2)
+	s.mux.HandleFunc("POST /v2/scheme/encrypt", s.handleEncryptV2)
+	s.mux.HandleFunc("GET /v2/info", s.handleInfoV2)
+}
+
+func writeErrorV2(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, api.HTTPStatus(e.Code), api.ErrorResponse{Error: e})
+}
+
+// validateItem classifies an item's defects into the structured error
+// model, funneling through the protocol module's validation seam.
+func validateItem(it api.SubmitItem) (protocols.Request, *api.Error) {
+	req, err := it.Request()
+	if err != nil {
+		var e *api.Error
+		if errors.As(err, &e) {
+			return protocols.Request{}, e
+		}
+		return protocols.Request{}, api.Errf(api.CodeBadRequest, "%v", err)
+	}
+	if e := api.ValidateRequest(req); e != nil {
+		return protocols.Request{}, e
+	}
+	return req, nil
+}
+
+// handleSubmitV2 accepts a batch of 1..N requests in one body: one JSON
+// decode and one engine hand-off for the whole batch. Invalid items
+// fail individually; re-submissions are idempotent and flagged as
+// duplicates. The status is 202 when at least one new instance started,
+// 200 otherwise.
+func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	var body api.SubmitBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "empty batch: need 1..N requests"))
+		return
+	}
+
+	entries := make([]api.SubmitEntry, len(body.Requests))
+	var reqs []protocols.Request
+	var reqIdx []int // position of reqs[i] in entries
+	for i, it := range body.Requests {
+		req, e := validateItem(it)
+		if e != nil {
+			entries[i] = api.SubmitEntry{Error: e}
+			continue
+		}
+		reqs = append(reqs, req)
+		reqIdx = append(reqIdx, i)
+	}
+
+	var subs []orchestration.Submission
+	if len(reqs) > 0 {
+		var err error
+		subs, err = s.engine.SubmitBatch(r.Context(), reqs)
+		if err != nil {
+			writeErrorV2(w, api.Errf(api.CodeUnavailable, "%v", err))
+			return
+		}
+	}
+	status := http.StatusOK
+	now := time.Now()
+	for i, sub := range subs {
+		entries[reqIdx[i]] = api.SubmitEntry{InstanceID: sub.InstanceID, Duplicate: sub.Duplicate}
+		if !sub.Duplicate {
+			status = http.StatusAccepted
+			// Only the instance-creating submission sets the deadline:
+			// a later duplicate's tighter timeout must not cut short
+			// the waits of clients already attached to the instance.
+			if ms := body.Requests[reqIdx[i]].TimeoutMS; ms > 0 {
+				s.setDeadline(sub.InstanceID, now.Add(time.Duration(ms)*time.Millisecond))
+			}
+		}
+	}
+	writeJSON(w, status, api.SubmitBatchResponse{Results: entries})
+}
+
+func (s *Server) setDeadline(id string, d time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.deadlines[id]; !ok {
+		s.deadlines[id] = d
+	}
+}
+
+func (s *Server) deadline(id string) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deadlines[id]
+	return d, ok
+}
+
+// clearDeadline drops a finished instance's deadline so the map does
+// not grow with total request count. Expired-but-unfinished deadlines
+// are kept: later polls must keep reporting the timeout.
+func (s *Server) clearDeadline(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.deadlines, id)
+}
+
+// resultEvent pairs a finished (or deadline-expired) instance with its
+// position in the query.
+type resultEvent struct {
+	idx   int
+	entry api.ResultEntry
+}
+
+// watchInstances attaches to every id and forwards one final entry per
+// instance — completion or per-request deadline expiry — to the
+// returned channel until ctx ends.
+func (s *Server) watchInstances(ctx context.Context, ids []string) <-chan resultEvent {
+	events := make(chan resultEvent, len(ids))
+	for i, id := range ids {
+		future := s.engine.Attach(id)
+		deadline, hasDeadline := s.deadline(id)
+		go func(i int, id string, f *orchestration.Future) {
+			// A result that is already available wins over an expired
+			// deadline: the timeout bounds waiting, it does not
+			// invalidate finished work.
+			select {
+			case res := <-f.Done():
+				s.clearDeadline(id)
+				events <- resultEvent{idx: i, entry: finishedEntry(id, res)}
+				return
+			default:
+			}
+			var expire <-chan time.Time
+			if hasDeadline {
+				t := time.NewTimer(time.Until(deadline))
+				defer t.Stop()
+				expire = t.C
+			}
+			select {
+			case res := <-f.Done():
+				s.clearDeadline(id)
+				events <- resultEvent{idx: i, entry: finishedEntry(id, res)}
+			case <-expire:
+				events <- resultEvent{idx: i, entry: api.ResultEntry{
+					InstanceID: id,
+					Error:      api.Errf(api.CodeTimeout, "per-request deadline exceeded"),
+				}}
+			case <-ctx.Done():
+			}
+		}(i, id, future)
+	}
+	return events
+}
+
+func finishedEntry(id string, res orchestration.Result) api.ResultEntry {
+	entry := api.ResultEntry{
+		InstanceID: id,
+		Done:       true,
+		Value:      res.Value,
+		LatencyMS:  res.Finished.Sub(res.Started).Milliseconds(),
+	}
+	if res.Err != nil {
+		entry.Error = api.Errf(api.CodeInternal, "%v", res.Err)
+	}
+	return entry
+}
+
+// handleResultsV2 serves GET /v2/protocol/results?ids=a,b,c. Without
+// stream=1 it long-polls: the response is sent once every instance is
+// final or the wait window (timeout_ms, default 30s) elapses, pending
+// instances reported with done=false. With stream=1 it emits one
+// ResultEntry per SSE "data:" event as instances finish, over a single
+// connection.
+func (s *Server) handleResultsV2(w http.ResponseWriter, r *http.Request) {
+	idsParam := r.URL.Query().Get("ids")
+	if idsParam == "" {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "missing ids query parameter"))
+		return
+	}
+	ids := strings.Split(idsParam, ",")
+	if len(ids) > maxResultIDs {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "%d ids exceeds limit %d", len(ids), maxResultIDs))
+		return
+	}
+	window := defaultWaitWindow
+	if msParam := r.URL.Query().Get("timeout_ms"); msParam != "" {
+		ms, err := strconv.ParseInt(msParam, 10, 64)
+		if err != nil || ms < 0 {
+			writeErrorV2(w, api.Errf(api.CodeBadRequest, "bad timeout_ms %q", msParam))
+			return
+		}
+		window = min(time.Duration(ms)*time.Millisecond, maxWaitWindow)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), window)
+	defer cancel()
+
+	events := s.watchInstances(ctx, ids)
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamResults(ctx, w, len(ids), events)
+		return
+	}
+
+	entries := make([]api.ResultEntry, len(ids))
+	for i, id := range ids {
+		entries[i] = api.ResultEntry{InstanceID: id} // pending unless finalized below
+	}
+	remaining := len(ids)
+	for remaining > 0 {
+		select {
+		case ev := <-events:
+			entries[ev.idx] = ev.entry
+			remaining--
+		case <-ctx.Done():
+			writeJSON(w, http.StatusOK, api.ResultsResponse{Results: entries})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, api.ResultsResponse{Results: entries})
+}
+
+// streamResults writes one SSE event per final instance. The stream
+// ends when every requested instance is final or the wait window
+// closes; clients re-poll for instances they did not see.
+func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, n int, events <-chan resultEvent) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErrorV2(w, api.Errf(api.CodeInternal, "streaming unsupported by transport"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for remaining := n; remaining > 0; remaining-- {
+		select {
+		case ev := <-events:
+			data, err := json.Marshal(ev.entry)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("data: " + string(data) + "\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleEncryptV2 is the scheme API's local encryption with structured
+// errors: scheme_unknown, scheme_not_cipher, or scheme_no_keys.
+func (s *Server) handleEncryptV2(w http.ResponseWriter, r *http.Request) {
+	var body api.EncryptRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
+		return
+	}
+	id := schemes.ID(body.Scheme)
+	if _, err := schemes.Lookup(id); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeSchemeUnknown, "%v", err))
+		return
+	}
+	switch id {
+	case schemes.SG02:
+		if s.keys.SG02PK == nil {
+			writeErrorV2(w, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt to this node", id))
+			return
+		}
+		ct, err := sg02.Encrypt(rand.Reader, s.keys.SG02PK, body.Message, body.Label)
+		if err != nil {
+			writeErrorV2(w, api.Errf(api.CodeInternal, "%v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.EncryptResponse{Ciphertext: ct.Marshal()})
+	case schemes.BZ03:
+		if s.keys.BZ03PK == nil {
+			writeErrorV2(w, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt to this node", id))
+			return
+		}
+		ct, err := bz03.Encrypt(rand.Reader, s.keys.BZ03PK, body.Message, body.Label)
+		if err != nil {
+			writeErrorV2(w, api.Errf(api.CodeInternal, "%v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.EncryptResponse{Ciphertext: ct.Marshal()})
+	default:
+		writeErrorV2(w, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", id))
+	}
+}
+
+func (s *Server) handleInfoV2(w http.ResponseWriter, _ *http.Request) {
+	var present []string
+	for _, id := range schemes.All() {
+		if s.keys.Has(id) {
+			present = append(present, string(id))
+		}
+	}
+	writeJSON(w, http.StatusOK, api.InfoResponse{
+		APIVersion: 2,
+		NodeIndex:  s.keys.Index,
+		N:          s.keys.N,
+		T:          s.keys.T,
+		Schemes:    present,
+	})
+}

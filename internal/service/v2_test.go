@@ -1,0 +1,430 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thetacrypt/api"
+	"thetacrypt/client"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/bls04"
+)
+
+// countingHandler counts HTTP requests reaching a node's service layer,
+// the round-trip metric of the batch-amortization test.
+type countingHandler struct {
+	h http.Handler
+	n atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.n.Add(1)
+	c.h.ServeHTTP(w, r)
+}
+
+// testServiceV2 spins up a full 4-node Θ-network with HTTP front ends
+// and returns v2 SDK clients plus per-node request counters.
+func testServiceV2(t *testing.T) ([]*client.Client, []*keys.NodeKeys, []*countingHandler) {
+	t.Helper()
+	const tt, n = 1, 4
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		Schemes: []schemes.ID{schemes.SG02, schemes.BLS04, schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(n, memnet.Options{})
+	clients := make([]*client.Client, n)
+	counters := make([]*countingHandler, n)
+	for i := 0; i < n; i++ {
+		engine := orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+		counters[i] = &countingHandler{h: NewServer(engine, nodes[i])}
+		srv := httptest.NewServer(counters[i])
+		clients[i] = client.New(srv.URL)
+		t.Cleanup(srv.Close)
+		t.Cleanup(engine.Stop)
+	}
+	t.Cleanup(hub.Close)
+	return clients, nodes, counters
+}
+
+// partialServiceV2 starts only one engine of a 4-node deployment, so no
+// instance ever reaches its t+1 = 2 quorum: the fixture for deadline
+// and timeout paths.
+func partialServiceV2(t *testing.T) *client.Client {
+	t.Helper()
+	nodes, err := keys.Deal(rand.Reader, 1, 4, keys.Options{
+		Schemes: []schemes.ID{schemes.BLS04},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(4, memnet.Options{})
+	engine := orchestration.New(orchestration.Config{
+		Keys: keys.NewManager(nodes[0]),
+		Net:  hub.Endpoint(1),
+	})
+	srv := httptest.NewServer(NewServer(engine, nodes[0]))
+	t.Cleanup(srv.Close)
+	t.Cleanup(engine.Stop)
+	t.Cleanup(hub.Close)
+	return client.New(srv.URL)
+}
+
+func TestV2SignThroughSDK(t *testing.T) {
+	clients, nodes, _ := testServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	msg := []byte("v2 signature")
+	h, err := clients[1].Submit(ctx, protocols.Request{
+		Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: msg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clients[1].Wait(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	sig, err := bls04.UnmarshalSignature(res.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bls04.Verify(nodes[0].BLS04PK, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	// Any node serves the result of the shared instance.
+	res2, err := clients[3].Wait(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2.Value) != string(res.Value) {
+		t.Fatal("nodes disagree on result")
+	}
+}
+
+func TestV2InfoThroughSDK(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	info, err := clients[2].Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NodeIndex != 3 || info.N != 4 || info.T != 1 || len(info.Schemes) != 3 {
+		t.Fatalf("unexpected info: %+v", info)
+	}
+}
+
+func TestV2UnknownSchemeThroughSDK(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	_, err := clients[0].Submit(context.Background(), protocols.Request{
+		Scheme: "NOPE", Op: protocols.OpSign, Payload: []byte("x"),
+	})
+	if api.CodeOf(err) != api.CodeSchemeUnknown {
+		t.Fatalf("want %s, got %v (code %s)", api.CodeSchemeUnknown, err, api.CodeOf(err))
+	}
+}
+
+func TestV2UnknownOpThroughSDK(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	_, err := clients[0].Submit(context.Background(), protocols.Request{
+		Scheme: schemes.BLS04, Op: protocols.Operation(9), Payload: []byte("x"),
+	})
+	if api.CodeOf(err) != api.CodeOpUnknown {
+		t.Fatalf("want %s, got %v (code %s)", api.CodeOpUnknown, err, api.CodeOf(err))
+	}
+}
+
+// postRaw sends a raw body to a v2 endpoint and decodes the structured
+// error envelope.
+func postRaw(t *testing.T, url, body string) (int, *api.Error) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 {
+		return resp.StatusCode, nil
+	}
+	var envelope api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("non-2xx response without structured error: %v", err)
+	}
+	return resp.StatusCode, envelope.Error
+}
+
+func TestV2MalformedJSON(t *testing.T) {
+	_, _, counters := testServiceV2(t)
+	srv := httptest.NewServer(counters[0])
+	t.Cleanup(srv.Close)
+	status, e := postRaw(t, srv.URL+"/v2/protocol/submit", "{not json")
+	if status != http.StatusBadRequest || e == nil || e.Code != api.CodeBadRequest {
+		t.Fatalf("status %d error %+v", status, e)
+	}
+	status, e = postRaw(t, srv.URL+"/v2/scheme/encrypt", "[]")
+	if status != http.StatusBadRequest || e == nil || e.Code != api.CodeBadRequest {
+		t.Fatalf("status %d error %+v", status, e)
+	}
+}
+
+func TestV2EmptyBatch(t *testing.T) {
+	_, _, counters := testServiceV2(t)
+	srv := httptest.NewServer(counters[0])
+	t.Cleanup(srv.Close)
+	status, e := postRaw(t, srv.URL+"/v2/protocol/submit", `{"requests":[]}`)
+	if status != http.StatusBadRequest || e == nil || e.Code != api.CodeBadRequest {
+		t.Fatalf("status %d error %+v", status, e)
+	}
+}
+
+func TestV2EncryptErrors(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	ctx := context.Background()
+	// BZ03 is a cipher, but this deployment dealt no BZ03 keys.
+	_, err := clients[0].Encrypt(ctx, schemes.BZ03, []byte("x"), nil)
+	if api.CodeOf(err) != api.CodeSchemeNoKeys {
+		t.Fatalf("want %s, got %v", api.CodeSchemeNoKeys, err)
+	}
+	// BLS04 exists but does not encrypt.
+	_, err = clients[0].Encrypt(ctx, schemes.BLS04, []byte("x"), nil)
+	if api.CodeOf(err) != api.CodeSchemeNotCipher {
+		t.Fatalf("want %s, got %v", api.CodeSchemeNotCipher, err)
+	}
+	// Unknown scheme.
+	_, err = clients[0].Encrypt(ctx, "NOPE", []byte("x"), nil)
+	if api.CodeOf(err) != api.CodeSchemeUnknown {
+		t.Fatalf("want %s, got %v", api.CodeSchemeUnknown, err)
+	}
+}
+
+func TestV2IdempotentDuplicateSubmit(t *testing.T) {
+	clients, _, counters := testServiceV2(t)
+	srv := httptest.NewServer(counters[0])
+	t.Cleanup(srv.Close)
+	body := `{"requests":[{"scheme":"CKS05","op":"coin","payload":"ZHVw","session":"dup-1"}]}`
+
+	resp1, err := http.Post(srv.URL+"/v2/protocol/submit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1 api.SubmitBatchResponse
+	if err := json.NewDecoder(resp1.Body).Decode(&out1); err != nil {
+		t.Fatal(err)
+	}
+	resp1.Body.Close()
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp1.StatusCode)
+	}
+	if len(out1.Results) != 1 || out1.Results[0].Duplicate || out1.Results[0].InstanceID == "" {
+		t.Fatalf("first submit: %+v", out1.Results)
+	}
+
+	// Identical re-submission: 200, same handle, flagged duplicate.
+	resp2, err := http.Post(srv.URL+"/v2/protocol/submit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 api.SubmitBatchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate submit: status %d", resp2.StatusCode)
+	}
+	if !out2.Results[0].Duplicate || out2.Results[0].InstanceID != out1.Results[0].InstanceID {
+		t.Fatalf("duplicate submit: %+v", out2.Results)
+	}
+
+	// The SDK surfaces the same flag, and the duplicate still resolves
+	// to the shared instance's result.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req := protocols.Request{
+		Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("dup"), Session: "dup-1",
+	}
+	entries, err := clients[0].SubmitDetailed(ctx, []protocols.Request{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entries[0].Duplicate {
+		t.Fatalf("SDK re-submission not flagged duplicate: %+v", entries[0])
+	}
+	res, err := clients[0].Wait(ctx, api.Handle{InstanceID: entries[0].InstanceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || len(res.Value) == 0 {
+		t.Fatalf("duplicate instance result: %+v", res)
+	}
+}
+
+func TestV2WaitContextDeadline(t *testing.T) {
+	cl := partialServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// The deployment has one live node of four: no quorum, no result.
+	h, err := cl.Submit(ctx, protocols.Request{
+		Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("never finishes"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer waitCancel()
+	start := time.Now()
+	_, err = cl.Wait(waitCtx, h)
+	if err == nil {
+		t.Fatal("wait on quorum-less instance succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && api.CodeOf(err) != api.CodeTimeout {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait did not respect deadline: %v", elapsed)
+	}
+}
+
+func TestV2PerRequestDeadline(t *testing.T) {
+	cl := partialServiceV2(t)
+	// The submit context's deadline becomes the per-request deadline on
+	// the server (timeout_ms).
+	submitCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	h, err := cl.Submit(submitCtx, protocols.Request{
+		Scheme: schemes.BLS04, Op: protocols.OpSign, Payload: []byte("deadline-bound"),
+	})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waiting with a generous context still resolves at the request's
+	// own deadline, as a structured timeout inside the result.
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	res, err := cl.Wait(waitCtx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if api.CodeOf(res.Err) != api.CodeTimeout {
+		t.Fatalf("want %s inside result, got %+v", api.CodeTimeout, res)
+	}
+}
+
+// TestV2BatchFewerRoundTrips is the acceptance benchmark: a batch of 32
+// requests over HTTP completes with fewer round-trips than 32
+// sequential v1 submit+poll cycles.
+func TestV2BatchFewerRoundTrips(t *testing.T) {
+	_, _, counters := testServiceV2(t)
+	srv := httptest.NewServer(counters[0])
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const batchSize = 32
+
+	// v1: one POST per submit, one GET per result.
+	v1 := NewClient(srv.URL)
+	before := counters[0].n.Load()
+	for i := 0; i < batchSize; i++ {
+		id, err := v1.Submit(schemes.CKS05, "coin", fmt.Sprintf("v1-%d", i), []byte("rt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v1.WaitResult(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1Trips := counters[0].n.Load() - before
+
+	// v2: the whole batch in one POST, all results over one SSE stream.
+	v2 := client.New(srv.URL)
+	reqs := make([]protocols.Request, batchSize)
+	for i := range reqs {
+		reqs[i] = protocols.Request{
+			Scheme: schemes.CKS05, Op: protocols.OpCoin,
+			Payload: []byte("rt"), Session: fmt.Sprintf("v2-%d", i),
+		}
+	}
+	before = counters[0].n.Load()
+	hs, err := v2.SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := v2.WaitBatch(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Trips := counters[0].n.Load() - before
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch request %d failed: %v", i, res.Err)
+		}
+		if res.InstanceID != hs[i].InstanceID {
+			t.Fatalf("result %d out of order: %s != %s", i, res.InstanceID, hs[i].InstanceID)
+		}
+		if len(res.Value) == 0 {
+			t.Fatalf("batch request %d: empty coin", i)
+		}
+	}
+	if v2Trips >= v1Trips {
+		t.Fatalf("batch used %d round-trips, sequential v1 used %d", v2Trips, v1Trips)
+	}
+	if v2Trips > 4 {
+		t.Fatalf("batch of %d took %d round-trips, want a handful", batchSize, v2Trips)
+	}
+	t.Logf("round-trips: v1 sequential=%d, v2 batch=%d", v1Trips, v2Trips)
+	if v2.RoundTrips() != v2Trips {
+		t.Fatalf("client round-trip counter %d disagrees with server count %d", v2.RoundTrips(), v2Trips)
+	}
+}
+
+// TestV2StreamDeliversAsInstancesFinish exercises the SSE path with
+// results arriving over a single connection.
+func TestV2SSEStream(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reqs := make([]protocols.Request, 5)
+	for i := range reqs {
+		reqs[i] = protocols.Request{
+			Scheme: schemes.CKS05, Op: protocols.OpCoin,
+			Payload: []byte("sse"), Session: fmt.Sprintf("sse-%d", i),
+		}
+	}
+	hs, err := clients[2].SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := clients[2].WaitBatch(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(hs) {
+		t.Fatalf("got %d results for %d handles", len(results), len(hs))
+	}
+	for i, res := range results {
+		if res.Err != nil || len(res.Value) == 0 {
+			t.Fatalf("stream result %d: %+v", i, res)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package thetacrypt_test
+
+// Conformance: the same application code runs against every Service
+// implementation — the embedded Cluster and the remote client SDK over
+// the /v2 HTTP endpoints — exercising submit, wait, batch, idempotent
+// re-submission, the scheme API, and structured errors identically.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"thetacrypt"
+	"thetacrypt/api"
+	"thetacrypt/client"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/service"
+)
+
+// remoteService stands up a 4-node Θ-network with HTTP front ends and
+// returns the SDK client of node 1.
+func remoteService(t *testing.T) thetacrypt.Service {
+	t.Helper()
+	const tt, n = 1, 4
+	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		Schemes: []schemes.ID{schemes.SG02, schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := memnet.NewHub(n, memnet.Options{})
+	var first thetacrypt.Service
+	for i := 0; i < n; i++ {
+		engine := orchestration.New(orchestration.Config{
+			Keys: keys.NewManager(nodes[i]),
+			Net:  hub.Endpoint(i + 1),
+		})
+		srv := httptest.NewServer(service.NewServer(engine, nodes[i]))
+		if i == 0 {
+			first = client.New(srv.URL)
+		}
+		t.Cleanup(srv.Close)
+		t.Cleanup(engine.Stop)
+	}
+	t.Cleanup(hub.Close)
+	return first
+}
+
+func embeddedService(t *testing.T) thetacrypt.Service {
+	t.Helper()
+	cluster, err := thetacrypt.NewCluster(1, 4, thetacrypt.ClusterOptions{
+		Schemes: []thetacrypt.SchemeID{thetacrypt.SG02, thetacrypt.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster
+}
+
+// exercise is the application code written once against the interface.
+func exercise(t *testing.T, svc thetacrypt.Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := svc.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 4 || info.T != 1 || len(info.Schemes) != 2 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	// Scheme API + protocol API round-trip.
+	secret := []byte("interface-portable secret")
+	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, secret, []byte("L"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := thetacrypt.Execute(ctx, svc, thetacrypt.Request{
+		Scheme: thetacrypt.SG02, Op: thetacrypt.OpDecrypt, Payload: ct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != string(secret) {
+		t.Fatalf("decrypted %q", plain)
+	}
+
+	// Batch submission with order-preserving results.
+	reqs := make([]thetacrypt.Request, 6)
+	for i := range reqs {
+		reqs[i] = thetacrypt.Request{
+			Scheme: thetacrypt.CKS05, Op: thetacrypt.OpCoin,
+			Payload: []byte(fmt.Sprintf("conf-coin-%d", i)),
+		}
+	}
+	hs, err := svc.SubmitBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := api.WaitAll(ctx, svc, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil || len(res.Value) == 0 {
+			t.Fatalf("batch result %d: %+v", i, res)
+		}
+		if res.InstanceID != hs[i].InstanceID {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+
+	// Idempotent re-submission: the same request yields the same handle
+	// and resolves to the same finished result.
+	again, err := svc.Submit(ctx, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.InstanceID != hs[0].InstanceID {
+		t.Fatalf("re-submission changed handles: %s != %s", again.InstanceID, hs[0].InstanceID)
+	}
+	res, err := svc.Wait(ctx, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || string(res.Value) != string(results[0].Value) {
+		t.Fatalf("re-submission diverged: %+v", res)
+	}
+
+	// Structured errors carry the same codes on every implementation.
+	if _, err := svc.Submit(ctx, thetacrypt.Request{
+		Scheme: "NOPE", Op: thetacrypt.OpSign, Payload: []byte("x"),
+	}); api.CodeOf(err) != api.CodeSchemeUnknown {
+		t.Fatalf("unknown scheme: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := svc.Encrypt(ctx, thetacrypt.CKS05, []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNotCipher {
+		t.Fatalf("non-cipher encrypt: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := svc.Encrypt(ctx, thetacrypt.BZ03, []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNoKeys {
+		t.Fatalf("no-keys encrypt: got %v (code %s)", err, api.CodeOf(err))
+	}
+}
+
+func TestServiceConformanceEmbedded(t *testing.T) {
+	exercise(t, embeddedService(t))
+}
+
+func TestServiceConformanceRemote(t *testing.T) {
+	exercise(t, remoteService(t))
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"thetacrypt/api"
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network/memnet"
@@ -31,7 +32,7 @@ import (
 	"thetacrypt/internal/service"
 )
 
-// Re-exported request vocabulary.
+// Re-exported request vocabulary (API v2; see package api).
 type (
 	// Request is a threshold operation request.
 	Request = protocols.Request
@@ -39,13 +40,33 @@ type (
 	Operation = protocols.Operation
 	// SchemeID identifies one of the six schemes.
 	SchemeID = schemes.ID
+	// Service is the one client-facing interface over every deployment
+	// style: Cluster and Node here, client.Client for remote access.
+	Service = api.Service
+	// Handle identifies a submitted protocol instance.
+	Handle = api.Handle
 	// Result is a finished operation's outcome.
-	Result = orchestration.Result
-	// Future resolves to a Result.
+	Result = api.Result
+	// ServiceInfo describes a deployment endpoint.
+	ServiceInfo = api.Info
+	// Future resolves to a raw engine result (embedded deployments
+	// only; the Service interface uses Wait).
 	Future = orchestration.Future
 	// NodeKeys is the per-node key material produced by the dealer.
 	NodeKeys = keys.NodeKeys
 )
+
+// Execute submits one request against any Service and waits for its
+// value.
+func Execute(ctx context.Context, s Service, req Request) ([]byte, error) {
+	return api.Execute(ctx, s, req)
+}
+
+// ExecuteBatch submits a batch against any Service and waits for all
+// results, in request order.
+func ExecuteBatch(ctx context.Context, s Service, reqs []Request) ([]Result, error) {
+	return api.ExecuteBatch(ctx, s, reqs)
+}
 
 // Operations.
 const (
@@ -123,46 +144,123 @@ func (c *Cluster) N() int { return len(c.nodes) }
 // as the scheme API.
 func (c *Cluster) Keys(i int) *NodeKeys { return c.nodes[i-1] }
 
-// Submit starts a threshold operation at node i (1-indexed).
-func (c *Cluster) Submit(ctx context.Context, i int, req Request) (*Future, error) {
+// Cluster implements the unified Service interface.
+var _ Service = (*Cluster)(nil)
+
+// SubmitAt starts a threshold operation at node i (1-indexed) and
+// returns its raw engine future — embedded-only access for tests and
+// fault-injection scenarios. Applications use the Service methods.
+func (c *Cluster) SubmitAt(ctx context.Context, i int, req Request) (*Future, error) {
+	if e := api.ValidateRequest(req); e != nil {
+		return nil, e
+	}
 	return c.engines[i-1].Submit(ctx, req)
+}
+
+// Submit starts a threshold operation at node 1 (Service interface).
+func (c *Cluster) Submit(ctx context.Context, req Request) (Handle, error) {
+	if e := api.ValidateRequest(req); e != nil {
+		return Handle{}, e
+	}
+	if _, err := c.engines[0].Submit(ctx, req); err != nil {
+		return Handle{}, err
+	}
+	return Handle{InstanceID: req.InstanceID()}, nil
+}
+
+// SubmitBatch starts 1..N operations with a single engine hand-off,
+// amortizing dispatch across the batch. Invalid requests fail the whole
+// call (the engine is never reached).
+func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
+	for i, req := range reqs {
+		if e := api.ValidateRequest(req); e != nil {
+			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e)
+		}
+	}
+	subs, err := c.engines[0].SubmitBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]Handle, len(subs))
+	for i, sub := range subs {
+		hs[i] = Handle{InstanceID: sub.InstanceID}
+	}
+	return hs, nil
+}
+
+// Wait blocks until the instance finishes or ctx expires.
+func (c *Cluster) Wait(ctx context.Context, h Handle) (Result, error) {
+	res, err := c.engines[0].Attach(h.InstanceID).Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return toAPIResult(h.InstanceID, res), nil
 }
 
 // Execute submits at node 1 and waits for the result.
 func (c *Cluster) Execute(ctx context.Context, req Request) ([]byte, error) {
-	f, err := c.Submit(ctx, 1, req)
-	if err != nil {
-		return nil, err
-	}
-	res, err := f.Wait(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if res.Err != nil {
-		return nil, res.Err
-	}
-	return res.Value, nil
+	return api.Execute(ctx, c, req)
 }
 
 // Encrypt creates a threshold ciphertext under the cluster's public key
 // (scheme API; SG02 or BZ03).
-func (c *Cluster) Encrypt(scheme SchemeID, message, label []byte) ([]byte, error) {
+func (c *Cluster) Encrypt(_ context.Context, scheme SchemeID, message, label []byte) ([]byte, error) {
+	return encryptLocal(c.nodes[0], scheme, message, label)
+}
+
+// Info reports the deployment parameters (Service interface).
+func (c *Cluster) Info(context.Context) (ServiceInfo, error) {
+	return keysInfo(c.nodes[0]), nil
+}
+
+// toAPIResult converts an engine result into the client-facing shape.
+func toAPIResult(id string, res orchestration.Result) Result {
+	out := Result{InstanceID: id, Value: res.Value, Err: res.Err}
+	if !res.Started.IsZero() && !res.Finished.IsZero() {
+		out.ServerLatency = res.Finished.Sub(res.Started)
+	}
+	return out
+}
+
+// encryptLocal is the scheme API's local encryption against a node's
+// public key material, shared by Cluster and Node.
+func encryptLocal(nk *NodeKeys, scheme SchemeID, message, label []byte) ([]byte, error) {
+	if _, err := schemes.Lookup(scheme); err != nil {
+		return nil, api.Errf(api.CodeSchemeUnknown, "%v", err)
+	}
 	switch scheme {
 	case SG02:
-		ct, err := sg02.Encrypt(rand.Reader, c.nodes[0].SG02PK, message, label)
+		if nk.SG02PK == nil {
+			return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
+		}
+		ct, err := sg02.Encrypt(rand.Reader, nk.SG02PK, message, label)
 		if err != nil {
 			return nil, err
 		}
 		return ct.Marshal(), nil
 	case BZ03:
-		ct, err := bz03.Encrypt(rand.Reader, c.nodes[0].BZ03PK, message, label)
+		if nk.BZ03PK == nil {
+			return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
+		}
+		ct, err := bz03.Encrypt(rand.Reader, nk.BZ03PK, message, label)
 		if err != nil {
 			return nil, err
 		}
 		return ct.Marshal(), nil
 	default:
-		return nil, fmt.Errorf("thetacrypt: scheme %q is not a cipher", scheme)
+		return nil, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", scheme)
 	}
+}
+
+// keysInfo derives the Service info from key material.
+func keysInfo(nk *NodeKeys) ServiceInfo {
+	info := ServiceInfo{NodeIndex: nk.Index, N: nk.N, T: nk.T}
+	for _, id := range schemes.All() {
+		if nk.Has(id) {
+			info.Schemes = append(info.Schemes, id)
+		}
+	}
+	return info
 }
 
 // DefaultGroup returns the group used by the DL-based schemes.
@@ -183,6 +281,7 @@ type Node struct {
 	engine    *orchestration.Engine
 	transport *tcpnet.Transport
 	handler   *service.Server
+	keys      *NodeKeys
 }
 
 // NewNode starts the network transport and orchestration engine.
@@ -203,15 +302,65 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		engine:    engine,
 		transport: transport,
 		handler:   service.NewServer(engine, cfg.Keys),
+		keys:      cfg.Keys,
 	}, nil
 }
 
-// Handler returns the HTTP handler of the service layer.
+// Node implements the unified Service interface for in-process use by
+// the hosting application; remote applications reach the same surface
+// through Handler's /v2 endpoints and the client SDK.
+var _ Service = (*Node)(nil)
+
+// Handler returns the HTTP handler of the service layer (/v1 and /v2).
 func (n *Node) Handler() *service.Server { return n.handler }
 
-// Submit starts a threshold operation locally.
-func (n *Node) Submit(ctx context.Context, req Request) (*Future, error) {
-	return n.engine.Submit(ctx, req)
+// Submit starts a threshold operation locally (Service interface).
+func (n *Node) Submit(ctx context.Context, req Request) (Handle, error) {
+	if e := api.ValidateRequest(req); e != nil {
+		return Handle{}, e
+	}
+	if _, err := n.engine.Submit(ctx, req); err != nil {
+		return Handle{}, err
+	}
+	return Handle{InstanceID: req.InstanceID()}, nil
+}
+
+// SubmitBatch starts 1..N operations with a single engine hand-off.
+func (n *Node) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
+	for i, req := range reqs {
+		if e := api.ValidateRequest(req); e != nil {
+			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e)
+		}
+	}
+	subs, err := n.engine.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]Handle, len(subs))
+	for i, sub := range subs {
+		hs[i] = Handle{InstanceID: sub.InstanceID}
+	}
+	return hs, nil
+}
+
+// Wait blocks until the instance finishes or ctx expires.
+func (n *Node) Wait(ctx context.Context, h Handle) (Result, error) {
+	res, err := n.engine.Attach(h.InstanceID).Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return toAPIResult(h.InstanceID, res), nil
+}
+
+// Encrypt creates a threshold ciphertext under the deployment's public
+// key (scheme API).
+func (n *Node) Encrypt(_ context.Context, scheme SchemeID, message, label []byte) ([]byte, error) {
+	return encryptLocal(n.keys, scheme, message, label)
+}
+
+// Info reports the deployment parameters (Service interface).
+func (n *Node) Info(context.Context) (ServiceInfo, error) {
+	return keysInfo(n.keys), nil
 }
 
 // Close stops the node.
