@@ -52,6 +52,23 @@ type Info struct {
 	N, T int
 	// Schemes lists the schemes with dealt key material.
 	Schemes []schemes.ID
+	// Stats is the answering node's engine snapshot (lifecycle and
+	// flow control); nil when the endpoint predates API v2.1.
+	Stats *EngineStats
+}
+
+// EngineStats is a node's orchestration-engine snapshot: the instance
+// lifecycle (live/finished/evicted) and flow control (queue depth,
+// overload rejections, rejected shares) counters, served inline with
+// /v2/info. Field meanings match orchestration.Stats.
+type EngineStats struct {
+	Live           int    `json:"live"`
+	Finished       int    `json:"finished"`
+	Evicted        uint64 `json:"evicted"`
+	QueueDepth     int    `json:"queue_depth"`
+	QueueCap       int    `json:"queue_cap"`
+	RejectedShares uint64 `json:"rejected_shares"`
+	Overloaded     uint64 `json:"overloaded"`
 }
 
 // Service is the one client-facing interface over every deployment

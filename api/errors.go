@@ -36,9 +36,18 @@ const (
 	// CodeTimeout flags a per-request deadline or wait deadline that
 	// expired before the instance finished.
 	CodeTimeout Code = "timeout"
+	// CodeOverloaded flags a node whose engine queue is saturated: the
+	// request was not admitted and had no effect. Transported as HTTP
+	// 429; the client SDK retries these with exponential backoff.
+	CodeOverloaded Code = "overloaded"
+	// CodeExpired flags an instance whose result passed the node's
+	// retention window and was evicted. Re-submitting the request
+	// starts a fresh instance.
+	CodeExpired Code = "expired"
 	// CodeNotFound flags an unknown instance or route.
 	CodeNotFound Code = "not_found"
-	// CodeUnavailable flags a node that is shutting down or overloaded.
+	// CodeUnavailable flags a node that is shutting down or otherwise
+	// unable to serve (overload has its own CodeOverloaded).
 	CodeUnavailable Code = "unavailable"
 	// CodeInternal flags any other server-side failure.
 	CodeInternal Code = "internal"
@@ -85,6 +94,10 @@ func HTTPStatus(code Code) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeExpired:
+		return http.StatusGone
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:

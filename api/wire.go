@@ -3,11 +3,26 @@ package api
 import (
 	"time"
 
+	"thetacrypt/internal/orchestration"
 	"thetacrypt/internal/protocols"
 	"thetacrypt/internal/schemes"
 )
 
 func msToDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// EngineStatsOf converts an engine snapshot into the wire shape, shared
+// by the HTTP service layer and the embedded deployments.
+func EngineStatsOf(st orchestration.Stats) *EngineStats {
+	return &EngineStats{
+		Live:           st.Live,
+		Finished:       st.Finished,
+		Evicted:        st.Evicted,
+		QueueDepth:     st.QueueDepth,
+		QueueCap:       st.QueueCap,
+		RejectedShares: st.RejectedShares,
+		Overloaded:     st.Overloaded,
+	}
+}
 
 // The /v2 endpoints and their JSON wire types. All payload byte fields
 // are standard-library base64 (encoding/json []byte encoding).
@@ -130,13 +145,14 @@ type EncryptResponse struct {
 	Ciphertext []byte `json:"ciphertext"`
 }
 
-// InfoResponse describes the node and its schemes.
+// InfoResponse describes the node, its schemes, and its engine stats.
 type InfoResponse struct {
-	APIVersion int      `json:"api_version"`
-	NodeIndex  int      `json:"node_index"`
-	N          int      `json:"n"`
-	T          int      `json:"t"`
-	Schemes    []string `json:"schemes"`
+	APIVersion int          `json:"api_version"`
+	NodeIndex  int          `json:"node_index"`
+	N          int          `json:"n"`
+	T          int          `json:"t"`
+	Schemes    []string     `json:"schemes"`
+	Stats      *EngineStats `json:"stats,omitempty"`
 }
 
 // Info converts the wire form into the typed info.
@@ -145,7 +161,7 @@ func (ir InfoResponse) Info() Info {
 	for i, s := range ir.Schemes {
 		ids[i] = schemes.ID(s)
 	}
-	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids}
+	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids, Stats: ir.Stats}
 }
 
 // ErrorResponse is the body of every non-2xx v2 response.

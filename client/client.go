@@ -29,6 +29,15 @@ import (
 // round-trip when the caller's context does not impose a tighter one.
 const pollWindow = 30 * time.Second
 
+// Overload retry defaults: a submission rejected with HTTP 429
+// (api.CodeOverloaded) is retried with exponential backoff, since the
+// server guarantees a rejected submission had no effect.
+const (
+	defaultRetryAttempts = 4
+	defaultRetryBase     = 50 * time.Millisecond
+	maxRetryDelay        = 2 * time.Second
+)
+
 // Option configures a Client.
 type Option func(*Client)
 
@@ -39,12 +48,25 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetry tunes the overload retry policy: up to attempts re-issues
+// of a submission rejected with api.CodeOverloaded, starting at base
+// delay and doubling per attempt. attempts = 0 disables retries and
+// surfaces the 429 to the caller.
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		c.retryAttempts = attempts
+		c.retryBase = base
+	}
+}
+
 // Client talks to one node's service layer, e.g.
 // client.New("http://127.0.0.1:8081").
 type Client struct {
-	base  string
-	hc    *http.Client
-	trips atomic.Int64
+	base          string
+	hc            *http.Client
+	retryAttempts int
+	retryBase     time.Duration
+	trips         atomic.Int64
 }
 
 // New targets a node's service endpoint.
@@ -53,12 +75,37 @@ func New(base string, opts ...Option) *Client {
 		base: strings.TrimRight(base, "/"),
 		// No global timeout: waits are bounded by contexts and the
 		// server's poll window, not by a transport-wide cutoff.
-		hc: &http.Client{},
+		hc:            &http.Client{},
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
+}
+
+// retryOverload runs fn, re-issuing it with exponential backoff while
+// it fails with api.CodeOverloaded (the server sheds load before any
+// state is created, so the re-issue is safe). Any other outcome is
+// returned as is.
+func (c *Client) retryOverload(ctx context.Context, fn func() error) error {
+	delay := c.retryBase
+	if delay <= 0 {
+		delay = defaultRetryBase
+	}
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || api.CodeOf(err) != api.CodeOverloaded || attempt >= c.retryAttempts {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		delay = min(2*delay, maxRetryDelay)
+	}
 }
 
 var (
@@ -126,10 +173,15 @@ func items(ctx context.Context, reqs []protocols.Request) []api.SubmitItem {
 
 // SubmitDetailed submits a batch and returns the raw per-item entries,
 // including idempotent-duplicate flags and per-item errors. Most
-// callers use Submit or SubmitBatch.
+// callers use Submit or SubmitBatch. An overloaded node (HTTP 429) is
+// retried with backoff per the client's retry policy before the error
+// surfaces.
 func (c *Client) SubmitDetailed(ctx context.Context, reqs []protocols.Request) ([]api.SubmitEntry, error) {
 	var out api.SubmitBatchResponse
-	err := c.postJSON(ctx, "/v2/protocol/submit", api.SubmitBatchRequest{Requests: items(ctx, reqs)}, &out)
+	err := c.retryOverload(ctx, func() error {
+		out = api.SubmitBatchResponse{}
+		return c.postJSON(ctx, "/v2/protocol/submit", api.SubmitBatchRequest{Requests: items(ctx, reqs)}, &out)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,117 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thetacrypt/api"
+	"thetacrypt/client"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+// overloadedThen answers the first n submissions with HTTP 429 and the
+// structured overloaded code, then accepts.
+func overloadedThen(n int32, calls *atomic.Int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if calls.Add(1) <= n {
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{
+				Error: api.Errf(api.CodeOverloaded, "event queue full"),
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.SubmitBatchResponse{
+			Results: []api.SubmitEntry{{InstanceID: "inst-1"}},
+		})
+	})
+}
+
+func req() protocols.Request {
+	return protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("x")}
+}
+
+// TestSubmitRetriesOverload: the SDK re-issues a 429'd submission with
+// backoff until the node admits it.
+func TestSubmitRetriesOverload(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(overloadedThen(2, &calls))
+	t.Cleanup(srv.Close)
+	cl := client.New(srv.URL, client.WithRetry(4, time.Millisecond))
+
+	h, err := cl.Submit(context.Background(), req())
+	if err != nil {
+		t.Fatalf("submit with retry: %v", err)
+	}
+	if h.InstanceID != "inst-1" {
+		t.Fatalf("handle %+v", h)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d submissions, want 3 (2 rejected + 1 admitted)", got)
+	}
+	if cl.RoundTrips() != 3 {
+		t.Fatalf("round-trip counter %d, want 3", cl.RoundTrips())
+	}
+}
+
+// TestSubmitRetryDisabledSurfaces429: attempts=0 turns the policy off
+// and the structured overloaded error reaches the caller on the first
+// rejection.
+func TestSubmitRetryDisabledSurfaces429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(overloadedThen(100, &calls))
+	t.Cleanup(srv.Close)
+	cl := client.New(srv.URL, client.WithRetry(0, 0))
+
+	_, err := cl.Submit(context.Background(), req())
+	if api.CodeOf(err) != api.CodeOverloaded {
+		t.Fatalf("got %v (code %s), want %s", err, api.CodeOf(err), api.CodeOverloaded)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d submissions, want exactly 1", calls.Load())
+	}
+}
+
+// TestSubmitRetryExhaustion: a persistently overloaded node surfaces
+// the overloaded error after the configured attempts, not an infinite
+// loop.
+func TestSubmitRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(overloadedThen(100, &calls))
+	t.Cleanup(srv.Close)
+	cl := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+
+	_, err := cl.Submit(context.Background(), req())
+	if api.CodeOf(err) != api.CodeOverloaded {
+		t.Fatalf("got %v, want overloaded after exhaustion", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("server saw %d submissions, want 4 (1 + 3 retries)", calls.Load())
+	}
+}
+
+// TestSubmitRetryHonorsContext: cancellation during backoff wins over
+// further retries.
+func TestSubmitRetryHonorsContext(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(overloadedThen(100, &calls))
+	t.Cleanup(srv.Close)
+	cl := client.New(srv.URL, client.WithRetry(10, 50*time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Submit(ctx, req())
+	if err == nil {
+		t.Fatal("submit succeeded against an always-overloaded node")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("retry loop outlived its context")
+	}
+}

@@ -34,6 +34,10 @@ func run() error {
 		peersPath = flag.String("peers", "", "path to the peers file (index addr per line)")
 		listen    = flag.String("listen", ":7001", "P2P listen address")
 		httpAddr  = flag.String("http", ":8081", "service-layer HTTP listen address")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = default 1)")
+		queueLen  = flag.Int("queue", 0, "engine event-queue length; a full queue answers HTTP 429 (0 = default 4096)")
+		retainTTL = flag.Duration("retain-ttl", 0, "how long finished results stay retrievable (0 = default 2m)")
+		retainMax = flag.Int("retain-max", 0, "max finished results retained, oldest evicted first (0 = default 4096)")
 	)
 	flag.Parse()
 	if *keyPath == "" || *peersPath == "" {
@@ -55,6 +59,12 @@ func run() error {
 		Keys:       nk,
 		ListenAddr: *listen,
 		Peers:      peers,
+		Engine: thetacrypt.EngineOptions{
+			Workers:   *workers,
+			QueueLen:  *queueLen,
+			RetainTTL: *retainTTL,
+			RetainMax: *retainMax,
+		},
 	})
 	if err != nil {
 		return err
@@ -64,7 +74,9 @@ func run() error {
 	srv := &http.Server{Addr: *httpAddr, Handler: node.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("node %d up: p2p %s, http %s, n=%d t=%d\n", nk.Index, *listen, *httpAddr, nk.N, nk.T)
+	st := node.Stats()
+	fmt.Printf("node %d up: p2p %s, http %s, n=%d t=%d, queue=%d, retention: see /v2/info stats\n",
+		nk.Index, *listen, *httpAddr, nk.N, nk.T, st.QueueCap)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -41,12 +41,23 @@ type Transport struct {
 	ln  net.Listener
 	in  chan network.Envelope
 
+	// mu guards the connection and peer tables only; it is never held
+	// across a socket write, so one stalled peer cannot block sends to
+	// the others (writes serialize per connection via peerConn.mu).
 	mu      sync.Mutex
-	conns   map[int]net.Conn
+	conns   map[int]*peerConn
 	inbound []net.Conn
 	done    sync.WaitGroup
 	stop    chan struct{}
 	close   sync.Once
+}
+
+// peerConn is one outbound connection with its write lock: frames to
+// the same peer are serialized, frames to different peers proceed in
+// parallel.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 var _ network.P2P = (*Transport)(nil)
@@ -71,7 +82,7 @@ func New(cfg Config) (*Transport, error) {
 		cfg:   cfg,
 		ln:    ln,
 		in:    make(chan network.Envelope, cfg.QueueLen),
-		conns: make(map[int]net.Conn),
+		conns: make(map[int]*peerConn),
 		stop:  make(chan struct{}),
 	}
 	t.done.Add(1)
@@ -146,11 +157,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 
 // connTo returns (dialing if necessary) the outbound connection to a
 // peer.
-func (t *Transport) connTo(ctx context.Context, to int) (net.Conn, error) {
+func (t *Transport) connTo(ctx context.Context, to int) (*peerConn, error) {
 	t.mu.Lock()
-	if c, ok := t.conns[to]; ok {
+	if pc, ok := t.conns[to]; ok {
 		t.mu.Unlock()
-		return c, nil
+		return pc, nil
 	}
 	t.mu.Unlock()
 
@@ -168,9 +179,10 @@ func (t *Transport) connTo(ctx context.Context, to int) (net.Conn, error) {
 				_ = conn.Close()
 				return existing, nil
 			}
-			t.conns[to] = conn
+			pc := &peerConn{conn: conn}
+			t.conns[to] = pc
 			t.mu.Unlock()
-			return conn, nil
+			return pc, nil
 		}
 		select {
 		case <-time.After(t.cfg.DialRetry):
@@ -187,33 +199,51 @@ func (t *Transport) connTo(ctx context.Context, to int) (net.Conn, error) {
 func (t *Transport) Send(ctx context.Context, to int, env network.Envelope) error {
 	env.From = t.cfg.Self
 	env.To = to
-	frame := env.Marshal()
+	return t.sendFrame(ctx, to, env.Marshal())
+}
+
+// sendFrame writes one pre-marshaled frame to a peer. Only the
+// per-connection lock is held across the (possibly blocking) socket
+// write, so a stalled peer delays its own frames and nothing else.
+func (t *Transport) sendFrame(ctx context.Context, to int, frame []byte) error {
 	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := t.connTo(ctx, to)
+		pc, err := t.connTo(ctx, to)
 		if err != nil {
 			return err
 		}
-		t.mu.Lock()
-		err = writeFrame(conn, frame)
-		if err != nil {
-			_ = conn.Close()
-			delete(t.conns, to)
-		}
-		t.mu.Unlock()
+		pc.mu.Lock()
+		err = writeFrame(pc.conn, frame)
+		pc.mu.Unlock()
 		if err == nil {
 			return nil
 		}
+		t.dropConn(to, pc)
 	}
 	return fmt.Errorf("tcpnet: send to %d failed", to)
 }
 
+// dropConn discards a failed connection, unless a newer one already
+// replaced it.
+func (t *Transport) dropConn(to int, pc *peerConn) {
+	_ = pc.conn.Close()
+	t.mu.Lock()
+	if t.conns[to] == pc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
 // Broadcast sends to every configured peer; the first error is returned
-// after attempting all peers.
+// after attempting all peers. The envelope is marshaled once with
+// To=Broadcast (matching memnet's semantics) and the identical frame is
+// reused for every peer.
 func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
+	env.From = t.cfg.Self
 	env.To = network.Broadcast
+	frame := env.Marshal()
 	var firstErr error
 	for _, to := range t.peerIndices() {
-		if err := t.Send(ctx, to, env); err != nil && firstErr == nil {
+		if err := t.sendFrame(ctx, to, frame); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -229,8 +259,8 @@ func (t *Transport) Close() error {
 		close(t.stop)
 		_ = t.ln.Close()
 		t.mu.Lock()
-		for _, c := range t.conns {
-			_ = c.Close()
+		for _, pc := range t.conns {
+			_ = pc.conn.Close()
 		}
 		for _, c := range t.inbound {
 			_ = c.Close()

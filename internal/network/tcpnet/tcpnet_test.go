@@ -1,0 +1,166 @@
+package tcpnet_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/tcpnet"
+)
+
+// slowListener accepts connections and never reads from them, so the
+// peer's socket buffers fill and its writes stall — the profile of a
+// wedged or overloaded node.
+type slowListener struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newSlowListener(t *testing.T) *slowListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &slowListener{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+func (s *slowListener) addr() string { return s.ln.Addr().String() }
+
+func (s *slowListener) close() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+}
+
+// TestSlowPeerDoesNotBlockOtherSends: with writes serialized per
+// connection instead of under the transport-wide mutex, a peer that
+// stops reading stalls only its own frames. Before the fix, the stalled
+// writeFrame held t.mu and every other Send (and peer lookup) froze
+// behind it.
+func TestSlowPeerDoesNotBlockOtherSends(t *testing.T) {
+	t1, err := tcpnet.New(tcpnet.Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := tcpnet.New(tcpnet.Config{Self: 3, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := newSlowListener(t)
+	t1.SetPeer(2, slow.addr())
+	t1.SetPeer(3, t3.Addr())
+
+	// Wedge the link to peer 2: large frames into a peer that never
+	// reads fill the socket buffers within a few sends.
+	spamCtx, cancelSpam := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		big := network.Envelope{
+			Instance: "wedge", Kind: network.KindProto,
+			Payload: make([]byte, 1<<20),
+		}
+		for spamCtx.Err() == nil {
+			if err := t1.Send(spamCtx, 2, big); err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		cancelSpam()
+		_ = t1.Close() // closes the wedged conn, unblocking the writer
+		_ = t3.Close()
+		wg.Wait()
+		slow.close()
+	})
+	time.Sleep(300 * time.Millisecond) // let the writer fill the buffers and stall
+
+	// A send to the healthy peer must complete promptly regardless.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sent := make(chan error, 1)
+	go func() {
+		sent <- t1.Send(ctx, 3, network.Envelope{
+			Instance: "healthy", Kind: network.KindProto, Payload: []byte("hi"),
+		})
+	}()
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send to healthy peer blocked behind the stalled peer")
+	}
+	select {
+	case env := <-t3.Receive():
+		if string(env.Payload) != "hi" || env.From != 1 {
+			t.Fatalf("healthy peer received %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("healthy peer never received the envelope")
+	}
+}
+
+// TestBroadcastMarshalsOnce: Broadcast addresses the single shared
+// frame To=Broadcast (memnet semantics) rather than re-marshaling the
+// envelope per peer with a patched To.
+func TestBroadcastMarshalsOnce(t *testing.T) {
+	transports := make([]*tcpnet.Transport, 3)
+	for i := range transports {
+		tr, err := tcpnet.New(tcpnet.Config{Self: i + 1, ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		t.Cleanup(func() { _ = tr.Close() })
+	}
+	for i := range transports {
+		for j := range transports {
+			if i != j {
+				transports[i].SetPeer(j+1, transports[j].Addr())
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := transports[0].Broadcast(ctx, network.Envelope{
+		Instance: "bcast", Kind: network.KindStart, Payload: []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range transports[1:] {
+		select {
+		case env := <-tr.Receive():
+			if env.To != network.Broadcast {
+				t.Fatalf("broadcast frame addressed To=%d, want Broadcast (%d)", env.To, network.Broadcast)
+			}
+			if env.From != 1 || string(env.Payload) != "x" {
+				t.Fatalf("broadcast frame %+v", env)
+			}
+		case <-ctx.Done():
+			t.Fatal("broadcast not delivered")
+		}
+	}
+}

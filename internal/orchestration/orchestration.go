@@ -7,15 +7,38 @@
 // process events (client requests and network messages) sequentially;
 // the default of one worker models the paper's deployment, where every
 // Thetacrypt container is pinned to a single vCPU.
+//
+// The engine is built to run indefinitely under sustained load. Two
+// subsystems bound its state:
+//
+//   - Instance lifecycle: finished instances stay retrievable for a
+//     retention window (RetainTTL, capped at RetainMax instances) and
+//     are then evicted by a background sweeper or by O(1) cap
+//     enforcement at finish time. An evicted instance leaves a bounded
+//     tombstone behind, so Attach and result queries report a typed
+//     ErrExpired instead of silently recreating state, and a
+//     re-submission of the same request starts a fresh instance.
+//     Placeholders (watchers for ids this node never ran) and started
+//     instances that never finish (a quorum that never forms) expire
+//     the same way, so no path grows engine state without bound.
+//
+//   - Flow control: the event queue never blocks a submitter. When it
+//     is saturated, Submit and SubmitBatch fail fast with a typed
+//     ErrOverloaded that the service layer translates to HTTP 429 and
+//     the client SDK retries with backoff.
+//
+// Stats exposes a snapshot of both subsystems for metrics and tests.
 package orchestration
 
 import (
+	"container/list"
 	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thetacrypt/internal/keys"
@@ -27,7 +50,20 @@ import (
 var (
 	ErrStopped   = errors.New("orchestration: engine stopped")
 	ErrDuplicate = errors.New("orchestration: duplicate instance")
+	// ErrOverloaded reports that the event queue is saturated and the
+	// submission was not admitted. The request had no effect; callers
+	// retry with backoff.
+	ErrOverloaded = errors.New("orchestration: engine overloaded, event queue full")
+	// ErrExpired reports that an instance's result passed the retention
+	// window and was evicted, or that a watched instance never
+	// materialized within the window.
+	ErrExpired = errors.New("orchestration: instance expired, result evicted after retention window")
 )
+
+// maxBacklog bounds the protocol messages parked for an instance that
+// has not started on this node; beyond it, further early shares are
+// dropped (a correct peer sends at most one share per round).
+const maxBacklog = 1024
 
 // Result is the outcome of a protocol instance on this node.
 type Result struct {
@@ -69,11 +105,42 @@ type Config struct {
 	// Workers is the number of event-processing goroutines (default 1,
 	// modeling the paper's 1-vCPU pin).
 	Workers int
-	// QueueLen bounds the internal event queue (default 4096).
+	// QueueLen bounds the internal event queue (default 4096). A full
+	// queue rejects submissions with ErrOverloaded instead of blocking.
 	QueueLen int
+	// RetainTTL is how long a finished instance (and its result) stays
+	// retrievable before the sweeper evicts it (default 2 minutes).
+	RetainTTL time.Duration
+	// RetainMax caps the number of finished instances retained at once
+	// (default 4096); the oldest is evicted first, in O(1).
+	RetainMax int
+	// SweepInterval is the cadence of the background sweeper (default
+	// RetainTTL/8, clamped to [10ms, 5s]).
+	SweepInterval time.Duration
 	// OnRejectedShare, when set, observes invalid shares (for metrics
 	// and tests). It runs on the worker goroutine and must be fast.
 	OnRejectedShare func(instanceID string, err error)
+}
+
+// Stats is a point-in-time snapshot of the engine's lifecycle and flow
+// control state.
+type Stats struct {
+	// Live counts instances not yet finished, including placeholders
+	// awaiting adoption.
+	Live int
+	// Finished counts finished instances inside the retention window.
+	Finished int
+	// Evicted counts instances evicted since engine start (retention
+	// cap, TTL expiry, and expired placeholders).
+	Evicted uint64
+	// QueueDepth and QueueCap describe the event queue.
+	QueueDepth int
+	QueueCap   int
+	// RejectedShares counts invalid shares dropped by share
+	// verification.
+	RejectedShares uint64
+	// Overloaded counts submissions rejected with ErrOverloaded.
+	Overloaded uint64
 }
 
 // Engine is one node's orchestration module.
@@ -86,12 +153,39 @@ type Engine struct {
 	mu        sync.Mutex
 	instances map[string]*instance
 	stopped   bool
+	// retained holds finished instances in finish order (*instance);
+	// the front is always the next to evict, making both cap and TTL
+	// eviction O(1) per instance.
+	retained *list.List
+	// placeholders holds bare instances awaiting adoption (creation
+	// order): watchers for ids this node has not seen and parked early
+	// shares. They expire after RetainTTL and are capped at
+	// placeholderMax (oldest evicted first), so unauthenticated result
+	// queries cannot grow engine state without bound.
+	placeholders   *list.List
+	placeholderMax int
+	// live holds started instances in adoption order; a run that never
+	// finishes (e.g. a quorum that never forms) is expired after
+	// liveTTL, so no path grows engine state without bound.
+	live    *list.List
+	liveTTL time.Duration
+	// tombstones remembers evicted instance ids (id -> element of
+	// tombOrder) so lookups report ErrExpired instead of recreating
+	// state; bounded FIFO of tombstoneMax entries.
+	tombstones   map[string]*list.Element
+	tombOrder    *list.List
+	tombstoneMax int
+	evicted      uint64
+
+	rejectedShares atomic.Uint64
+	overloaded     atomic.Uint64
 
 	stop chan struct{}
 	done sync.WaitGroup
 }
 
 type instance struct {
+	id string
 	// mu serializes all access to the TRI protocol, which is not safe
 	// for concurrent use (relevant when Workers > 1).
 	mu       sync.Mutex
@@ -110,6 +204,15 @@ type instance struct {
 	// is being (or has been) set up, so exactly one submission adopts
 	// and starts each placeholder.
 	starting bool
+	// relem/pelem/lelem are this instance's entries in Engine.retained,
+	// Engine.placeholders, and Engine.live (guarded by Engine.mu; nil
+	// when absent).
+	relem, pelem, lelem *list.Element
+	// adoptedAt is the live-run clock, set when a worker adopts the
+	// instance; finishedAt is the retention clock, set when it is
+	// retired into the retention window (both guarded by Engine.mu).
+	adoptedAt  time.Time
+	finishedAt time.Time
 }
 
 type event struct {
@@ -137,15 +240,47 @@ func New(cfg Config) *Engine {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
 	}
-	e := &Engine{
-		cfg:       cfg,
-		self:      cfg.Keys.Keys().Index,
-		events:    make(chan event, cfg.QueueLen),
-		instances: make(map[string]*instance),
-		stop:      make(chan struct{}),
+	if cfg.RetainTTL <= 0 {
+		cfg.RetainTTL = 2 * time.Minute
 	}
-	e.done.Add(1)
+	if cfg.RetainMax <= 0 {
+		cfg.RetainMax = 4096
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.RetainTTL / 8
+		if cfg.SweepInterval > 5*time.Second {
+			cfg.SweepInterval = 5 * time.Second
+		}
+		if cfg.SweepInterval < 10*time.Millisecond {
+			cfg.SweepInterval = 10 * time.Millisecond
+		}
+	}
+	// A started instance gets several retention windows (with a floor)
+	// to finish before it is expired: generous against slow protocol
+	// runs, still a hard bound on stalled ones (e.g. a quorum that
+	// never forms).
+	liveTTL := 4 * cfg.RetainTTL
+	if liveTTL < 2*time.Second {
+		liveTTL = 2 * time.Second
+	}
+	e := &Engine{
+		cfg:            cfg,
+		self:           cfg.Keys.Keys().Index,
+		events:         make(chan event, cfg.QueueLen),
+		instances:      make(map[string]*instance),
+		retained:       list.New(),
+		placeholders:   list.New(),
+		placeholderMax: 4 * cfg.RetainMax,
+		live:           list.New(),
+		liveTTL:        liveTTL,
+		tombstones:     make(map[string]*list.Element),
+		tombOrder:      list.New(),
+		tombstoneMax:   4 * cfg.RetainMax,
+		stop:           make(chan struct{}),
+	}
+	e.done.Add(2)
 	go e.pump()
+	go e.sweeper()
 	for i := 0; i < cfg.Workers; i++ {
 		e.done.Add(1)
 		go e.worker()
@@ -168,18 +303,14 @@ func (e *Engine) Stop() {
 
 // Submit starts a protocol instance for the request on this node and
 // announces it to the peers. The same request submitted on several nodes
-// joins a single logical instance.
+// joins a single logical instance. Submit never blocks on a saturated
+// engine: it fails fast with ErrOverloaded and the caller retries.
 func (e *Engine) Submit(ctx context.Context, req protocols.Request) (*Future, error) {
 	f := &Future{ch: make(chan Result, 1)}
-	ev := event{req: &req, future: f}
-	select {
-	case e.events <- ev:
-		return f, nil
-	case <-e.stop:
-		return nil, ErrStopped
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := e.enqueueEvent(ctx, event{req: &req, future: f}); err != nil {
+		return nil, err
 	}
+	return f, nil
 }
 
 // Submission describes one request of a batched submission: its
@@ -198,7 +329,9 @@ type Submission struct {
 // Submissions are returned in request order. Duplicate detection is a
 // snapshot taken at enqueue time; concurrent submitters racing on the
 // same request still join one instance, only the flag is best-effort
-// for the loser of the race.
+// for the loser of the race. An instance evicted after its retention
+// window does not count as existing: re-submitting it starts a fresh
+// run. Like Submit, a saturated queue yields ErrOverloaded, not a stall.
 func (e *Engine) SubmitBatch(ctx context.Context, reqs []protocols.Request) ([]Submission, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -220,17 +353,35 @@ func (e *Engine) SubmitBatch(ctx context.Context, reqs []protocols.Request) ([]S
 		inBatch[id] = true
 	}
 	e.mu.Unlock()
+	if err := e.enqueueEvent(ctx, event{batch: items}); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// enqueueEvent admits one submission event without ever blocking on a
+// full queue (admission control): saturation is reported as
+// ErrOverloaded so the caller can shed or retry with backoff.
+func (e *Engine) enqueueEvent(ctx context.Context, ev event) error {
 	select {
-	case e.events <- event{batch: items}:
-		return subs, nil
 	case <-e.stop:
-		return nil, ErrStopped
+		return ErrStopped
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return ctx.Err()
+	default:
+	}
+	select {
+	case e.events <- ev:
+		return nil
+	default:
+		e.overloaded.Add(1)
+		return ErrOverloaded
 	}
 }
 
-// pump moves network envelopes into the event queue.
+// pump moves network envelopes into the event queue. Unlike client
+// submissions, peer traffic is not shed on a full queue: blocking here
+// propagates backpressure to the transport.
 func (e *Engine) pump() {
 	defer e.done.Done()
 	for {
@@ -279,8 +430,10 @@ func (e *Engine) handle(ev event) {
 // ensureInstance creates (or returns) the instance for a request. A
 // placeholder instance — left behind by Attach or by a peer share that
 // arrived before the start announcement — is adopted: its futures and
-// backlog are kept and the protocol is created and started here. Lock
-// order is always e.mu before inst.mu.
+// backlog are kept and the protocol is created and started here. A
+// tombstoned (evicted) id is resurrected as a fresh instance. Lock
+// order is always e.mu before inst.mu. The instance is returned even on
+// error, so callers can retire it.
 func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future) (*instance, error) {
 	id := req.InstanceID()
 	e.mu.Lock()
@@ -288,12 +441,14 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 	adopt := false
 	if ok {
 		if inst.proto == nil && !inst.starting {
-			inst.starting = true
+			e.adoptLocked(inst)
 			adopt = true
 		}
 	} else {
-		inst = &instance{started: time.Now(), starting: true}
+		e.clearTombstoneLocked(id)
+		inst = &instance{id: id, started: time.Now()}
 		e.instances[id] = inst
+		e.adoptLocked(inst)
 		adopt = true
 	}
 	e.mu.Unlock()
@@ -323,7 +478,7 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 	defer inst.mu.Unlock()
 	if err != nil {
 		e.finishLocked(id, inst, Result{InstanceID: id, Err: err})
-		return nil, err
+		return inst, err
 	}
 
 	if announce {
@@ -334,7 +489,7 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		}
 		if err := e.cfg.Net.Broadcast(context.Background(), start); err != nil {
 			e.finishLocked(id, inst, Result{InstanceID: id, Err: fmt.Errorf("announce: %w", err)})
-			return nil, err
+			return inst, err
 		}
 	}
 	e.advanceLocked(id, inst, true)
@@ -343,11 +498,11 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 
 func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
 	inst, err := e.ensureInstance(req, true, future)
-	if err != nil {
-		return // ensureInstance already finished the future
+	if err == nil {
+		// Peer shares may have arrived before the local submission.
+		e.drainBacklog(req.InstanceID(), inst)
 	}
-	// Peer shares may have arrived before the local submission.
-	e.drainBacklog(req.InstanceID(), inst)
+	e.retire(inst)
 }
 
 func (e *Engine) handleEnvelope(env network.Envelope) {
@@ -361,10 +516,10 @@ func (e *Engine) handleEnvelope(env network.Envelope) {
 			return // inconsistent announcement; ignore
 		}
 		inst, err := e.ensureInstance(req, false, nil)
-		if err != nil {
-			return
+		if err == nil {
+			e.drainBacklog(env.Instance, inst)
 		}
-		e.drainBacklog(env.Instance, inst)
+		e.retire(inst)
 	case network.KindProto:
 		e.mu.Lock()
 		inst, ok := e.instances[env.Instance]
@@ -373,27 +528,42 @@ func (e *Engine) handleEnvelope(env network.Envelope) {
 			ok = false
 		}
 		if !ok {
-			// Share arrived before the start announcement: park it.
+			// Share arrived before the start announcement: park it. Any
+			// new activity for an evicted id supersedes its tombstone —
+			// a peer may be legitimately re-running the instance.
+			var evicted []*instance
 			if inst == nil {
-				inst = &instance{started: time.Now()}
-				e.instances[env.Instance] = inst
+				e.clearTombstoneLocked(env.Instance)
+				inst, evicted = e.newPlaceholderLocked(env.Instance)
 			}
-			inst.backlog = append(inst.backlog, protocols.ProtocolMessage{
-				Sender: env.From, Round: env.Round, Payload: env.Payload,
-			})
+			if len(inst.backlog) < maxBacklog {
+				inst.backlog = append(inst.backlog, protocols.ProtocolMessage{
+					Sender: env.From, Round: env.Round, Payload: env.Payload,
+				})
+			}
 			e.mu.Unlock()
+			e.expireAll(evicted)
 			return
 		}
 		e.mu.Unlock()
 		e.deliver(env.Instance, inst, protocols.ProtocolMessage{
 			Sender: env.From, Round: env.Round, Payload: env.Payload,
 		})
+		e.retire(inst)
 	}
 }
 
 // drainBacklog replays messages that arrived before the instance start.
 func (e *Engine) drainBacklog(id string, inst *instance) {
 	e.mu.Lock()
+	if inst.proto == nil {
+		// The adopting worker has not published the protocol yet
+		// (possible with Workers > 1 when a duplicate submission races
+		// the adoption): draining now would feed the parked shares to
+		// deliver, which discards them. The adopter drains afterwards.
+		e.mu.Unlock()
+		return
+	}
 	backlog := inst.backlog
 	inst.backlog = nil
 	e.mu.Unlock()
@@ -410,6 +580,7 @@ func (e *Engine) deliver(id string, inst *instance, msg protocols.ProtocolMessag
 	}
 	if err := inst.proto.Update(msg); err != nil {
 		if errors.Is(err, protocols.ErrShareRejected) {
+			e.rejectedShares.Add(1)
 			if e.cfg.OnRejectedShare != nil {
 				e.cfg.OnRejectedShare(id, err)
 			}
@@ -464,7 +635,9 @@ func (e *Engine) advanceLocked(id string, inst *instance, firstRound bool) {
 	}
 }
 
-// finishLocked completes an instance; inst.mu is held.
+// finishLocked completes an instance; inst.mu is held. Retention
+// bookkeeping happens in retire, which workers call once inst.mu is
+// released (lock order forbids taking e.mu here).
 func (e *Engine) finishLocked(id string, inst *instance, res Result) {
 	if inst.finished {
 		return
@@ -479,18 +652,207 @@ func (e *Engine) finishLocked(id string, inst *instance, res Result) {
 	inst.futures = nil
 }
 
+// retire moves a finished instance into the retention window and
+// enforces the retention cap, evicting the oldest finished instances in
+// O(1) each. It is idempotent and a no-op for unfinished instances.
+func (e *Engine) retire(inst *instance) {
+	if inst == nil {
+		return
+	}
+	inst.mu.Lock()
+	finished := inst.finished
+	finishedAt := inst.result.Finished
+	inst.mu.Unlock()
+	if !finished {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if inst.relem != nil || e.instances[inst.id] != inst {
+		return // already retired, or evicted and replaced
+	}
+	e.unlistLocked(inst)
+	inst.finishedAt = finishedAt
+	inst.relem = e.retained.PushBack(inst)
+	for e.retained.Len() > e.cfg.RetainMax {
+		e.evictLocked(e.retained.Front().Value.(*instance))
+	}
+}
+
+// evictLocked removes a retained instance from the engine, leaving a
+// tombstone; e.mu is held.
+func (e *Engine) evictLocked(inst *instance) {
+	if inst.relem != nil {
+		e.retained.Remove(inst.relem)
+		inst.relem = nil
+	}
+	if cur, ok := e.instances[inst.id]; ok && cur == inst {
+		delete(e.instances, inst.id)
+	}
+	e.tombstoneLocked(inst.id)
+	e.evicted++
+}
+
+// newPlaceholderLocked registers a bare instance awaiting adoption and
+// enforces the placeholder cap; e.mu is held. Evicted placeholders are
+// returned for the caller to expire once e.mu is released (their
+// watchers get ErrExpired). No tombstone is left — the id never ran
+// here, so a later Attach may park a fresh watcher.
+func (e *Engine) newPlaceholderLocked(id string) (*instance, []*instance) {
+	inst := &instance{id: id, started: time.Now()}
+	e.instances[id] = inst
+	inst.pelem = e.placeholders.PushBack(inst)
+	var evicted []*instance
+	for e.placeholders.Len() > e.placeholderMax {
+		old := e.placeholders.Front().Value.(*instance)
+		e.unlistLocked(old)
+		delete(e.instances, old.id)
+		e.evicted++
+		evicted = append(evicted, old)
+	}
+	return inst, evicted
+}
+
+// adoptLocked marks an instance as claimed for protocol creation and
+// moves it onto the live-run sweep list; e.mu is held.
+func (e *Engine) adoptLocked(inst *instance) {
+	inst.starting = true
+	if inst.pelem != nil {
+		e.placeholders.Remove(inst.pelem)
+		inst.pelem = nil
+	}
+	inst.adoptedAt = time.Now()
+	inst.lelem = e.live.PushBack(inst)
+}
+
+// unlistLocked drops an instance from whichever sweep list holds it;
+// e.mu is held.
+func (e *Engine) unlistLocked(inst *instance) {
+	if inst.pelem != nil {
+		e.placeholders.Remove(inst.pelem)
+		inst.pelem = nil
+	}
+	if inst.lelem != nil {
+		e.live.Remove(inst.lelem)
+		inst.lelem = nil
+	}
+}
+
+// expireAll finishes evicted instances with ErrExpired, firing their
+// watchers. Must be called without e.mu held (lock order).
+func (e *Engine) expireAll(insts []*instance) {
+	for _, inst := range insts {
+		inst.mu.Lock()
+		e.finishLocked(inst.id, inst, Result{InstanceID: inst.id, Err: ErrExpired})
+		inst.mu.Unlock()
+	}
+}
+
+// tombstoneLocked remembers an evicted id in the bounded FIFO; e.mu is
+// held.
+func (e *Engine) tombstoneLocked(id string) {
+	if _, ok := e.tombstones[id]; ok {
+		return
+	}
+	e.tombstones[id] = e.tombOrder.PushBack(id)
+	for e.tombOrder.Len() > e.tombstoneMax {
+		front := e.tombOrder.Front()
+		e.tombOrder.Remove(front)
+		delete(e.tombstones, front.Value.(string))
+	}
+}
+
+// clearTombstoneLocked forgets an evicted id (new activity supersedes
+// the tombstone); e.mu is held.
+func (e *Engine) clearTombstoneLocked(id string) {
+	if elem, ok := e.tombstones[id]; ok {
+		e.tombOrder.Remove(elem)
+		delete(e.tombstones, id)
+	}
+}
+
+// sweeper periodically evicts finished instances past the retention
+// TTL, placeholders that never materialized, and started instances
+// that never finished within their run window.
+func (e *Engine) sweeper() {
+	defer e.done.Done()
+	ticker := time.NewTicker(e.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.sweep(time.Now())
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// sweep runs one sweeper pass. Both lists are ordered by their
+// respective clocks, so each pass touches only the entries it evicts.
+func (e *Engine) sweep(now time.Time) {
+	var expired []*instance
+	e.mu.Lock()
+	for front := e.retained.Front(); front != nil; front = e.retained.Front() {
+		inst := front.Value.(*instance)
+		if now.Sub(inst.finishedAt) < e.cfg.RetainTTL {
+			break
+		}
+		e.evictLocked(inst)
+	}
+	// Bare placeholders that never materialized expire after RetainTTL.
+	// No tombstone: the id never ran here.
+	for front := e.placeholders.Front(); front != nil; front = e.placeholders.Front() {
+		inst := front.Value.(*instance)
+		if now.Sub(inst.started) < e.cfg.RetainTTL {
+			break
+		}
+		e.unlistLocked(inst)
+		delete(e.instances, inst.id)
+		e.evicted++
+		expired = append(expired, inst)
+	}
+	// Started instances that never finish (a quorum that never forms, a
+	// wedged run) expire after the longer liveTTL, so engine state
+	// stays bounded on every path.
+	for front := e.live.Front(); front != nil; front = e.live.Front() {
+		inst := front.Value.(*instance)
+		if now.Sub(inst.adoptedAt) < e.liveTTL {
+			break
+		}
+		if inst.proto == nil {
+			break // protocol creation in flight; the next pass decides
+		}
+		e.unlistLocked(inst)
+		delete(e.instances, inst.id)
+		e.tombstoneLocked(inst.id)
+		e.evicted++
+		expired = append(expired, inst)
+	}
+	e.mu.Unlock()
+	// Fail the expired instances' watchers outside e.mu (lock order).
+	e.expireAll(expired)
+}
+
 // Attach registers a future on an instance (present or future), used by
 // the service layer's result endpoint. The returned future fires
-// immediately when the instance already finished.
+// immediately when the instance already finished, and immediately with
+// ErrExpired when the instance was evicted after its retention window.
 func (e *Engine) Attach(id string) *Future {
 	f := &Future{ch: make(chan Result, 1)}
 	e.mu.Lock()
 	inst, ok := e.instances[id]
+	var evicted []*instance
 	if !ok {
-		inst = &instance{started: time.Now()}
-		e.instances[id] = inst
+		if _, tomb := e.tombstones[id]; tomb {
+			e.mu.Unlock()
+			f.ch <- Result{InstanceID: id, Err: ErrExpired}
+			return f
+		}
+		inst, evicted = e.newPlaceholderLocked(id)
 	}
 	e.mu.Unlock()
+	e.expireAll(evicted)
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if inst.finished {
@@ -502,9 +864,25 @@ func (e *Engine) Attach(id string) *Future {
 }
 
 // InstanceCount reports the number of tracked instances (for tests and
-// metrics).
+// metrics): live instances, placeholders, and retained finished results.
 func (e *Engine) InstanceCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.instances)
+}
+
+// Stats snapshots the engine's lifecycle and flow control counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	st := Stats{
+		Live:       len(e.instances) - e.retained.Len(),
+		Finished:   e.retained.Len(),
+		Evicted:    e.evicted,
+		QueueDepth: len(e.events),
+		QueueCap:   cap(e.events),
+	}
+	e.mu.Unlock()
+	st.RejectedShares = e.rejectedShares.Load()
+	st.Overloaded = e.overloaded.Load()
+	return st
 }

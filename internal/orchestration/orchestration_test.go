@@ -27,7 +27,9 @@ type cluster struct {
 	engines []*Engine
 }
 
-func newCluster(t *testing.T, tt, n int, opts memnet.Options) *cluster {
+// newCluster builds the Θ-network; optional mutators tune every node's
+// engine config (retention, queue, workers) before start.
+func newCluster(t testing.TB, tt, n int, opts memnet.Options, mutate ...func(*Config)) *cluster {
 	t.Helper()
 	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
 		RSABits: 512, UseRSAFixture: true,
@@ -38,10 +40,14 @@ func newCluster(t *testing.T, tt, n int, opts memnet.Options) *cluster {
 	hub := memnet.NewHub(n, opts)
 	engines := make([]*Engine, n)
 	for i := 0; i < n; i++ {
-		engines[i] = New(Config{
+		cfg := Config{
 			Keys: keys.NewManager(nodes[i]),
 			Net:  hub.Endpoint(i + 1),
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		engines[i] = New(cfg)
 	}
 	c := &cluster{hub: hub, nodes: nodes, engines: engines}
 	t.Cleanup(func() {
@@ -55,7 +61,7 @@ func newCluster(t *testing.T, tt, n int, opts memnet.Options) *cluster {
 
 // submitAll submits the request on every engine (the replicated-service
 // deployment model) and returns all futures.
-func (c *cluster) submitAll(t *testing.T, req protocols.Request) []*Future {
+func (c *cluster) submitAll(t testing.TB, req protocols.Request) []*Future {
 	t.Helper()
 	futures := make([]*Future, len(c.engines))
 	for i, e := range c.engines {
@@ -68,7 +74,7 @@ func (c *cluster) submitAll(t *testing.T, req protocols.Request) []*Future {
 	return futures
 }
 
-func waitAll(t *testing.T, futures []*Future) []Result {
+func waitAll(t testing.TB, futures []*Future) []Result {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -10,6 +10,7 @@ package service
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/rand"
 	"encoding/json"
 	"errors"
@@ -76,19 +77,22 @@ type Server struct {
 	keys   *keys.NodeKeys
 	mux    *http.ServeMux
 
-	// mu guards deadlines, the per-request deadlines recorded by v2
-	// submissions and enforced by the v2 results endpoints.
-	mu        sync.Mutex
-	deadlines map[string]time.Time
+	// mu guards the per-request deadlines recorded by v2 submissions and
+	// enforced by the v2 results endpoints; deadlineOrder tracks
+	// insertion order for pruning (see pruneDeadlinesLocked).
+	mu            sync.Mutex
+	deadlines     map[string]time.Time
+	deadlineOrder *list.List
 }
 
 // NewServer wires the endpoints.
 func NewServer(engine *orchestration.Engine, nk *keys.NodeKeys) *Server {
 	s := &Server{
-		engine:    engine,
-		keys:      nk,
-		mux:       http.NewServeMux(),
-		deadlines: make(map[string]time.Time),
+		engine:        engine,
+		keys:          nk,
+		mux:           http.NewServeMux(),
+		deadlines:     make(map[string]time.Time),
+		deadlineOrder: list.New(),
 	}
 	s.mux.HandleFunc("POST /v1/protocol/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/protocol/result/{id}", s.handleResult)
@@ -148,7 +152,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := s.engine.Submit(r.Context(), req); err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, orchestration.ErrOverloaded) {
+			status = http.StatusTooManyRequests
+		}
+		httpError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{InstanceID: req.InstanceID()})

@@ -38,6 +38,24 @@ const (
 // engine state.
 const maxResultIDs = 1024
 
+// Submission bounds: one batch carries at most maxBatchItems requests
+// and one body at most maxSubmitBody bytes (aligned with the
+// transport's frame cap), so a single request cannot sidestep the
+// engine's queue-slot admission control by sheer size.
+const (
+	maxBatchItems = 1024
+	maxSubmitBody = 16 << 20
+)
+
+// Deadline-map bounds: entries are pruned once their deadline is
+// deadlineGrace in the past (by then the engine has retired or evicted
+// the instance), and capped at maxDeadlines outright, so fire-and-forget
+// traffic cannot grow the service layer without bound.
+const (
+	deadlineGrace = 5 * time.Minute
+	maxDeadlines  = 65536
+)
+
 func (s *Server) registerV2() {
 	s.mux.HandleFunc("POST /v2/protocol/submit", s.handleSubmitV2)
 	s.mux.HandleFunc("GET /v2/protocol/results", s.handleResultsV2)
@@ -47,6 +65,18 @@ func (s *Server) registerV2() {
 
 func writeErrorV2(w http.ResponseWriter, e *api.Error) {
 	writeJSON(w, api.HTTPStatus(e.Code), api.ErrorResponse{Error: e})
+}
+
+// engineError classifies an engine submission failure: a saturated
+// queue is backpressure the client should retry (429), anything else is
+// the node being unavailable.
+func engineError(err error) *api.Error {
+	switch {
+	case errors.Is(err, orchestration.ErrOverloaded):
+		return api.Errf(api.CodeOverloaded, "%v", err)
+	default:
+		return api.Errf(api.CodeUnavailable, "%v", err)
+	}
 }
 
 // validateItem classifies an item's defects into the structured error
@@ -72,13 +102,23 @@ func validateItem(it api.SubmitItem) (protocols.Request, *api.Error) {
 // duplicates. The status is 202 when at least one new instance started,
 // 200 otherwise.
 func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 	var body api.SubmitBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErrorV2(w, api.Errf(api.CodePayloadTooLarge, "body exceeds %d bytes", maxSubmitBody))
+			return
+		}
 		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
 		return
 	}
 	if len(body.Requests) == 0 {
 		writeErrorV2(w, api.Errf(api.CodeBadRequest, "empty batch: need 1..N requests"))
+		return
+	}
+	if len(body.Requests) > maxBatchItems {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "batch of %d exceeds limit %d", len(body.Requests), maxBatchItems))
 		return
 	}
 
@@ -100,7 +140,7 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 		var err error
 		subs, err = s.engine.SubmitBatch(r.Context(), reqs)
 		if err != nil {
-			writeErrorV2(w, api.Errf(api.CodeUnavailable, "%v", err))
+			writeErrorV2(w, engineError(err))
 			return
 		}
 	}
@@ -110,23 +150,34 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 		entries[reqIdx[i]] = api.SubmitEntry{InstanceID: sub.InstanceID, Duplicate: sub.Duplicate}
 		if !sub.Duplicate {
 			status = http.StatusAccepted
-			// Only the instance-creating submission sets the deadline:
-			// a later duplicate's tighter timeout must not cut short
-			// the waits of clients already attached to the instance.
+			// Only the instance-creating submission sets the deadline
+			// (a later duplicate's tighter timeout must not cut short
+			// the waits of clients already attached), and it REPLACES
+			// any deadline left over from a previous, since-evicted run
+			// of the same request — a stale expired deadline must not
+			// poison the fresh run with spurious timeouts.
 			if ms := body.Requests[reqIdx[i]].TimeoutMS; ms > 0 {
 				s.setDeadline(sub.InstanceID, now.Add(time.Duration(ms)*time.Millisecond))
+			} else {
+				s.clearDeadline(sub.InstanceID)
 			}
 		}
 	}
 	writeJSON(w, status, api.SubmitBatchResponse{Results: entries})
 }
 
+// deadlineEntry is one insertion-ordered record for pruning.
+type deadlineEntry struct {
+	id       string
+	deadline time.Time
+}
+
 func (s *Server) setDeadline(id string, d time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.deadlines[id]; !ok {
-		s.deadlines[id] = d
-	}
+	s.deadlines[id] = d
+	s.deadlineOrder.PushBack(deadlineEntry{id: id, deadline: d})
+	s.pruneDeadlinesLocked(time.Now())
 }
 
 func (s *Server) deadline(id string) (time.Time, bool) {
@@ -136,13 +187,35 @@ func (s *Server) deadline(id string) (time.Time, bool) {
 	return d, ok
 }
 
-// clearDeadline drops a finished instance's deadline so the map does
-// not grow with total request count. Expired-but-unfinished deadlines
-// are kept: later polls must keep reporting the timeout.
+// clearDeadline drops an instance's deadline (observed-finished
+// instances, and fresh runs submitted without one). The order-list
+// entry goes stale and is dropped by the next prune. Expired deadlines
+// of unfinished instances are kept until the grace window passes, so
+// polls keep reporting the timeout while the engine still tracks the
+// instance.
 func (s *Server) clearDeadline(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.deadlines, id)
+}
+
+// pruneDeadlinesLocked bounds the deadline map: entries whose deadline
+// passed more than deadlineGrace ago are dropped (by then the engine
+// has retired or evicted the instance, whose own expired/tombstone
+// semantics take over), and the hard cap evicts oldest-first. s.mu is
+// held.
+func (s *Server) pruneDeadlinesLocked(now time.Time) {
+	for front := s.deadlineOrder.Front(); front != nil; front = s.deadlineOrder.Front() {
+		ent := front.Value.(deadlineEntry)
+		over := s.deadlineOrder.Len() > maxDeadlines
+		if !over && now.Before(ent.deadline.Add(deadlineGrace)) {
+			break
+		}
+		s.deadlineOrder.Remove(front)
+		if d, ok := s.deadlines[ent.id]; ok && d.Equal(ent.deadline) {
+			delete(s.deadlines, ent.id)
+		}
+	}
 }
 
 // resultEvent pairs a finished (or deadline-expired) instance with its
@@ -200,7 +273,13 @@ func finishedEntry(id string, res orchestration.Result) api.ResultEntry {
 		Value:      res.Value,
 		LatencyMS:  res.Finished.Sub(res.Started).Milliseconds(),
 	}
-	if res.Err != nil {
+	switch {
+	case res.Err == nil:
+	case errors.Is(res.Err, orchestration.ErrExpired):
+		// The result outlived the retention window; re-submitting the
+		// request starts a fresh instance.
+		entry.Error = api.Errf(api.CodeExpired, "%v", res.Err)
+	default:
 		entry.Error = api.Errf(api.CodeInternal, "%v", res.Err)
 	}
 	return entry
@@ -292,8 +371,14 @@ func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, n int
 // handleEncryptV2 is the scheme API's local encryption with structured
 // errors: scheme_unknown, scheme_not_cipher, or scheme_no_keys.
 func (s *Server) handleEncryptV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 	var body api.EncryptRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErrorV2(w, api.Errf(api.CodePayloadTooLarge, "body exceeds %d bytes", maxSubmitBody))
+			return
+		}
 		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
 		return
 	}
@@ -343,5 +428,6 @@ func (s *Server) handleInfoV2(w http.ResponseWriter, _ *http.Request) {
 		N:          s.keys.N,
 		T:          s.keys.T,
 		Schemes:    present,
+		Stats:      api.EngineStatsOf(s.engine.Stats()),
 	})
 }

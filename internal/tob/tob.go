@@ -9,11 +9,15 @@ package tob
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"thetacrypt/internal/network"
 )
+
+// ErrClosed is returned by Submit after the endpoint was closed.
+var ErrClosed = errors.New("tob: sequencer closed")
 
 // Envelope kinds used on the underlying P2P channel. Values are disjoint
 // from the orchestration kinds so a misrouted message is detectable.
@@ -34,6 +38,12 @@ type Sequencer struct {
 	nextDel int // next sequence number to deliver
 	pending map[int]network.Envelope
 	closed  bool
+	// delivering tracks in-flight sends on out. A leader-side Submit
+	// runs order→enqueue on the caller's goroutine, so Close must wait
+	// for those sends to drain before it may close(out); entries are
+	// added under mu while closed is still false, which makes the
+	// wait race free.
+	delivering sync.WaitGroup
 
 	out  chan network.Envelope
 	stop chan struct{}
@@ -60,8 +70,16 @@ func New(p2p network.P2P, self, leader int) *Sequencer {
 	return s
 }
 
-// Submit hands an envelope to the ordering service.
+// Submit hands an envelope to the ordering service. After Close it
+// fails with ErrClosed; a submission racing Close may be silently
+// dropped (as it would be in flight on a real network).
 func (s *Sequencer) Submit(ctx context.Context, env network.Envelope) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
 	env.From = s.self
 	if s.self == s.leader {
 		s.order(env)
@@ -90,6 +108,10 @@ func (s *Sequencer) Close() error {
 	s.mu.Unlock()
 	close(s.stop)
 	<-s.done
+	// Closing stop unblocks any delivery stuck on a full out channel;
+	// wait for those in-flight sends before closing the channel, or a
+	// leader-side Submit racing Close would panic on send-on-closed.
+	s.delivering.Wait()
 	close(s.out)
 	return s.p2p.Close()
 }
@@ -131,7 +153,14 @@ func (s *Sequencer) enqueue(seq int, env network.Envelope) {
 		s.nextDel++
 		ready = append(ready, next)
 	}
+	if len(ready) > 0 {
+		s.delivering.Add(1) // registered before mu is released: Close cannot have set closed yet
+	}
 	s.mu.Unlock()
+	if len(ready) == 0 {
+		return
+	}
+	defer s.delivering.Done()
 	for _, e := range ready {
 		select {
 		case s.out <- e:

@@ -2,7 +2,9 @@ package tob
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -108,6 +110,57 @@ func TestSenderOrderPreservedThroughSequencer(t *testing.T) {
 		if got[m] != want {
 			t.Fatalf("position %d: got %q, want %q (FIFO violated)", m, got[m], want)
 		}
+	}
+}
+
+// TestCloseDuringLeaderSubmit races leader-side submissions (which
+// deliver on the caller's goroutine) against Close. Before the
+// delivery guard this panicked with "send on closed channel" whenever
+// Close won the race while a submit was parked on the full out
+// channel; the test drives that window repeatedly and must stay clean
+// under -race.
+func TestCloseDuringLeaderSubmit(t *testing.T) {
+	const iterations = 150
+	// Heavy oversubscription widens the racy window: a submitter must
+	// be preempted between its closed-check and its channel send, and
+	// stay descheduled until Close finishes.
+	const submitters = 128
+	for i := 0; i < iterations; i++ {
+		hub := memnet.NewHub(1, memnet.Options{})
+		s := New(hub.Endpoint(1), 1, 1)
+		var wg sync.WaitGroup
+		// A drainer keeps out unsaturated, so submitters are actively
+		// sending — not parked — when Close lands.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range s.Delivered() {
+			}
+		}()
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					err := s.Submit(context.Background(), network.Envelope{Payload: []byte("race")})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("submit: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(i%5) * 200 * time.Microsecond)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if err := s.Submit(context.Background(), network.Envelope{Payload: []byte("late")}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("submit after close: got %v, want ErrClosed", err)
+		}
+		hub.Close()
 	}
 }
 

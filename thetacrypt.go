@@ -16,6 +16,7 @@ package thetacrypt
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"time"
 
@@ -49,6 +50,9 @@ type (
 	Result = api.Result
 	// ServiceInfo describes a deployment endpoint.
 	ServiceInfo = api.Info
+	// EngineStats is a node's engine snapshot: instance lifecycle and
+	// flow control counters.
+	EngineStats = api.EngineStats
 	// Future resolves to a raw engine result (embedded deployments
 	// only; the Service interface uses Wait).
 	Future = orchestration.Future
@@ -85,6 +89,34 @@ const (
 	CKS05 = schemes.CKS05
 )
 
+// EngineOptions tunes each node's orchestration engine: worker count,
+// event-queue admission control, and the finished-instance retention
+// window. Zero values select the engine defaults (1 worker, queue 4096,
+// 2 minute TTL, 4096 retained instances).
+type EngineOptions struct {
+	// Workers is the number of event-processing goroutines per node.
+	Workers int
+	// QueueLen bounds the event queue; a full queue rejects submissions
+	// with an overloaded error (HTTP 429 on the service layer) instead
+	// of blocking.
+	QueueLen int
+	// RetainTTL is how long finished results stay retrievable before
+	// eviction; later queries report an expired error.
+	RetainTTL time.Duration
+	// RetainMax caps retained finished instances (oldest evicted
+	// first), bounding node memory under sustained load.
+	RetainMax int
+}
+
+// engineConfig merges the options into an engine config.
+func (o EngineOptions) engineConfig(cfg orchestration.Config) orchestration.Config {
+	cfg.Workers = o.Workers
+	cfg.QueueLen = o.QueueLen
+	cfg.RetainTTL = o.RetainTTL
+	cfg.RetainMax = o.RetainMax
+	return cfg
+}
+
 // ClusterOptions configures an embedded cluster.
 type ClusterOptions struct {
 	// Schemes to deal keys for; empty means all six.
@@ -94,6 +126,9 @@ type ClusterOptions struct {
 	RSABits int
 	// Latency is the simulated one-way network delay between nodes.
 	Latency time.Duration
+	// Engine tunes every node's orchestration engine (flow control and
+	// instance retention).
+	Engine EngineOptions
 }
 
 // Cluster is an embedded in-process Θ-network of n nodes.
@@ -121,10 +156,10 @@ func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
 	hub := memnet.NewHub(n, memnet.Options{Latency: latency})
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
-		engines[i] = orchestration.New(orchestration.Config{
+		engines[i] = orchestration.New(opts.Engine.engineConfig(orchestration.Config{
 			Keys: keys.NewManager(nodes[i]),
 			Net:  hub.Endpoint(i + 1),
-		})
+		}))
 	}
 	return &Cluster{nodes: nodes, engines: engines, hub: hub}, nil
 }
@@ -159,42 +194,19 @@ func (c *Cluster) SubmitAt(ctx context.Context, i int, req Request) (*Future, er
 
 // Submit starts a threshold operation at node 1 (Service interface).
 func (c *Cluster) Submit(ctx context.Context, req Request) (Handle, error) {
-	if e := api.ValidateRequest(req); e != nil {
-		return Handle{}, e
-	}
-	if _, err := c.engines[0].Submit(ctx, req); err != nil {
-		return Handle{}, err
-	}
-	return Handle{InstanceID: req.InstanceID()}, nil
+	return submitOne(ctx, c.engines[0], req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off,
 // amortizing dispatch across the batch. Invalid requests fail the whole
 // call (the engine is never reached).
 func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	for i, req := range reqs {
-		if e := api.ValidateRequest(req); e != nil {
-			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e)
-		}
-	}
-	subs, err := c.engines[0].SubmitBatch(ctx, reqs)
-	if err != nil {
-		return nil, err
-	}
-	hs := make([]Handle, len(subs))
-	for i, sub := range subs {
-		hs[i] = Handle{InstanceID: sub.InstanceID}
-	}
-	return hs, nil
+	return submitMany(ctx, c.engines[0], reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
 func (c *Cluster) Wait(ctx context.Context, h Handle) (Result, error) {
-	res, err := c.engines[0].Attach(h.InstanceID).Wait(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	return toAPIResult(h.InstanceID, res), nil
+	return waitOn(ctx, c.engines[0], h)
 }
 
 // Execute submits at node 1 and waits for the result.
@@ -208,18 +220,92 @@ func (c *Cluster) Encrypt(_ context.Context, scheme SchemeID, message, label []b
 	return encryptLocal(c.nodes[0], scheme, message, label)
 }
 
-// Info reports the deployment parameters (Service interface).
+// Info reports the deployment parameters and node 1's engine snapshot
+// (Service interface).
 func (c *Cluster) Info(context.Context) (ServiceInfo, error) {
-	return keysInfo(c.nodes[0]), nil
+	return infoOf(c.nodes[0], c.engines[0]), nil
 }
 
-// toAPIResult converts an engine result into the client-facing shape.
+// StatsAt snapshots node i's engine (1-indexed): instance lifecycle and
+// flow control counters.
+func (c *Cluster) StatsAt(i int) EngineStats {
+	return *api.EngineStatsOf(c.engines[i-1].Stats())
+}
+
+// engineErr maps engine submission failures onto the structured error
+// model, so embedded deployments classify overload and shutdown exactly
+// like the remote client does (api.CodeOf branches work against any
+// Service implementation).
+func engineErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, orchestration.ErrOverloaded):
+		return api.Errf(api.CodeOverloaded, "%v", err)
+	case errors.Is(err, orchestration.ErrStopped):
+		return api.Errf(api.CodeUnavailable, "%v", err)
+	default:
+		return err
+	}
+}
+
+// toAPIResult converts an engine result into the client-facing shape,
+// classifying retention expiry into the structured error model.
 func toAPIResult(id string, res orchestration.Result) Result {
 	out := Result{InstanceID: id, Value: res.Value, Err: res.Err}
+	if errors.Is(res.Err, orchestration.ErrExpired) {
+		out.Err = api.Errf(api.CodeExpired, "%v", res.Err)
+	}
 	if !res.Started.IsZero() && !res.Finished.IsZero() {
 		out.ServerLatency = res.Finished.Sub(res.Started)
 	}
 	return out
+}
+
+// The embedded protocol-API path shared by Cluster and Node: validate,
+// hand to the engine, map errors onto the structured model.
+
+func submitOne(ctx context.Context, e *orchestration.Engine, req Request) (Handle, error) {
+	if e2 := api.ValidateRequest(req); e2 != nil {
+		return Handle{}, e2
+	}
+	if _, err := e.Submit(ctx, req); err != nil {
+		return Handle{}, engineErr(err)
+	}
+	return Handle{InstanceID: req.InstanceID()}, nil
+}
+
+func submitMany(ctx context.Context, e *orchestration.Engine, reqs []Request) ([]Handle, error) {
+	for i, req := range reqs {
+		if e2 := api.ValidateRequest(req); e2 != nil {
+			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e2)
+		}
+	}
+	subs, err := e.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return nil, engineErr(err)
+	}
+	hs := make([]Handle, len(subs))
+	for i, sub := range subs {
+		hs[i] = Handle{InstanceID: sub.InstanceID}
+	}
+	return hs, nil
+}
+
+func waitOn(ctx context.Context, e *orchestration.Engine, h Handle) (Result, error) {
+	res, err := e.Attach(h.InstanceID).Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return toAPIResult(h.InstanceID, res), nil
+}
+
+// infoOf assembles the Service info of one node: key material plus the
+// engine snapshot.
+func infoOf(nk *NodeKeys, e *orchestration.Engine) ServiceInfo {
+	info := keysInfo(nk)
+	info.Stats = api.EngineStatsOf(e.Stats())
+	return info
 }
 
 // encryptLocal is the scheme API's local encryption against a node's
@@ -274,6 +360,9 @@ type NodeConfig struct {
 	ListenAddr string
 	// Peers maps node index to P2P address for all other nodes.
 	Peers map[int]string
+	// Engine tunes the orchestration engine (flow control and instance
+	// retention).
+	Engine EngineOptions
 }
 
 // Node is one standalone Thetacrypt service node over TCP.
@@ -294,10 +383,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("thetacrypt: transport: %w", err)
 	}
-	engine := orchestration.New(orchestration.Config{
+	engine := orchestration.New(cfg.Engine.engineConfig(orchestration.Config{
 		Keys: keys.NewManager(cfg.Keys),
 		Net:  transport,
-	})
+	}))
 	return &Node{
 		engine:    engine,
 		transport: transport,
@@ -316,40 +405,17 @@ func (n *Node) Handler() *service.Server { return n.handler }
 
 // Submit starts a threshold operation locally (Service interface).
 func (n *Node) Submit(ctx context.Context, req Request) (Handle, error) {
-	if e := api.ValidateRequest(req); e != nil {
-		return Handle{}, e
-	}
-	if _, err := n.engine.Submit(ctx, req); err != nil {
-		return Handle{}, err
-	}
-	return Handle{InstanceID: req.InstanceID()}, nil
+	return submitOne(ctx, n.engine, req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off.
 func (n *Node) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	for i, req := range reqs {
-		if e := api.ValidateRequest(req); e != nil {
-			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e)
-		}
-	}
-	subs, err := n.engine.SubmitBatch(ctx, reqs)
-	if err != nil {
-		return nil, err
-	}
-	hs := make([]Handle, len(subs))
-	for i, sub := range subs {
-		hs[i] = Handle{InstanceID: sub.InstanceID}
-	}
-	return hs, nil
+	return submitMany(ctx, n.engine, reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
 func (n *Node) Wait(ctx context.Context, h Handle) (Result, error) {
-	res, err := n.engine.Attach(h.InstanceID).Wait(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	return toAPIResult(h.InstanceID, res), nil
+	return waitOn(ctx, n.engine, h)
 }
 
 // Encrypt creates a threshold ciphertext under the deployment's public
@@ -358,9 +424,16 @@ func (n *Node) Encrypt(_ context.Context, scheme SchemeID, message, label []byte
 	return encryptLocal(n.keys, scheme, message, label)
 }
 
-// Info reports the deployment parameters (Service interface).
+// Info reports the deployment parameters and the engine snapshot
+// (Service interface).
 func (n *Node) Info(context.Context) (ServiceInfo, error) {
-	return keysInfo(n.keys), nil
+	return infoOf(n.keys, n.engine), nil
+}
+
+// Stats snapshots the node's engine: instance lifecycle and flow
+// control counters.
+func (n *Node) Stats() EngineStats {
+	return *api.EngineStatsOf(n.engine.Stats())
 }
 
 // Close stops the node.
