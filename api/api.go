@@ -69,6 +69,46 @@ type EngineStats struct {
 	QueueCap       int    `json:"queue_cap"`
 	RejectedShares uint64 `json:"rejected_shares"`
 	Overloaded     uint64 `json:"overloaded"`
+	// PartialBroadcasts counts round broadcasts that failed for some but
+	// not all peers (the run continued); a rising counter points at the
+	// lagging peer in Transport.
+	PartialBroadcasts uint64 `json:"partial_broadcasts,omitempty"`
+	// Transport is the per-peer health of the node's P2P links; nil when
+	// the endpoint predates API v2.2 or the transport has no peers.
+	Transport *TransportStats `json:"transport,omitempty"`
+}
+
+// TransportStats is the wire form of the P2P layer's health snapshot.
+type TransportStats struct {
+	Peers []PeerStats `json:"peers"`
+}
+
+// Peer returns the snapshot of one peer link.
+func (ts *TransportStats) Peer(index int) (PeerStats, bool) {
+	if ts == nil {
+		return PeerStats{}, false
+	}
+	for _, p := range ts.Peers {
+		if p.Peer == index {
+			return p, true
+		}
+	}
+	return PeerStats{}, false
+}
+
+// PeerStats is one peer link as seen by the answering node: health
+// state ("up", "dialing", "down"), the bounded outbound queue, and
+// send/drop counters. Field meanings match network.PeerStats.
+type PeerStats struct {
+	Peer                int    `json:"peer"`
+	State               string `json:"state"`
+	QueueDepth          int    `json:"queue_depth"`
+	QueueCap            int    `json:"queue_cap"`
+	Enqueued            uint64 `json:"enqueued"`
+	Sent                uint64 `json:"sent"`
+	Dropped             uint64 `json:"dropped"`
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
+	LastError           string `json:"last_error,omitempty"`
 }
 
 // Service is the one client-facing interface over every deployment

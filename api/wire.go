@@ -3,6 +3,7 @@ package api
 import (
 	"time"
 
+	"thetacrypt/internal/network"
 	"thetacrypt/internal/orchestration"
 	"thetacrypt/internal/protocols"
 	"thetacrypt/internal/schemes"
@@ -14,14 +15,39 @@ func msToDuration(ms int64) time.Duration { return time.Duration(ms) * time.Mill
 // by the HTTP service layer and the embedded deployments.
 func EngineStatsOf(st orchestration.Stats) *EngineStats {
 	return &EngineStats{
-		Live:           st.Live,
-		Finished:       st.Finished,
-		Evicted:        st.Evicted,
-		QueueDepth:     st.QueueDepth,
-		QueueCap:       st.QueueCap,
-		RejectedShares: st.RejectedShares,
-		Overloaded:     st.Overloaded,
+		Live:              st.Live,
+		Finished:          st.Finished,
+		Evicted:           st.Evicted,
+		QueueDepth:        st.QueueDepth,
+		QueueCap:          st.QueueCap,
+		RejectedShares:    st.RejectedShares,
+		Overloaded:        st.Overloaded,
+		PartialBroadcasts: st.PartialBroadcasts,
+		Transport:         TransportStatsOf(st.Transport),
 	}
+}
+
+// TransportStatsOf converts a transport snapshot into the wire shape;
+// nil when the transport reports no peers (embedded single node, proxy).
+func TransportStatsOf(ts network.TransportStats) *TransportStats {
+	if len(ts.Peers) == 0 {
+		return nil
+	}
+	out := &TransportStats{Peers: make([]PeerStats, len(ts.Peers))}
+	for i, p := range ts.Peers {
+		out.Peers[i] = PeerStats{
+			Peer:                p.Peer,
+			State:               p.State.String(),
+			QueueDepth:          p.QueueDepth,
+			QueueCap:            p.QueueCap,
+			Enqueued:            p.Enqueued,
+			Sent:                p.Sent,
+			Dropped:             p.Dropped,
+			ConsecutiveFailures: p.ConsecutiveFailures,
+			LastError:           p.LastError,
+		}
+	}
+	return out
 }
 
 // The /v2 endpoints and their JSON wire types. All payload byte fields

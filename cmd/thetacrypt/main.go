@@ -30,16 +30,25 @@ func main() {
 
 func run() error {
 	var (
-		keyPath   = flag.String("key", "", "path to this node's key file")
-		peersPath = flag.String("peers", "", "path to the peers file (index addr per line)")
-		listen    = flag.String("listen", ":7001", "P2P listen address")
-		httpAddr  = flag.String("http", ":8081", "service-layer HTTP listen address")
-		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = default 1)")
-		queueLen  = flag.Int("queue", 0, "engine event-queue length; a full queue answers HTTP 429 (0 = default 4096)")
-		retainTTL = flag.Duration("retain-ttl", 0, "how long finished results stay retrievable (0 = default 2m)")
-		retainMax = flag.Int("retain-max", 0, "max finished results retained, oldest evicted first (0 = default 4096)")
+		keyPath     = flag.String("key", "", "path to this node's key file")
+		peersPath   = flag.String("peers", "", "path to the peers file (index addr per line)")
+		listen      = flag.String("listen", ":7001", "P2P listen address")
+		httpAddr    = flag.String("http", ":8081", "service-layer HTTP listen address")
+		workers     = flag.Int("workers", 0, "engine worker goroutines (0 = default 1)")
+		queueLen    = flag.Int("queue", 0, "engine event-queue length; a full queue answers HTTP 429 (0 = default 4096)")
+		retainTTL   = flag.Duration("retain-ttl", 0, "how long finished results stay retrievable (0 = default 2m)")
+		retainMax   = flag.Int("retain-max", 0, "max finished results retained, oldest evicted first (0 = default 4096)")
+		peerQueue   = flag.Int("peer-queue", 0, "per-peer outbound queue length, in frames (0 = default 1024)")
+		peerPolicy  = flag.String("peer-policy", "block", "full-queue policy per peer: block, drop-oldest, or fail-fast")
+		dialRetry   = flag.Duration("dial-retry", 0, "initial peer reconnect backoff, doubling per failure (0 = default 250ms)")
+		dialMax     = flag.Duration("dial-backoff-max", 0, "cap on the peer reconnect backoff (0 = default 4s)")
+		sendTimeout = flag.Duration("send-timeout", 0, "bound on each round broadcast; bites only when a block-policy peer queue is saturated (0 = default 5s)")
 	)
 	flag.Parse()
+	policy, err := thetacrypt.ParseQueuePolicy(*peerPolicy)
+	if err != nil {
+		return err
+	}
 	if *keyPath == "" || *peersPath == "" {
 		return fmt.Errorf("both -key and -peers are required")
 	}
@@ -60,10 +69,17 @@ func run() error {
 		ListenAddr: *listen,
 		Peers:      peers,
 		Engine: thetacrypt.EngineOptions{
-			Workers:   *workers,
-			QueueLen:  *queueLen,
-			RetainTTL: *retainTTL,
-			RetainMax: *retainMax,
+			Workers:     *workers,
+			QueueLen:    *queueLen,
+			RetainTTL:   *retainTTL,
+			RetainMax:   *retainMax,
+			SendTimeout: *sendTimeout,
+		},
+		Transport: thetacrypt.TransportOptions{
+			OutQueueLen:    *peerQueue,
+			Policy:         policy,
+			DialRetry:      *dialRetry,
+			DialBackoffMax: *dialMax,
 		},
 	})
 	if err != nil {

@@ -5,6 +5,13 @@
 // (≈43-280 ms RTT) deployments from Table 2 can be reproduced on one
 // machine. It also serves as the fault-injection surface for tests
 // (crashed nodes, dropped or delayed messages).
+//
+// Like tcpnet, sends are asynchronous: each directed link has a bounded
+// outbound queue drained by a pump goroutine, governed by the same
+// network.QueuePolicy vocabulary. A crashed destination stalls its
+// pumps — the in-process analogue of a dead TCP peer holding the writer
+// in dial-retry — so queues back up, policies fire, and TransportStats
+// reports the peer Down, identically to the real transport.
 package memnet
 
 import (
@@ -13,13 +20,19 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/outq"
 )
 
 // ErrClosed is returned on operations against a closed endpoint.
 var ErrClosed = errors.New("memnet: closed")
+
+// crashPoll is how often a stalled pump re-checks a crashed
+// destination; the in-process stand-in for tcpnet's dial backoff.
+const crashPoll = time.Millisecond
 
 // LatencyFunc returns the one-way delay for a message from node i to
 // node j (1-indexed).
@@ -43,6 +56,11 @@ type Options struct {
 	// A deep queue models kernel socket buffers; the paper's capacity
 	// experiments drive nodes far beyond their service rate.
 	QueueLen int
+	// OutQueueLen bounds each directed link's outbound queue (default
+	// 1024), mirroring tcpnet's per-peer queues.
+	OutQueueLen int
+	// Policy selects the full-queue behavior (default PolicyBlock).
+	Policy network.QueuePolicy
 }
 
 // Hub connects n in-process endpoints.
@@ -56,7 +74,12 @@ type Hub struct {
 	crashed []bool
 	dropFn  func(env network.Envelope) bool
 	closed  bool
-	wg      sync.WaitGroup
+	// links holds the directed outbound queues, keyed by (from, to);
+	// created lazily, drained by one pump goroutine each.
+	links map[[2]int]*link
+	stop  chan struct{}
+	pumps sync.WaitGroup
+	wg    sync.WaitGroup
 	// lastArrival and lastDone enforce per-link FIFO: a message never
 	// arrives before an earlier message on the same (from, to) link,
 	// matching TCP semantics.
@@ -64,10 +87,20 @@ type Hub struct {
 	lastDone    map[[2]int]chan struct{}
 }
 
+// link is one directed outbound queue with its delivery bookkeeping.
+type link struct {
+	from, to int
+	q        *outq.Queue[network.Envelope]
+	sent     atomic.Uint64
+}
+
 // NewHub creates a hub for nodes 1..n.
 func NewHub(n int, opts Options) *Hub {
 	if opts.QueueLen <= 0 {
 		opts.QueueLen = 4096
+	}
+	if opts.OutQueueLen <= 0 {
+		opts.OutQueueLen = 1024
 	}
 	h := &Hub{
 		n:           n,
@@ -75,6 +108,8 @@ func NewHub(n int, opts Options) *Hub {
 		rng:         rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)),
 		inbox:       make([]chan network.Envelope, n+1),
 		crashed:     make([]bool, n+1),
+		links:       make(map[[2]int]*link),
+		stop:        make(chan struct{}),
 		lastArrival: make(map[[2]int]time.Time),
 		lastDone:    make(map[[2]int]chan struct{}),
 	}
@@ -90,7 +125,9 @@ func (h *Hub) Endpoint(i int) network.P2P {
 }
 
 // Crash makes a node unreachable and stops its sends, simulating a
-// crashed replica.
+// crashed replica. Frames already queued toward it stay queued (its
+// peers' writers are "in dial-retry") and are delivered on Restart,
+// matching tcpnet's reconnect semantics.
 func (h *Hub) Crash(i int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -120,13 +157,73 @@ func (h *Hub) Close() {
 		return
 	}
 	h.closed = true
+	links := make([]*link, 0, len(h.links))
+	for _, l := range h.links {
+		links = append(links, l)
+	}
 	h.mu.Unlock()
+	close(h.stop)
+	for _, l := range links {
+		l.q.Close()
+	}
+	h.pumps.Wait()
 	h.wg.Wait()
 	h.mu.Lock()
 	for i := 1; i <= h.n; i++ {
 		close(h.inbox[i])
 	}
 	h.mu.Unlock()
+}
+
+// link returns (creating and starting if needed) the directed link
+// from -> to.
+func (h *Hub) link(from, to int) (*link, error) {
+	key := [2]int{from, to}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if l, ok := h.links[key]; ok {
+		return l, nil
+	}
+	if h.closed {
+		return nil, ErrClosed
+	}
+	l := &link{
+		from: from, to: to,
+		q: outq.New[network.Envelope](h.opts.OutQueueLen, h.opts.Policy),
+	}
+	h.links[key] = l
+	h.pumps.Add(1)
+	go h.pump(l)
+	return l, nil
+}
+
+// pump drains one directed link. A crashed destination stalls the pump
+// (the sender's "writer" is stuck redialing a dead peer), so the
+// bounded queue backs up exactly as tcpnet's does.
+func (h *Hub) pump(l *link) {
+	defer h.pumps.Done()
+	for {
+		env, ok := l.q.Dequeue(h.stop)
+		if !ok {
+			return
+		}
+		for h.destDown(l.to) {
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(crashPoll):
+			}
+		}
+		l.sent.Add(1)
+		h.transmit(l.to, env)
+	}
+}
+
+// destDown reports whether the destination is crashed.
+func (h *Hub) destDown(to int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashed[to] && !h.closed
 }
 
 // transmit schedules delivery of env to node `to`.
@@ -185,26 +282,78 @@ type endpoint struct {
 
 var _ network.P2P = (*endpoint)(nil)
 
-func (e *endpoint) Send(_ context.Context, to int, env network.Envelope) error {
+// send enqueues one envelope onto the directed link, attributing
+// policy failures to the destination peer.
+func (e *endpoint) send(ctx context.Context, to int, env network.Envelope) error {
+	l, err := e.hub.link(e.index, to)
+	if err != nil {
+		return err
+	}
+	if err := l.q.Enqueue(ctx, env); err != nil {
+		return network.AttributePeer(to, err)
+	}
+	return nil
+}
+
+func (e *endpoint) Send(ctx context.Context, to int, env network.Envelope) error {
 	if to < 1 || to > e.hub.n {
 		return fmt.Errorf("memnet: no such node %d", to)
 	}
 	env.From = e.index
 	env.To = to
-	e.hub.transmit(to, env)
-	return nil
+	return e.send(ctx, to, env)
 }
 
-func (e *endpoint) Broadcast(_ context.Context, env network.Envelope) error {
+// Broadcast enqueues for every other node, attempting all of them and
+// aggregating per-peer failures into a *network.BroadcastError.
+func (e *endpoint) Broadcast(ctx context.Context, env network.Envelope) error {
 	env.From = e.index
 	env.To = network.Broadcast
+	var failed []*network.PeerError
+	attempted := 0
 	for to := 1; to <= e.hub.n; to++ {
 		if to == e.index {
 			continue
 		}
-		e.hub.transmit(to, env)
+		attempted++
+		if err := e.send(ctx, to, env); err != nil {
+			failed = append(failed, network.PeerFailure(to, err))
+		}
 	}
-	return nil
+	return network.NewBroadcastError(attempted, failed)
+}
+
+// TransportStats snapshots this node's view of every peer link: a
+// crashed peer is Down (its pump is stalled, its queue backing up),
+// everything else is Up.
+func (e *endpoint) TransportStats() network.TransportStats {
+	out := network.TransportStats{}
+	for to := 1; to <= e.hub.n; to++ {
+		if to == e.index {
+			continue
+		}
+		ps := network.PeerStats{Peer: to, State: network.PeerUp}
+		e.hub.mu.Lock()
+		crashed := e.hub.crashed[to]
+		l := e.hub.links[[2]int{e.index, to}]
+		e.hub.mu.Unlock()
+		if crashed {
+			ps.State = network.PeerDown
+			ps.ConsecutiveFailures = 1
+			ps.LastError = "peer crashed"
+		}
+		if l != nil {
+			ps.QueueDepth = l.q.Len()
+			ps.QueueCap = l.q.Cap()
+			ps.Enqueued = l.q.Enqueued()
+			ps.Dropped = l.q.Dropped()
+			ps.Sent = l.sent.Load()
+		} else {
+			ps.QueueCap = e.hub.opts.OutQueueLen
+		}
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
 }
 
 func (e *endpoint) Receive() <-chan network.Envelope {

@@ -85,19 +85,31 @@ func TestCrashAndRestart(t *testing.T) {
 	hub := NewHub(2, Options{})
 	defer hub.Close()
 	hub.Crash(2)
-	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Payload: []byte("lost")}); err != nil {
-		t.Fatal(err) // sends to crashed nodes are silently dropped
+	// A send toward a crashed node queues on the link (the "writer" is
+	// stuck redialing the dead peer, as over TCP); nothing is delivered
+	// while the node is down.
+	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Payload: []byte("queued")}); err != nil {
+		t.Fatal(err)
 	}
 	select {
 	case env := <-hub.Endpoint(2).Receive():
 		t.Fatalf("crashed node received %+v", env)
 	case <-time.After(50 * time.Millisecond):
 	}
+	if st, ok := hub.Endpoint(1).TransportStats().Peer(2); !ok || st.State != network.PeerDown {
+		t.Fatalf("crashed peer stats = %+v, want Down", st)
+	}
 	hub.Restart(2)
 	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Payload: []byte("back")}); err != nil {
 		t.Fatal(err)
 	}
+	// The backlog drains in order after the restart, like a TCP
+	// reconnect replaying the peer's outbound queue.
 	env := recvOne(t, hub.Endpoint(2).Receive(), time.Second)
+	if string(env.Payload) != "queued" {
+		t.Fatalf("got %+v, want the queued frame first", env)
+	}
+	env = recvOne(t, hub.Endpoint(2).Receive(), time.Second)
 	if string(env.Payload) != "back" {
 		t.Fatalf("got %+v", env)
 	}

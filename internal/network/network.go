@@ -69,6 +69,12 @@ func UnmarshalEnvelope(data []byte) (Envelope, error) {
 // P2P provides reliable point-to-point communication with every peer.
 // Implementations must deliver each sent envelope at most once per
 // destination and preserve sender order on a per-link basis.
+//
+// Sends are asynchronous: Send and Broadcast enqueue onto a bounded
+// per-peer outbound queue in O(1) and never wait for dialing or for a
+// slow peer, so a dead peer cannot stall the protocol hot path. A full
+// queue is resolved by the transport's QueuePolicy; Broadcast reports
+// per-peer failures as a *BroadcastError (see FailedPeers).
 type P2P interface {
 	// Send delivers the envelope to one peer.
 	Send(ctx context.Context, to int, env Envelope) error
@@ -77,6 +83,9 @@ type P2P interface {
 	// Receive returns the channel of inbound envelopes. The channel is
 	// closed by Close.
 	Receive() <-chan Envelope
+	// TransportStats snapshots the health of every peer link: state
+	// (up/dialing/down), queue depth, and send/drop counters.
+	TransportStats() TransportStats
 	// Close releases the transport.
 	Close() error
 }

@@ -1,0 +1,171 @@
+package outq_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/outq"
+)
+
+func TestFailFastRejectsWhenFull(t *testing.T) {
+	q := outq.New[int](2, network.PolicyFailFast)
+	defer q.Close()
+	ctx := context.Background()
+	if err := q.Enqueue(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Enqueue(ctx, 3)
+	if !errors.Is(err, network.ErrPeerBacklogged) {
+		t.Fatalf("full queue returned %v, want ErrPeerBacklogged", err)
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", q.Dropped())
+	}
+	if q.Len() != 2 || q.Enqueued() != 2 {
+		t.Fatalf("len=%d enqueued=%d, want 2/2", q.Len(), q.Enqueued())
+	}
+}
+
+func TestDropOldestEvicts(t *testing.T) {
+	q := outq.New[int](2, network.PolicyDropOldest)
+	defer q.Close()
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		if err := q.Enqueue(ctx, i); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if q.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", q.Dropped())
+	}
+	// The two newest survive, in order.
+	stop := make(chan struct{})
+	for _, want := range []int{4, 5} {
+		got, ok := q.Dequeue(stop)
+		if !ok || got != want {
+			t.Fatalf("dequeue = %d/%v, want %d", got, ok, want)
+		}
+	}
+}
+
+func TestBlockWaitsForSpaceAndCtx(t *testing.T) {
+	q := outq.New[int](1, network.PolicyBlock)
+	defer q.Close()
+	ctx := context.Background()
+	if err := q.Enqueue(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blocked enqueue is released by a dequeue.
+	released := make(chan error, 1)
+	go func() { released <- q.Enqueue(ctx, 2) }()
+	select {
+	case err := <-released:
+		t.Fatalf("enqueue on a full block-policy queue returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	stop := make(chan struct{})
+	if got, ok := q.Dequeue(stop); !ok || got != 1 {
+		t.Fatalf("dequeue = %d/%v", got, ok)
+	}
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked enqueue not released by dequeue")
+	}
+
+	// Blocked enqueue respects context cancellation.
+	cctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := q.Enqueue(cctx, 3)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled enqueue returned %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled enqueue blocked past its deadline")
+	}
+}
+
+func TestCloseUnblocksEveryone(t *testing.T) {
+	q := outq.New[int](1, network.PolicyBlock)
+	if err := q.Enqueue(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs <- q.Enqueue(context.Background(), 2) }()
+	go func() {
+		defer wg.Done()
+		// Consume the queued item first so this blocks on an empty queue.
+		stop := make(chan struct{})
+		for {
+			if _, ok := q.Dequeue(stop); !ok {
+				errs <- nil
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, network.ErrTransportClosed) {
+			t.Fatalf("shutdown surfaced %v", err)
+		}
+	}
+	if err := q.Enqueue(context.Background(), 3); !errors.Is(err, network.ErrTransportClosed) {
+		t.Fatalf("enqueue after close returned %v", err)
+	}
+}
+
+func TestConcurrentProducersDropOldestRace(t *testing.T) {
+	q := outq.New[int](8, network.PolicyDropOldest)
+	defer q.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = q.Enqueue(context.Background(), p*1000+i)
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	consumed := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.Dequeue(stop); !ok {
+				return
+			}
+			consumed++
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	<-done
+	// Conservation: every admitted item was consumed, evicted, or is
+	// still queued. Drop-oldest admits everything, so enqueued == 1600.
+	if q.Enqueued() != 8*200 {
+		t.Fatalf("enqueued = %d, want %d", q.Enqueued(), 8*200)
+	}
+	if q.Enqueued() != uint64(consumed)+q.Dropped()+uint64(q.Len()) {
+		t.Fatalf("leak: enqueued=%d consumed=%d dropped=%d remaining=%d",
+			q.Enqueued(), consumed, q.Dropped(), q.Len())
+	}
+}

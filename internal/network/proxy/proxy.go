@@ -109,6 +109,11 @@ func (c *Client) Submit(_ context.Context, env network.Envelope) error {
 // Receive returns the inbound message stream.
 func (c *Client) Receive() <-chan network.Envelope { return c.in }
 
+// TransportStats reports an empty snapshot: the host platform owns the
+// peer links behind the proxy, so per-peer health is not observable
+// from the node side.
+func (c *Client) TransportStats() network.TransportStats { return network.TransportStats{} }
+
 // Delivered returns the ordered stream (same channel: the host platform
 // guarantees the order for TOB deployments).
 func (c *Client) Delivered() <-chan network.Envelope { return c.in }

@@ -2,19 +2,30 @@
 // length-prefixed TCP connections. It replaces the original system's
 // libp2p gossip overlay; the paper's model only requires reliable
 // point-to-point channels, which persistent TCP links provide directly.
+//
+// Sends are asynchronous: each peer has a bounded outbound queue
+// drained by a dedicated writer goroutine that owns the peer's
+// connection, dials in the background with exponential backoff, and
+// tracks link health (up/dialing/down). Send and Broadcast enqueue in
+// O(1) and never touch the dialer, so a dead or slow peer cannot stall
+// the caller; a full queue is resolved by the configured
+// network.QueuePolicy. TransportStats snapshots every link for
+// operators and tests.
 package tcpnet
 
 import (
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thetacrypt/internal/network"
+	"thetacrypt/internal/network/outq"
 )
 
 // maxFrame bounds a single wire frame (16 MiB).
@@ -28,11 +39,26 @@ type Config struct {
 	ListenAddr string
 	// Peers maps node index to dialable address for every OTHER node.
 	Peers map[int]string
-	// DialRetry is the backoff between reconnect attempts (default
-	// 250 ms).
+	// DialRetry is the initial backoff between reconnect attempts
+	// (default 250 ms); it doubles per consecutive failure up to
+	// DialBackoffMax.
 	DialRetry time.Duration
+	// DialBackoffMax caps the exponential dial backoff (default 4 s).
+	DialBackoffMax time.Duration
 	// QueueLen is the inbound queue length (default 4096).
 	QueueLen int
+	// OutQueueLen bounds each peer's outbound queue (default 1024
+	// frames). The queue absorbs bursts and peer outages; overflow is
+	// resolved by Policy.
+	OutQueueLen int
+	// Policy selects the full-queue behavior (default PolicyBlock:
+	// wait for space, bounded by the send context).
+	Policy network.QueuePolicy
+	// WriteTimeout bounds one frame write on an established connection
+	// (default 30 s). A peer that accepts the connection but stops
+	// reading trips it, dropping the link into redial instead of
+	// wedging the writer forever.
+	WriteTimeout time.Duration
 }
 
 // Transport is a network.P2P over TCP.
@@ -41,49 +67,76 @@ type Transport struct {
 	ln  net.Listener
 	in  chan network.Envelope
 
-	// mu guards the connection and peer tables only; it is never held
-	// across a socket write, so one stalled peer cannot block sends to
-	// the others (writes serialize per connection via peerConn.mu).
+	// mu guards the peer and inbound-connection tables only; it is
+	// never held across a dial or a socket write.
 	mu      sync.Mutex
-	conns   map[int]*peerConn
+	peers   map[int]*peer
 	inbound []net.Conn
-	done    sync.WaitGroup
-	stop    chan struct{}
-	close   sync.Once
+
+	done sync.WaitGroup
+	stop chan struct{}
+	// dialCtx is canceled on Close, aborting in-flight dials.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	close      sync.Once
 }
 
-// peerConn is one outbound connection with its write lock: frames to
-// the same peer are serialized, frames to different peers proceed in
-// parallel.
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+// peer is one outbound link: its bounded queue, the writer goroutine's
+// connection, and health bookkeeping.
+type peer struct {
+	index int
+	q     *outq.Queue[[]byte]
+
+	mu          sync.Mutex
+	addr        string
+	conn        net.Conn
+	state       network.PeerState
+	consecFails uint64
+	lastErr     error
+
+	sent atomic.Uint64
 }
 
 var _ network.P2P = (*Transport)(nil)
 
-// New starts listening and returns the transport. Outbound connections
-// are dialed lazily with retry.
+// New starts listening and returns the transport. Writer goroutines are
+// started per configured peer; outbound connections are dialed in the
+// background once traffic arrives, with exponential backoff on failure.
 func New(cfg Config) (*Transport, error) {
 	if cfg.DialRetry <= 0 {
 		cfg.DialRetry = 250 * time.Millisecond
 	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = 4 * time.Second
+	}
+	if cfg.DialBackoffMax < cfg.DialRetry {
+		cfg.DialBackoffMax = cfg.DialRetry
+	}
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
+	}
+	if cfg.OutQueueLen <= 0 {
+		cfg.OutQueueLen = 1024
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet listen: %w", err)
 	}
-	if cfg.Peers == nil {
-		cfg.Peers = make(map[int]string)
-	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
 	t := &Transport{
-		cfg:   cfg,
-		ln:    ln,
-		in:    make(chan network.Envelope, cfg.QueueLen),
-		conns: make(map[int]*peerConn),
-		stop:  make(chan struct{}),
+		cfg:        cfg,
+		ln:         ln,
+		in:         make(chan network.Envelope, cfg.QueueLen),
+		peers:      make(map[int]*peer),
+		stop:       make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
+	}
+	for idx, addr := range cfg.Peers {
+		t.addPeerLocked(idx, addr) // no concurrency yet; lock not needed
 	}
 	t.done.Add(1)
 	go t.acceptLoop()
@@ -93,30 +146,59 @@ func New(cfg Config) (*Transport, error) {
 // Addr returns the bound listen address.
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
-// SetPeer registers (or updates) a peer address; used when ports are
+// addPeerLocked registers a peer and starts its writer; t.mu must be
+// held (or the transport not yet shared).
+func (t *Transport) addPeerLocked(index int, addr string) *peer {
+	p := &peer{
+		index: index,
+		addr:  addr,
+		q:     outq.New[[]byte](t.cfg.OutQueueLen, t.cfg.Policy),
+		// Down until the writer establishes the link: no connection
+		// exists yet.
+		state: network.PeerDown,
+	}
+	t.peers[index] = p
+	t.done.Add(1)
+	go t.writer(p)
+	return p
+}
+
+// SetPeer registers (or re-addresses) a peer; used when ports are
 // assigned dynamically.
 func (t *Transport) SetPeer(index int, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.cfg.Peers[index] = addr
-}
-
-// peerAddr looks up a peer address.
-func (t *Transport) peerAddr(index int) (string, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	addr, ok := t.cfg.Peers[index]
-	return addr, ok
-}
-
-// peerIndices snapshots the peer set.
-func (t *Transport) peerIndices() []int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]int, 0, len(t.cfg.Peers))
-	for idx := range t.cfg.Peers {
-		out = append(out, idx)
+	p, ok := t.peers[index]
+	if !ok {
+		t.addPeerLocked(index, addr)
+		t.mu.Unlock()
+		return
 	}
+	t.mu.Unlock()
+	p.mu.Lock()
+	p.addr = addr
+	p.mu.Unlock()
+}
+
+// peer looks up a registered peer.
+func (t *Transport) peer(index int) (*peer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.peers[index]
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for peer %d", index)
+	}
+	return p, nil
+}
+
+// peerSnapshot returns the registered peers sorted by index.
+func (t *Transport) peerSnapshot() []*peer {
+	t.mu.Lock()
+	out := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, p)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
 	return out
 }
 
@@ -155,112 +237,211 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}
 }
 
-// connTo returns (dialing if necessary) the outbound connection to a
-// peer.
-func (t *Transport) connTo(ctx context.Context, to int) (*peerConn, error) {
-	t.mu.Lock()
-	if pc, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return pc, nil
-	}
-	t.mu.Unlock()
-
-	addr, ok := t.peerAddr(to)
-	if !ok {
-		return nil, fmt.Errorf("tcpnet: no address for peer %d", to)
-	}
-	var dialer net.Dialer
+// writer is peer p's dedicated goroutine: it drains the outbound queue
+// and owns the connection. Dial failures and write errors put the link
+// into exponential backoff (DialRetry doubling up to DialBackoffMax);
+// the frame being delivered is retried, not dropped — overflow policy
+// applies only at enqueue time.
+func (t *Transport) writer(p *peer) {
+	defer t.done.Done()
+	backoff := t.cfg.DialRetry
 	for {
-		conn, err := dialer.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			t.mu.Lock()
-			if existing, ok := t.conns[to]; ok {
-				t.mu.Unlock()
-				_ = conn.Close()
-				return existing, nil
-			}
-			pc := &peerConn{conn: conn}
-			t.conns[to] = pc
-			t.mu.Unlock()
-			return pc, nil
+		frame, ok := p.q.Dequeue(t.stop)
+		if !ok {
+			return
 		}
-		select {
-		case <-time.After(t.cfg.DialRetry):
-		case <-ctx.Done():
-			return nil, fmt.Errorf("tcpnet dial %d: %w", to, ctx.Err())
-		case <-t.stop:
-			return nil, errors.New("tcpnet: transport closed")
+		for {
+			select {
+			case <-t.stop:
+				return
+			default:
+			}
+			conn, err := t.ensureConn(p)
+			if err == nil {
+				_ = conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+				err = writeFrame(conn, frame)
+				if err == nil {
+					p.noteSent()
+					backoff = t.cfg.DialRetry
+					break
+				}
+				// A partial frame may be on the wire; the connection
+				// cannot be reused.
+				p.dropConn(conn)
+				p.noteFailure(err)
+			}
+			if !t.sleep(backoff) {
+				return
+			}
+			backoff = min(backoff*2, t.cfg.DialBackoffMax)
 		}
 	}
 }
 
-// Send delivers one envelope to a peer, redialing once on a stale
-// connection.
+// sleep waits d or until the transport stops; false means stop.
+func (t *Transport) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// ensureConn returns the peer's established connection, dialing if none
+// exists. Only the writer goroutine calls it, so at most one dial per
+// peer is ever in flight.
+func (t *Transport) ensureConn(p *peer) (net.Conn, error) {
+	p.mu.Lock()
+	if p.conn != nil {
+		conn := p.conn
+		p.mu.Unlock()
+		return conn, nil
+	}
+	addr := p.addr
+	p.state = network.PeerDialing
+	p.mu.Unlock()
+	if addr == "" {
+		err := fmt.Errorf("tcpnet: no address for peer %d", p.index)
+		p.noteFailure(err)
+		return nil, err
+	}
+	// Bound the attempt: a blackholed peer (packets silently dropped)
+	// must fail within the backoff cap, not pin the writer for the OS
+	// SYN-retry window.
+	dialer := net.Dialer{Timeout: t.cfg.DialBackoffMax}
+	conn, err := dialer.DialContext(t.dialCtx, "tcp", addr)
+	if err != nil {
+		p.noteFailure(err)
+		return nil, err
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.state = network.PeerUp
+	p.consecFails = 0
+	p.lastErr = nil
+	p.mu.Unlock()
+	return conn, nil
+}
+
+// noteSent records a successful frame write.
+func (p *peer) noteSent() {
+	p.sent.Add(1)
+	p.mu.Lock()
+	p.state = network.PeerUp
+	p.consecFails = 0
+	p.lastErr = nil
+	p.mu.Unlock()
+}
+
+// noteFailure records a dial or write failure; the link is Down until
+// the next attempt succeeds.
+func (p *peer) noteFailure(err error) {
+	p.mu.Lock()
+	p.state = network.PeerDown
+	p.consecFails++
+	p.lastErr = err
+	p.mu.Unlock()
+}
+
+// dropConn discards a failed connection.
+func (p *peer) dropConn(conn net.Conn) {
+	_ = conn.Close()
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
+// Send enqueues one envelope for a peer in O(1); the peer's writer
+// delivers it in the background. A full queue is resolved by the
+// configured policy: block (bounded by ctx), drop-oldest, or fail-fast
+// with a *network.PeerError wrapping network.ErrPeerBacklogged.
 func (t *Transport) Send(ctx context.Context, to int, env network.Envelope) error {
 	env.From = t.cfg.Self
 	env.To = to
-	return t.sendFrame(ctx, to, env.Marshal())
-}
-
-// sendFrame writes one pre-marshaled frame to a peer. Only the
-// per-connection lock is held across the (possibly blocking) socket
-// write, so a stalled peer delays its own frames and nothing else.
-func (t *Transport) sendFrame(ctx context.Context, to int, frame []byte) error {
-	for attempt := 0; attempt < 2; attempt++ {
-		pc, err := t.connTo(ctx, to)
-		if err != nil {
-			return err
-		}
-		pc.mu.Lock()
-		err = writeFrame(pc.conn, frame)
-		pc.mu.Unlock()
-		if err == nil {
-			return nil
-		}
-		t.dropConn(to, pc)
+	p, err := t.peer(to)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("tcpnet: send to %d failed", to)
+	return p.enqueue(ctx, env.Marshal())
 }
 
-// dropConn discards a failed connection, unless a newer one already
-// replaced it.
-func (t *Transport) dropConn(to int, pc *peerConn) {
-	_ = pc.conn.Close()
-	t.mu.Lock()
-	if t.conns[to] == pc {
-		delete(t.conns, to)
+// enqueue admits one frame to the peer's queue, attributing policy
+// failures to the peer.
+func (p *peer) enqueue(ctx context.Context, frame []byte) error {
+	if err := p.q.Enqueue(ctx, frame); err != nil {
+		return network.AttributePeer(p.index, err)
 	}
-	t.mu.Unlock()
+	return nil
 }
 
-// Broadcast sends to every configured peer; the first error is returned
-// after attempting all peers. The envelope is marshaled once with
-// To=Broadcast (matching memnet's semantics) and the identical frame is
-// reused for every peer.
+// Broadcast enqueues the envelope for every registered peer. The
+// envelope is marshaled once with To=Broadcast (matching memnet's
+// semantics) and the identical frame is shared by every queue. All
+// peers are attempted; failures are aggregated into a
+// *network.BroadcastError naming each failed peer, so callers can
+// judge whether the surviving set still reaches a quorum.
 func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
 	env.From = t.cfg.Self
 	env.To = network.Broadcast
 	frame := env.Marshal()
-	var firstErr error
-	for _, to := range t.peerIndices() {
-		if err := t.sendFrame(ctx, to, frame); err != nil && firstErr == nil {
-			firstErr = err
+	peers := t.peerSnapshot()
+	var failed []*network.PeerError
+	for _, p := range peers {
+		if err := p.enqueue(ctx, frame); err != nil {
+			failed = append(failed, network.PeerFailure(p.index, err))
 		}
 	}
-	return firstErr
+	return network.NewBroadcastError(len(peers), failed)
+}
+
+// TransportStats snapshots every peer link.
+func (t *Transport) TransportStats() network.TransportStats {
+	peers := t.peerSnapshot()
+	out := network.TransportStats{Peers: make([]network.PeerStats, 0, len(peers))}
+	for _, p := range peers {
+		p.mu.Lock()
+		ps := network.PeerStats{
+			Peer:                p.index,
+			State:               p.state,
+			ConsecutiveFailures: p.consecFails,
+		}
+		if p.lastErr != nil {
+			ps.LastError = p.lastErr.Error()
+		}
+		p.mu.Unlock()
+		ps.QueueDepth = p.q.Len()
+		ps.QueueCap = p.q.Cap()
+		ps.Enqueued = p.q.Enqueued()
+		ps.Dropped = p.q.Dropped()
+		ps.Sent = p.sent.Load()
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
 }
 
 // Receive returns the inbound envelope stream.
 func (t *Transport) Receive() <-chan network.Envelope { return t.in }
 
-// Close shuts down the transport.
+// Close shuts down the transport: writers stop, connections close, and
+// the inbound channel is closed once every goroutine has exited.
 func (t *Transport) Close() error {
 	t.close.Do(func() {
 		close(t.stop)
+		t.dialCancel()
 		_ = t.ln.Close()
 		t.mu.Lock()
-		for _, pc := range t.conns {
-			_ = pc.conn.Close()
+		for _, p := range t.peers {
+			p.q.Close()
+			p.mu.Lock()
+			if p.conn != nil {
+				_ = p.conn.Close()
+			}
+			p.mu.Unlock()
 		}
 		for _, c := range t.inbound {
 			_ = c.Close()

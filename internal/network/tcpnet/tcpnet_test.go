@@ -52,13 +52,14 @@ func (s *slowListener) close() {
 	}
 }
 
-// TestSlowPeerDoesNotBlockOtherSends: with writes serialized per
-// connection instead of under the transport-wide mutex, a peer that
-// stops reading stalls only its own frames. Before the fix, the stalled
-// writeFrame held t.mu and every other Send (and peer lookup) froze
-// behind it.
+// TestSlowPeerDoesNotBlockOtherSends: each peer's frames flow through
+// its own bounded queue and writer goroutine, so a peer that stops
+// reading stalls only its own link — its queue fills and (block policy)
+// its senders wait on their context, while sends to healthy peers
+// proceed untouched. The small OutQueueLen keeps the wedged link's
+// backlog bounded in memory, exactly what it does in production.
 func TestSlowPeerDoesNotBlockOtherSends(t *testing.T) {
-	t1, err := tcpnet.New(tcpnet.Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	t1, err := tcpnet.New(tcpnet.Config{Self: 1, ListenAddr: "127.0.0.1:0", OutQueueLen: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +121,16 @@ func TestSlowPeerDoesNotBlockOtherSends(t *testing.T) {
 		}
 	case <-ctx.Done():
 		t.Fatal("healthy peer never received the envelope")
+	}
+
+	// The wedged link is visible to operators: its queue is backed up
+	// while the healthy link has flowed.
+	st := t1.TransportStats()
+	if wedged, ok := st.Peer(2); !ok || wedged.QueueDepth < 1 {
+		t.Fatalf("wedged peer stats = %+v, want a backed-up queue", wedged)
+	}
+	if healthy, ok := st.Peer(3); !ok || healthy.Sent < 1 || healthy.State != network.PeerUp {
+		t.Fatalf("healthy peer stats = %+v, want Up with sends", healthy)
 	}
 }
 

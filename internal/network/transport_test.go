@@ -3,6 +3,7 @@ package network_test
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"testing"
 	"time"
 
@@ -172,4 +173,296 @@ func TestProxyBridgesP2P(t *testing.T) {
 	case <-ctx.Done():
 		t.Fatal("inbound proxy message lost")
 	}
+}
+
+// ---------------------------------------------------------------------
+// Conformance: the asynchronous per-peer pipeline (bounded outbound
+// queues, writer goroutines, health states, full-queue policies) must
+// behave identically over real TCP (tcpnet) and in-process (memnet).
+// Each harness builds an n-node mesh and can take one node fully down:
+// closing the tcpnet transport (dials refused, writers in dial-backoff)
+// or crashing the memnet node (pumps stalled).
+
+type transportHarness struct {
+	name string
+	// eps[i-1] is node i's endpoint.
+	eps  []network.P2P
+	kill func(i int)
+	stop func()
+}
+
+// conformanceConfig tunes the per-peer queues of a harness.
+type conformanceConfig struct {
+	outQueue int
+	policy   network.QueuePolicy
+}
+
+func tcpHarness(t *testing.T, n int, cfg conformanceConfig) *transportHarness {
+	t.Helper()
+	transports := make([]*tcpnet.Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := tcpnet.New(tcpnet.Config{
+			Self:        i + 1,
+			ListenAddr:  "127.0.0.1:0",
+			OutQueueLen: cfg.outQueue,
+			Policy:      cfg.policy,
+			// A long retry keeps a dead peer's writer parked in backoff
+			// for the duration of the assertions.
+			DialRetry:      time.Second,
+			DialBackoffMax: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				transports[i].SetPeer(j+1, transports[j].Addr())
+			}
+		}
+	}
+	eps := make([]network.P2P, n)
+	for i, tr := range transports {
+		eps[i] = tr
+	}
+	return &transportHarness{
+		name: "tcpnet",
+		eps:  eps,
+		kill: func(i int) { _ = transports[i-1].Close() },
+		stop: func() {
+			for _, tr := range transports {
+				_ = tr.Close()
+			}
+		},
+	}
+}
+
+func memHarness(t *testing.T, n int, cfg conformanceConfig) *transportHarness {
+	t.Helper()
+	hub := memnet.NewHub(n, memnet.Options{
+		OutQueueLen: cfg.outQueue,
+		Policy:      cfg.policy,
+	})
+	eps := make([]network.P2P, n)
+	for i := 0; i < n; i++ {
+		eps[i] = hub.Endpoint(i + 1)
+	}
+	return &transportHarness{
+		name: "memnet",
+		eps:  eps,
+		kill: hub.Crash,
+		stop: hub.Close,
+	}
+}
+
+// forEachTransport runs one conformance test against both transports.
+func forEachTransport(t *testing.T, n int, cfg conformanceConfig, run func(t *testing.T, h *transportHarness)) {
+	t.Helper()
+	builders := []func(*testing.T, int, conformanceConfig) *transportHarness{tcpHarness, memHarness}
+	for _, build := range builders {
+		h := build(t, n, cfg)
+		t.Run(h.name, func(t *testing.T) {
+			defer h.stop()
+			run(t, h)
+		})
+	}
+}
+
+// pollPeer waits until cond holds for node from's view of node peer.
+func pollPeer(t *testing.T, ep network.P2P, peer int, d time.Duration, cond func(network.PeerStats) bool, msg string) network.PeerStats {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last network.PeerStats
+	for time.Now().Before(deadline) {
+		if ps, ok := ep.TransportStats().Peer(peer); ok {
+			last = ps
+			if cond(ps) {
+				return ps
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s; last stats: %+v", msg, last)
+	return network.PeerStats{}
+}
+
+// TestDeadPeerDoesNotDelayBroadcast is the regression test for the
+// synchronous-transport stall: with one node fully down and its link in
+// dial-backoff, Broadcast from a healthy node must enqueue in O(1) —
+// bounded well under 50ms — and still deliver to the healthy peers,
+// while TransportStats reports the dead peer Down with traffic backed
+// up behind it.
+func TestDeadPeerDoesNotDelayBroadcast(t *testing.T) {
+	forEachTransport(t, 3, conformanceConfig{outQueue: 64}, func(t *testing.T, h *transportHarness) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		h.kill(3)
+
+		// Prime the dead link so its writer observes the outage.
+		for i := 0; i < 3; i++ {
+			if err := h.eps[0].Send(ctx, 3, network.Envelope{Instance: "prime", Kind: network.KindProto}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pollPeer(t, h.eps[0], 3, 8*time.Second, func(ps network.PeerStats) bool {
+			return ps.State == network.PeerDown && ps.QueueDepth >= 1
+		}, "dead peer never reported Down with a backed-up queue")
+
+		// The broadcast must not wait on the dead peer's dialer.
+		start := time.Now()
+		if err := h.eps[0].Broadcast(ctx, network.Envelope{
+			Instance: "alive", Kind: network.KindProto, Payload: []byte("quorum"),
+		}); err != nil {
+			t.Fatalf("broadcast with a dead peer errored: %v", err)
+		}
+		if enq := time.Since(start); enq > 50*time.Millisecond {
+			t.Fatalf("broadcast enqueue took %v with a dead peer, want <50ms", enq)
+		}
+
+		// Healthy peers still receive it.
+		select {
+		case env := <-h.eps[1].Receive():
+			if string(env.Payload) != "quorum" {
+				t.Fatalf("healthy peer received %+v", env)
+			}
+		case <-ctx.Done():
+			t.Fatal("healthy peer never received the broadcast")
+		}
+
+		ps, ok := h.eps[0].TransportStats().Peer(3)
+		if !ok || ps.State != network.PeerDown {
+			t.Fatalf("dead peer stats = %+v, want Down", ps)
+		}
+		if ps.QueueDepth == 0 && ps.Dropped == 0 {
+			t.Fatalf("dead peer stats = %+v, want nonzero queue depth or drops", ps)
+		}
+	})
+}
+
+// TestQueuePolicyDropOldest: on a full queue toward a dead peer, sends
+// keep succeeding and the oldest frames are evicted, counted in the
+// drop counter.
+func TestQueuePolicyDropOldest(t *testing.T) {
+	forEachTransport(t, 2, conformanceConfig{outQueue: 2, policy: network.PolicyDropOldest}, func(t *testing.T, h *transportHarness) {
+		h.kill(2)
+		ctx := context.Background()
+		for i := 0; i < 8; i++ {
+			if err := h.eps[0].Send(ctx, 2, network.Envelope{Instance: "d", Kind: network.KindProto, Round: i}); err != nil {
+				t.Fatalf("drop-oldest send %d errored: %v", i, err)
+			}
+		}
+		ps, ok := h.eps[0].TransportStats().Peer(2)
+		if !ok || ps.Dropped == 0 {
+			t.Fatalf("peer stats = %+v, want nonzero drops", ps)
+		}
+		if ps.QueueDepth > 2 {
+			t.Fatalf("queue depth %d exceeds its cap 2", ps.QueueDepth)
+		}
+	})
+}
+
+// TestQueuePolicyFailFast: on a full queue toward a dead peer, sends
+// fail immediately with the typed ErrPeerBacklogged attributed to the
+// peer, and never block.
+func TestQueuePolicyFailFast(t *testing.T) {
+	forEachTransport(t, 2, conformanceConfig{outQueue: 2, policy: network.PolicyFailFast}, func(t *testing.T, h *transportHarness) {
+		h.kill(2)
+		ctx := context.Background()
+		var sendErr error
+		for i := 0; i < 6 && sendErr == nil; i++ {
+			start := time.Now()
+			sendErr = h.eps[0].Send(ctx, 2, network.Envelope{Instance: "f", Kind: network.KindProto, Round: i})
+			if d := time.Since(start); d > time.Second {
+				t.Fatalf("fail-fast send %d blocked for %v", i, d)
+			}
+		}
+		if !errors.Is(sendErr, network.ErrPeerBacklogged) {
+			t.Fatalf("overflow send returned %v, want ErrPeerBacklogged", sendErr)
+		}
+		var pe *network.PeerError
+		if !errors.As(sendErr, &pe) || pe.Peer != 2 {
+			t.Fatalf("overflow error %v not attributed to peer 2", sendErr)
+		}
+		if ps, ok := h.eps[0].TransportStats().Peer(2); !ok || ps.Dropped == 0 {
+			t.Fatalf("peer stats = %+v, want nonzero drop counter", ps)
+		}
+	})
+}
+
+// TestQueuePolicyBlockCancelled: with the default block policy, a send
+// into a full queue waits — and is released by its context deadline,
+// not by the dead peer.
+func TestQueuePolicyBlockCancelled(t *testing.T) {
+	forEachTransport(t, 2, conformanceConfig{outQueue: 1, policy: network.PolicyBlock}, func(t *testing.T, h *transportHarness) {
+		h.kill(2)
+		// Fill: the writer parks one frame in its delivery retry, the
+		// queue holds the next.
+		for i := 0; i < 2; i++ {
+			if err := h.eps[0].Send(context.Background(), 2, network.Envelope{Instance: "b", Kind: network.KindProto, Round: i}); err != nil {
+				t.Fatalf("fill send %d: %v", i, err)
+			}
+		}
+		pollPeer(t, h.eps[0], 2, 5*time.Second, func(ps network.PeerStats) bool {
+			return ps.QueueDepth >= 1
+		}, "queue toward the dead peer never filled")
+
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		err := h.eps[0].Send(ctx, 2, network.Envelope{Instance: "b", Kind: network.KindProto, Round: 99})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("blocked send returned %v, want DeadlineExceeded", err)
+		}
+		if d := time.Since(start); d > 3*time.Second {
+			t.Fatalf("blocked send held for %v past its 100ms deadline", d)
+		}
+	})
+}
+
+// TestBroadcastReportsPerPeerFailures: Broadcast attempts every peer
+// and aggregates the failures into a typed multi-peer error naming each
+// failed peer, while healthy peers still receive the frame.
+func TestBroadcastReportsPerPeerFailures(t *testing.T) {
+	forEachTransport(t, 3, conformanceConfig{outQueue: 1, policy: network.PolicyFailFast}, func(t *testing.T, h *transportHarness) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		h.kill(3)
+		// Saturate the dead peer's queue so the broadcast's enqueue
+		// fails for it.
+		for i := 0; i < 4; i++ {
+			_ = h.eps[0].Send(ctx, 3, network.Envelope{Instance: "sat", Kind: network.KindProto, Round: i})
+		}
+		pollPeer(t, h.eps[0], 3, 5*time.Second, func(ps network.PeerStats) bool {
+			return ps.QueueDepth >= 1
+		}, "dead peer queue never saturated")
+
+		err := h.eps[0].Broadcast(ctx, network.Envelope{Instance: "multi", Kind: network.KindProto, Payload: []byte("m")})
+		if err == nil {
+			t.Fatal("broadcast with a saturated dead peer returned nil")
+		}
+		if !errors.Is(err, network.ErrPeerBacklogged) {
+			t.Fatalf("broadcast error %v does not wrap ErrPeerBacklogged", err)
+		}
+		var be *network.BroadcastError
+		if !errors.As(err, &be) {
+			t.Fatalf("broadcast error %T is not a *BroadcastError", err)
+		}
+		if be.Peers != 2 || len(be.Failed) != 1 || be.Failed[0].Peer != 3 {
+			t.Fatalf("broadcast error %+v, want 1/2 peers failed naming peer 3", be)
+		}
+		if got := network.FailedPeers(err); len(got) != 1 || got[0] != 3 {
+			t.Fatalf("FailedPeers = %v, want [3]", got)
+		}
+		// The healthy peer was not held back by the failure.
+		select {
+		case env := <-h.eps[1].Receive():
+			if env.Instance != "multi" {
+				t.Fatalf("healthy peer received %+v", env)
+			}
+		case <-ctx.Done():
+			t.Fatal("healthy peer never received the broadcast")
+		}
+	})
 }

@@ -1,0 +1,173 @@
+package orchestration
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network"
+)
+
+// scriptedNet returns a scripted error from Broadcast and a scripted
+// transport snapshot, isolating the engine's broadcast-failure policy
+// from any real transport.
+type scriptedNet struct {
+	broadcastErr error
+	stats        network.TransportStats
+	in           chan network.Envelope
+}
+
+func (s *scriptedNet) Send(context.Context, int, network.Envelope) error { return nil }
+func (s *scriptedNet) Broadcast(context.Context, network.Envelope) error { return s.broadcastErr }
+func (s *scriptedNet) Receive() <-chan network.Envelope                  { return s.in }
+func (s *scriptedNet) TransportStats() network.TransportStats            { return s.stats }
+func (s *scriptedNet) Close() error                                      { return nil }
+
+func scriptedEngine(t *testing.T, tt int, net *scriptedNet) *Engine {
+	t.Helper()
+	nodes, err := keys.Deal(rand.Reader, tt, 4, keys.Options{RSABits: 512, UseRSAFixture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Keys: keys.NewManager(nodes[0]), Net: net})
+	t.Cleanup(e.Stop)
+	return e
+}
+
+// TestPartialBroadcastFailureToleratedAndCounted: a broadcast that
+// fails for some — but not all — peers must not fail the instance (the
+// surviving set may still reach a quorum); the incident is counted and
+// attributable through Stats.
+func TestPartialBroadcastFailureToleratedAndCounted(t *testing.T) {
+	net := &scriptedNet{
+		in: make(chan network.Envelope),
+		broadcastErr: network.NewBroadcastError(3, []*network.PeerError{
+			{Peer: 3, Err: network.ErrPeerBacklogged},
+		}),
+	}
+	e := scriptedEngine(t, 1, net)
+	f, err := e.Submit(context.Background(), coinReq("partial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The announce failed for peer 3 only: the instance must stay live,
+	// waiting for the quorum that peers 2 and 4 can still form.
+	select {
+	case res := <-f.Done():
+		t.Fatalf("partially announced instance failed early: %+v", res)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Both the announce and the first round share broadcast were
+	// partial; each is counted.
+	if st := e.Stats(); st.PartialBroadcasts < 1 || st.Live != 1 {
+		t.Fatalf("stats = %+v, want partial broadcasts counted and a live instance", st)
+	}
+}
+
+// TestTotalBroadcastFailureFailsInstance: a broadcast that reaches no
+// peer at all fails the instance with the announce error.
+func TestTotalBroadcastFailureFailsInstance(t *testing.T) {
+	net := &scriptedNet{
+		in: make(chan network.Envelope),
+		broadcastErr: network.NewBroadcastError(3, []*network.PeerError{
+			{Peer: 2, Err: network.ErrPeerBacklogged},
+			{Peer: 3, Err: network.ErrPeerBacklogged},
+			{Peer: 4, Err: network.ErrPeerBacklogged},
+		}),
+	}
+	e := scriptedEngine(t, 1, net)
+	f, err := e.Submit(context.Background(), coinReq("total"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-f.Done():
+		if !errors.Is(res.Err, network.ErrPeerBacklogged) {
+			t.Fatalf("total broadcast failure surfaced %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("totally unannounced instance never failed")
+	}
+	if st := e.Stats(); st.PartialBroadcasts != 0 {
+		t.Fatalf("total failure counted as partial: %+v", st)
+	}
+}
+
+// TestQuorumKillingPartialFailureFailsInstance: a partial failure that
+// leaves fewer than t reachable peers cannot produce the t+1 shares
+// the protocol needs — the engine must fail the instance immediately
+// instead of letting it stall until retention expiry.
+func TestQuorumKillingPartialFailureFailsInstance(t *testing.T) {
+	net := &scriptedNet{
+		in: make(chan network.Envelope),
+		// t=2 needs 3 shares (self + 2 peers); only 1 peer was reached.
+		broadcastErr: network.NewBroadcastError(3, []*network.PeerError{
+			{Peer: 2, Err: network.ErrPeerBacklogged},
+			{Peer: 4, Err: network.ErrPeerBacklogged},
+		}),
+	}
+	e := scriptedEngine(t, 2, net)
+	f, err := e.Submit(context.Background(), coinReq("no-quorum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-f.Done():
+		if !errors.Is(res.Err, network.ErrPeerBacklogged) {
+			t.Fatalf("quorum-killing partial failure surfaced %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("quorum-impossible instance never failed")
+	}
+	if st := e.Stats(); st.PartialBroadcasts != 0 {
+		t.Fatalf("quorum-killing failure counted as tolerable partial: %+v", st)
+	}
+}
+
+// TestUnattributableBroadcastFailureFailsInstance: an error that names
+// no peer (a closed transport) is not a partial outage and fails the
+// instance.
+func TestUnattributableBroadcastFailureFailsInstance(t *testing.T) {
+	net := &scriptedNet{
+		in:           make(chan network.Envelope),
+		broadcastErr: network.ErrTransportClosed,
+	}
+	e := scriptedEngine(t, 1, net)
+	f, err := e.Submit(context.Background(), coinReq("closed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-f.Done():
+		if !errors.Is(res.Err, network.ErrTransportClosed) {
+			t.Fatalf("closed transport surfaced %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("instance never failed on a closed transport")
+	}
+}
+
+// TestStatsCarryTransportSnapshot: Engine.Stats threads the transport's
+// per-peer health through unchanged, the seam /v2/info serves to
+// operators.
+func TestStatsCarryTransportSnapshot(t *testing.T) {
+	net := &scriptedNet{
+		in: make(chan network.Envelope),
+		stats: network.TransportStats{Peers: []network.PeerStats{
+			{Peer: 2, State: network.PeerUp, QueueCap: 64, Sent: 7},
+			{Peer: 3, State: network.PeerDown, QueueCap: 64, QueueDepth: 9, ConsecutiveFailures: 4},
+		}},
+	}
+	e := scriptedEngine(t, 1, net)
+	st := e.Stats()
+	down, ok := st.Transport.Peer(3)
+	if !ok || down.State != network.PeerDown || down.QueueDepth != 9 {
+		t.Fatalf("transport snapshot lost the down peer: %+v", st.Transport)
+	}
+	if up, ok := st.Transport.Peer(2); !ok || up.Sent != 7 {
+		t.Fatalf("transport snapshot lost the healthy peer: %+v", st.Transport)
+	}
+}

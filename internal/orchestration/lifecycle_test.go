@@ -295,8 +295,9 @@ func (b *blockingNet) Broadcast(context.Context, network.Envelope) error {
 	<-b.release
 	return nil
 }
-func (b *blockingNet) Receive() <-chan network.Envelope { return b.in }
-func (b *blockingNet) Close() error                     { return nil }
+func (b *blockingNet) Receive() <-chan network.Envelope       { return b.in }
+func (b *blockingNet) TransportStats() network.TransportStats { return network.TransportStats{} }
+func (b *blockingNet) Close() error                           { return nil }
 
 // TestSubmitOverloadedFailsFast: a saturated event queue rejects both
 // Submit and SubmitBatch with the typed ErrOverloaded instead of

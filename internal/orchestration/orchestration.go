@@ -117,6 +117,11 @@ type Config struct {
 	// SweepInterval is the cadence of the background sweeper (default
 	// RetainTTL/8, clamped to [10ms, 5s]).
 	SweepInterval time.Duration
+	// SendTimeout bounds each round broadcast onto the transport
+	// (default 5s). The transport enqueues in O(1), so the deadline only
+	// bites when a block-policy peer queue is saturated — backpressure
+	// surfaces as a bounded wait instead of a wedged worker.
+	SendTimeout time.Duration
 	// OnRejectedShare, when set, observes invalid shares (for metrics
 	// and tests). It runs on the worker goroutine and must be fast.
 	OnRejectedShare func(instanceID string, err error)
@@ -141,6 +146,14 @@ type Stats struct {
 	RejectedShares uint64
 	// Overloaded counts submissions rejected with ErrOverloaded.
 	Overloaded uint64
+	// PartialBroadcasts counts round broadcasts that failed for some —
+	// but not all — peers; the run continues, since the surviving set
+	// may still reach a quorum. A rising counter points at a lagging or
+	// down peer (see Transport).
+	PartialBroadcasts uint64
+	// Transport is the P2P layer's per-peer health snapshot: link state
+	// (up/dialing/down), outbound queue depth, and send/drop counters.
+	Transport network.TransportStats
 }
 
 // Engine is one node's orchestration module.
@@ -177,8 +190,9 @@ type Engine struct {
 	tombstoneMax int
 	evicted      uint64
 
-	rejectedShares atomic.Uint64
-	overloaded     atomic.Uint64
+	rejectedShares    atomic.Uint64
+	overloaded        atomic.Uint64
+	partialBroadcasts atomic.Uint64
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -254,6 +268,9 @@ func New(cfg Config) *Engine {
 		if cfg.SweepInterval < 10*time.Millisecond {
 			cfg.SweepInterval = 10 * time.Millisecond
 		}
+	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = 5 * time.Second
 	}
 	// A started instance gets several retention windows (with a floor)
 	// to finish before it is expired: generous against slow protocol
@@ -487,13 +504,44 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 			Kind:     network.KindStart,
 			Payload:  req.Marshal(),
 		}
-		if err := e.cfg.Net.Broadcast(context.Background(), start); err != nil {
+		if err := e.broadcast(start); err != nil {
 			e.finishLocked(id, inst, Result{InstanceID: id, Err: fmt.Errorf("announce: %w", err)})
 			return inst, err
 		}
 	}
 	e.advanceLocked(id, inst, true)
 	return inst, nil
+}
+
+// broadcast sends one envelope to every peer under the engine's send
+// deadline (the transport enqueues in O(1); the deadline only bounds a
+// saturated block-policy queue). A partial failure is tolerated only
+// while a quorum is still feasible: the threshold protocol needs t+1
+// shares including this node's own, so at least t of the attempted
+// peers must have been reached. A tolerated incident is counted in
+// Stats.PartialBroadcasts and the lagging peer shows in
+// Stats.Transport. A quorum-killing failure, or one not attributable
+// to specific peers (closed transport), is returned to fail the
+// instance instead of letting it stall until retention expiry.
+func (e *Engine) broadcast(env network.Envelope) error {
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.SendTimeout)
+	defer cancel()
+	err := e.cfg.Net.Broadcast(ctx, env)
+	if err == nil {
+		return nil
+	}
+	var be *network.BroadcastError
+	if !errors.As(err, &be) {
+		return err
+	}
+	// be.Peers is the count the transport actually attempted — the
+	// authoritative denominator even when only part of the mesh is
+	// registered (dynamic port assignment).
+	if reached := be.Peers - len(be.Failed); reached >= e.cfg.Keys.Keys().T {
+		e.partialBroadcasts.Add(1)
+		return nil
+	}
+	return err
 }
 
 func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
@@ -616,7 +664,7 @@ func (e *Engine) advanceLocked(id string, inst *instance, firstRound bool) {
 				}
 				// The transport hint selects P2P or TOB; with the
 				// default stack both map to the P2P broadcast channel.
-				if err := e.cfg.Net.Broadcast(context.Background(), env); err != nil {
+				if err := e.broadcast(env); err != nil {
 					e.finishLocked(id, inst, Result{InstanceID: id, Err: fmt.Errorf("broadcast round %d: %w", out.Round, err)})
 					return
 				}
@@ -884,5 +932,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	st.RejectedShares = e.rejectedShares.Load()
 	st.Overloaded = e.overloaded.Load()
+	st.PartialBroadcasts = e.partialBroadcasts.Load()
+	st.Transport = e.cfg.Net.TransportStats()
 	return st
 }

@@ -38,8 +38,9 @@ func (s *stallNet) Broadcast(context.Context, network.Envelope) error {
 	<-s.release
 	return nil
 }
-func (s *stallNet) Receive() <-chan network.Envelope { return s.in }
-func (s *stallNet) Close() error                     { return nil }
+func (s *stallNet) Receive() <-chan network.Envelope       { return s.in }
+func (s *stallNet) TransportStats() network.TransportStats { return network.TransportStats{} }
+func (s *stallNet) Close() error                           { return nil }
 
 func coinReq(session string) protocols.Request {
 	return protocols.Request{

@@ -132,6 +132,19 @@ func TestV2InfoThroughSDK(t *testing.T) {
 	if info.NodeIndex != 3 || info.N != 4 || info.T != 1 || len(info.Schemes) != 3 {
 		t.Fatalf("unexpected info: %+v", info)
 	}
+	// The engine snapshot carries the transport's per-peer health, so a
+	// remote operator can spot a lagging peer from /v2/info alone.
+	if info.Stats == nil || info.Stats.Transport == nil {
+		t.Fatalf("info stats missing transport health: %+v", info.Stats)
+	}
+	if got := len(info.Stats.Transport.Peers); got != 3 {
+		t.Fatalf("transport reports %d peers, want 3", got)
+	}
+	for _, ps := range info.Stats.Transport.Peers {
+		if ps.State != "up" || ps.QueueCap == 0 {
+			t.Fatalf("peer %d health = %+v, want up with a bounded queue", ps.Peer, ps)
+		}
+	}
 }
 
 func TestV2UnknownSchemeThroughSDK(t *testing.T) {

@@ -27,7 +27,11 @@ const (
 )
 
 // Sequencer is one node's endpoint of the TOB channel. It must run on a
-// dedicated P2P transport (not shared with the orchestration traffic).
+// dedicated P2P transport (not shared with the orchestration traffic),
+// and that transport must use the lossless network.PolicyBlock (the
+// default): the protocol has no retransmission, so a lossy queue
+// policy (drop-oldest, fail-fast) evicting one ORDER frame would leave
+// a permanent gap in the sequence and wedge every follower's delivery.
 type Sequencer struct {
 	p2p    network.P2P
 	self   int
@@ -48,6 +52,11 @@ type Sequencer struct {
 	out  chan network.Envelope
 	stop chan struct{}
 	done chan struct{}
+	// sendCtx bounds the sequencer's own sends (ORDER broadcasts run on
+	// the ordering path, not a caller's context); canceled by Close so a
+	// blocked enqueue cannot outlive the endpoint.
+	sendCtx    context.Context
+	sendCancel context.CancelFunc
 }
 
 var _ network.TOB = (*Sequencer)(nil)
@@ -55,16 +64,19 @@ var _ network.TOB = (*Sequencer)(nil)
 // New creates a TOB endpoint for node self (1-indexed) with the given
 // sequencer (leader) index.
 func New(p2p network.P2P, self, leader int) *Sequencer {
+	sendCtx, sendCancel := context.WithCancel(context.Background())
 	s := &Sequencer{
-		p2p:     p2p,
-		self:    self,
-		leader:  leader,
-		nextSeq: 1,
-		nextDel: 1,
-		pending: make(map[int]network.Envelope),
-		out:     make(chan network.Envelope, 1024),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		p2p:        p2p,
+		self:       self,
+		leader:     leader,
+		nextSeq:    1,
+		nextDel:    1,
+		pending:    make(map[int]network.Envelope),
+		out:        make(chan network.Envelope, 1024),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		sendCtx:    sendCtx,
+		sendCancel: sendCancel,
 	}
 	go s.run()
 	return s
@@ -106,6 +118,7 @@ func (s *Sequencer) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.sendCancel()
 	close(s.stop)
 	<-s.done
 	// Closing stop unblocks any delivery stuck on a full out channel;
@@ -130,9 +143,12 @@ func (s *Sequencer) order(env network.Envelope) {
 		Round:    seq,
 		Payload:  env.Marshal(),
 	}
-	// Deliver locally and broadcast to the others.
+	// Deliver locally and broadcast to the others. The transport
+	// enqueues in O(1); sendCtx only bounds a block-policy queue that is
+	// full, so a backlogged peer cannot wedge the ordering path past
+	// Close.
 	s.enqueue(seq, env)
-	_ = s.p2p.Broadcast(context.Background(), ordered)
+	_ = s.p2p.Broadcast(s.sendCtx, ordered)
 }
 
 // enqueue buffers an ordered message and flushes the in-order prefix.

@@ -23,6 +23,7 @@ import (
 	"thetacrypt/api"
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/keys"
+	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/memnet"
 	"thetacrypt/internal/network/tcpnet"
 	"thetacrypt/internal/orchestration"
@@ -53,6 +54,15 @@ type (
 	// EngineStats is a node's engine snapshot: instance lifecycle and
 	// flow control counters.
 	EngineStats = api.EngineStats
+	// TransportStats is the per-peer health snapshot of a node's P2P
+	// links (state, queue depth, send/drop counters).
+	TransportStats = api.TransportStats
+	// PeerStats is one peer link's health inside TransportStats.
+	PeerStats = api.PeerStats
+	// QueuePolicy selects what a send does when a peer's bounded
+	// outbound queue is full (see PolicyBlock, PolicyDropOldest,
+	// PolicyFailFast).
+	QueuePolicy = network.QueuePolicy
 	// Future resolves to a raw engine result (embedded deployments
 	// only; the Service interface uses Wait).
 	Future = orchestration.Future
@@ -89,6 +99,39 @@ const (
 	CKS05 = schemes.CKS05
 )
 
+// Full-queue policies for the per-peer outbound queues.
+const (
+	// PolicyBlock waits for queue space, bounded by the send context
+	// (the default: lossless backpressure).
+	PolicyBlock = network.PolicyBlock
+	// PolicyDropOldest evicts the oldest queued frame to admit the new
+	// one; sends never block or fail.
+	PolicyDropOldest = network.PolicyDropOldest
+	// PolicyFailFast rejects the new frame with a typed backlog error;
+	// sends never block.
+	PolicyFailFast = network.PolicyFailFast
+)
+
+// ParseQueuePolicy maps "block", "drop-oldest", or "fail-fast" onto a
+// QueuePolicy (empty selects PolicyBlock).
+func ParseQueuePolicy(s string) (QueuePolicy, error) { return network.ParseQueuePolicy(s) }
+
+// TransportOptions tunes the per-peer outbound pipeline of a node's
+// P2P transport: queue capacity, full-queue policy, and (for TCP
+// deployments) the background dial backoff. Zero values select the
+// transport defaults (queue 1024, PolicyBlock, 250ms initial backoff
+// doubling to 4s).
+type TransportOptions struct {
+	// OutQueueLen bounds each peer's outbound queue, in frames.
+	OutQueueLen int
+	// Policy selects the full-queue behavior.
+	Policy QueuePolicy
+	// DialRetry is the initial reconnect backoff (TCP deployments).
+	DialRetry time.Duration
+	// DialBackoffMax caps the exponential backoff (TCP deployments).
+	DialBackoffMax time.Duration
+}
+
 // EngineOptions tunes each node's orchestration engine: worker count,
 // event-queue admission control, and the finished-instance retention
 // window. Zero values select the engine defaults (1 worker, queue 4096,
@@ -106,6 +149,10 @@ type EngineOptions struct {
 	// RetainMax caps retained finished instances (oldest evicted
 	// first), bounding node memory under sustained load.
 	RetainMax int
+	// SendTimeout bounds each protocol round broadcast onto the
+	// transport (default 5s); it only bites when a block-policy peer
+	// queue is saturated.
+	SendTimeout time.Duration
 }
 
 // engineConfig merges the options into an engine config.
@@ -114,6 +161,7 @@ func (o EngineOptions) engineConfig(cfg orchestration.Config) orchestration.Conf
 	cfg.QueueLen = o.QueueLen
 	cfg.RetainTTL = o.RetainTTL
 	cfg.RetainMax = o.RetainMax
+	cfg.SendTimeout = o.SendTimeout
 	return cfg
 }
 
@@ -129,6 +177,9 @@ type ClusterOptions struct {
 	// Engine tunes every node's orchestration engine (flow control and
 	// instance retention).
 	Engine EngineOptions
+	// Transport tunes the simulated per-peer outbound queues (capacity
+	// and full-queue policy; the dial fields do not apply in-process).
+	Transport TransportOptions
 }
 
 // Cluster is an embedded in-process Θ-network of n nodes.
@@ -153,7 +204,11 @@ func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
 	if opts.Latency > 0 {
 		latency = memnet.Uniform(opts.Latency)
 	}
-	hub := memnet.NewHub(n, memnet.Options{Latency: latency})
+	hub := memnet.NewHub(n, memnet.Options{
+		Latency:     latency,
+		OutQueueLen: opts.Transport.OutQueueLen,
+		Policy:      opts.Transport.Policy,
+	})
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
 		engines[i] = orchestration.New(opts.Engine.engineConfig(orchestration.Config{
@@ -363,6 +418,9 @@ type NodeConfig struct {
 	// Engine tunes the orchestration engine (flow control and instance
 	// retention).
 	Engine EngineOptions
+	// Transport tunes the per-peer outbound pipeline (queue capacity,
+	// full-queue policy, dial backoff).
+	Transport TransportOptions
 }
 
 // Node is one standalone Thetacrypt service node over TCP.
@@ -376,9 +434,13 @@ type Node struct {
 // NewNode starts the network transport and orchestration engine.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	transport, err := tcpnet.New(tcpnet.Config{
-		Self:       cfg.Keys.Index,
-		ListenAddr: cfg.ListenAddr,
-		Peers:      cfg.Peers,
+		Self:           cfg.Keys.Index,
+		ListenAddr:     cfg.ListenAddr,
+		Peers:          cfg.Peers,
+		OutQueueLen:    cfg.Transport.OutQueueLen,
+		Policy:         cfg.Transport.Policy,
+		DialRetry:      cfg.Transport.DialRetry,
+		DialBackoffMax: cfg.Transport.DialBackoffMax,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("thetacrypt: transport: %w", err)
