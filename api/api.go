@@ -81,6 +81,13 @@ type EngineStats struct {
 // TransportStats is the wire form of the P2P layer's health snapshot.
 type TransportStats struct {
 	Peers []PeerStats `json:"peers"`
+	// Policy is the transport's full-queue policy ("block",
+	// "drop-oldest", "fail-fast").
+	Policy string `json:"policy,omitempty"`
+	// Reliable reports that the transport runs the seq/ack layer:
+	// frames lost between socket and engine are resent after reconnect
+	// and deduplicated before delivery.
+	Reliable bool `json:"reliable,omitempty"`
 }
 
 // Peer returns the snapshot of one peer link.
@@ -100,12 +107,21 @@ func (ts *TransportStats) Peer(index int) (PeerStats, bool) {
 // state ("up", "dialing", "down"), the bounded outbound queue, and
 // send/drop counters. Field meanings match network.PeerStats.
 type PeerStats struct {
-	Peer                int    `json:"peer"`
-	State               string `json:"state"`
-	QueueDepth          int    `json:"queue_depth"`
-	QueueCap            int    `json:"queue_cap"`
-	Enqueued            uint64 `json:"enqueued"`
-	Sent                uint64 `json:"sent"`
+	Peer       int    `json:"peer"`
+	State      string `json:"state"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Enqueued   uint64 `json:"enqueued"`
+	Sent       uint64 `json:"sent"`
+	// Delivered counts frames the peer acknowledged (they reached its
+	// engine); Sent minus Delivered is the in-transit gap the ack layer
+	// tracks.
+	Delivered uint64 `json:"delivered"`
+	// Inflight is the ack layer's window occupancy: frames staged and
+	// awaiting acknowledgement, resent after a reconnect.
+	Inflight int `json:"inflight"`
+	// Resent counts retransmissions of unacknowledged frames.
+	Resent              uint64 `json:"resent"`
 	Dropped             uint64 `json:"dropped"`
 	ConsecutiveFailures uint64 `json:"consecutive_failures"`
 	LastError           string `json:"last_error,omitempty"`

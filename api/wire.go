@@ -33,7 +33,11 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 	if len(ts.Peers) == 0 {
 		return nil
 	}
-	out := &TransportStats{Peers: make([]PeerStats, len(ts.Peers))}
+	out := &TransportStats{
+		Peers:    make([]PeerStats, len(ts.Peers)),
+		Policy:   ts.Policy.String(),
+		Reliable: ts.Reliable,
+	}
 	for i, p := range ts.Peers {
 		out.Peers[i] = PeerStats{
 			Peer:                p.Peer,
@@ -42,6 +46,9 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 			QueueCap:            p.QueueCap,
 			Enqueued:            p.Enqueued,
 			Sent:                p.Sent,
+			Delivered:           p.Delivered,
+			Inflight:            p.Inflight,
+			Resent:              p.Resent,
 			Dropped:             p.Dropped,
 			ConsecutiveFailures: p.ConsecutiveFailures,
 			LastError:           p.LastError,

@@ -40,6 +40,9 @@ func run() error {
 		retainMax   = flag.Int("retain-max", 0, "max finished results retained, oldest evicted first (0 = default 4096)")
 		peerQueue   = flag.Int("peer-queue", 0, "per-peer outbound queue length, in frames (0 = default 1024)")
 		peerPolicy  = flag.String("peer-policy", "block", "full-queue policy per peer: block, drop-oldest, or fail-fast")
+		ackWindow   = flag.Int("ack-window", 0, "per-peer in-flight window: unacknowledged frames retained for resend-on-reconnect (0 = default 1024)")
+		ackInterval = flag.Duration("ack-interval", 0, "coalescing delay for delivery acknowledgements and the resend scan cadence (0 = default 25ms)")
+		resendAfter = flag.Duration("resend-timeout", 0, "how long a frame stays unacknowledged before retransmission (0 = default 500ms)")
 		dialRetry   = flag.Duration("dial-retry", 0, "initial peer reconnect backoff, doubling per failure (0 = default 250ms)")
 		dialMax     = flag.Duration("dial-backoff-max", 0, "cap on the peer reconnect backoff (0 = default 4s)")
 		sendTimeout = flag.Duration("send-timeout", 0, "bound on each round broadcast; bites only when a block-policy peer queue is saturated (0 = default 5s)")
@@ -78,6 +81,9 @@ func run() error {
 		Transport: thetacrypt.TransportOptions{
 			OutQueueLen:    *peerQueue,
 			Policy:         policy,
+			AckWindow:      *ackWindow,
+			AckInterval:    *ackInterval,
+			ResendTimeout:  *resendAfter,
 			DialRetry:      *dialRetry,
 			DialBackoffMax: *dialMax,
 		},

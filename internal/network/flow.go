@@ -111,8 +111,21 @@ type PeerStats struct {
 	Enqueued uint64
 	// Sent counts frames written to the wire since start.
 	Sent uint64
-	// Dropped counts frames lost to the queue policy (evictions under
-	// drop-oldest, rejections under fail-fast).
+	// Delivered counts frames the peer has acknowledged: they reached
+	// the remote transport and were handed to its engine. Sent minus
+	// Delivered is the delivered-vs-sent gap the ack layer closes.
+	Delivered uint64
+	// Inflight is the number of sequenced frames staged in the ack
+	// layer's bounded window, awaiting acknowledgement; they are resent
+	// after a reconnect.
+	Inflight int
+	// Resent counts retransmissions of unacknowledged frames.
+	Resent uint64
+	// Dropped counts frames rejected or evicted by the queue policy
+	// (evictions under drop-oldest, rejections under fail-fast) plus
+	// in-flight window evictions. On a Reliable transport a queue-policy
+	// drop is recovered by the ack layer while the frame stays windowed;
+	// only window evictions are definitive losses.
 	Dropped uint64
 	// ConsecutiveFailures counts dial/write failures since the last
 	// successful write; zero on a healthy link.
@@ -125,6 +138,14 @@ type PeerStats struct {
 // ordered by peer index.
 type TransportStats struct {
 	Peers []PeerStats
+	// Policy is the transport's full-queue policy.
+	Policy QueuePolicy
+	// Reliable reports that the transport runs the seq/ack layer:
+	// frames lost between socket and engine are resent after reconnect
+	// and duplicates are filtered before Receive. Consumers that need
+	// lossless delivery (the TOB sequencer) accept lossy queue policies
+	// only on reliable transports.
+	Reliable bool
 }
 
 // Peer returns the snapshot of one peer link.

@@ -12,6 +12,13 @@
 // pumps — the in-process analogue of a dead TCP peer holding the writer
 // in dial-retry — so queues back up, policies fire, and TransportStats
 // reports the peer Down, identically to the real transport.
+//
+// The relink ack layer runs beneath the queues exactly as in tcpnet:
+// data frames carry per-link sequence numbers, receivers acknowledge
+// delivery to the engine, and frames lost in flight (a crash race, a
+// DropIf filter, a drop-oldest eviction) are resent and deduplicated,
+// so the simulated network offers the same reliable-delivery contract
+// as the real one.
 package memnet
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/outq"
+	"thetacrypt/internal/network/relink"
 )
 
 // ErrClosed is returned on operations against a closed endpoint.
@@ -61,12 +69,22 @@ type Options struct {
 	OutQueueLen int
 	// Policy selects the full-queue behavior (default PolicyBlock).
 	Policy network.QueuePolicy
+	// AckWindow bounds the unacknowledged frames retained per link for
+	// resend (default 1024); a full window is resolved by Policy.
+	AckWindow int
+	// AckInterval coalesces standalone acknowledgements and paces the
+	// resend scan (default 25 ms).
+	AckInterval time.Duration
+	// ResendTimeout is how long a frame stays unacknowledged before it
+	// is retransmitted (default 500 ms).
+	ResendTimeout time.Duration
 }
 
 // Hub connects n in-process endpoints.
 type Hub struct {
 	n    int
 	opts Options
+	rcfg relink.Config
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -85,6 +103,9 @@ type Hub struct {
 	// matching TCP semantics.
 	lastArrival map[[2]int]time.Time
 	lastDone    map[[2]int]chan struct{}
+	// rel holds each node's ack-layer state (its epoch, outbound
+	// windows, and inbound dedup cursors), indexed 1..n.
+	rel []*nodeRel
 }
 
 // link is one directed outbound queue with its delivery bookkeeping.
@@ -92,6 +113,15 @@ type link struct {
 	from, to int
 	q        *outq.Queue[network.Envelope]
 	sent     atomic.Uint64
+}
+
+// nodeRel is one node's ack-layer state: the outbound in-flight window
+// per destination and the inbound order/dedup cursor per sender.
+type nodeRel struct {
+	epoch uint64
+	mu    sync.Mutex
+	out   map[int]*relink.Link
+	in    map[int]*relink.Inbox
 }
 
 // NewHub creates a hub for nodes 1..n.
@@ -103,8 +133,14 @@ func NewHub(n int, opts Options) *Hub {
 		opts.OutQueueLen = 1024
 	}
 	h := &Hub{
-		n:           n,
-		opts:        opts,
+		n:    n,
+		opts: opts,
+		rcfg: relink.Config{
+			Window:        opts.AckWindow,
+			AckInterval:   opts.AckInterval,
+			ResendTimeout: opts.ResendTimeout,
+			Policy:        opts.Policy,
+		}.WithDefaults(),
 		rng:         rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)),
 		inbox:       make([]chan network.Envelope, n+1),
 		crashed:     make([]bool, n+1),
@@ -112,11 +148,55 @@ func NewHub(n int, opts Options) *Hub {
 		stop:        make(chan struct{}),
 		lastArrival: make(map[[2]int]time.Time),
 		lastDone:    make(map[[2]int]chan struct{}),
+		rel:         make([]*nodeRel, n+1),
 	}
 	for i := 1; i <= n; i++ {
 		h.inbox[i] = make(chan network.Envelope, opts.QueueLen)
+		h.rel[i] = &nodeRel{
+			epoch: relink.NewEpoch(),
+			out:   make(map[int]*relink.Link),
+			in:    make(map[int]*relink.Inbox),
+		}
 	}
+	h.pumps.Add(1)
+	go h.flusher()
 	return h
+}
+
+// outLink returns (creating if needed) node from's outbound ack window
+// toward node to.
+func (h *Hub) outLink(from, to int) *relink.Link {
+	nr := h.rel[from]
+	nr.mu.Lock()
+	defer nr.mu.Unlock()
+	l, ok := nr.out[to]
+	if !ok {
+		l = relink.NewLink(nr.epoch, h.rcfg)
+		nr.out[to] = l
+	}
+	return l
+}
+
+// peekOutLink returns node from's outbound window toward to, or nil.
+func (h *Hub) peekOutLink(from, to int) *relink.Link {
+	nr := h.rel[from]
+	nr.mu.Lock()
+	defer nr.mu.Unlock()
+	return nr.out[to]
+}
+
+// inboxOf returns (creating if needed) node at's inbound ack-layer
+// cursor for frames sent by from.
+func (h *Hub) inboxOf(at, from int) *relink.Inbox {
+	nr := h.rel[at]
+	nr.mu.Lock()
+	defer nr.mu.Unlock()
+	ib, ok := nr.in[from]
+	if !ok {
+		ib = relink.NewInbox(h.rcfg.Window)
+		nr.in[from] = ib
+	}
+	return ib
 }
 
 // Endpoint returns node i's P2P interface.
@@ -165,6 +245,14 @@ func (h *Hub) Close() {
 	close(h.stop)
 	for _, l := range links {
 		l.q.Close()
+	}
+	for i := 1; i <= h.n; i++ {
+		nr := h.rel[i]
+		nr.mu.Lock()
+		for _, l := range nr.out {
+			l.Close() // unblock stagers parked on a full window
+		}
+		nr.mu.Unlock()
 	}
 	h.pumps.Wait()
 	h.wg.Wait()
@@ -264,15 +352,118 @@ func (h *Hub) transmit(to int, env network.Envelope) {
 		if prev != nil {
 			<-prev // strict per-link delivery order
 		}
-		h.mu.Lock()
-		dead := h.closed || h.crashed[to]
-		ch := h.inbox[to]
-		h.mu.Unlock()
-		if dead {
+		h.deliverTo(to, env)
+	}()
+}
+
+// deliverTo runs one arrived envelope through the receiving node's ack
+// layer: acknowledgements discharge the reverse link's window, data
+// frames are deduplicated and reordered per sender, and whatever became
+// deliverable is pushed to the node's inbox channel.
+//
+// The crash check runs BEFORE the ack layer sees the frame: a frame
+// arriving at a crashed node is wire loss, and accepting it first
+// would advance the delivery cursor (and later acknowledge it) for a
+// frame the engine never got. A crash landing after Accept is the
+// frame reaching the engine queue just before the death — in memnet's
+// model the inbox survives the crash, so it is still delivered.
+func (h *Hub) deliverTo(to int, env network.Envelope) {
+	h.mu.Lock()
+	dead := h.closed || h.crashed[to]
+	h.mu.Unlock()
+	if dead {
+		return
+	}
+	if env.AckEpoch != 0 {
+		if l := h.peekOutLink(to, env.From); l != nil {
+			l.Ack(env.AckEpoch, env.Ack)
+		}
+	}
+	if env.Kind == network.KindAck {
+		return // control frame, consumed here
+	}
+	if env.From < 1 || env.From > h.n || env.Seq == 0 {
+		h.pushInbox(to, env) // unsequenced frame: deliver raw
+		return
+	}
+	for _, d := range h.inboxOf(to, env.From).Accept(env) {
+		h.pushInbox(to, d)
+	}
+}
+
+// pushInbox hands one envelope to a node's receive channel. Only a
+// closed hub drops here: an accepted frame must reach the inbox even
+// if a crash landed since deliverTo's check, or the ack layer would
+// acknowledge a frame the engine never saw (the inbox survives a
+// crash/restart cycle, so delivering is correct).
+func (h *Hub) pushInbox(to int, env network.Envelope) {
+	h.mu.Lock()
+	dead := h.closed
+	ch := h.inbox[to]
+	h.mu.Unlock()
+	if dead {
+		return
+	}
+	ch <- env
+}
+
+// flusher is the hub-wide ack/resend ticker: it flushes coalesced
+// standalone acknowledgements and retransmits unacknowledged frames
+// past the resend timeout, using non-blocking enqueues so a stalled
+// link is retried on the next tick. A crashed node's acks and resends
+// are enqueued but dropped at transmit time, exactly like traffic from
+// a dead process.
+func (h *Hub) flusher() {
+	defer h.pumps.Done()
+	ticker := time.NewTicker(h.rcfg.AckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-h.stop:
 			return
 		}
-		ch <- env
-	}()
+		now := time.Now()
+		for i := 1; i <= h.n; i++ {
+			nr := h.rel[i]
+			nr.mu.Lock()
+			inboxes := make(map[int]*relink.Inbox, len(nr.in))
+			for from, ib := range nr.in {
+				inboxes[from] = ib
+			}
+			outs := make(map[int]*relink.Link, len(nr.out))
+			for to, l := range nr.out {
+				outs[to] = l
+			}
+			nr.mu.Unlock()
+			for from, ib := range inboxes {
+				epoch, upTo, ok := ib.PendingAck()
+				if !ok {
+					continue
+				}
+				lq, err := h.link(i, from)
+				if err != nil {
+					continue
+				}
+				ack := network.Envelope{
+					From: i, To: from,
+					Kind: network.KindAck, Ack: upTo, AckEpoch: epoch,
+				}
+				if lq.q.TryEnqueue(ack) {
+					ib.ClearPending(epoch, upTo)
+				}
+			}
+			for to, l := range outs {
+				lq, err := h.link(i, to)
+				if err != nil {
+					continue
+				}
+				l.Resend(now, func(env network.Envelope) bool {
+					return lq.q.TryEnqueue(env)
+				})
+			}
+		}
+	}
 }
 
 type endpoint struct {
@@ -282,15 +473,32 @@ type endpoint struct {
 
 var _ network.P2P = (*endpoint)(nil)
 
-// send enqueues one envelope onto the directed link, attributing
-// policy failures to the destination peer.
+// send stages one envelope in the ack layer's in-flight window,
+// piggybacks any pending acknowledgement for the reverse direction,
+// and enqueues it onto the directed link, attributing policy failures
+// to the destination peer. A frame the queue rejects after staging is
+// still recovered by the resend timer.
 func (e *endpoint) send(ctx context.Context, to int, env network.Envelope) error {
 	l, err := e.hub.link(e.index, to)
 	if err != nil {
 		return err
 	}
-	if err := l.q.Enqueue(ctx, env); err != nil {
+	staged, err := e.hub.outLink(e.index, to).Stage(ctx, env)
+	if err != nil {
 		return network.AttributePeer(to, err)
+	}
+	ib := e.hub.inboxOf(e.index, to)
+	epoch, upTo, hasAck := ib.AckValue()
+	if hasAck {
+		staged.Ack, staged.AckEpoch = upTo, epoch
+	}
+	if err := l.q.Enqueue(ctx, staged); err != nil {
+		// Pending ack not cleared: its only carrier never left; the
+		// standalone flusher still sends it.
+		return network.AttributePeer(to, err)
+	}
+	if hasAck {
+		ib.ClearPending(epoch, upTo)
 	}
 	return nil
 }
@@ -327,7 +535,7 @@ func (e *endpoint) Broadcast(ctx context.Context, env network.Envelope) error {
 // crashed peer is Down (its pump is stalled, its queue backing up),
 // everything else is Up.
 func (e *endpoint) TransportStats() network.TransportStats {
-	out := network.TransportStats{}
+	out := network.TransportStats{Policy: e.hub.opts.Policy, Reliable: true}
 	for to := 1; to <= e.hub.n; to++ {
 		if to == e.index {
 			continue
@@ -350,6 +558,12 @@ func (e *endpoint) TransportStats() network.TransportStats {
 			ps.Sent = l.sent.Load()
 		} else {
 			ps.QueueCap = e.hub.opts.OutQueueLen
+		}
+		if rl := e.hub.peekOutLink(e.index, to); rl != nil {
+			ps.Delivered = rl.Delivered()
+			ps.Inflight = rl.Inflight()
+			ps.Resent = rl.Resent()
+			ps.Dropped += rl.Dropped()
 		}
 		out.Peers = append(out.Peers, ps)
 	}

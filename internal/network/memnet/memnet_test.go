@@ -115,8 +115,13 @@ func TestCrashAndRestart(t *testing.T) {
 	}
 }
 
-func TestDropFilter(t *testing.T) {
-	hub := NewHub(2, Options{})
+func TestDropFilterLossIsRepairedByResend(t *testing.T) {
+	// DropIf models in-flight loss (a frame written to the kernel just
+	// before the peer dies). The ack layer repairs it: while the filter
+	// holds, nothing after the gap is delivered either (per-link order);
+	// once it lifts, the resend timer redelivers the lost frame and the
+	// stream resumes in order, with nothing duplicated.
+	hub := NewHub(2, Options{AckInterval: 2 * time.Millisecond, ResendTimeout: 10 * time.Millisecond})
 	defer hub.Close()
 	hub.DropIf(func(env network.Envelope) bool { return env.Instance == "drop-me" })
 	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Instance: "drop-me"}); err != nil {
@@ -125,17 +130,24 @@ func TestDropFilter(t *testing.T) {
 	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Instance: "keep"}); err != nil {
 		t.Fatal(err)
 	}
-	env := recvOne(t, hub.Endpoint(2).Receive(), time.Second)
-	if env.Instance != "keep" {
-		t.Fatalf("filter failed: %+v", env)
+	select {
+	case env := <-hub.Endpoint(2).Receive():
+		t.Fatalf("delivery slipped past the dropped frame: %+v", env)
+	case <-time.After(50 * time.Millisecond):
 	}
 	hub.DropIf(nil)
-	if err := hub.Endpoint(1).Send(context.Background(), 2, network.Envelope{Instance: "drop-me"}); err != nil {
-		t.Fatal(err)
-	}
-	env = recvOne(t, hub.Endpoint(2).Receive(), time.Second)
+	env := recvOne(t, hub.Endpoint(2).Receive(), 2*time.Second)
 	if env.Instance != "drop-me" {
-		t.Fatal("filter removal failed")
+		t.Fatalf("got %+v, want the resent frame first (per-link order)", env)
+	}
+	env = recvOne(t, hub.Endpoint(2).Receive(), 2*time.Second)
+	if env.Instance != "keep" {
+		t.Fatalf("got %+v, want the held-back frame next", env)
+	}
+	select {
+	case env := <-hub.Endpoint(2).Receive():
+		t.Fatalf("duplicate delivered: %+v", env)
+	case <-time.After(50 * time.Millisecond):
 	}
 }
 

@@ -27,6 +27,10 @@ const (
 	KindStart Kind = iota + 1
 	// KindProto carries a protocol round message.
 	KindProto
+	// KindAck is a transport-internal standalone acknowledgement of the
+	// reliability layer (see internal/network/relink). It is consumed by
+	// the receiving transport and never reaches the engine.
+	KindAck
 )
 
 // Broadcast is the To value addressing all peers.
@@ -39,14 +43,41 @@ type Envelope struct {
 	Instance string
 	Kind     Kind
 	Round    int
-	Payload  []byte
+	// Gen is the run generation of the instance: a re-submission after a
+	// retention eviction announces a higher generation so peers that
+	// still retain the previous run join the fresh one deliberately
+	// instead of treating the announcement as a duplicate. Zero means
+	// generation 1 (unversioned sender).
+	Gen     int
+	Payload []byte
+
+	// Reliability header, managed by the transport's ack layer (see
+	// internal/network/relink). Applications never set these.
+
+	// Seq is the per-link sequence number; 0 marks an unsequenced frame
+	// that bypasses the reliability layer.
+	Seq uint64
+	// Epoch identifies the sender's transport incarnation, so a receiver
+	// can tell a restarted peer (fresh sequence space) from a gap.
+	Epoch uint64
+	// Base is the sender's lowest retained sequence number at send time:
+	// everything below it was acknowledged or given up on, so a fresh
+	// receiver starts expecting Base, not 1.
+	Base uint64
+	// Ack piggybacks the cumulative acknowledgement for the reverse
+	// direction of this link; AckEpoch names the epoch it refers to
+	// (0 = no acknowledgement attached).
+	Ack      uint64
+	AckEpoch uint64
 }
 
 // Marshal encodes an envelope for byte-oriented transports.
 func (e Envelope) Marshal() []byte {
 	return wire.NewWriter().
 		Int(e.From).Int(e.To).String(e.Instance).
-		Int(int(e.Kind)).Int(e.Round).Bytes(e.Payload).Out()
+		Int(int(e.Kind)).Int(e.Round).Int(e.Gen).Bytes(e.Payload).
+		Uint64(e.Seq).Uint64(e.Epoch).Uint64(e.Base).
+		Uint64(e.Ack).Uint64(e.AckEpoch).Out()
 }
 
 // UnmarshalEnvelope decodes an envelope.
@@ -59,7 +90,13 @@ func UnmarshalEnvelope(data []byte) (Envelope, error) {
 	}
 	env.Kind = Kind(r.Int())
 	env.Round = r.Int()
+	env.Gen = r.Int()
 	env.Payload = r.Bytes()
+	env.Seq = r.Uint64()
+	env.Epoch = r.Uint64()
+	env.Base = r.Uint64()
+	env.Ack = r.Uint64()
+	env.AckEpoch = r.Uint64()
 	if err := r.Err(); err != nil {
 		return Envelope{}, fmt.Errorf("network envelope: %w", err)
 	}
@@ -75,6 +112,13 @@ func UnmarshalEnvelope(data []byte) (Envelope, error) {
 // slow peer, so a dead peer cannot stall the protocol hot path. A full
 // queue is resolved by the transport's QueuePolicy; Broadcast reports
 // per-peer failures as a *BroadcastError (see FailedPeers).
+//
+// tcpnet and memnet additionally run the relink ack layer beneath
+// Send/Broadcast: every frame carries a per-link sequence number, the
+// receiver acknowledges delivery to the engine, and unacknowledged
+// frames are resent after a reconnect (bounded by the in-flight
+// window), with duplicates filtered before Receive. Such transports
+// report Reliable in their TransportStats.
 type P2P interface {
 	// Send delivers the envelope to one peer.
 	Send(ctx context.Context, to int, env Envelope) error

@@ -94,6 +94,26 @@ func (q *Queue[T]) Enqueue(ctx context.Context, item T) error {
 	}
 }
 
+// TryEnqueue admits one item only if space is immediately available,
+// regardless of policy, and reports whether it was admitted. It never
+// blocks, never evicts, and does not count a rejection as a drop: the
+// ack layer uses it for retransmissions and acknowledgements, which are
+// retried on the next tick rather than displacing fresh traffic.
+func (q *Queue[T]) TryEnqueue(item T) bool {
+	select {
+	case <-q.stop:
+		return false
+	default:
+	}
+	select {
+	case q.ch <- item:
+		q.enqueued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
 // Dequeue blocks until an item is available or the queue (or the given
 // stop channel) closes; ok is false on shutdown. Only one goroutine may
 // consume.

@@ -206,6 +206,13 @@ func (s *Server) acceptLoop() {
 					_ = s.inner.Broadcast(context.Background(), env)
 				case opSubmit:
 					if s.tob != nil {
+						// Fire-and-forget: the proxy wire has no reply
+						// channel, so submit failures — including the
+						// sequencer's typed fail-fast while its leader
+						// link is down (tob.ErrLeaderDown) — are
+						// dropped here. Proxied deployments needing
+						// delivery guarantees across a leader outage
+						// must retry at the client.
 						_ = s.tob.Submit(context.Background(), env)
 					}
 				}

@@ -1,0 +1,328 @@
+package relink
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/network"
+)
+
+func stage(t *testing.T, l *Link, round int) network.Envelope {
+	t.Helper()
+	env, err := l.Stage(context.Background(), network.Envelope{Kind: network.KindProto, Round: round})
+	if err != nil {
+		t.Fatalf("stage round %d: %v", round, err)
+	}
+	return env
+}
+
+func TestStageAssignsMonotonicSeqs(t *testing.T) {
+	l := NewLink(7, Config{})
+	for i := 1; i <= 5; i++ {
+		env := stage(t, l, i)
+		if env.Seq != uint64(i) || env.Epoch != 7 {
+			t.Fatalf("frame %d staged as seq=%d epoch=%d", i, env.Seq, env.Epoch)
+		}
+		if env.Base != 1 {
+			t.Fatalf("frame %d base = %d, want 1 (nothing acked)", i, env.Base)
+		}
+	}
+	if got := l.Inflight(); got != 5 {
+		t.Fatalf("inflight = %d, want 5", got)
+	}
+}
+
+func TestAckDischargesCumulatively(t *testing.T) {
+	l := NewLink(7, Config{})
+	for i := 1; i <= 4; i++ {
+		stage(t, l, i)
+	}
+	l.Ack(99, 4) // wrong epoch: ignored
+	if l.Delivered() != 0 || l.Inflight() != 4 {
+		t.Fatalf("foreign-epoch ack discharged frames: delivered=%d inflight=%d", l.Delivered(), l.Inflight())
+	}
+	l.Ack(7, 3)
+	if l.Delivered() != 3 || l.Inflight() != 1 {
+		t.Fatalf("after ack 3: delivered=%d inflight=%d", l.Delivered(), l.Inflight())
+	}
+	if env := stage(t, l, 5); env.Base != 4 {
+		t.Fatalf("base after ack 3 = %d, want 4", env.Base)
+	}
+}
+
+func TestWindowBlockPolicyWaitsForAck(t *testing.T) {
+	l := NewLink(1, Config{Window: 2, Policy: network.PolicyBlock})
+	stage(t, l, 1)
+	stage(t, l, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := l.Stage(ctx, network.Envelope{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stage into full window returned %v, want DeadlineExceeded", err)
+	}
+
+	done := make(chan network.Envelope, 1)
+	go func() {
+		env, err := l.Stage(context.Background(), network.Envelope{})
+		if err != nil {
+			t.Errorf("stage after ack: %v", err)
+		}
+		done <- env
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Ack(1, 1)
+	select {
+	case env := <-done:
+		// Seq 3 was burned by the deadline-exceeded attempt's... no: a
+		// failed block never assigns a sequence number, so this is 3.
+		if env.Seq != 3 {
+			t.Fatalf("unblocked stage got seq %d, want 3", env.Seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stage not unblocked by ack")
+	}
+}
+
+func TestWindowFailFast(t *testing.T) {
+	l := NewLink(1, Config{Window: 1, Policy: network.PolicyFailFast})
+	stage(t, l, 1)
+	if _, err := l.Stage(context.Background(), network.Envelope{}); !errors.Is(err, network.ErrPeerBacklogged) {
+		t.Fatalf("full fail-fast window returned %v, want ErrPeerBacklogged", err)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", l.Dropped())
+	}
+}
+
+func TestWindowDropOldestEvictsAndAdvancesBase(t *testing.T) {
+	l := NewLink(1, Config{Window: 2, Policy: network.PolicyDropOldest})
+	stage(t, l, 1)
+	stage(t, l, 2)
+	env := stage(t, l, 3) // evicts seq 1
+	if env.Seq != 3 || env.Base != 2 {
+		t.Fatalf("post-eviction frame seq=%d base=%d, want 3/2", env.Seq, env.Base)
+	}
+	if l.Dropped() != 1 || l.Inflight() != 2 {
+		t.Fatalf("dropped=%d inflight=%d, want 1/2", l.Dropped(), l.Inflight())
+	}
+}
+
+func TestResendOnlyStaleFramesAndHonorsEmit(t *testing.T) {
+	l := NewLink(1, Config{ResendTimeout: 10 * time.Millisecond})
+	stage(t, l, 1)
+	stage(t, l, 2)
+	if n := l.Resend(time.Now(), func(network.Envelope) bool { return true }); n != 0 {
+		t.Fatalf("fresh frames resent: %d", n)
+	}
+	later := time.Now().Add(20 * time.Millisecond)
+	var got []uint64
+	n := l.Resend(later, func(env network.Envelope) bool {
+		got = append(got, env.Seq)
+		return env.Seq == 1 // pretend the queue only had room for one
+	})
+	if n != 1 || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("resend requeued %d of %v, want 1 of [1 2]", n, got)
+	}
+	// Frame 2 was not requeued, so it is still due; frame 1's clock
+	// advanced.
+	n = l.Resend(later, func(env network.Envelope) bool { return true })
+	if n != 1 || l.Resent() != 2 {
+		t.Fatalf("second pass requeued %d (resent total %d), want 1 (2)", n, l.Resent())
+	}
+}
+
+func TestCloseUnblocksStagers(t *testing.T) {
+	l := NewLink(1, Config{Window: 1, Policy: network.PolicyBlock})
+	stage(t, l, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Stage(context.Background(), network.Envelope{})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, network.ErrTransportClosed) {
+			t.Fatalf("blocked stage returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the stager")
+	}
+}
+
+func frame(epoch, seq, base uint64, round int) network.Envelope {
+	return network.Envelope{Kind: network.KindProto, Round: round, Seq: seq, Epoch: epoch, Base: base}
+}
+
+func rounds(envs []network.Envelope) []int {
+	out := make([]int, len(envs))
+	for i, e := range envs {
+		out[i] = e.Round
+	}
+	return out
+}
+
+func TestInboxInOrderAndReorder(t *testing.T) {
+	in := NewInbox(16)
+	if got := in.Accept(frame(5, 1, 1, 1)); len(got) != 1 || got[0].Round != 1 {
+		t.Fatalf("first frame delivered %v", rounds(got))
+	}
+	// Out of order: 3 before 2 is buffered, then both flush.
+	if got := in.Accept(frame(5, 3, 1, 3)); len(got) != 0 {
+		t.Fatalf("gap frame delivered early: %v", rounds(got))
+	}
+	if got := in.Accept(frame(5, 2, 1, 2)); len(got) != 2 || got[0].Round != 2 || got[1].Round != 3 {
+		t.Fatalf("gap fill delivered %v, want [2 3]", rounds(got))
+	}
+	epoch, upTo, ok := in.AckValue()
+	if !ok || epoch != 5 || upTo != 3 {
+		t.Fatalf("ack value = (%d,%d,%v), want (5,3,true)", epoch, upTo, ok)
+	}
+}
+
+func TestInboxFiltersDuplicates(t *testing.T) {
+	in := NewInbox(16)
+	in.Accept(frame(5, 1, 1, 1))
+	if got := in.Accept(frame(5, 1, 1, 1)); len(got) != 0 {
+		t.Fatalf("duplicate delivered: %v", rounds(got))
+	}
+	if in.Dups() != 1 {
+		t.Fatalf("dups = %d, want 1", in.Dups())
+	}
+	// A duplicate still owes an ack: the sender clearly missed ours.
+	in.ClearPending(5, 1)
+	in.Accept(frame(5, 1, 1, 1))
+	if _, _, ok := in.PendingAck(); !ok {
+		t.Fatal("duplicate did not re-arm the pending ack")
+	}
+}
+
+func TestClearPendingIgnoresStaleValue(t *testing.T) {
+	in := NewInbox(16)
+	in.Accept(frame(5, 1, 1, 1))
+	epoch, upTo, _ := in.PendingAck() // (5, 1) read by a flusher...
+	in.Accept(frame(5, 2, 1, 2))      // ...then a frame lands before the clear
+	in.ClearPending(epoch, upTo)
+	if _, got, ok := in.PendingAck(); !ok || got != 2 {
+		t.Fatalf("pending ack = (%d,%v) after stale clear, want (2,true)", got, ok)
+	}
+	// Clearing the current value works.
+	in.ClearPending(5, 2)
+	if _, _, ok := in.PendingAck(); ok {
+		t.Fatal("current-value clear did not take")
+	}
+}
+
+func TestInboxStaleEpochStragglerDoesNotResetCursor(t *testing.T) {
+	// The receiver is mid-stream on epoch B; a straggler from the dead
+	// incarnation A (old connection draining concurrently) must not
+	// reset B's cursor — a following resend of an already delivered B
+	// frame would otherwise be delivered twice.
+	in := NewInbox(16)
+	in.Accept(frame(7, 1, 1, 1))                             // epoch A history
+	if got := in.Accept(frame(9, 1, 1, 10)); len(got) != 1 { // epoch B takes over
+		t.Fatalf("fresh epoch frame delivered %v", rounds(got))
+	}
+	in.Accept(frame(9, 2, 1, 11))
+	if got := in.Accept(frame(7, 2, 1, 2)); len(got) != 1 || got[0].Round != 2 {
+		// The straggler resumes A's own retired cursor.
+		t.Fatalf("straggler delivered %v, want [2]", rounds(got))
+	}
+	// The straggler briefly claims the ack target (MRU) — its acks are
+	// ignored by the live sender — but B's cursor survived: a resend of
+	// B seq 1 is a duplicate, B's stream continues where it left off,
+	// and the acknowledgement target re-converges on B.
+	if got := in.Accept(frame(9, 1, 1, 10)); len(got) != 0 {
+		t.Fatalf("replayed B frame delivered again: %v", rounds(got))
+	}
+	if got := in.Accept(frame(9, 3, 1, 12)); len(got) != 1 || got[0].Round != 12 {
+		t.Fatalf("B stream broken after straggler: %v", rounds(got))
+	}
+	if epoch, upTo, ok := in.AckValue(); !ok || epoch != 9 || upTo != 3 {
+		t.Fatalf("ack value = (%d,%d,%v) after straggler, want (9,3,true)", epoch, upTo, ok)
+	}
+}
+
+func TestInboxEpochResetOnSenderRestart(t *testing.T) {
+	in := NewInbox(16)
+	in.Accept(frame(5, 1, 1, 1))
+	in.Accept(frame(5, 2, 1, 2))
+	// The sender restarts: new epoch, sequence space restarts at 1.
+	if got := in.Accept(frame(9, 1, 1, 10)); len(got) != 1 || got[0].Round != 10 {
+		t.Fatalf("fresh-epoch frame delivered %v, want [10]", rounds(got))
+	}
+	epoch, upTo, _ := in.AckValue()
+	if epoch != 9 || upTo != 1 {
+		t.Fatalf("ack after epoch reset = (%d,%d), want (9,1)", epoch, upTo)
+	}
+}
+
+func TestInboxBaseJumpSkipsSettledFrames(t *testing.T) {
+	// A fresh receiver (restarted node): the sender's window starts at 4
+	// because 1..3 were acknowledged to our previous incarnation.
+	in := NewInbox(16)
+	if got := in.Accept(frame(5, 5, 4, 5)); len(got) != 0 {
+		t.Fatalf("future frame delivered early: %v", rounds(got))
+	}
+	if got := in.Accept(frame(5, 4, 4, 4)); len(got) != 2 || got[0].Round != 4 || got[1].Round != 5 {
+		t.Fatalf("base-jump delivery %v, want [4 5]", rounds(got))
+	}
+	// Mid-stream jump: the sender evicted 6 under drop-oldest.
+	if got := in.Accept(frame(5, 7, 7, 7)); len(got) != 1 || got[0].Round != 7 {
+		t.Fatalf("jump past evicted frame delivered %v, want [7]", rounds(got))
+	}
+}
+
+func TestInboxUnsequencedPassThroughIsCallersJob(t *testing.T) {
+	// Seq 0 frames never reach Accept (transports deliver them raw);
+	// this guards the contract that Accept only sees sequenced frames.
+	in := NewInbox(4)
+	if got := in.Accept(frame(5, 1, 1, 1)); len(got) != 1 {
+		t.Fatalf("sequenced frame not delivered: %v", rounds(got))
+	}
+}
+
+// BenchmarkRelinkStageAckCycle measures the ack layer's hot path: stage
+// one frame, accept it, discharge the window — the per-frame overhead
+// added beneath every Send.
+func BenchmarkRelinkStageAckCycle(b *testing.B) {
+	l := NewLink(3, Config{Window: 4096})
+	in := NewInbox(4096)
+	ctx := context.Background()
+	env := network.Envelope{Kind: network.KindProto, Payload: []byte("bench")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		staged, err := l.Stage(ctx, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := in.Accept(staged)
+		if len(out) != 1 {
+			b.Fatalf("accept delivered %d frames", len(out))
+		}
+		epoch, upTo, _ := in.AckValue()
+		l.Ack(epoch, upTo)
+	}
+}
+
+// BenchmarkRelinkResendScan measures one resend pass over a full but
+// fresh window (nothing due) — the steady-state ticker cost.
+func BenchmarkRelinkResendScan(b *testing.B) {
+	l := NewLink(3, Config{Window: 1024, ResendTimeout: time.Hour})
+	ctx := context.Background()
+	for i := 0; i < 1024; i++ {
+		if _, err := l.Stage(ctx, network.Envelope{Kind: network.KindProto}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Resend(now, func(network.Envelope) bool { return true })
+	}
+}

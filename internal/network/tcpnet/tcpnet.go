@@ -11,6 +11,15 @@
 // the caller; a full queue is resolved by the configured
 // network.QueuePolicy. TransportStats snapshots every link for
 // operators and tests.
+//
+// Beneath the queues runs the relink ack layer: every data frame
+// carries a per-link sequence number and stays in a bounded in-flight
+// window until the peer acknowledges delivery to its engine, so a
+// frame handed to the kernel before a peer crash is resent after the
+// reconnect instead of silently lost. Duplicates and reordering from
+// retransmission are repaired before Receive; acknowledgements
+// piggyback on reverse traffic and are otherwise coalesced on
+// AckInterval.
 package tcpnet
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/outq"
+	"thetacrypt/internal/network/relink"
 )
 
 // maxFrame bounds a single wire frame (16 MiB).
@@ -59,19 +69,37 @@ type Config struct {
 	// reading trips it, dropping the link into redial instead of
 	// wedging the writer forever.
 	WriteTimeout time.Duration
+	// AckWindow bounds the unacknowledged frames retained per link for
+	// resend (default 1024); a full window is resolved by Policy.
+	AckWindow int
+	// AckInterval coalesces standalone acknowledgements and paces the
+	// resend scan (default 25 ms).
+	AckInterval time.Duration
+	// ResendTimeout is how long a frame stays unacknowledged before it
+	// is retransmitted (default 500 ms).
+	ResendTimeout time.Duration
 }
 
 // Transport is a network.P2P over TCP.
 type Transport struct {
-	cfg Config
-	ln  net.Listener
-	in  chan network.Envelope
+	cfg   Config
+	ln    net.Listener
+	in    chan network.Envelope
+	epoch uint64        // this incarnation's id for the ack layer
+	rcfg  relink.Config // shared ack-layer configuration
 
-	// mu guards the peer and inbound-connection tables only; it is
-	// never held across a dial or a socket write.
+	// mu guards the peer, inbox, and inbound-connection tables only; it
+	// is never held across a dial or a socket write.
 	mu      sync.Mutex
 	peers   map[int]*peer
 	inbound []net.Conn
+	// inboxes holds the inbound ack-layer cursor per sender, including
+	// senders whose outbound link is not registered yet (dynamic
+	// wiring: traffic can arrive before SetPeer). Keeping the cursor
+	// here means pre-registration frames are already deduplicated, and
+	// once the peer registers it adopts the same inbox, so the owed
+	// acknowledgements flush and the sender's resend loop ends.
+	inboxes map[int]*relink.Inbox
 
 	done sync.WaitGroup
 	stop chan struct{}
@@ -82,10 +110,15 @@ type Transport struct {
 }
 
 // peer is one outbound link: its bounded queue, the writer goroutine's
-// connection, and health bookkeeping.
+// connection, the ack layer's two halves, and health bookkeeping.
 type peer struct {
 	index int
 	q     *outq.Queue[[]byte]
+	// rel is the outbound reliability state (seq assignment, in-flight
+	// window, resend); inbox restores order and filters duplicates on
+	// the inbound direction of the same peer.
+	rel   *relink.Link
+	inbox *relink.Inbox
 
 	mu          sync.Mutex
 	addr        string
@@ -127,10 +160,18 @@ func New(cfg Config) (*Transport, error) {
 	}
 	dialCtx, dialCancel := context.WithCancel(context.Background())
 	t := &Transport{
-		cfg:        cfg,
-		ln:         ln,
-		in:         make(chan network.Envelope, cfg.QueueLen),
+		cfg:   cfg,
+		ln:    ln,
+		in:    make(chan network.Envelope, cfg.QueueLen),
+		epoch: relink.NewEpoch(),
+		rcfg: relink.Config{
+			Window:        cfg.AckWindow,
+			AckInterval:   cfg.AckInterval,
+			ResendTimeout: cfg.ResendTimeout,
+			Policy:        cfg.Policy,
+		}.WithDefaults(),
 		peers:      make(map[int]*peer),
+		inboxes:    make(map[int]*relink.Inbox),
 		stop:       make(chan struct{}),
 		dialCtx:    dialCtx,
 		dialCancel: dialCancel,
@@ -138,8 +179,9 @@ func New(cfg Config) (*Transport, error) {
 	for idx, addr := range cfg.Peers {
 		t.addPeerLocked(idx, addr) // no concurrency yet; lock not needed
 	}
-	t.done.Add(1)
+	t.done.Add(2)
 	go t.acceptLoop()
+	go t.ackLoop()
 	return t, nil
 }
 
@@ -153,6 +195,11 @@ func (t *Transport) addPeerLocked(index int, addr string) *peer {
 		index: index,
 		addr:  addr,
 		q:     outq.New[[]byte](t.cfg.OutQueueLen, t.cfg.Policy),
+		rel:   relink.NewLink(t.epoch, t.rcfg),
+		// Adopt the sender's existing inbound cursor when its traffic
+		// arrived before registration, so nothing delivered
+		// pre-registration is redelivered.
+		inbox: t.inboxForLocked(index),
 		// Down until the writer establishes the link: no connection
 		// exists yet.
 		state: network.PeerDown,
@@ -229,10 +276,120 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // skip malformed frames
 		}
+		if !t.handleInbound(env) {
+			return
+		}
+	}
+}
+
+// maxInboxes bounds the inbound-cursor table against garbage From
+// indices from misbehaving senders; past it, unregistered senders'
+// frames are delivered raw (no dedup, no acks), as before the ack
+// layer.
+const maxInboxes = 4096
+
+// handleInbound runs one received envelope through the ack layer:
+// piggybacked and standalone acknowledgements discharge the sender
+// link's window, sequenced data frames are deduplicated and reordered
+// per link, and whatever became deliverable is handed to the engine.
+// Returns false when the transport is stopping.
+func (t *Transport) handleInbound(env network.Envelope) bool {
+	p, known := t.lookupPeer(env.From)
+	if known && env.AckEpoch != 0 {
+		p.rel.Ack(env.AckEpoch, env.Ack)
+	}
+	if env.Kind == network.KindAck {
+		return true // control frame, consumed here
+	}
+	if env.Seq == 0 {
+		return t.deliver(env) // unsequenced frame: deliver raw
+	}
+	inbox := t.inboxFor(env.From)
+	if inbox == nil {
+		return t.deliver(env)
+	}
+	for _, d := range inbox.Accept(env) {
+		if !t.deliver(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// inboxFor returns (creating if needed and within bounds) the inbound
+// cursor of one sender; nil when the sender is invalid or the table is
+// full of unregistered senders.
+func (t *Transport) inboxFor(from int) *relink.Inbox {
+	if from <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.inboxes[from]; !ok {
+		if _, registered := t.peers[from]; !registered && len(t.inboxes) >= maxInboxes {
+			return nil
+		}
+	}
+	return t.inboxForLocked(from)
+}
+
+// inboxForLocked returns (creating if needed) a sender's inbound
+// cursor; t.mu is held (or the transport not yet shared).
+func (t *Transport) inboxForLocked(from int) *relink.Inbox {
+	ib, ok := t.inboxes[from]
+	if !ok {
+		ib = relink.NewInbox(t.rcfg.Window)
+		t.inboxes[from] = ib
+	}
+	return ib
+}
+
+// deliver hands one envelope to the engine's receive channel.
+func (t *Transport) deliver(env network.Envelope) bool {
+	select {
+	case t.in <- env:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// lookupPeer returns the registered peer, if any.
+func (t *Transport) lookupPeer(index int) (*peer, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.peers[index]
+	return p, ok
+}
+
+// ackLoop flushes coalesced acknowledgements and retransmits
+// unacknowledged frames past the resend timeout. Both use the
+// non-blocking TryEnqueue: a full queue is retried on the next tick
+// rather than displacing fresh traffic or stalling the loop.
+func (t *Transport) ackLoop() {
+	defer t.done.Done()
+	ticker := time.NewTicker(t.rcfg.AckInterval)
+	defer ticker.Stop()
+	for {
 		select {
-		case t.in <- env:
+		case <-ticker.C:
 		case <-t.stop:
 			return
+		}
+		now := time.Now()
+		for _, p := range t.peerSnapshot() {
+			if epoch, upTo, ok := p.inbox.PendingAck(); ok {
+				ack := network.Envelope{
+					From: t.cfg.Self, To: p.index,
+					Kind: network.KindAck, Ack: upTo, AckEpoch: epoch,
+				}
+				if p.q.TryEnqueue(ack.Marshal()) {
+					p.inbox.ClearPending(epoch, upTo)
+				}
+			}
+			p.rel.Resend(now, func(env network.Envelope) bool {
+				return p.q.TryEnqueue(env.Marshal())
+			})
 		}
 	}
 }
@@ -357,9 +514,13 @@ func (p *peer) dropConn(conn net.Conn) {
 }
 
 // Send enqueues one envelope for a peer in O(1); the peer's writer
-// delivers it in the background. A full queue is resolved by the
-// configured policy: block (bounded by ctx), drop-oldest, or fail-fast
-// with a *network.PeerError wrapping network.ErrPeerBacklogged.
+// delivers it in the background. The frame is first staged in the ack
+// layer's in-flight window (resolved by the policy when full), so a
+// queue-policy rejection after staging still reports the congestion to
+// the caller while the ack layer guarantees eventual delivery by
+// retransmission. A full queue or window is resolved by the configured
+// policy: block (bounded by ctx), drop-oldest, or fail-fast with a
+// *network.PeerError wrapping network.ErrPeerBacklogged.
 func (t *Transport) Send(ctx context.Context, to int, env network.Envelope) error {
 	env.From = t.cfg.Self
 	env.To = to
@@ -367,32 +528,48 @@ func (t *Transport) Send(ctx context.Context, to int, env network.Envelope) erro
 	if err != nil {
 		return err
 	}
-	return p.enqueue(ctx, env.Marshal())
+	return p.enqueue(ctx, env)
 }
 
-// enqueue admits one frame to the peer's queue, attributing policy
-// failures to the peer.
-func (p *peer) enqueue(ctx context.Context, frame []byte) error {
-	if err := p.q.Enqueue(ctx, frame); err != nil {
+// enqueue stages one data frame in the peer's in-flight window,
+// piggybacks the pending acknowledgement for the reverse direction,
+// and admits it to the queue, attributing policy failures to the peer.
+func (p *peer) enqueue(ctx context.Context, env network.Envelope) error {
+	staged, err := p.rel.Stage(ctx, env)
+	if err != nil {
 		return network.AttributePeer(p.index, err)
+	}
+	epoch, upTo, hasAck := p.inbox.AckValue()
+	if hasAck {
+		staged.Ack, staged.AckEpoch = upTo, epoch
+	}
+	if err := p.q.Enqueue(ctx, staged.Marshal()); err != nil {
+		// The frame stays windowed: the resend timer recovers it even
+		// though the queue rejected it now. The error still surfaces so
+		// callers observe the backpressure. The pending ack is NOT
+		// cleared — this frame (its only carrier) never left, so the
+		// standalone flusher must still send it.
+		return network.AttributePeer(p.index, err)
+	}
+	if hasAck {
+		p.inbox.ClearPending(epoch, upTo)
 	}
 	return nil
 }
 
-// Broadcast enqueues the envelope for every registered peer. The
-// envelope is marshaled once with To=Broadcast (matching memnet's
-// semantics) and the identical frame is shared by every queue. All
-// peers are attempted; failures are aggregated into a
-// *network.BroadcastError naming each failed peer, so callers can
-// judge whether the surviving set still reaches a quorum.
+// Broadcast enqueues the envelope for every registered peer, addressed
+// To=Broadcast (matching memnet's semantics). Each peer's copy is
+// marshaled separately — the ack layer gives every link its own
+// sequence number. All peers are attempted; failures are aggregated
+// into a *network.BroadcastError naming each failed peer, so callers
+// can judge whether the surviving set still reaches a quorum.
 func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
 	env.From = t.cfg.Self
 	env.To = network.Broadcast
-	frame := env.Marshal()
 	peers := t.peerSnapshot()
 	var failed []*network.PeerError
 	for _, p := range peers {
-		if err := p.enqueue(ctx, frame); err != nil {
+		if err := p.enqueue(ctx, env); err != nil {
 			failed = append(failed, network.PeerFailure(p.index, err))
 		}
 	}
@@ -402,7 +579,11 @@ func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
 // TransportStats snapshots every peer link.
 func (t *Transport) TransportStats() network.TransportStats {
 	peers := t.peerSnapshot()
-	out := network.TransportStats{Peers: make([]network.PeerStats, 0, len(peers))}
+	out := network.TransportStats{
+		Peers:    make([]network.PeerStats, 0, len(peers)),
+		Policy:   t.cfg.Policy,
+		Reliable: true,
+	}
 	for _, p := range peers {
 		p.mu.Lock()
 		ps := network.PeerStats{
@@ -417,8 +598,11 @@ func (t *Transport) TransportStats() network.TransportStats {
 		ps.QueueDepth = p.q.Len()
 		ps.QueueCap = p.q.Cap()
 		ps.Enqueued = p.q.Enqueued()
-		ps.Dropped = p.q.Dropped()
+		ps.Dropped = p.q.Dropped() + p.rel.Dropped()
 		ps.Sent = p.sent.Load()
+		ps.Delivered = p.rel.Delivered()
+		ps.Inflight = p.rel.Inflight()
+		ps.Resent = p.rel.Resent()
 		out.Peers = append(out.Peers, ps)
 	}
 	return out
@@ -437,6 +621,7 @@ func (t *Transport) Close() error {
 		t.mu.Lock()
 		for _, p := range t.peers {
 			p.q.Close()
+			p.rel.Close()
 			p.mu.Lock()
 			if p.conn != nil {
 				_ = p.conn.Close()

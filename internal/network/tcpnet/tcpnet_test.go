@@ -134,10 +134,67 @@ func TestSlowPeerDoesNotBlockOtherSends(t *testing.T) {
 	}
 }
 
-// TestBroadcastMarshalsOnce: Broadcast addresses the single shared
-// frame To=Broadcast (memnet semantics) rather than re-marshaling the
-// envelope per peer with a patched To.
-func TestBroadcastMarshalsOnce(t *testing.T) {
+// TestLateRegistrationDoesNotRedeliver: traffic can arrive before the
+// receiver has registered the sender (dynamic wiring). The receiver
+// must still deduplicate the sender's retransmissions — it cannot ack
+// yet, so the sender resends — and once the peer IS registered, the
+// owed acknowledgements flush, draining the sender's window and ending
+// the resend loop. Nothing is ever delivered twice.
+func TestLateRegistrationDoesNotRedeliver(t *testing.T) {
+	mk := func(self int) *tcpnet.Transport {
+		tr, err := tcpnet.New(tcpnet.Config{
+			Self: self, ListenAddr: "127.0.0.1:0",
+			AckInterval:   5 * time.Millisecond,
+			ResendTimeout: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = tr.Close() })
+		return tr
+	}
+	t1, t2 := mk(1), mk(2)
+	t1.SetPeer(2, t2.Addr()) // t2 does NOT know peer 1 yet
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := t1.Send(ctx, 2, network.Envelope{Instance: "late", Kind: network.KindProto, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-t2.Receive():
+		if env.Round != 1 {
+			t.Fatalf("received %+v", env)
+		}
+	case <-ctx.Done():
+		t.Fatal("frame never delivered")
+	}
+	// Several resend timeouts pass; the unacked frame is retransmitted
+	// but must be filtered, not redelivered.
+	select {
+	case env := <-t2.Receive():
+		t.Fatalf("retransmission redelivered to the engine: %+v", env)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// Registration adopts the existing inbound cursor: the owed ack
+	// flushes and the sender's window drains.
+	t2.SetPeer(1, t1.Addr())
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ps, ok := t1.TransportStats().Peer(2); ok && ps.Delivered >= 1 && ps.Inflight == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ps, _ := t1.TransportStats().Peer(2)
+	t.Fatalf("window never drained after late registration: %+v", ps)
+}
+
+// TestBroadcastAddressing: broadcast frames are addressed To=Broadcast
+// (memnet semantics) on every link, even though each peer's copy now
+// carries its own per-link sequence number from the ack layer.
+func TestBroadcastAddressing(t *testing.T) {
 	transports := make([]*tcpnet.Transport, 3)
 	for i := range transports {
 		tr, err := tcpnet.New(tcpnet.Config{Self: i + 1, ListenAddr: "127.0.0.1:0"})

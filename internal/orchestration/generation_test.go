@@ -1,0 +1,96 @@
+package orchestration
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+// pollStats waits until cond holds for an engine's snapshot.
+func pollStats(t *testing.T, e *Engine, d time.Duration, cond func(Stats) bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last Stats
+	for time.Now().Before(deadline) {
+		last = e.Stats()
+		if cond(last) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s; last stats: %+v", msg, last)
+}
+
+// TestResubmitAfterCapEvictionJoinsPeersFreshRun is the regression test
+// for the cross-node retention desync: node 1 evicts a finished
+// instance under its retention cap while its peers still retain
+// theirs. A re-submission on node 1 starts generation 2 and announces
+// it; the retained peers must supersede their stale generation-1 copy
+// and participate in the fresh run, instead of treating the start as a
+// duplicate and stalling the run until liveTTL expiry.
+func TestResubmitAfterCapEvictionJoinsPeersFreshRun(t *testing.T) {
+	const tt, n = 1, 3
+	c := newCluster(t, tt, n, memnet.Options{}, func(cfg *Config) {
+		cfg.RetainTTL = time.Minute // keep TTL/liveTTL expiry out of the test window
+		cfg.RetainMax = 128
+		if cfg.Keys.Keys().Index == 1 {
+			cfg.RetainMax = 1 // only node 1 cap-evicts
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	reqA := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("gen-A")}
+	reqB := protocols.Request{Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("gen-B")}
+
+	fA, err := c.engines[0].Submit(ctx, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA, err := fA.Wait(ctx)
+	if err != nil || rA.Err != nil {
+		t.Fatalf("first run: %v / %v", err, rA.Err)
+	}
+	// Every node must have retired its copy before the eviction step.
+	for i, e := range c.engines {
+		pollStats(t, e, 10*time.Second, func(st Stats) bool { return st.Finished >= 1 },
+			"node "+string(rune('1'+i))+" never retired the first run")
+	}
+
+	// A second instance pushes A out of node 1's size-1 retention window;
+	// the peers retain both.
+	fB, err := c.engines[0].Submit(ctx, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB, err := fB.Wait(ctx); err != nil || rB.Err != nil {
+		t.Fatalf("second run: %v / %v", err, rB.Err)
+	}
+	pollStats(t, c.engines[0], 10*time.Second, func(st Stats) bool { return st.Evicted >= 1 },
+		"node 1 never cap-evicted the first run")
+
+	// Re-submit A on node 1. Without the generation tag the retained
+	// peers would ignore the announcement and this run would stall until
+	// liveTTL (minutes); with it, they join and it completes promptly.
+	fA2, err := c.engines[0].Submit(ctx, reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerunCtx, cancelRerun := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancelRerun()
+	rA2, err := fA2.Wait(rerunCtx)
+	if err != nil {
+		t.Fatalf("re-run after eviction stalled: %v", err)
+	}
+	if rA2.Err != nil {
+		t.Fatalf("re-run failed: %v", rA2.Err)
+	}
+	if !bytes.Equal(rA.Value, rA2.Value) {
+		t.Fatalf("re-run coin differs from the original: %x vs %x", rA2.Value, rA.Value)
+	}
+}

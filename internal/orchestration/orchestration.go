@@ -200,6 +200,13 @@ type Engine struct {
 
 type instance struct {
 	id string
+	// gen is the run generation of this id: a re-submission after a
+	// retention eviction starts generation N+1, announced on the start
+	// envelope, so peers that still retain generation N supersede their
+	// stale copy and join the fresh run instead of stalling it
+	// (guarded by Engine.mu; effectively immutable once the protocol is
+	// published).
+	gen int
 	// mu serializes all access to the TRI protocol, which is not safe
 	// for concurrent use (relevant when Workers > 1).
 	mu       sync.Mutex
@@ -209,8 +216,8 @@ type instance struct {
 	finished bool
 	result   Result
 	// backlog holds protocol messages that arrived before the instance
-	// was started on this node.
-	backlog []protocols.ProtocolMessage
+	// (or its generation) was started on this node.
+	backlog []backlogEntry
 	// starting marks that a worker has claimed the instance for
 	// protocol creation (guarded by Engine.mu). It distinguishes a
 	// placeholder — created by Attach or by a peer share arriving
@@ -241,6 +248,20 @@ type event struct {
 type batchItem struct {
 	req    protocols.Request
 	future *Future
+}
+
+// backlogEntry is one parked protocol message with the run generation
+// it belongs to; entries of other generations are filtered at drain.
+type backlogEntry struct {
+	msg protocols.ProtocolMessage
+	gen int
+}
+
+// tombstone remembers an evicted instance id and the generation it ran
+// as, so a re-submission can announce the next generation.
+type tombstone struct {
+	id  string
+	gen int
 }
 
 // New creates and starts an engine.
@@ -448,27 +469,68 @@ func (e *Engine) handle(ev event) {
 // placeholder instance — left behind by Attach or by a peer share that
 // arrived before the start announcement — is adopted: its futures and
 // backlog are kept and the protocol is created and started here. A
-// tombstoned (evicted) id is resurrected as a fresh instance. Lock
-// order is always e.mu before inst.mu. The instance is returned even on
-// error, so callers can retire it.
-func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future) (*instance, error) {
+// tombstoned (evicted) id is resurrected as a fresh instance of the
+// next generation. A start announcement carrying a generation above
+// the locally held copy supersedes it: the stale copy (typically a
+// retained finished result whose peers already evicted theirs) is
+// retired and this node joins the fresh run deliberately instead of
+// stalling it until liveTTL expiry. gen is the announced generation
+// (0 for a local submission, which derives it). Lock order is always
+// e.mu before inst.mu. The instance is returned even on error, so
+// callers can retire it.
+func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future, gen int) (*instance, error) {
 	id := req.InstanceID()
 	e.mu.Lock()
 	inst, ok := e.instances[id]
+	var superseded *instance
+	if ok && gen > inst.gen && (inst.starting || inst.proto != nil) {
+		superseded = inst
+		e.supersedeLocked(inst)
+		inst, ok = nil, false
+	}
 	adopt := false
 	if ok {
 		if inst.proto == nil && !inst.starting {
+			g := gen
+			if g == 0 {
+				// Local adoption of a placeholder: join the newest run
+				// hinted by parked shares, else start the next known
+				// generation.
+				g = e.nextGenLocked(id)
+				for _, b := range inst.backlog {
+					if b.gen > g {
+						g = b.gen
+					}
+				}
+			}
+			if g > inst.gen {
+				inst.gen = g
+			}
 			e.adoptLocked(inst)
 			adopt = true
 		}
 	} else {
+		g := gen
+		if g == 0 {
+			g = e.nextGenLocked(id)
+		}
 		e.clearTombstoneLocked(id)
-		inst = &instance{id: id, started: time.Now()}
+		inst = &instance{id: id, started: time.Now(), gen: g}
+		if superseded != nil {
+			// Early shares of the fresh run may have parked on the old
+			// copy; carry them over (drainBacklog filters by generation).
+			inst.backlog = superseded.backlog
+			superseded.backlog = nil
+		}
 		e.instances[id] = inst
 		e.adoptLocked(inst)
 		adopt = true
 	}
 	e.mu.Unlock()
+	if superseded != nil {
+		// Fail the stale copy's watchers (no-op when it had finished).
+		e.expireAll([]*instance{superseded})
+	}
 	if future != nil {
 		inst.mu.Lock()
 		if inst.finished {
@@ -502,6 +564,7 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		start := network.Envelope{
 			Instance: id,
 			Kind:     network.KindStart,
+			Gen:      inst.gen,
 			Payload:  req.Marshal(),
 		}
 		if err := e.broadcast(start); err != nil {
@@ -545,7 +608,7 @@ func (e *Engine) broadcast(env network.Envelope) error {
 }
 
 func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
-	inst, err := e.ensureInstance(req, true, future)
+	inst, err := e.ensureInstance(req, true, future, 0)
 	if err == nil {
 		// Peer shares may have arrived before the local submission.
 		e.drainBacklog(req.InstanceID(), inst)
@@ -554,6 +617,11 @@ func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
 }
 
 func (e *Engine) handleEnvelope(env network.Envelope) {
+	// Unversioned senders mean generation 1.
+	gen := env.Gen
+	if gen < 1 {
+		gen = 1
+	}
 	switch env.Kind {
 	case network.KindStart:
 		req, err := protocols.UnmarshalRequest(env.Payload)
@@ -563,45 +631,58 @@ func (e *Engine) handleEnvelope(env network.Envelope) {
 		if req.InstanceID() != env.Instance {
 			return // inconsistent announcement; ignore
 		}
-		inst, err := e.ensureInstance(req, false, nil)
+		inst, err := e.ensureInstance(req, false, nil, gen)
 		if err == nil {
 			e.drainBacklog(env.Instance, inst)
 		}
 		e.retire(inst)
 	case network.KindProto:
+		msg := protocols.ProtocolMessage{
+			Sender: env.From, Round: env.Round, Payload: env.Payload,
+		}
 		e.mu.Lock()
 		inst, ok := e.instances[env.Instance]
-		if ok && inst.proto == nil {
-			// Instance creation in flight; treat as unknown.
-			ok = false
-		}
-		if !ok {
-			// Share arrived before the start announcement: park it. Any
-			// new activity for an evicted id supersedes its tombstone —
-			// a peer may be legitimately re-running the instance.
-			var evicted []*instance
-			if inst == nil {
-				e.clearTombstoneLocked(env.Instance)
-				inst, evicted = e.newPlaceholderLocked(env.Instance)
-			}
-			if len(inst.backlog) < maxBacklog {
-				inst.backlog = append(inst.backlog, protocols.ProtocolMessage{
-					Sender: env.From, Round: env.Round, Payload: env.Payload,
-				})
+		if ok && inst.proto != nil {
+			switch {
+			case gen < inst.gen:
+				e.mu.Unlock()
+				return // stale share from a superseded run
+			case gen > inst.gen:
+				// Early share of a fresh run racing ahead of its start
+				// announcement: park it; the superseding start carries
+				// the backlog over.
+				if len(inst.backlog) < maxBacklog {
+					inst.backlog = append(inst.backlog, backlogEntry{msg: msg, gen: gen})
+				}
+				e.mu.Unlock()
+				return
 			}
 			e.mu.Unlock()
-			e.expireAll(evicted)
+			e.deliver(env.Instance, inst, msg)
+			e.retire(inst)
 			return
 		}
+		// Share arrived before the start announcement (or while the
+		// instance creation is in flight): park it. Any new activity
+		// for an evicted id supersedes its tombstone — a peer may be
+		// legitimately re-running the instance.
+		var evicted []*instance
+		if inst == nil {
+			e.clearTombstoneLocked(env.Instance)
+			inst, evicted = e.newPlaceholderLocked(env.Instance)
+		}
+		if len(inst.backlog) < maxBacklog {
+			inst.backlog = append(inst.backlog, backlogEntry{msg: msg, gen: gen})
+		}
 		e.mu.Unlock()
-		e.deliver(env.Instance, inst, protocols.ProtocolMessage{
-			Sender: env.From, Round: env.Round, Payload: env.Payload,
-		})
-		e.retire(inst)
+		e.expireAll(evicted)
 	}
 }
 
 // drainBacklog replays messages that arrived before the instance start.
+// Only entries of the instance's own generation are delivered; shares
+// of an even newer run stay parked for the superseding start, stale
+// ones are dropped.
 func (e *Engine) drainBacklog(id string, inst *instance) {
 	e.mu.Lock()
 	if inst.proto == nil {
@@ -614,9 +695,19 @@ func (e *Engine) drainBacklog(id string, inst *instance) {
 	}
 	backlog := inst.backlog
 	inst.backlog = nil
+	gen := inst.gen
+	var keep []backlogEntry
+	for _, entry := range backlog {
+		if entry.gen > gen {
+			keep = append(keep, entry)
+		}
+	}
+	inst.backlog = keep
 	e.mu.Unlock()
-	for _, msg := range backlog {
-		e.deliver(id, inst, msg)
+	for _, entry := range backlog {
+		if entry.gen == gen {
+			e.deliver(id, inst, entry.msg)
+		}
 	}
 }
 
@@ -660,6 +751,7 @@ func (e *Engine) advanceLocked(id string, inst *instance, firstRound bool) {
 					Instance: id,
 					Kind:     network.KindProto,
 					Round:    out.Round,
+					Gen:      inst.gen,
 					Payload:  out.Payload,
 				}
 				// The transport hint selects P2P or TOB; with the
@@ -737,8 +829,35 @@ func (e *Engine) evictLocked(inst *instance) {
 	if cur, ok := e.instances[inst.id]; ok && cur == inst {
 		delete(e.instances, inst.id)
 	}
-	e.tombstoneLocked(inst.id)
+	e.tombstoneLocked(inst.id, inst.gen)
 	e.evicted++
+}
+
+// supersedeLocked detaches a stale copy of an instance (an older
+// generation a peer is re-running) so a fresh instance can take its
+// id; e.mu is held. No tombstone is left — the fresh run immediately
+// replaces the entry. The caller expires the detached copy outside
+// e.mu: a finished copy's watchers already fired, an unfinished one
+// fails with ErrExpired.
+func (e *Engine) supersedeLocked(inst *instance) {
+	e.unlistLocked(inst)
+	if inst.relem != nil {
+		e.retained.Remove(inst.relem)
+		inst.relem = nil
+	}
+	if cur, ok := e.instances[inst.id]; ok && cur == inst {
+		delete(e.instances, inst.id)
+	}
+	e.evicted++
+}
+
+// nextGenLocked is the generation a fresh local submission of id should
+// run as: one above the evicted run's, when remembered; e.mu is held.
+func (e *Engine) nextGenLocked(id string) int {
+	if elem, ok := e.tombstones[id]; ok {
+		return elem.Value.(tombstone).gen + 1
+	}
+	return 1
 }
 
 // newPlaceholderLocked registers a bare instance awaiting adoption and
@@ -796,17 +915,20 @@ func (e *Engine) expireAll(insts []*instance) {
 	}
 }
 
-// tombstoneLocked remembers an evicted id in the bounded FIFO; e.mu is
-// held.
-func (e *Engine) tombstoneLocked(id string) {
-	if _, ok := e.tombstones[id]; ok {
+// tombstoneLocked remembers an evicted id (and the generation it ran
+// as) in the bounded FIFO; e.mu is held.
+func (e *Engine) tombstoneLocked(id string, gen int) {
+	if elem, ok := e.tombstones[id]; ok {
+		if ts := elem.Value.(tombstone); gen > ts.gen {
+			elem.Value = tombstone{id: id, gen: gen}
+		}
 		return
 	}
-	e.tombstones[id] = e.tombOrder.PushBack(id)
+	e.tombstones[id] = e.tombOrder.PushBack(tombstone{id: id, gen: gen})
 	for e.tombOrder.Len() > e.tombstoneMax {
 		front := e.tombOrder.Front()
 		e.tombOrder.Remove(front)
-		delete(e.tombstones, front.Value.(string))
+		delete(e.tombstones, front.Value.(tombstone).id)
 	}
 }
 
@@ -873,7 +995,7 @@ func (e *Engine) sweep(now time.Time) {
 		}
 		e.unlistLocked(inst)
 		delete(e.instances, inst.id)
-		e.tombstoneLocked(inst.id)
+		e.tombstoneLocked(inst.id, inst.gen)
 		e.evicted++
 		expired = append(expired, inst)
 	}

@@ -145,6 +145,53 @@ func TestV2InfoThroughSDK(t *testing.T) {
 			t.Fatalf("peer %d health = %+v, want up with a bounded queue", ps.Peer, ps)
 		}
 	}
+	if !info.Stats.Transport.Reliable {
+		t.Fatalf("transport not reporting the ack layer: %+v", info.Stats.Transport)
+	}
+}
+
+// TestV2InfoReportsDeliveredCounters drives one instance through the
+// deployment and asserts /v2/info exposes the ack layer's per-peer
+// delivered/inflight accounting: the submitting node must eventually
+// see its round broadcast acknowledged by every peer, with nothing
+// left in flight.
+func TestV2InfoReportsDeliveredCounters(t *testing.T) {
+	clients, _, _ := testServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h, err := clients[0].Submit(ctx, protocols.Request{
+		Scheme: schemes.CKS05, Op: protocols.OpCoin, Payload: []byte("delivered-stats"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := clients[0].Wait(ctx, h); err != nil || res.Err != nil {
+		t.Fatalf("wait: %v / %v", err, res.Err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var last *api.TransportStats
+	for time.Now().Before(deadline) {
+		info, err := clients[0].Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = info.Stats.Transport
+		allAcked := last != nil && len(last.Peers) == 3
+		if allAcked {
+			for _, ps := range last.Peers {
+				if ps.Delivered < 1 || ps.Inflight != 0 {
+					allAcked = false
+				}
+			}
+		}
+		if allAcked {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("per-peer delivery never fully acknowledged in /v2/info: %+v", last)
 }
 
 func TestV2UnknownSchemeThroughSDK(t *testing.T) {

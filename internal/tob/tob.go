@@ -12,12 +12,27 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"thetacrypt/internal/network"
 )
 
 // ErrClosed is returned by Submit after the endpoint was closed.
 var ErrClosed = errors.New("tob: sequencer closed")
+
+// ErrLossyTransport is returned by New when the transport's queue
+// policy can drop frames and the transport has no ack layer to resend
+// them: the sequencer protocol has no retransmission of its own, so a
+// single evicted ORDER frame would leave a permanent gap in the
+// sequence and wedge every follower's delivery.
+var ErrLossyTransport = errors.New("tob: transport queue policy is lossy and unacknowledged; the sequencer requires lossless delivery")
+
+// ErrLeaderDown is returned by Submit when the transport reports the
+// sequencer leader's link down: queueing into a dead link would only
+// grow the backlog, so callers fail fast and decide themselves whether
+// to retry, park, or escalate. The leader link's health is visible to
+// operators in TransportStats (and through /v2/info on a service node).
+var ErrLeaderDown = errors.New("tob: sequencer leader is down")
 
 // Envelope kinds used on the underlying P2P channel. Values are disjoint
 // from the orchestration kinds so a misrouted message is detectable.
@@ -27,11 +42,16 @@ const (
 )
 
 // Sequencer is one node's endpoint of the TOB channel. It must run on a
-// dedicated P2P transport (not shared with the orchestration traffic),
-// and that transport must use the lossless network.PolicyBlock (the
-// default): the protocol has no retransmission, so a lossy queue
-// policy (drop-oldest, fail-fast) evicting one ORDER frame would leave
-// a permanent gap in the sequence and wedge every follower's delivery.
+// dedicated P2P transport (not shared with the orchestration traffic)
+// that either uses the lossless network.PolicyBlock (the default) or
+// runs the ack layer (TransportStats reports Reliable, as tcpnet and
+// memnet do): the sequencer protocol has no retransmission of its own,
+// so without one of the two, a lossy queue policy evicting one ORDER
+// frame would leave a permanent gap in the sequence and wedge every
+// follower's delivery. New enforces this with ErrLossyTransport. Note
+// that even on a reliable transport, drop-oldest can definitively lose
+// frames once the in-flight window itself overflows; size AckWindow
+// for the expected outage, or keep the block policy.
 type Sequencer struct {
 	p2p    network.P2P
 	self   int
@@ -42,6 +62,11 @@ type Sequencer struct {
 	nextDel int // next sequence number to deliver
 	pending map[int]network.Envelope
 	closed  bool
+	// lastProbe/leaderErr cache the leader-health verdict between
+	// TransportStats samples: a full snapshot locks every peer link, so
+	// the Submit hot path reuses the last verdict for a probe interval.
+	lastProbe time.Time
+	leaderErr error
 	// delivering tracks in-flight sends on out. A leader-side Submit
 	// runs order→enqueue on the caller's goroutine, so Close must wait
 	// for those sends to drain before it may close(out); entries are
@@ -62,8 +87,13 @@ type Sequencer struct {
 var _ network.TOB = (*Sequencer)(nil)
 
 // New creates a TOB endpoint for node self (1-indexed) with the given
-// sequencer (leader) index.
-func New(p2p network.P2P, self, leader int) *Sequencer {
+// sequencer (leader) index. It validates the transport's delivery
+// guarantees: a lossy queue policy (drop-oldest, fail-fast) on a
+// transport without the ack layer is rejected with ErrLossyTransport.
+func New(p2p network.P2P, self, leader int) (*Sequencer, error) {
+	if ts := p2p.TransportStats(); !ts.Reliable && ts.Policy != network.PolicyBlock {
+		return nil, fmt.Errorf("%w (policy %v)", ErrLossyTransport, ts.Policy)
+	}
 	sendCtx, sendCancel := context.WithCancel(context.Background())
 	s := &Sequencer{
 		p2p:        p2p,
@@ -79,12 +109,15 @@ func New(p2p network.P2P, self, leader int) *Sequencer {
 		sendCancel: sendCancel,
 	}
 	go s.run()
-	return s
+	return s, nil
 }
 
 // Submit hands an envelope to the ordering service. After Close it
 // fails with ErrClosed; a submission racing Close may be silently
-// dropped (as it would be in flight on a real network).
+// dropped (as it would be in flight on a real network). When the
+// transport reports the leader's link down (dial or write failures
+// observed), Submit fails fast with ErrLeaderDown instead of queueing
+// into the dead link.
 func (s *Sequencer) Submit(ctx context.Context, env network.Envelope) error {
 	s.mu.Lock()
 	closed := s.closed
@@ -97,6 +130,9 @@ func (s *Sequencer) Submit(ctx context.Context, env network.Envelope) error {
 		s.order(env)
 		return nil
 	}
+	if err := s.leaderDown(); err != nil {
+		return err
+	}
 	wrapped := network.Envelope{
 		From:     s.self,
 		Instance: env.Instance,
@@ -104,6 +140,36 @@ func (s *Sequencer) Submit(ctx context.Context, env network.Envelope) error {
 		Payload:  env.Marshal(),
 	}
 	return s.p2p.Send(ctx, s.leader, wrapped)
+}
+
+// leaderProbeInterval paces how often Submit samples TransportStats
+// for the leader link's health.
+const leaderProbeInterval = 10 * time.Millisecond
+
+// leaderDown returns ErrLeaderDown while the transport reports the
+// leader link down with observed failures, sampling the (per-peer
+// lock-sweeping) TransportStats snapshot at most once per probe
+// interval and reusing the verdict in between.
+func (s *Sequencer) leaderDown() error {
+	s.mu.Lock()
+	if time.Since(s.lastProbe) < leaderProbeInterval {
+		err := s.leaderErr
+		s.mu.Unlock()
+		return err
+	}
+	s.lastProbe = time.Now()
+	s.mu.Unlock()
+	var verdict error
+	// ConsecutiveFailures distinguishes an observed outage from the
+	// initial not-yet-dialed state, which is also reported Down.
+	if ps, ok := s.p2p.TransportStats().Peer(s.leader); ok &&
+		ps.State == network.PeerDown && ps.ConsecutiveFailures > 0 {
+		verdict = fmt.Errorf("%w: peer %d (%s)", ErrLeaderDown, s.leader, ps.LastError)
+	}
+	s.mu.Lock()
+	s.leaderErr = verdict
+	s.mu.Unlock()
+	return verdict
 }
 
 // Delivered returns the totally ordered stream.

@@ -12,12 +12,15 @@ import (
 	"thetacrypt/internal/network/memnet"
 )
 
-func newTOBCluster(t *testing.T, n, leader int) []*Sequencer {
+func newTOBClusterOn(t *testing.T, hub *memnet.Hub, n, leader int) []*Sequencer {
 	t.Helper()
-	hub := memnet.NewHub(n, memnet.Options{Latency: memnet.Uniform(100 * time.Microsecond), JitterFrac: 0.5, Seed: 7})
 	seqs := make([]*Sequencer, n)
 	for i := 1; i <= n; i++ {
-		seqs[i-1] = New(hub.Endpoint(i), i, leader)
+		s, err := New(hub.Endpoint(i), i, leader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i-1] = s
 	}
 	t.Cleanup(func() {
 		for _, s := range seqs {
@@ -25,6 +28,12 @@ func newTOBCluster(t *testing.T, n, leader int) []*Sequencer {
 		}
 	})
 	return seqs
+}
+
+func newTOBCluster(t *testing.T, n, leader int) []*Sequencer {
+	t.Helper()
+	hub := memnet.NewHub(n, memnet.Options{Latency: memnet.Uniform(100 * time.Microsecond), JitterFrac: 0.5, Seed: 7})
+	return newTOBClusterOn(t, hub, n, leader)
 }
 
 func collect(t *testing.T, s *Sequencer, count int) []string {
@@ -127,7 +136,10 @@ func TestCloseDuringLeaderSubmit(t *testing.T) {
 	const submitters = 128
 	for i := 0; i < iterations; i++ {
 		hub := memnet.NewHub(1, memnet.Options{})
-		s := New(hub.Endpoint(1), 1, 1)
+		s, err := New(hub.Endpoint(1), 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var wg sync.WaitGroup
 		// A drainer keeps out unsaturated, so submitters are actively
 		// sending — not parked — when Close lands.
@@ -161,6 +173,74 @@ func TestCloseDuringLeaderSubmit(t *testing.T) {
 			t.Fatalf("submit after close: got %v, want ErrClosed", err)
 		}
 		hub.Close()
+	}
+}
+
+// lossyStats is a network.P2P stub whose TransportStats reports a lossy
+// queue policy without the ack layer — the configuration tob.New must
+// refuse.
+type lossyStats struct {
+	network.P2P
+	policy network.QueuePolicy
+}
+
+func (l lossyStats) TransportStats() network.TransportStats {
+	return network.TransportStats{Policy: l.policy, Reliable: false}
+}
+
+func TestNewRejectsLossyUnacknowledgedTransport(t *testing.T) {
+	hub := memnet.NewHub(1, memnet.Options{})
+	defer hub.Close()
+	for _, policy := range []network.QueuePolicy{network.PolicyDropOldest, network.PolicyFailFast} {
+		_, err := New(lossyStats{P2P: hub.Endpoint(1), policy: policy}, 1, 1)
+		if !errors.Is(err, ErrLossyTransport) {
+			t.Fatalf("policy %v accepted: %v", policy, err)
+		}
+	}
+	// The block policy is lossless even without acks.
+	s, err := New(lossyStats{P2P: hub.Endpoint(1), policy: network.PolicyBlock}, 1, 1)
+	if err != nil {
+		t.Fatalf("block policy rejected: %v", err)
+	}
+	_ = s.Close()
+	// A reliable transport makes the lossy policies acceptable: the ack
+	// layer resends what the queue drops.
+	lossyHub := memnet.NewHub(1, memnet.Options{Policy: network.PolicyDropOldest})
+	defer lossyHub.Close()
+	s2, err := New(lossyHub.Endpoint(1), 1, 1)
+	if err != nil {
+		t.Fatalf("lossy policy on a reliable transport rejected: %v", err)
+	}
+	_ = s2.Close()
+}
+
+func TestSubmitFailsFastWhenLeaderDown(t *testing.T) {
+	hub := memnet.NewHub(3, memnet.Options{})
+	seqs := newTOBClusterOn(t, hub, 3, 1)
+	defer hub.Close()
+
+	// Healthy: a follower submission is delivered everywhere.
+	if err := seqs[2].Submit(context.Background(), network.Envelope{Payload: []byte("pre")}); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, seqs[1], 1)
+
+	hub.Crash(1)
+	time.Sleep(3 * leaderProbeInterval) // let the cached health verdict expire
+	err := seqs[2].Submit(context.Background(), network.Envelope{Payload: []byte("lost")})
+	if !errors.Is(err, ErrLeaderDown) {
+		t.Fatalf("submit with a dead leader returned %v, want ErrLeaderDown", err)
+	}
+	// The leader itself orders locally and is unaffected by its own
+	// link state; followers recover once the leader is back.
+	hub.Restart(1)
+	time.Sleep(3 * leaderProbeInterval) // same: outlive the cached verdict
+	if err := seqs[2].Submit(context.Background(), network.Envelope{Payload: []byte("post")}); err != nil {
+		t.Fatalf("submit after leader restart: %v", err)
+	}
+	got := collect(t, seqs[1], 1)
+	if got[0] != "post" {
+		t.Fatalf("delivered %q after restart, want post", got[0])
 	}
 }
 

@@ -52,6 +52,13 @@ func (w *Writer) Int(v int) *Writer {
 	return w.Bytes(b[:])
 }
 
+// Uint64 appends an unsigned 64-bit field (sequence numbers, epochs).
+func (w *Writer) Uint64(v uint64) *Writer {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return w.Bytes(b[:])
+}
+
 // String appends a string field.
 func (w *Writer) String(s string) *Writer { return w.Bytes([]byte(s)) }
 
@@ -127,6 +134,19 @@ func (r *Reader) Int() int {
 		return 0
 	}
 	return int(int64(binary.BigEndian.Uint64(b)))
+}
+
+// Uint64 reads an unsigned 64-bit field.
+func (r *Reader) Uint64() uint64 {
+	b := r.Bytes()
+	if r.err != nil {
+		return 0
+	}
+	if len(b) != 8 {
+		r.err = fmt.Errorf("wire: bad uint64 field length %d", len(b))
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
 }
 
 // String reads a string field.

@@ -117,15 +117,26 @@ const (
 func ParseQueuePolicy(s string) (QueuePolicy, error) { return network.ParseQueuePolicy(s) }
 
 // TransportOptions tunes the per-peer outbound pipeline of a node's
-// P2P transport: queue capacity, full-queue policy, and (for TCP
-// deployments) the background dial backoff. Zero values select the
-// transport defaults (queue 1024, PolicyBlock, 250ms initial backoff
-// doubling to 4s).
+// P2P transport: queue capacity, full-queue policy, the reliability
+// (seq/ack) layer, and (for TCP deployments) the background dial
+// backoff. Zero values select the transport defaults (queue 1024,
+// PolicyBlock, ack window 1024, ack interval 25ms, resend 500ms, 250ms
+// initial backoff doubling to 4s).
 type TransportOptions struct {
 	// OutQueueLen bounds each peer's outbound queue, in frames.
 	OutQueueLen int
 	// Policy selects the full-queue behavior.
 	Policy QueuePolicy
+	// AckWindow bounds the unacknowledged frames the reliability layer
+	// retains per peer link for resend-on-reconnect; a full window is
+	// resolved by Policy.
+	AckWindow int
+	// AckInterval coalesces standalone delivery acknowledgements and
+	// paces the resend scan.
+	AckInterval time.Duration
+	// ResendTimeout is how long a frame stays unacknowledged before it
+	// is retransmitted.
+	ResendTimeout time.Duration
 	// DialRetry is the initial reconnect backoff (TCP deployments).
 	DialRetry time.Duration
 	// DialBackoffMax caps the exponential backoff (TCP deployments).
@@ -205,9 +216,12 @@ func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
 		latency = memnet.Uniform(opts.Latency)
 	}
 	hub := memnet.NewHub(n, memnet.Options{
-		Latency:     latency,
-		OutQueueLen: opts.Transport.OutQueueLen,
-		Policy:      opts.Transport.Policy,
+		Latency:       latency,
+		OutQueueLen:   opts.Transport.OutQueueLen,
+		Policy:        opts.Transport.Policy,
+		AckWindow:     opts.Transport.AckWindow,
+		AckInterval:   opts.Transport.AckInterval,
+		ResendTimeout: opts.Transport.ResendTimeout,
 	})
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
@@ -439,6 +453,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Peers:          cfg.Peers,
 		OutQueueLen:    cfg.Transport.OutQueueLen,
 		Policy:         cfg.Transport.Policy,
+		AckWindow:      cfg.Transport.AckWindow,
+		AckInterval:    cfg.Transport.AckInterval,
+		ResendTimeout:  cfg.Transport.ResendTimeout,
 		DialRetry:      cfg.Transport.DialRetry,
 		DialBackoffMax: cfg.Transport.DialBackoffMax,
 	})
