@@ -14,9 +14,12 @@ package api
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"time"
 
+	"thetacrypt/internal/keys"
 	"thetacrypt/internal/protocols"
 	"thetacrypt/internal/schemes"
 )
@@ -43,18 +46,86 @@ type Result struct {
 	ServerLatency time.Duration
 }
 
-// Info describes a deployment endpoint and the schemes it holds keys
-// for.
+// Info describes a deployment endpoint, the schemes it holds keys
+// for, and its keychain.
 type Info struct {
 	// NodeIndex is the answering node's 1-based index.
 	NodeIndex int
 	// N and T are the deployment size and corruption threshold.
 	N, T int
-	// Schemes lists the schemes with dealt key material.
+	// Schemes lists the schemes with at least one key.
 	Schemes []schemes.ID
+	// Keys lists the named keys of the node's keystore (dealt and
+	// DKG-generated); nil when the endpoint predates API v2.3.
+	Keys []KeyInfo
 	// Stats is the answering node's engine snapshot (lifecycle and
 	// flow control); nil when the endpoint predates API v2.1.
 	Stats *EngineStats
+}
+
+// KeyInfo describes one named key of a keystore: its address
+// (scheme, key ID), arithmetic structure, and the marshaled public
+// material so clients can compare keys across nodes.
+type KeyInfo struct {
+	Scheme  string `json:"scheme"`
+	KeyID   string `json:"key_id"`
+	Group   string `json:"group,omitempty"`
+	Default bool   `json:"default,omitempty"`
+	// PublicKey is the scheme's marshaled public key.
+	PublicKey []byte `json:"public_key,omitempty"`
+}
+
+// KeyInfosOf converts a keystore listing into the wire shape, shared
+// by the HTTP service layer and the embedded deployments.
+func KeyInfosOf(list []keys.Info) []KeyInfo {
+	out := make([]KeyInfo, len(list))
+	for i, k := range list {
+		out[i] = KeyInfo{
+			Scheme:    string(k.Scheme),
+			KeyID:     k.ID,
+			Group:     k.Group,
+			Default:   k.Default,
+			PublicKey: k.Public,
+		}
+	}
+	return out
+}
+
+// GenerateKeyOptions configures Service.GenerateKey.
+type GenerateKeyOptions struct {
+	// KeyID names the new key; a fresh random ID is assigned when
+	// empty. The ID travels in the keygen request, so every node
+	// installs the key under the same name.
+	KeyID string
+	// Group is the DL group of the new key ("edwards25519", "p256");
+	// empty selects edwards25519.
+	Group string
+}
+
+// KeygenRequest builds the protocol request behind GenerateKey: an
+// OpKeyGen instance whose KeyID names the key to create and whose
+// payload carries the group. It is the one construction seam shared by
+// the embedded deployments and the HTTP service layer, so both derive
+// identical instances from identical options.
+func KeygenRequest(scheme schemes.ID, opts GenerateKeyOptions) (protocols.Request, *Error) {
+	id := opts.KeyID
+	if id == "" {
+		var buf [6]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return protocols.Request{}, Errf(CodeInternal, "generate key id: %v", err)
+		}
+		id = "k-" + hex.EncodeToString(buf[:])
+	}
+	req := protocols.Request{
+		Scheme:  scheme,
+		KeyID:   id,
+		Op:      protocols.OpKeyGen,
+		Payload: []byte(opts.Group),
+	}
+	if e := ValidateRequest(req); e != nil {
+		return protocols.Request{}, e
+	}
+	return req, nil
 }
 
 // EngineStats is a node's orchestration-engine snapshot: the instance
@@ -129,14 +200,21 @@ type PeerStats struct {
 
 // Service is the one client-facing interface over every deployment
 // style (the tentpole of API v2). Submit and SubmitBatch start protocol
-// instances (the protocol API); Encrypt and Info are local operations
-// against the node's public key material (the scheme API).
+// instances (the protocol API); Encrypt, Info, and Keys are local
+// operations against the node's keystore (the scheme API); GenerateKey
+// creates new named keys at runtime through a distributed key
+// generation (the keychain API).
+//
+// Every request addresses a named key: protocols.Request.KeyID and
+// Encrypt's keyID select it, the empty ID meaning the scheme's default
+// key. A key ID the answering node does not hold fails with
+// CodeKeyUnknown on every implementation.
 //
 // Submission is idempotent: submitting an identical request — same
-// scheme, operation, payload, and session — joins the existing instance
-// and returns the same handle instead of failing. Per-request deadlines
-// travel via the submit context (remote implementations forward the
-// context deadline to the server) and via Wait's context.
+// scheme, key, operation, payload, and session — joins the existing
+// instance and returns the same handle instead of failing. Per-request
+// deadlines travel via the submit context (remote implementations
+// forward the context deadline to the server) and via Wait's context.
 type Service interface {
 	// Submit starts one protocol instance and returns its handle.
 	Submit(ctx context.Context, req protocols.Request) (Handle, error)
@@ -148,12 +226,21 @@ type Service interface {
 	// instance is reported inside the Result (Result.Err), transport
 	// and deadline failures as the second return value.
 	Wait(ctx context.Context, h Handle) (Result, error)
-	// Encrypt creates a ciphertext under the service-wide public key of
-	// an encryption scheme (SG02 or BZ03). It is a local computation at
-	// the answering node; decryption requires a threshold quorum.
-	Encrypt(ctx context.Context, scheme schemes.ID, message, label []byte) ([]byte, error)
-	// Info reports deployment parameters and available schemes.
+	// Encrypt creates a ciphertext under a named public key of an
+	// encryption scheme (SG02 or BZ03); the empty keyID selects the
+	// scheme's default key. It is a local computation at the answering
+	// node; decryption requires a threshold quorum.
+	Encrypt(ctx context.Context, scheme schemes.ID, keyID string, message, label []byte) ([]byte, error)
+	// Info reports deployment parameters, available schemes, and the
+	// keychain.
 	Info(ctx context.Context) (Info, error)
+	// Keys lists the named keys of the answering node's keystore.
+	Keys(ctx context.Context) ([]KeyInfo, error)
+	// GenerateKey starts a distributed key generation for the scheme
+	// (SG02, KG20, or CKS05) and returns the handle of the keygen
+	// instance; its Result carries the new key's ID as the value. The
+	// generated key is immediately usable for Submit under that ID.
+	GenerateKey(ctx context.Context, scheme schemes.ID, opts GenerateKeyOptions) (Handle, error)
 }
 
 // BatchWaiter is implemented by Services that can wait for many handles
@@ -175,14 +262,39 @@ func ValidateRequest(req protocols.Request) *Error {
 	switch {
 	case err == nil:
 		return nil
+	case errors.Is(err, schemes.ErrUnknown):
+		// Matched explicitly: only a failed scheme-registry lookup may
+		// classify as scheme_unknown. New validation failures fall to
+		// the bad_request default instead of masquerading as an unknown
+		// scheme.
+		return Errf(CodeSchemeUnknown, "%v", err)
 	case errors.Is(err, protocols.ErrPayloadTooLarge):
 		return Errf(CodePayloadTooLarge, "%v", err)
-	case errors.Is(err, protocols.ErrUnknownOperation):
-		return Errf(CodeBadRequest, "%v", err)
 	default:
-		// The remaining Validate failure is the scheme-registry lookup.
-		return Errf(CodeSchemeUnknown, "%v", err)
+		// Unknown operations, malformed key IDs, unsupported keygen
+		// targets, and any future structural defect.
+		return Errf(CodeBadRequest, "%v", err)
 	}
+}
+
+// CheckRequestKey resolves a request's key reference against the
+// answering node's keystore, after ValidateRequest and before any
+// instance state is created: a threshold operation under a key the
+// node does not hold fails with CodeKeyUnknown (404), a keygen naming
+// an installed key with CodeKeyExists (409). Both Service
+// implementations funnel submissions through it, so embedded and
+// remote deployments reject identical requests with identical codes.
+func CheckRequestKey(store *keys.Keystore, req protocols.Request) *Error {
+	if req.Op == protocols.OpKeyGen {
+		if _, err := store.Get(req.Scheme, req.KeyID); err == nil {
+			return Errf(CodeKeyExists, "key %s/%s already exists", req.Scheme, req.KeyID)
+		}
+		return nil
+	}
+	if _, err := store.Get(req.Scheme, req.EffectiveKeyID()); err != nil {
+		return Errf(CodeKeyUnknown, "%v", err)
+	}
+	return nil
 }
 
 // Execute submits one request and waits for its value — the one-liner

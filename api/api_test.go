@@ -33,6 +33,8 @@ func TestHTTPStatus(t *testing.T) {
 		CodeOpUnknown:       http.StatusBadRequest,
 		CodeSchemeNotCipher: http.StatusBadRequest,
 		CodeSchemeNoKeys:    http.StatusNotFound,
+		CodeKeyUnknown:      http.StatusNotFound,
+		CodeKeyExists:       http.StatusConflict,
 		CodeNotFound:        http.StatusNotFound,
 		CodePayloadTooLarge: http.StatusRequestEntityTooLarge,
 		CodeTimeout:         http.StatusGatewayTimeout,
@@ -61,6 +63,43 @@ func TestValidateRequest(t *testing.T) {
 	bad := protocols.Request{Scheme: schemes.BLS04, Op: protocols.Operation(42), Payload: []byte("m")}
 	if e := ValidateRequest(bad); e == nil || e.Code != CodeBadRequest {
 		t.Fatalf("bad op: %v", e)
+	}
+	// Only the scheme-registry lookup may classify as scheme_unknown:
+	// new validation failures (bad key IDs, unsupported keygen targets)
+	// fall to bad_request instead of masquerading as an unknown scheme.
+	badKey := protocols.Request{Scheme: schemes.BLS04, KeyID: "not a key!", Op: protocols.OpSign, Payload: []byte("m")}
+	if e := ValidateRequest(badKey); e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("bad key id: %v", e)
+	}
+	rsaGen := protocols.Request{Scheme: schemes.SH00, KeyID: "k1", Op: protocols.OpKeyGen}
+	if e := ValidateRequest(rsaGen); e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("deal-only keygen: %v", e)
+	}
+	if e := ValidateRequest(protocols.Request{Scheme: schemes.KG20, KeyID: "k1", Op: protocols.OpKeyGen}); e != nil {
+		t.Fatalf("valid keygen rejected: %v", e)
+	}
+}
+
+func TestKeygenRequestSeam(t *testing.T) {
+	req, e := KeygenRequest(schemes.CKS05, GenerateKeyOptions{})
+	if e != nil {
+		t.Fatal(e)
+	}
+	if req.Op != protocols.OpKeyGen || req.KeyID == "" {
+		t.Fatalf("auto-named keygen request wrong: %+v", req)
+	}
+	req2, e := KeygenRequest(schemes.CKS05, GenerateKeyOptions{KeyID: "named", Group: "p256"})
+	if e != nil {
+		t.Fatal(e)
+	}
+	if req2.KeyID != "named" || string(req2.Payload) != "p256" {
+		t.Fatalf("named keygen request wrong: %+v", req2)
+	}
+	if _, e := KeygenRequest(schemes.BLS04, GenerateKeyOptions{}); e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("pairing keygen: %v", e)
+	}
+	if _, e := KeygenRequest(schemes.KG20, GenerateKeyOptions{Group: "nope"}); e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("unknown group: %v", e)
 	}
 }
 

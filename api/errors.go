@@ -26,6 +26,12 @@ const (
 	// CodeSchemeNotCipher flags an encryption request against a
 	// signature or coin scheme.
 	CodeSchemeNotCipher Code = "scheme_not_cipher"
+	// CodeKeyUnknown flags a key ID the node's keystore does not hold
+	// for the requested scheme. Transported as HTTP 404.
+	CodeKeyUnknown Code = "key_unknown"
+	// CodeKeyExists flags a key generation naming a (scheme, key ID)
+	// pair that is already installed. Transported as HTTP 409.
+	CodeKeyExists Code = "key_exists"
 	// CodeDuplicateInstance marks a submission that joined an existing
 	// protocol instance. v2 submissions are idempotent, so this code
 	// appears as metadata (HTTP 200 + existing handle), never as a
@@ -88,8 +94,10 @@ func HTTPStatus(code Code) int {
 	switch code {
 	case CodeBadRequest, CodeSchemeUnknown, CodeOpUnknown, CodeSchemeNotCipher:
 		return http.StatusBadRequest
-	case CodeSchemeNoKeys, CodeNotFound:
+	case CodeSchemeNoKeys, CodeKeyUnknown, CodeNotFound:
 		return http.StatusNotFound
+	case CodeKeyExists:
+		return http.StatusConflict
 	case CodePayloadTooLarge:
 		return http.StatusRequestEntityTooLarge
 	case CodeTimeout:

@@ -1,8 +1,10 @@
 package api
 
 import (
+	"errors"
 	"time"
 
+	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/orchestration"
 	"thetacrypt/internal/protocols"
@@ -10,6 +12,28 @@ import (
 )
 
 func msToDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// ClassifyResultErr maps an instance failure onto the structured error
+// model — the one seam shared by the HTTP service layer and the
+// embedded deployments, so a failed instance reports the same code on
+// every Service implementation. nil stays nil; unrecognized failures
+// classify as CodeInternal.
+func ClassifyResultErr(err error) *Error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, orchestration.ErrExpired):
+		// The result outlived the retention window; re-submitting the
+		// request starts a fresh instance.
+		return Errf(CodeExpired, "%v", err)
+	case errors.Is(err, keys.ErrKeyUnknown):
+		return Errf(CodeKeyUnknown, "%v", err)
+	case errors.Is(err, keys.ErrKeyExists):
+		return Errf(CodeKeyExists, "%v", err)
+	default:
+		return Errf(CodeInternal, "%v", err)
+	}
+}
 
 // EngineStatsOf converts an engine snapshot into the wire shape, shared
 // by the HTTP service layer and the embedded deployments.
@@ -66,6 +90,8 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 //	                               one ResultEntry per "data:" event
 //	POST /v2/scheme/encrypt     EncryptRequest      -> EncryptResponse
 //	GET  /v2/info               -> InfoResponse
+//	GET  /v2/keys               -> KeysResponse
+//	POST /v2/keys               GenerateKeyRequest  -> GenerateKeyResponse
 //
 // Non-2xx responses carry ErrorResponse. Batch submission is partial:
 // invalid items fail individually inside SubmitBatchResponse while the
@@ -73,8 +99,11 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 
 // SubmitItem is one protocol request of a v2 submission.
 type SubmitItem struct {
-	Scheme  string `json:"scheme"`
-	Op      string `json:"op"` // "sign" | "decrypt" | "coin"
+	Scheme string `json:"scheme"`
+	// KeyID names the key the operation runs under; empty selects the
+	// scheme's default key.
+	KeyID   string `json:"key_id,omitempty"`
+	Op      string `json:"op"` // "sign" | "decrypt" | "coin" | "keygen"
 	Payload []byte `json:"payload"`
 	// Session distinguishes repeated requests over the same payload.
 	Session string `json:"session,omitempty"`
@@ -88,6 +117,7 @@ type SubmitItem struct {
 func Item(req protocols.Request) SubmitItem {
 	return SubmitItem{
 		Scheme:  string(req.Scheme),
+		KeyID:   req.KeyID,
 		Op:      req.Op.String(),
 		Payload: req.Payload,
 		Session: req.Session,
@@ -102,6 +132,7 @@ func (it SubmitItem) Request() (protocols.Request, error) {
 	}
 	req := protocols.Request{
 		Scheme:  schemes.ID(it.Scheme),
+		KeyID:   it.KeyID,
 		Op:      op,
 		Payload: it.Payload,
 		Session: it.Session,
@@ -168,7 +199,10 @@ type ResultsResponse struct {
 
 // EncryptRequest is the scheme-API encryption request.
 type EncryptRequest struct {
-	Scheme  string `json:"scheme"`
+	Scheme string `json:"scheme"`
+	// KeyID names the public key to encrypt under; empty selects the
+	// scheme's default key.
+	KeyID   string `json:"key_id,omitempty"`
 	Message []byte `json:"message"`
 	Label   []byte `json:"label,omitempty"`
 }
@@ -178,13 +212,37 @@ type EncryptResponse struct {
 	Ciphertext []byte `json:"ciphertext"`
 }
 
-// InfoResponse describes the node, its schemes, and its engine stats.
+// KeysResponse answers GET /v2/keys with the node's keychain.
+type KeysResponse struct {
+	Keys []KeyInfo `json:"keys"`
+}
+
+// GenerateKeyRequest is the body of POST /v2/keys: start a distributed
+// key generation for the scheme. KeyID and Group are optional (random
+// ID, edwards25519).
+type GenerateKeyRequest struct {
+	Scheme string `json:"scheme"`
+	KeyID  string `json:"key_id,omitempty"`
+	Group  string `json:"group,omitempty"`
+}
+
+// GenerateKeyResponse answers with the keygen instance handle and the
+// assigned key ID; the instance's result (via /v2/protocol/results)
+// carries the same ID once the key is installed on the answering node.
+type GenerateKeyResponse struct {
+	InstanceID string `json:"instance_id"`
+	KeyID      string `json:"key_id"`
+}
+
+// InfoResponse describes the node, its schemes, its keychain, and its
+// engine stats.
 type InfoResponse struct {
 	APIVersion int          `json:"api_version"`
 	NodeIndex  int          `json:"node_index"`
 	N          int          `json:"n"`
 	T          int          `json:"t"`
 	Schemes    []string     `json:"schemes"`
+	Keys       []KeyInfo    `json:"keys,omitempty"`
 	Stats      *EngineStats `json:"stats,omitempty"`
 }
 
@@ -194,7 +252,7 @@ func (ir InfoResponse) Info() Info {
 	for i, s := range ir.Schemes {
 		ids[i] = schemes.ID(s)
 	}
-	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids, Stats: ir.Stats}
+	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids, Keys: ir.Keys, Stats: ir.Stats}
 }
 
 // ErrorResponse is the body of every non-2xx v2 response.

@@ -117,6 +117,9 @@ var (
 // benchmark harness uses it to demonstrate batch amortization.
 func (c *Client) RoundTrips() int64 { return c.trips.Load() }
 
+// BaseURL returns the service endpoint this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
 // do issues one HTTP request and decodes a JSON response, mapping
 // non-2xx bodies to *api.Error.
 func (c *Client) do(req *http.Request, out any) error {
@@ -328,11 +331,12 @@ func (c *Client) streamOnce(ctx context.Context, ids []string, fn func(api.Resul
 	return nil
 }
 
-// Encrypt calls the scheme API's local encryption at the remote node.
-func (c *Client) Encrypt(ctx context.Context, scheme schemes.ID, message, label []byte) ([]byte, error) {
+// Encrypt calls the scheme API's local encryption at the remote node;
+// the empty keyID selects the scheme's default key.
+func (c *Client) Encrypt(ctx context.Context, scheme schemes.ID, keyID string, message, label []byte) ([]byte, error) {
 	var out api.EncryptResponse
 	err := c.postJSON(ctx, "/v2/scheme/encrypt", api.EncryptRequest{
-		Scheme: string(scheme), Message: message, Label: label,
+		Scheme: string(scheme), KeyID: keyID, Message: message, Label: label,
 	}, &out)
 	if err != nil {
 		return nil, err
@@ -351,4 +355,35 @@ func (c *Client) Info(ctx context.Context) (api.Info, error) {
 		return api.Info{}, err
 	}
 	return out.Info(), nil
+}
+
+// Keys lists the remote node's keychain (GET /v2/keys).
+func (c *Client) Keys(ctx context.Context) ([]api.KeyInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out api.KeysResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Keys, nil
+}
+
+// GenerateKey starts a distributed key generation at the remote
+// deployment (POST /v2/keys) and returns the keygen instance's handle;
+// waiting on it yields the new key's ID as the result value. An
+// overloaded node is retried with backoff like a submission.
+func (c *Client) GenerateKey(ctx context.Context, scheme schemes.ID, opts api.GenerateKeyOptions) (api.Handle, error) {
+	var out api.GenerateKeyResponse
+	err := c.retryOverload(ctx, func() error {
+		out = api.GenerateKeyResponse{}
+		return c.postJSON(ctx, "/v2/keys", api.GenerateKeyRequest{
+			Scheme: string(scheme), KeyID: opts.KeyID, Group: opts.Group,
+		}, &out)
+	})
+	if err != nil {
+		return api.Handle{}, err
+	}
+	return api.Handle{InstanceID: out.InstanceID}, nil
 }

@@ -80,7 +80,7 @@ func remoteBench(w io.Writer, args []string) error {
 			Payload: []byte(fmt.Sprintf("bench payload %s %d", mode, i)),
 		}
 		if operation == thetacrypt.OpDecrypt {
-			ct, err := svc.Encrypt(ctx, id, req.Payload, nil)
+			ct, err := svc.Encrypt(ctx, id, "", req.Payload, nil)
 			if err != nil {
 				return thetacrypt.Request{}, fmt.Errorf("prepare ciphertext: %w", err)
 			}

@@ -59,7 +59,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("read key file: %w", err)
 	}
-	nk, err := keys.UnmarshalNodeKeys(raw)
+	nk, err := keys.UnmarshalKeystore(raw)
 	if err != nil {
 		return fmt.Errorf("parse key file: %w", err)
 	}

@@ -1,15 +1,19 @@
-// Command thetakeygen is the trusted dealer: it generates threshold key
-// material for all schemes and writes one key file per node plus a
-// peers file template for cmd/thetacrypt.
+// Command thetakeygen is the trusted dealer: it generates named
+// threshold key material for all schemes and writes one keystore file
+// per node, a keyring manifest describing the dealt keys, and a peers
+// file template for cmd/thetacrypt.
 //
 // Usage:
 //
 //	thetakeygen -n 4 -t 1 -out ./keys [-rsa-bits 2048] [-rsa-fixture]
 //	            [-schemes SG02,BLS04,...] [-group edwards25519|p256]
+//	            [-key-id default]
 package main
 
 import (
 	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +32,25 @@ func main() {
 	}
 }
 
+// manifest is the keyring.json the dealer writes next to the key
+// files: the deployment parameters, the per-node files, and one entry
+// per dealt key (public material only).
+type manifest struct {
+	N      int           `json:"n"`
+	T      int           `json:"t"`
+	Quorum int           `json:"quorum"`
+	Files  []string      `json:"files"`
+	Keys   []manifestKey `json:"keys"`
+}
+
+type manifestKey struct {
+	Scheme    string `json:"scheme"`
+	KeyID     string `json:"key_id"`
+	Group     string `json:"group,omitempty"`
+	Default   bool   `json:"default,omitempty"`
+	PublicKey string `json:"public_key,omitempty"` // base64
+}
+
 func run() error {
 	var (
 		n          = flag.Int("n", 4, "number of nodes")
@@ -37,6 +60,7 @@ func run() error {
 		rsaFixture = flag.Bool("rsa-fixture", false, "use embedded deterministic safe primes (TEST ONLY)")
 		schemeList = flag.String("schemes", "", "comma-separated scheme subset (default: all)")
 		groupName  = flag.String("group", "edwards25519", "DL group for SG02/KG20/CKS05")
+		keyID      = flag.String("key-id", keys.DefaultKeyID, "name of the dealt keys")
 	)
 	flag.Parse()
 
@@ -45,12 +69,17 @@ func run() error {
 		return err
 	}
 	var subset []schemes.ID
+	seen := make(map[schemes.ID]bool)
 	if *schemeList != "" {
 		for _, s := range strings.Split(*schemeList, ",") {
 			id := schemes.ID(strings.TrimSpace(s))
 			if _, err := schemes.Lookup(id); err != nil {
 				return err
 			}
+			if seen[id] {
+				continue // repeated -schemes entries are dealt once
+			}
+			seen[id] = true
 			subset = append(subset, id)
 		}
 	}
@@ -63,17 +92,41 @@ func run() error {
 		RSABits:       *rsaBits,
 		UseRSAFixture: *rsaFixture,
 		Schemes:       subset,
+		KeyID:         *keyID,
 	})
 	if err != nil {
 		return err
 	}
+	man := manifest{N: *n, T: *t, Quorum: *t + 1}
 	for _, nk := range nodes {
-		path := filepath.Join(*out, fmt.Sprintf("node%d.key", nk.Index))
+		name := fmt.Sprintf("node%d.key", nk.Index)
+		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, nk.Marshal(), 0o600); err != nil {
 			return fmt.Errorf("write %s: %w", path, err)
 		}
+		man.Files = append(man.Files, name)
 		fmt.Println("wrote", path)
 	}
+	// The manifest lists the shared public material; every node's
+	// listing is identical, so node 1's serves.
+	for _, info := range nodes[0].List() {
+		man.Keys = append(man.Keys, manifestKey{
+			Scheme:    string(info.Scheme),
+			KeyID:     info.ID,
+			Group:     info.Group,
+			Default:   info.Default,
+			PublicKey: base64.StdEncoding.EncodeToString(info.Public),
+		})
+	}
+	manPath := filepath.Join(*out, "keyring.json")
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(manPath, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write keyring manifest: %w", err)
+	}
+	fmt.Println("wrote", manPath)
 	// Peers file template: node index to host:port, edited by the
 	// operator.
 	var sb strings.Builder
@@ -85,5 +138,9 @@ func run() error {
 		return fmt.Errorf("write peers file: %w", err)
 	}
 	fmt.Println("wrote", peersPath)
+	fmt.Println("dealt keys:")
+	for _, k := range man.Keys {
+		fmt.Printf("  %s/%s (%s)\n", k.Scheme, k.KeyID, k.Group)
+	}
 	return nil
 }

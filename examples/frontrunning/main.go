@@ -65,7 +65,7 @@ func run() error {
 	defer cancel()
 	fmt.Println("== clients submit encrypted transactions ==")
 	for i, tx := range txs {
-		ct, err := cluster.Encrypt(ctx, thetacrypt.SG02, []byte(tx), []byte(fmt.Sprintf("tx-%d", i)))
+		ct, err := cluster.Encrypt(ctx, thetacrypt.SG02, "", []byte(tx), []byte(fmt.Sprintf("tx-%d", i)))
 		if err != nil {
 			return err
 		}

@@ -75,7 +75,11 @@ func run(remote string) error {
 		if err != nil {
 			return err
 		}
-		if err := bls04.Verify(cluster.Keys(1).BLS04PK, msg, sig); err != nil {
+		pk, err := thetacrypt.PublicKeyOf[*bls04.PublicKey](cluster.KeystoreAt(1), thetacrypt.BLS04, "")
+		if err != nil {
+			return err
+		}
+		if err := bls04.Verify(pk, msg, sig); err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}
 		fmt.Printf("threshold BLS signature over %q verifies (%d bytes)\n", msg, len(sigBytes))
@@ -86,7 +90,7 @@ func run(remote string) error {
 	// 2. Threshold decryption: anyone encrypts against the service
 	// public key (scheme API); decryption requires a quorum.
 	secret := []byte("launch code: 0000")
-	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, secret, []byte("label-1"))
+	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, "", secret, []byte("label-1"))
 	if err != nil {
 		return fmt.Errorf("encrypt: %w", err)
 	}

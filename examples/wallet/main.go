@@ -36,13 +36,14 @@ func run(remote string) error {
 	defer cancel()
 
 	var svc thetacrypt.Service
-	var pk *frost.PublicKey
+	var cluster *thetacrypt.Cluster
 	if remote != "" {
 		svc = client.New(remote)
 		fmt.Println("driving a deployed custodian network over the v2 API")
 	} else {
 		// 5 custodians, any 3 approve a spend.
-		cluster, err := thetacrypt.NewCluster(2, 5, thetacrypt.ClusterOptions{
+		var err error
+		cluster, err = thetacrypt.NewCluster(2, 5, thetacrypt.ClusterOptions{
 			Schemes: []thetacrypt.SchemeID{thetacrypt.KG20},
 			Latency: 2 * time.Millisecond,
 		})
@@ -51,8 +52,33 @@ func run(remote string) error {
 		}
 		defer cluster.Close()
 		svc = cluster
-		pk = cluster.Keys(1).FrostPK
 		fmt.Println("wallet key split across 5 custodians, quorum 3 (FROST two-round signing)")
+	}
+
+	// Create a dedicated wallet key at runtime: a distributed key
+	// generation runs across the custodians, no dealer ever holds the
+	// secret, and the key is addressable by its ID from then on. (A
+	// fixed name via GenerateKeyOptions.KeyID works too; the random ID
+	// keeps the example re-runnable against a long-lived deployment.)
+	kh, err := svc.GenerateKey(ctx, thetacrypt.KG20, thetacrypt.GenerateKeyOptions{})
+	if err != nil {
+		return fmt.Errorf("generate wallet key: %w", err)
+	}
+	kres, err := svc.Wait(ctx, kh)
+	if err != nil {
+		return err
+	}
+	if kres.Err != nil {
+		return fmt.Errorf("wallet key DKG: %w", kres.Err)
+	}
+	walletKey := string(kres.Value)
+	fmt.Printf("wallet key %q generated on-demand via DKG\n", walletKey)
+
+	var pk *frost.PublicKey
+	if cluster != nil {
+		if pk, err = thetacrypt.PublicKeyOf[*frost.PublicKey](cluster.KeystoreAt(1), thetacrypt.KG20, walletKey); err != nil {
+			return err
+		}
 	}
 
 	txs := []string{
@@ -63,6 +89,7 @@ func run(remote string) error {
 	for i, tx := range txs {
 		reqs[i] = thetacrypt.Request{
 			Scheme:  thetacrypt.KG20,
+			KeyID:   walletKey,
 			Op:      thetacrypt.OpSign,
 			Payload: []byte(tx),
 		}

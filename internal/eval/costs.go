@@ -50,11 +50,11 @@ var (
 	costCacheMu sync.Mutex
 	costCache   = map[costKey]SchemeCosts{}
 	calKeysMu   sync.Mutex
-	calKeys     = map[[2]int][]*keys.NodeKeys{}
+	calKeys     = map[[2]int][]*keys.Keystore{}
 )
 
 // calibrationKeys deals (and caches) key material at the given (t, n).
-func calibrationKeys(t, n int) ([]*keys.NodeKeys, error) {
+func calibrationKeys(t, n int) ([]*keys.Keystore, error) {
 	calKeysMu.Lock()
 	defer calKeysMu.Unlock()
 	k := [2]int{t, n}
@@ -111,67 +111,71 @@ func Calibrate(id schemes.ID, t, n, payloadSize int) (SchemeCosts, error) {
 	quorum := t + 1
 	switch id {
 	case schemes.SG02:
-		pk := nodes[0].SG02PK
+		pk := keys.MustPublic[*sg02.PublicKey](nodes[0], schemes.SG02)
 		ct, err := sg02.Encrypt(rand.Reader, pk, payload, []byte("cal"))
 		if err != nil {
 			return SchemeCosts{}, err
 		}
 		shares := make([]*sg02.DecShare, quorum)
 		for i := 0; i < quorum; i++ {
-			ds, err := sg02.DecryptShare(rand.Reader, pk, nodes[i].SG02, ct)
+			ds, err := sg02.DecryptShare(rand.Reader, pk, keys.MustShare[sg02.KeyShare](nodes[i], schemes.SG02), ct)
 			if err != nil {
 				return SchemeCosts{}, err
 			}
 			shares[i] = ds
 		}
-		costs.ShareGen = median3(func() { _, _ = sg02.DecryptShare(rand.Reader, pk, nodes[0].SG02, ct) })
+		costs.ShareGen = median3(func() {
+			_, _ = sg02.DecryptShare(rand.Reader, pk, keys.MustShare[sg02.KeyShare](nodes[0], schemes.SG02), ct)
+		})
 		costs.ShareVerify = median3(func() { _ = sg02.VerifyShare(pk, ct, shares[0]) })
 		costs.Combine = median3(func() { _, _ = sg02.Combine(pk, ct, shares) })
 
 	case schemes.BZ03:
-		pk := nodes[0].BZ03PK
+		pk := keys.MustPublic[*bz03.PublicKey](nodes[0], schemes.BZ03)
 		ct, err := bz03.Encrypt(rand.Reader, pk, payload, []byte("cal"))
 		if err != nil {
 			return SchemeCosts{}, err
 		}
 		shares := make([]*bz03.DecShare, quorum)
 		for i := 0; i < quorum; i++ {
-			ds, err := bz03.DecryptShare(pk, nodes[i].BZ03, ct)
+			ds, err := bz03.DecryptShare(pk, keys.MustShare[bz03.KeyShare](nodes[i], schemes.BZ03), ct)
 			if err != nil {
 				return SchemeCosts{}, err
 			}
 			shares[i] = ds
 		}
-		costs.ShareGen = median3(func() { _, _ = bz03.DecryptShare(pk, nodes[0].BZ03, ct) })
+		costs.ShareGen = median3(func() { _, _ = bz03.DecryptShare(pk, keys.MustShare[bz03.KeyShare](nodes[0], schemes.BZ03), ct) })
 		costs.ShareVerify = median3(func() { _ = bz03.VerifyShare(pk, ct, shares[0]) })
 		costs.Combine = median3(func() { _, _ = bz03.Combine(pk, ct, shares) })
 
 	case schemes.SH00:
-		pk := nodes[0].SH00PK
+		pk := keys.MustPublic[*sh00.PublicKey](nodes[0], schemes.SH00)
 		shares := make([]*sh00.SigShare, quorum)
 		for i := 0; i < quorum; i++ {
-			ss, err := sh00.SignShare(rand.Reader, pk, nodes[i].SH00, payload)
+			ss, err := sh00.SignShare(rand.Reader, pk, keys.MustShare[sh00.KeyShare](nodes[i], schemes.SH00), payload)
 			if err != nil {
 				return SchemeCosts{}, err
 			}
 			shares[i] = ss
 		}
-		costs.ShareGen = median3(func() { _, _ = sh00.SignShare(rand.Reader, pk, nodes[0].SH00, payload) })
+		costs.ShareGen = median3(func() {
+			_, _ = sh00.SignShare(rand.Reader, pk, keys.MustShare[sh00.KeyShare](nodes[0], schemes.SH00), payload)
+		})
 		costs.ShareVerify = median3(func() { _ = sh00.VerifyShare(pk, payload, shares[0]) })
 		costs.Combine = median3(func() { _, _ = sh00.Combine(pk, payload, shares) })
 
 	case schemes.BLS04:
-		pk := nodes[0].BLS04PK
+		pk := keys.MustPublic[*bls04.PublicKey](nodes[0], schemes.BLS04)
 		shares := make([]*bls04.SigShare, quorum)
 		for i := 0; i < quorum; i++ {
-			shares[i] = bls04.SignShare(nodes[i].BLS04, payload)
+			shares[i] = bls04.SignShare(keys.MustShare[bls04.KeyShare](nodes[i], schemes.BLS04), payload)
 		}
-		costs.ShareGen = median3(func() { _ = bls04.SignShare(nodes[0].BLS04, payload) })
+		costs.ShareGen = median3(func() { _ = bls04.SignShare(keys.MustShare[bls04.KeyShare](nodes[0], schemes.BLS04), payload) })
 		costs.ShareVerify = median3(func() { _ = bls04.VerifyShare(pk, payload, shares[0]) })
 		costs.Combine = median3(func() { _, _ = bls04.Combine(pk, payload, shares) })
 
 	case schemes.KG20:
-		pk := nodes[0].FrostPK
+		pk := keys.MustPublic[*frost.PublicKey](nodes[0], schemes.KG20)
 		g := pk.Group
 		nonces := make([]*frost.Nonce, quorum)
 		comms := make([]*frost.NonceCommitment, quorum)
@@ -184,28 +188,32 @@ func Calibrate(id schemes.ID, t, n, payloadSize int) (SchemeCosts, error) {
 		}
 		shares := make([]*frost.SignatureShare, quorum)
 		for i := 0; i < quorum; i++ {
-			ss, err := frost.Sign(pk, nodes[i].Frost, nonces[i], payload, comms)
+			ss, err := frost.Sign(pk, keys.MustShare[frost.KeyShare](nodes[i], schemes.KG20), nonces[i], payload, comms)
 			if err != nil {
 				return SchemeCosts{}, err
 			}
 			shares[i] = ss
 		}
 		costs.Round1 = median3(func() { _, _, _ = frost.GenerateNonce(rand.Reader, g, 1) })
-		costs.ShareGen = median3(func() { _, _ = frost.Sign(pk, nodes[0].Frost, nonces[0], payload, comms) })
+		costs.ShareGen = median3(func() {
+			_, _ = frost.Sign(pk, keys.MustShare[frost.KeyShare](nodes[0], schemes.KG20), nonces[0], payload, comms)
+		})
 		costs.ShareVerify = median3(func() { _ = frost.VerifyShare(pk, payload, comms, shares[0]) })
 		costs.Combine = median3(func() { _, _ = frost.Combine(pk, payload, comms, shares) })
 
 	case schemes.CKS05:
-		pk := nodes[0].CKS05PK
+		pk := keys.MustPublic[*cks05.PublicKey](nodes[0], schemes.CKS05)
 		shares := make([]*cks05.CoinShare, quorum)
 		for i := 0; i < quorum; i++ {
-			cs, err := cks05.Share(rand.Reader, pk, nodes[i].CKS05, payload)
+			cs, err := cks05.Share(rand.Reader, pk, keys.MustShare[cks05.KeyShare](nodes[i], schemes.CKS05), payload)
 			if err != nil {
 				return SchemeCosts{}, err
 			}
 			shares[i] = cs
 		}
-		costs.ShareGen = median3(func() { _, _ = cks05.Share(rand.Reader, pk, nodes[0].CKS05, payload) })
+		costs.ShareGen = median3(func() {
+			_, _ = cks05.Share(rand.Reader, pk, keys.MustShare[cks05.KeyShare](nodes[0], schemes.CKS05), payload)
+		})
 		costs.ShareVerify = median3(func() { _ = cks05.VerifyShare(pk, payload, shares[0]) })
 		costs.Combine = median3(func() { _, _ = cks05.Combine(pk, payload, shares) })
 

@@ -18,16 +18,16 @@ import (
 )
 
 // encryptFor creates a real ciphertext for decrypt-type requests.
-func encryptFor(id schemes.ID, nk *keys.NodeKeys, message []byte) ([]byte, error) {
+func encryptFor(id schemes.ID, nk *keys.Keystore, message []byte) ([]byte, error) {
 	switch id {
 	case schemes.SG02:
-		ct, err := sg02.Encrypt(rand.Reader, nk.SG02PK, message, nil)
+		ct, err := sg02.Encrypt(rand.Reader, keys.MustPublic[*sg02.PublicKey](nk, schemes.SG02), message, nil)
 		if err != nil {
 			return nil, err
 		}
 		return ct.Marshal(), nil
 	case schemes.BZ03:
-		ct, err := bz03.Encrypt(rand.Reader, nk.BZ03PK, message, nil)
+		ct, err := bz03.Encrypt(rand.Reader, keys.MustPublic[*bz03.PublicKey](nk, schemes.BZ03), message, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +64,7 @@ func RunReal(spec RunSpec) (*RunResult, error) {
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
 		engines[i] = orchestration.New(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		})
 	}

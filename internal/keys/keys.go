@@ -1,13 +1,19 @@
-// Package keys implements the setup phase of Thetacrypt: a trusted
-// dealer that generates key material for every scheme at once, and the
-// key manager used by the protocol executor to access per-node shares
-// (the paper's Section 3.5, orchestration module). Distributed key
-// generation lives in internal/dkg as the dealerless alternative.
+// Package keys implements the key layer of Thetacrypt: a keystore of
+// named keys addressed by (scheme, key ID), the trusted dealer that
+// populates it offline, and the lookup surface the protocol executor
+// uses to resolve the share material of a request (the paper's Section
+// 3.5, orchestration module). Distributed key generation lives in
+// internal/dkg and runs as a protocol instance (internal/protocols)
+// that installs its result into the keystore at runtime — the paper's
+// "threshold cryptography on-demand".
 package keys
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/schemes"
@@ -18,6 +24,269 @@ import (
 	"thetacrypt/internal/schemes/sg02"
 	"thetacrypt/internal/schemes/sh00"
 )
+
+// DefaultKeyID names the key a request without an explicit key ID
+// resolves to. The dealer assigns it to every key it deals unless told
+// otherwise.
+const DefaultKeyID = "default"
+
+// MaxKeyIDLen bounds key identifiers.
+const MaxKeyIDLen = 64
+
+// Typed keystore errors; the service layer maps them onto the
+// structured error model (key_unknown 404, key_exists 409).
+var (
+	ErrKeyUnknown = errors.New("keys: unknown key")
+	ErrKeyExists  = errors.New("keys: key already exists")
+	ErrKeyID      = errors.New("keys: invalid key id")
+)
+
+// ValidKeyID reports whether id is a well-formed key identifier:
+// 1..MaxKeyIDLen characters from [a-zA-Z0-9._-].
+func ValidKeyID(id string) bool {
+	if len(id) == 0 || len(id) > MaxKeyIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Key is one named key of the keystore: the public material shared by
+// all nodes and this node's private share. Public and Share hold the
+// scheme's own types (*sg02.PublicKey and sg02.KeyShare for SG02, and
+// so on); Group labels the arithmetic structure for listings.
+type Key struct {
+	ID     string
+	Scheme schemes.ID
+	Group  string
+	Public any
+	Share  any
+}
+
+// Info is the listable description of one key (no share material).
+type Info struct {
+	Scheme  schemes.ID
+	ID      string
+	Group   string
+	Default bool
+	// Public is the marshaled public key, so clients can compare the
+	// key material served by different nodes.
+	Public []byte
+}
+
+// keyRef addresses one key: IDs are namespaced per scheme.
+type keyRef struct {
+	scheme schemes.ID
+	id     string
+}
+
+// Keystore is one node's complete key material: any number of named
+// keys per scheme, addressed by (scheme, key ID). It is safe for
+// concurrent use — the protocol executor reads while a DKG instance
+// installs new keys.
+type Keystore struct {
+	// Index is this node's 1-based party index; N and T are the
+	// deployment size and corruption threshold. All keys of a store
+	// share them.
+	Index int
+	N, T  int
+
+	mu    sync.RWMutex
+	order []*Key
+	byRef map[keyRef]*Key
+}
+
+// NewKeystore creates an empty keystore for party index of an (t, n)
+// deployment.
+func NewKeystore(index, t, n int) *Keystore {
+	return &Keystore{Index: index, N: n, T: t, byRef: make(map[keyRef]*Key)}
+}
+
+// Add installs a key. The (scheme, ID) pair must be unused
+// (ErrKeyExists) and the ID well-formed (ErrKeyID). Group is derived
+// from the public material when empty.
+func (ks *Keystore) Add(k *Key) error {
+	if !ValidKeyID(k.ID) {
+		return fmt.Errorf("%w %q", ErrKeyID, k.ID)
+	}
+	if _, err := schemes.Lookup(k.Scheme); err != nil {
+		return err
+	}
+	if k.Group == "" {
+		k.Group = deriveGroup(k)
+	}
+	ref := keyRef{scheme: k.Scheme, id: k.ID}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if _, ok := ks.byRef[ref]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrKeyExists, k.Scheme, k.ID)
+	}
+	ks.byRef[ref] = k
+	ks.order = append(ks.order, k)
+	return nil
+}
+
+// Get resolves a key by scheme and ID; the empty ID selects
+// DefaultKeyID. A missing key reports ErrKeyUnknown.
+func (ks *Keystore) Get(scheme schemes.ID, id string) (*Key, error) {
+	if id == "" {
+		id = DefaultKeyID
+	}
+	ks.mu.RLock()
+	k, ok := ks.byRef[keyRef{scheme: scheme, id: id}]
+	ks.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s on node %d", ErrKeyUnknown, scheme, id, ks.Index)
+	}
+	return k, nil
+}
+
+// Has reports whether any key for the scheme is present.
+func (ks *Keystore) Has(scheme schemes.ID) bool {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	for _, k := range ks.order {
+		if k.Scheme == scheme {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of keys held.
+func (ks *Keystore) Len() int {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return len(ks.order)
+}
+
+// Schemes lists the schemes with at least one key, in registry order.
+func (ks *Keystore) Schemes() []schemes.ID {
+	var out []schemes.ID
+	for _, id := range schemes.All() {
+		if ks.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// List snapshots the keystore's contents in a deterministic order
+// (registry order, then key ID), without share material.
+func (ks *Keystore) List() []Info {
+	ks.mu.RLock()
+	out := make([]Info, 0, len(ks.order))
+	for _, k := range ks.order {
+		out = append(out, Info{
+			Scheme:  k.Scheme,
+			ID:      k.ID,
+			Group:   k.Group,
+			Default: k.ID == DefaultKeyID,
+			Public:  k.PublicBytes(),
+		})
+	}
+	ks.mu.RUnlock()
+	pos := make(map[schemes.ID]int, len(schemes.All()))
+	for i, id := range schemes.All() {
+		pos[id] = i
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if pos[out[i].Scheme] != pos[out[j].Scheme] {
+			return pos[out[i].Scheme] < pos[out[j].Scheme]
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Public resolves a key and returns its public material typed; the
+// empty ID selects the default key.
+func Public[P any](ks *Keystore, scheme schemes.ID, id string) (P, error) {
+	var zero P
+	k, err := ks.Get(scheme, id)
+	if err != nil {
+		return zero, err
+	}
+	p, ok := k.Public.(P)
+	if !ok {
+		return zero, fmt.Errorf("keys: %s/%s public material is %T", scheme, k.ID, k.Public)
+	}
+	return p, nil
+}
+
+// ShareOf resolves a key and returns this node's private share typed;
+// the empty ID selects the default key.
+func ShareOf[S any](ks *Keystore, scheme schemes.ID, id string) (S, error) {
+	var zero S
+	k, err := ks.Get(scheme, id)
+	if err != nil {
+		return zero, err
+	}
+	s, ok := k.Share.(S)
+	if !ok {
+		return zero, fmt.Errorf("keys: %s/%s share material is %T", scheme, k.ID, k.Share)
+	}
+	return s, nil
+}
+
+// MustPublic is Public for the default key, panicking when absent —
+// for tests, benchmarks, and calibration code on freshly dealt stores.
+func MustPublic[P any](ks *Keystore, scheme schemes.ID) P {
+	p, err := Public[P](ks, scheme, DefaultKeyID)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustShare is ShareOf for the default key, panicking when absent.
+func MustShare[S any](ks *Keystore, scheme schemes.ID) S {
+	s, err := ShareOf[S](ks, scheme, DefaultKeyID)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// deriveGroup labels a key's arithmetic structure from its public
+// material.
+func deriveGroup(k *Key) string {
+	switch pk := k.Public.(type) {
+	case *sg02.PublicKey:
+		return pk.Group.Name()
+	case *frost.PublicKey:
+		return pk.Group.Name()
+	case *cks05.PublicKey:
+		return pk.Group.Name()
+	case *bz03.PublicKey, *bls04.PublicKey:
+		return "bn254"
+	case *sh00.PublicKey:
+		return fmt.Sprintf("rsa-%d", pk.N.BitLen())
+	default:
+		return ""
+	}
+}
+
+// SupportsDKG reports whether runtime key generation (internal/dkg,
+// Pedersen JF-DKG over a DL group) can produce keys for the scheme.
+// The RSA scheme (SH00) and the pairing-based schemes (BZ03, BLS04)
+// need dealer- or scheme-specific setups and remain deal-only.
+func SupportsDKG(scheme schemes.ID) bool {
+	switch scheme {
+	case schemes.SG02, schemes.KG20, schemes.CKS05:
+		return true
+	default:
+		return false
+	}
+}
 
 // Options configures the dealer.
 type Options struct {
@@ -32,6 +301,8 @@ type Options struct {
 	UseRSAFixture bool
 	// Schemes limits dealing to a subset; empty means all six.
 	Schemes []schemes.ID
+	// KeyID names the dealt keys (default DefaultKeyID).
+	KeyID string
 }
 
 func (o *Options) fill() {
@@ -44,138 +315,93 @@ func (o *Options) fill() {
 	if len(o.Schemes) == 0 {
 		o.Schemes = schemes.All()
 	}
-}
-
-// NodeKeys is the complete key material of one Thetacrypt node. Public
-// parts are shared across nodes; the shares are private.
-type NodeKeys struct {
-	Index int
-	N, T  int
-
-	SG02PK  *sg02.PublicKey
-	SG02    sg02.KeyShare
-	BZ03PK  *bz03.PublicKey
-	BZ03    bz03.KeyShare
-	SH00PK  *sh00.PublicKey
-	SH00    sh00.KeyShare
-	BLS04PK *bls04.PublicKey
-	BLS04   bls04.KeyShare
-	FrostPK *frost.PublicKey
-	Frost   frost.KeyShare
-	CKS05PK *cks05.PublicKey
-	CKS05   cks05.KeyShare
-}
-
-// Has reports whether key material for a scheme is present.
-func (nk *NodeKeys) Has(id schemes.ID) bool {
-	switch id {
-	case schemes.SG02:
-		return nk.SG02PK != nil
-	case schemes.BZ03:
-		return nk.BZ03PK != nil
-	case schemes.SH00:
-		return nk.SH00PK != nil
-	case schemes.BLS04:
-		return nk.BLS04PK != nil
-	case schemes.KG20:
-		return nk.FrostPK != nil
-	case schemes.CKS05:
-		return nk.CKS05PK != nil
-	default:
-		return false
+	if o.KeyID == "" {
+		o.KeyID = DefaultKeyID
 	}
 }
 
 // Deal runs the trusted-dealer setup for all requested schemes and
-// returns one NodeKeys per party.
-func Deal(rand io.Reader, t, n int, opts Options) ([]*NodeKeys, error) {
+// returns one keystore per party, each holding one named key per
+// scheme.
+func Deal(rand io.Reader, t, n int, opts Options) ([]*Keystore, error) {
 	opts.fill()
-	nodes := make([]*NodeKeys, n)
-	for i := range nodes {
-		nodes[i] = &NodeKeys{Index: i + 1, N: n, T: t}
+	if !ValidKeyID(opts.KeyID) {
+		return nil, fmt.Errorf("%w %q", ErrKeyID, opts.KeyID)
+	}
+	stores := make([]*Keystore, n)
+	for i := range stores {
+		stores[i] = NewKeystore(i+1, t, n)
+	}
+	add := func(scheme schemes.ID, pub func(i int) any, shr func(i int) any) error {
+		for i, ks := range stores {
+			if err := ks.Add(&Key{ID: opts.KeyID, Scheme: scheme, Public: pub(i), Share: shr(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for _, id := range opts.Schemes {
 		switch id {
 		case schemes.SG02:
-			pk, ks, err := sg02.Deal(rand, opts.Group, t, n)
+			pk, kss, err := sg02.Deal(rand, opts.Group, t, n)
 			if err != nil {
 				return nil, fmt.Errorf("deal sg02: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].SG02PK, nodes[i].SG02 = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		case schemes.BZ03:
-			pk, ks, err := bz03.Deal(rand, t, n)
+			pk, kss, err := bz03.Deal(rand, t, n)
 			if err != nil {
 				return nil, fmt.Errorf("deal bz03: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].BZ03PK, nodes[i].BZ03 = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		case schemes.SH00:
 			var (
 				pk  *sh00.PublicKey
-				ks  []sh00.KeyShare
+				kss []sh00.KeyShare
 				err error
 			)
 			if opts.UseRSAFixture {
-				pk, ks, err = sh00.FixedTestKey(rand, opts.RSABits, t, n)
+				pk, kss, err = sh00.FixedTestKey(rand, opts.RSABits, t, n)
 			} else {
-				pk, ks, err = sh00.GenerateKey(rand, opts.RSABits, t, n)
+				pk, kss, err = sh00.GenerateKey(rand, opts.RSABits, t, n)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("deal sh00: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].SH00PK, nodes[i].SH00 = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		case schemes.BLS04:
-			pk, ks, err := bls04.Deal(rand, t, n)
+			pk, kss, err := bls04.Deal(rand, t, n)
 			if err != nil {
 				return nil, fmt.Errorf("deal bls04: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].BLS04PK, nodes[i].BLS04 = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		case schemes.KG20:
-			pk, ks, err := frost.Deal(rand, opts.Group, t, n)
+			pk, kss, err := frost.Deal(rand, opts.Group, t, n)
 			if err != nil {
 				return nil, fmt.Errorf("deal frost: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].FrostPK, nodes[i].Frost = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		case schemes.CKS05:
-			pk, ks, err := cks05.Deal(rand, opts.Group, t, n)
+			pk, kss, err := cks05.Deal(rand, opts.Group, t, n)
 			if err != nil {
 				return nil, fmt.Errorf("deal cks05: %w", err)
 			}
-			for i := range nodes {
-				nodes[i].CKS05PK, nodes[i].CKS05 = pk, ks[i]
+			if err := add(id, func(int) any { return pk }, func(i int) any { return kss[i] }); err != nil {
+				return nil, err
 			}
 		default:
 			return nil, fmt.Errorf("keys: unknown scheme %q", id)
 		}
 	}
-	return nodes, nil
-}
-
-// Manager is the key-manager component of the orchestration layer: it
-// hands protocol executors the key material they need.
-type Manager struct {
-	keys *NodeKeys
-}
-
-// NewManager wraps a node's key material.
-func NewManager(nk *NodeKeys) *Manager { return &Manager{keys: nk} }
-
-// Keys returns the underlying node keys.
-func (m *Manager) Keys() *NodeKeys { return m.keys }
-
-// Require returns the node keys if material for the scheme is present.
-func (m *Manager) Require(id schemes.ID) (*NodeKeys, error) {
-	if !m.keys.Has(id) {
-		return nil, fmt.Errorf("keys: no key material for scheme %q on node %d", id, m.keys.Index)
-	}
-	return m.keys, nil
+	return stores, nil
 }

@@ -1,12 +1,17 @@
 package keys
 
 import (
+	"bytes"
 	"crypto/rand"
+	"errors"
 	"testing"
 
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/bls04"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/sg02"
 	"thetacrypt/internal/schemes/sh00"
+	"thetacrypt/internal/wire"
 )
 
 func TestDealAllSchemes(t *testing.T) {
@@ -25,27 +30,93 @@ func TestDealAllSchemes(t *testing.T) {
 			if !nk.Has(id) {
 				t.Fatalf("node %d missing %s", i+1, id)
 			}
+			if _, err := nk.Get(id, ""); err != nil {
+				t.Fatalf("node %d default key for %s: %v", i+1, id, err)
+			}
+		}
+		if nk.Len() != len(schemes.All()) {
+			t.Fatalf("node %d holds %d keys", i+1, nk.Len())
 		}
 	}
 	// Shared public keys must be identical across nodes.
-	if !nodes[0].BLS04PK.Y.Equal(nodes[3].BLS04PK.Y) {
+	pk0 := MustPublic[*bls04.PublicKey](nodes[0], schemes.BLS04)
+	pk3 := MustPublic[*bls04.PublicKey](nodes[3], schemes.BLS04)
+	if !pk0.Y.Equal(pk3.Y) {
 		t.Fatal("BLS04 public keys differ across nodes")
+	}
+	// ...and so must the listed public bytes.
+	l0, l3 := nodes[0].List(), nodes[3].List()
+	for i := range l0 {
+		if !bytes.Equal(l0[i].Public, l3[i].Public) {
+			t.Fatalf("listed public material differs for %s/%s", l0[i].Scheme, l0[i].ID)
+		}
 	}
 }
 
-func TestDealSubset(t *testing.T) {
-	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}})
+func TestDealSubsetAndNamedKeys(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}, KeyID: "beacon-1"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nodes[0].Has(schemes.SG02) || !nodes[0].Has(schemes.CKS05) {
 		t.Fatal("subset dealing wrong")
 	}
-	if _, err := NewManager(nodes[0]).Require(schemes.SG02); err == nil {
+	if _, err := nodes[0].Get(schemes.CKS05, "beacon-1"); err != nil {
+		t.Fatal(err)
+	}
+	// The named key is not the default.
+	if _, err := nodes[0].Get(schemes.CKS05, ""); err == nil {
+		t.Fatal("default lookup found a non-default key")
+	}
+	if _, err := nodes[0].Get(schemes.SG02, "beacon-1"); err == nil {
 		t.Fatal("missing scheme not reported")
 	}
-	if _, err := NewManager(nodes[0]).Require(schemes.CKS05); err != nil {
+}
+
+func TestKeystoreAddGetErrors(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}})
+	if err != nil {
 		t.Fatal(err)
+	}
+	ks := nodes[0]
+	cur, _ := ks.Get(schemes.CKS05, "")
+	dup := &Key{ID: DefaultKeyID, Scheme: schemes.CKS05, Public: cur.Public, Share: cur.Share}
+	if err := ks.Add(dup); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	if err := ks.Add(&Key{ID: "bad id!", Scheme: schemes.CKS05, Public: cur.Public, Share: cur.Share}); !errors.Is(err, ErrKeyID) {
+		t.Fatalf("bad id add: %v", err)
+	}
+	if _, err := ks.Get(schemes.CKS05, "nope"); !errors.Is(err, ErrKeyUnknown) {
+		t.Fatalf("unknown get: %v", err)
+	}
+	other := &Key{ID: "second", Scheme: schemes.CKS05, Public: cur.Public, Share: cur.Share}
+	if err := ks.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ks.Get(schemes.CKS05, "second"); got != other {
+		t.Fatal("named lookup returned wrong key")
+	}
+	list := ks.List()
+	if len(list) != 2 || !list[0].Default || list[1].ID != "second" {
+		t.Fatalf("listing wrong: %+v", list)
+	}
+}
+
+func TestValidKeyID(t *testing.T) {
+	for _, ok := range []string{"default", "k-0a1b2c", "A.B_c-9"} {
+		if !ValidKeyID(ok) {
+			t.Fatalf("%q rejected", ok)
+		}
+	}
+	long := make([]byte, MaxKeyIDLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "sl/ash", string(long)} {
+		if ValidKeyID(bad) {
+			t.Fatalf("%q accepted", bad)
+		}
 	}
 }
 
@@ -55,7 +126,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, nk := range nodes {
-		got, err := UnmarshalNodeKeys(nk.Marshal())
+		got, err := UnmarshalKeystore(nk.Marshal())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,15 +138,93 @@ func TestMarshalRoundTrip(t *testing.T) {
 				t.Fatalf("round trip lost %s", id)
 			}
 		}
-		if got.SG02.X.Cmp(nk.SG02.X) != 0 || got.Frost.X.Cmp(nk.Frost.X) != 0 {
+		if MustShare[sg02.KeyShare](got, schemes.SG02).X.Cmp(MustShare[sg02.KeyShare](nk, schemes.SG02).X) != 0 {
 			t.Fatal("share mismatch")
 		}
-		if !got.CKS05PK.Y.Equal(nk.CKS05PK.Y) {
+		if !MustPublic[*cks05.PublicKey](got, schemes.CKS05).Y.Equal(MustPublic[*cks05.PublicKey](nk, schemes.CKS05).Y) {
 			t.Fatal("cks05 pubkey mismatch")
 		}
 	}
-	if _, err := UnmarshalNodeKeys([]byte("garbage")); err == nil {
+	if _, err := UnmarshalKeystore([]byte("garbage")); err == nil {
 		t.Fatal("garbage key file accepted")
+	}
+}
+
+func TestNamedKeysSurviveRoundTrip(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}, KeyID: "beacon-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := nodes[0].Get(schemes.CKS05, "beacon-1")
+	if err := nodes[0].Add(&Key{ID: "beacon-2", Scheme: schemes.CKS05, Public: cur.Public, Share: cur.Share}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalKeystore(nodes[0].Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip kept %d keys", got.Len())
+	}
+	for _, id := range []string{"beacon-1", "beacon-2"} {
+		if _, err := got.Get(schemes.CKS05, id); err != nil {
+			t.Fatalf("lost %s: %v", id, err)
+		}
+	}
+}
+
+// legacyMarshal writes the pre-keychain single-key format for the
+// schemes present, byte-compatible with files dealt before the
+// keystore redesign.
+func legacyMarshal(t *testing.T, ks *Keystore) []byte {
+	t.Helper()
+	w := wire.NewWriter().Int(ks.Index).Int(ks.N).Int(ks.T)
+	var present []schemes.ID
+	for _, id := range schemes.All() {
+		if ks.Has(id) {
+			present = append(present, id)
+		}
+	}
+	w.Int(len(present))
+	for _, id := range present {
+		k, err := ks.Get(id, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.String(string(id))
+		writeMaterial(w, k)
+	}
+	return w.Out()
+}
+
+func TestLegacyKeyFilesStillLoad(t *testing.T) {
+	nodes, err := Deal(rand.Reader, 1, 3, Options{
+		Schemes: []schemes.ID{schemes.SG02, schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nk := range nodes {
+		got, err := UnmarshalKeystore(legacyMarshal(t, nk))
+		if err != nil {
+			t.Fatalf("legacy load: %v", err)
+		}
+		if got.Index != nk.Index || got.N != nk.N || got.T != nk.T {
+			t.Fatal("legacy header mismatch")
+		}
+		// Every legacy key surfaces under the default ID.
+		for _, id := range []schemes.ID{schemes.SG02, schemes.CKS05} {
+			k, err := got.Get(id, DefaultKeyID)
+			if err != nil {
+				t.Fatalf("legacy %s: %v", id, err)
+			}
+			if k.ID != DefaultKeyID {
+				t.Fatalf("legacy %s loaded as %q, want default", id, k.ID)
+			}
+		}
+		if MustShare[sg02.KeyShare](got, schemes.SG02).X.Cmp(MustShare[sg02.KeyShare](nk, schemes.SG02).X) != 0 {
+			t.Fatal("legacy share mismatch")
+		}
 	}
 }
 
@@ -84,9 +233,9 @@ func TestRoundTrippedKeysStillWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored := make([]*NodeKeys, len(nodes))
+	restored := make([]*Keystore, len(nodes))
 	for i, nk := range nodes {
-		r, err := UnmarshalNodeKeys(nk.Marshal())
+		r, err := UnmarshalKeystore(nk.Marshal())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,28 +245,52 @@ func TestRoundTrippedKeysStillWork(t *testing.T) {
 	msg := []byte("restored")
 	var sss []*bls04.SigShare
 	for _, nk := range restored[:2] {
-		ss := bls04.SignShare(nk.BLS04, msg)
-		if err := bls04.VerifyShare(nk.BLS04PK, msg, ss); err != nil {
+		ss := bls04.SignShare(MustShare[bls04.KeyShare](nk, schemes.BLS04), msg)
+		if err := bls04.VerifyShare(MustPublic[*bls04.PublicKey](nk, schemes.BLS04), msg, ss); err != nil {
 			t.Fatal(err)
 		}
 		sss = append(sss, ss)
 	}
-	if _, err := bls04.Combine(restored[0].BLS04PK, msg, sss); err != nil {
+	if _, err := bls04.Combine(MustPublic[*bls04.PublicKey](restored[0], schemes.BLS04), msg, sss); err != nil {
 		t.Fatal(err)
 	}
 	// SH00 with restored keys (exercises the recomputed Delta).
 	var rs []*sh00.SigShare
 	for _, nk := range restored[:2] {
-		ss, err := sh00.SignShare(rand.Reader, nk.SH00PK, nk.SH00, msg)
+		pk := MustPublic[*sh00.PublicKey](nk, schemes.SH00)
+		ss, err := sh00.SignShare(rand.Reader, pk, MustShare[sh00.KeyShare](nk, schemes.SH00), msg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sh00.VerifyShare(nk.SH00PK, msg, ss); err != nil {
+		if err := sh00.VerifyShare(pk, msg, ss); err != nil {
 			t.Fatal(err)
 		}
 		rs = append(rs, ss)
 	}
-	if _, err := sh00.Combine(restored[0].SH00PK, msg, rs); err != nil {
+	if _, err := sh00.Combine(MustPublic[*sh00.PublicKey](restored[0], schemes.SH00), msg, rs); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkKeystoreLookup measures the executor's hot-path resolution
+// of a request's key material (CI bench smoke gates it).
+func BenchmarkKeystoreLookup(b *testing.B) {
+	nodes, err := Deal(rand.Reader, 1, 4, Options{Schemes: []schemes.ID{schemes.CKS05}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := nodes[0]
+	cur, _ := ks.Get(schemes.CKS05, "")
+	for i := 0; i < 64; i++ {
+		id := "k-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if err := ks.Add(&Key{ID: id + "x", Scheme: schemes.CKS05, Public: cur.Public, Share: cur.Share}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ks.Get(schemes.CKS05, DefaultKeyID); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

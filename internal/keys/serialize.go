@@ -16,173 +16,274 @@ import (
 	"thetacrypt/internal/wire"
 )
 
-// Marshal serializes a node's complete key material. The encoding is the
-// wire format used throughout the system; cmd/thetakeygen writes one
-// file per node.
-func (nk *NodeKeys) Marshal() []byte {
-	w := wire.NewWriter().Int(nk.Index).Int(nk.N).Int(nk.T)
-	var present []schemes.ID
-	for _, id := range schemes.All() {
-		if nk.Has(id) {
-			present = append(present, id)
-		}
-	}
-	w.Int(len(present))
-	for _, id := range present {
-		w.String(string(id))
-		switch id {
-		case schemes.SG02:
-			w.String(nk.SG02PK.Group.Name())
-			w.Bytes(nk.SG02PK.H.Marshal())
-			writePoints(w, nk.SG02PK.VK)
-			w.BigInt(nk.SG02.X)
-		case schemes.BZ03:
-			w.Bytes(nk.BZ03PK.Y.Marshal())
-			w.Int(len(nk.BZ03PK.VK))
-			for _, vk := range nk.BZ03PK.VK {
-				w.Bytes(vk.Marshal())
-			}
-			w.BigInt(nk.BZ03.X)
-		case schemes.SH00:
-			w.BigInt(nk.SH00PK.N).BigInt(nk.SH00PK.E).BigInt(nk.SH00PK.V)
-			w.Int(len(nk.SH00PK.VK))
-			for _, vk := range nk.SH00PK.VK {
-				w.BigInt(vk)
-			}
-			w.BigInt(nk.SH00.S)
-		case schemes.BLS04:
-			w.Bytes(nk.BLS04PK.Y.Marshal())
-			w.Int(len(nk.BLS04PK.VK))
-			for _, vk := range nk.BLS04PK.VK {
-				w.Bytes(vk.Marshal())
-			}
-			w.BigInt(nk.BLS04.X)
-		case schemes.KG20:
-			w.String(nk.FrostPK.Group.Name())
-			w.Bytes(nk.FrostPK.Y.Marshal())
-			writePoints(w, nk.FrostPK.VK)
-			w.BigInt(nk.Frost.X)
-		case schemes.CKS05:
-			w.String(nk.CKS05PK.Group.Name())
-			w.Bytes(nk.CKS05PK.Y.Marshal())
-			writePoints(w, nk.CKS05PK.VK)
-			w.BigInt(nk.CKS05.X)
-		}
+// The keystore file format is versioned. Version 2 ("TKS2") carries
+// named keys: a header, then one record per key. The unversioned
+// legacy format (one anonymous key per scheme, written by
+// pre-keychain thetakeygen) is still read: its first field is an
+// 8-byte node index where v2 carries the 4-byte magic, so the two
+// cannot be confused.
+const (
+	keystoreMagic   = "TKS2"
+	keystoreVersion = 2
+)
+
+// Marshal serializes the keystore — header, then one named-key record
+// per key. The encoding is the wire format used throughout the system;
+// cmd/thetakeygen writes one file per node.
+func (ks *Keystore) Marshal() []byte {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	w := wire.NewWriter().String(keystoreMagic).Int(keystoreVersion)
+	w.Int(ks.Index).Int(ks.N).Int(ks.T)
+	w.Int(len(ks.order))
+	for _, k := range ks.order {
+		w.String(k.ID).String(string(k.Scheme))
+		writeMaterial(w, k)
 	}
 	return w.Out()
 }
 
-// UnmarshalNodeKeys parses key material written by Marshal.
-func UnmarshalNodeKeys(data []byte) (*NodeKeys, error) {
+// UnmarshalKeystore parses a keystore file of either format: the
+// versioned named-key format written by Marshal, or the legacy
+// single-key-per-scheme format (each key loads under DefaultKeyID).
+func UnmarshalKeystore(data []byte) (*Keystore, error) {
 	r := wire.NewReader(data)
-	nk := &NodeKeys{Index: r.Int(), N: r.Int(), T: r.Int()}
+	if r.String() != keystoreMagic || r.Err() != nil {
+		return unmarshalLegacy(data)
+	}
+	if v := r.Int(); v != keystoreVersion {
+		return nil, fmt.Errorf("keys: unsupported keystore version %d", v)
+	}
+	ks := NewKeystore(r.Int(), 0, 0)
+	ks.N = r.Int()
+	ks.T = r.Int()
 	count := r.Int()
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("keys header: %w", err)
 	}
 	for i := 0; i < count; i++ {
-		id := schemes.ID(r.String())
-		switch id {
-		case schemes.SG02:
-			g, err := group.ByName(r.String())
-			if err != nil {
-				return nil, err
-			}
-			h, err := readPoint(r, g)
-			if err != nil {
-				return nil, err
-			}
-			vk, err := readPoints(r, g)
-			if err != nil {
-				return nil, err
-			}
-			nk.SG02PK = &sg02.PublicKey{Group: g, H: h, VK: vk, T: nk.T, N: nk.N}
-			nk.SG02 = sg02.KeyShare{Index: nk.Index, X: r.BigInt()}
-		case schemes.BZ03:
-			y, ok := pairing.UnmarshalG1(r.Bytes())
-			if !ok {
-				return nil, fmt.Errorf("keys bz03: bad Y")
-			}
-			cnt := r.Int()
-			vk := make([]*pairing.G2, cnt)
-			for j := 0; j < cnt; j++ {
-				p, ok := pairing.UnmarshalG2(r.Bytes())
-				if !ok {
-					return nil, fmt.Errorf("keys bz03: bad VK[%d]", j)
-				}
-				vk[j] = p
-			}
-			nk.BZ03PK = &bz03.PublicKey{Y: y, VK: vk, T: nk.T, N: nk.N}
-			nk.BZ03 = bz03.KeyShare{Index: nk.Index, X: r.BigInt()}
-		case schemes.SH00:
-			pk := &sh00.PublicKey{
-				N: r.BigInt(), E: r.BigInt(), V: r.BigInt(),
-				T: nk.T, NParties: nk.N,
-			}
-			cnt := r.Int()
-			for j := 0; j < cnt; j++ {
-				pk.VK = append(pk.VK, r.BigInt())
-			}
-			pk.Delta = mathutil.Factorial(nk.N)
-			nk.SH00PK = pk
-			nk.SH00 = sh00.KeyShare{Index: nk.Index, S: r.BigInt()}
-		case schemes.BLS04:
-			y, ok := pairing.UnmarshalG2(r.Bytes())
-			if !ok {
-				return nil, fmt.Errorf("keys bls04: bad Y")
-			}
-			cnt := r.Int()
-			vk := make([]*pairing.G2, cnt)
-			for j := 0; j < cnt; j++ {
-				p, ok := pairing.UnmarshalG2(r.Bytes())
-				if !ok {
-					return nil, fmt.Errorf("keys bls04: bad VK[%d]", j)
-				}
-				vk[j] = p
-			}
-			nk.BLS04PK = &bls04.PublicKey{Y: y, VK: vk, T: nk.T, N: nk.N}
-			nk.BLS04 = bls04.KeyShare{Index: nk.Index, X: r.BigInt()}
-		case schemes.KG20:
-			g, err := group.ByName(r.String())
-			if err != nil {
-				return nil, err
-			}
-			y, err := readPoint(r, g)
-			if err != nil {
-				return nil, err
-			}
-			vk, err := readPoints(r, g)
-			if err != nil {
-				return nil, err
-			}
-			nk.FrostPK = &frost.PublicKey{Group: g, Y: y, VK: vk, T: nk.T, N: nk.N}
-			nk.Frost = frost.KeyShare{Index: nk.Index, X: r.BigInt()}
-		case schemes.CKS05:
-			g, err := group.ByName(r.String())
-			if err != nil {
-				return nil, err
-			}
-			y, err := readPoint(r, g)
-			if err != nil {
-				return nil, err
-			}
-			vk, err := readPoints(r, g)
-			if err != nil {
-				return nil, err
-			}
-			nk.CKS05PK = &cks05.PublicKey{Group: g, Y: y, VK: vk, T: nk.T, N: nk.N}
-			nk.CKS05 = cks05.KeyShare{Index: nk.Index, X: r.BigInt()}
-		default:
-			return nil, fmt.Errorf("keys: unknown scheme %q in key file", id)
-		}
+		id := r.String()
+		scheme := schemes.ID(r.String())
 		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("keys %s: %w", id, err)
+			return nil, fmt.Errorf("keys record %d: %w", i, err)
+		}
+		pub, shr, err := readMaterial(r, scheme, ks.Index, ks.T, ks.N)
+		if err != nil {
+			return nil, fmt.Errorf("keys %s/%s: %w", scheme, id, err)
+		}
+		if err := ks.Add(&Key{ID: id, Scheme: scheme, Public: pub, Share: shr}); err != nil {
+			return nil, err
 		}
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("keys: %w", err)
 	}
-	return nk, nil
+	return ks, nil
+}
+
+// unmarshalLegacy reads the pre-keychain format: Index, N, T, then one
+// anonymous record per scheme. Every key loads under DefaultKeyID, so
+// existing node*.key files keep working unchanged.
+func unmarshalLegacy(data []byte) (*Keystore, error) {
+	r := wire.NewReader(data)
+	ks := NewKeystore(r.Int(), 0, 0)
+	ks.N = r.Int()
+	ks.T = r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("keys header: %w", err)
+	}
+	for i := 0; i < count; i++ {
+		scheme := schemes.ID(r.String())
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("keys record %d: %w", i, err)
+		}
+		pub, shr, err := readMaterial(r, scheme, ks.Index, ks.T, ks.N)
+		if err != nil {
+			return nil, fmt.Errorf("keys %s: %w", scheme, err)
+		}
+		if err := ks.Add(&Key{ID: DefaultKeyID, Scheme: scheme, Public: pub, Share: shr}); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("keys: %w", err)
+	}
+	return ks, nil
+}
+
+// writeMaterial appends one key's cryptographic material. The
+// per-scheme encodings are unchanged from the legacy format, so the
+// two formats share readMaterial.
+func writeMaterial(w *wire.Writer, k *Key) {
+	switch k.Scheme {
+	case schemes.SG02:
+		pk := k.Public.(*sg02.PublicKey)
+		w.String(pk.Group.Name())
+		w.Bytes(pk.H.Marshal())
+		writePoints(w, pk.VK)
+		w.BigInt(k.Share.(sg02.KeyShare).X)
+	case schemes.BZ03:
+		pk := k.Public.(*bz03.PublicKey)
+		w.Bytes(pk.Y.Marshal())
+		w.Int(len(pk.VK))
+		for _, vk := range pk.VK {
+			w.Bytes(vk.Marshal())
+		}
+		w.BigInt(k.Share.(bz03.KeyShare).X)
+	case schemes.SH00:
+		pk := k.Public.(*sh00.PublicKey)
+		w.BigInt(pk.N).BigInt(pk.E).BigInt(pk.V)
+		w.Int(len(pk.VK))
+		for _, vk := range pk.VK {
+			w.BigInt(vk)
+		}
+		w.BigInt(k.Share.(sh00.KeyShare).S)
+	case schemes.BLS04:
+		pk := k.Public.(*bls04.PublicKey)
+		w.Bytes(pk.Y.Marshal())
+		w.Int(len(pk.VK))
+		for _, vk := range pk.VK {
+			w.Bytes(vk.Marshal())
+		}
+		w.BigInt(k.Share.(bls04.KeyShare).X)
+	case schemes.KG20:
+		pk := k.Public.(*frost.PublicKey)
+		w.String(pk.Group.Name())
+		w.Bytes(pk.Y.Marshal())
+		writePoints(w, pk.VK)
+		w.BigInt(k.Share.(frost.KeyShare).X)
+	case schemes.CKS05:
+		pk := k.Public.(*cks05.PublicKey)
+		w.String(pk.Group.Name())
+		w.Bytes(pk.Y.Marshal())
+		writePoints(w, pk.VK)
+		w.BigInt(k.Share.(cks05.KeyShare).X)
+	}
+}
+
+// readMaterial parses one key's cryptographic material.
+func readMaterial(r *wire.Reader, scheme schemes.ID, index, t, n int) (pub, shr any, err error) {
+	switch scheme {
+	case schemes.SG02:
+		g, err := group.ByName(r.String())
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := readPoint(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		vk, err := readPoints(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		pub = &sg02.PublicKey{Group: g, H: h, VK: vk, T: t, N: n}
+		shr = sg02.KeyShare{Index: index, X: r.BigInt()}
+	case schemes.BZ03:
+		y, ok := pairing.UnmarshalG1(r.Bytes())
+		if !ok {
+			return nil, nil, fmt.Errorf("bad Y")
+		}
+		cnt := r.Int()
+		vk := make([]*pairing.G2, cnt)
+		for j := 0; j < cnt; j++ {
+			p, ok := pairing.UnmarshalG2(r.Bytes())
+			if !ok {
+				return nil, nil, fmt.Errorf("bad VK[%d]", j)
+			}
+			vk[j] = p
+		}
+		pub = &bz03.PublicKey{Y: y, VK: vk, T: t, N: n}
+		shr = bz03.KeyShare{Index: index, X: r.BigInt()}
+	case schemes.SH00:
+		pk := &sh00.PublicKey{
+			N: r.BigInt(), E: r.BigInt(), V: r.BigInt(),
+			T: t, NParties: n,
+		}
+		cnt := r.Int()
+		for j := 0; j < cnt; j++ {
+			pk.VK = append(pk.VK, r.BigInt())
+		}
+		pk.Delta = mathutil.Factorial(n)
+		pub = pk
+		shr = sh00.KeyShare{Index: index, S: r.BigInt()}
+	case schemes.BLS04:
+		y, ok := pairing.UnmarshalG2(r.Bytes())
+		if !ok {
+			return nil, nil, fmt.Errorf("bad Y")
+		}
+		cnt := r.Int()
+		vk := make([]*pairing.G2, cnt)
+		for j := 0; j < cnt; j++ {
+			p, ok := pairing.UnmarshalG2(r.Bytes())
+			if !ok {
+				return nil, nil, fmt.Errorf("bad VK[%d]", j)
+			}
+			vk[j] = p
+		}
+		pub = &bls04.PublicKey{Y: y, VK: vk, T: t, N: n}
+		shr = bls04.KeyShare{Index: index, X: r.BigInt()}
+	case schemes.KG20:
+		g, err := group.ByName(r.String())
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := readPoint(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		vk, err := readPoints(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		pub = &frost.PublicKey{Group: g, Y: y, VK: vk, T: t, N: n}
+		shr = frost.KeyShare{Index: index, X: r.BigInt()}
+	case schemes.CKS05:
+		g, err := group.ByName(r.String())
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := readPoint(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		vk, err := readPoints(r, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		pub = &cks05.PublicKey{Group: g, Y: y, VK: vk, T: t, N: n}
+		shr = cks05.KeyShare{Index: index, X: r.BigInt()}
+	default:
+		return nil, nil, fmt.Errorf("keys: unknown scheme %q in key file", scheme)
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return pub, shr, nil
+}
+
+// PublicBytes marshals the key's public material (for listings and
+// cross-node comparison); nil when the material type is unknown.
+func (k *Key) PublicBytes() []byte {
+	w := wire.NewWriter()
+	switch pk := k.Public.(type) {
+	case *sg02.PublicKey:
+		w.Bytes(pk.H.Marshal())
+	case *bz03.PublicKey:
+		w.Bytes(pk.Y.Marshal())
+	case *sh00.PublicKey:
+		w.BigInt(pk.N).BigInt(pk.E)
+	case *bls04.PublicKey:
+		w.Bytes(pk.Y.Marshal())
+	case *frost.PublicKey:
+		w.Bytes(pk.Y.Marshal())
+	case *cks05.PublicKey:
+		w.Bytes(pk.Y.Marshal())
+	default:
+		return nil
+	}
+	return w.Out()
 }
 
 func writePoints(w *wire.Writer, pts []group.Point) {

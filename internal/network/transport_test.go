@@ -106,7 +106,7 @@ func TestFullClusterOverTCP(t *testing.T) {
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
 		engines[i] = orchestration.New(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  transports[i],
 		})
 		defer engines[i].Stop()

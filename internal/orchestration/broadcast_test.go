@@ -32,7 +32,7 @@ func scriptedEngine(t *testing.T, tt int, net *scriptedNet) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := New(Config{Keys: keys.NewManager(nodes[0]), Net: net})
+	e := New(Config{Keys: nodes[0], Net: net})
 	t.Cleanup(e.Stop)
 	return e
 }

@@ -38,7 +38,7 @@ func TestResubmitAfterCapEvictionJoinsPeersFreshRun(t *testing.T) {
 	c := newCluster(t, tt, n, memnet.Options{}, func(cfg *Config) {
 		cfg.RetainTTL = time.Minute // keep TTL/liveTTL expiry out of the test window
 		cfg.RetainMax = 128
-		if cfg.Keys.Keys().Index == 1 {
+		if cfg.Keys.Index == 1 {
 			cfg.RetainMax = 1 // only node 1 cap-evicts
 		}
 	})

@@ -257,7 +257,7 @@ func TestStalledRunExpires(t *testing.T) {
 	hub := memnet.NewHub(4, memnet.Options{})
 	t.Cleanup(hub.Close)
 	e := New(Config{
-		Keys:          keys.NewManager(nodes[0]),
+		Keys:          nodes[0],
 		Net:           hub.Endpoint(1),
 		RetainTTL:     80 * time.Millisecond, // liveTTL floors at 2s
 		SweepInterval: 20 * time.Millisecond,
@@ -311,7 +311,7 @@ func TestSubmitOverloadedFailsFast(t *testing.T) {
 	}
 	bn := &blockingNet{release: make(chan struct{}), in: make(chan network.Envelope)}
 	e := New(Config{
-		Keys:     keys.NewManager(nodes[0]),
+		Keys:     nodes[0],
 		Net:      bn,
 		QueueLen: 1,
 	})

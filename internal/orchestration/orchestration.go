@@ -65,6 +65,18 @@ var (
 // dropped (a correct peer sends at most one share per round).
 const maxBacklog = 1024
 
+// Key-install retry: a peer's start announcement can race ahead of the
+// DKG finalization that installs the key it refers to (each node
+// finalizes on its own schedule). Instead of failing the instance with
+// key_unknown, the engine re-enqueues the announcement with exponential
+// backoff; early peer shares keep parking on the placeholder meanwhile.
+// After the last retry the normal path runs and reports the typed
+// missing-key failure.
+const (
+	keyRetryBase = 5 * time.Millisecond
+	maxKeyRetry  = 9 // cumulative backoff ≈ 2.5s
+)
+
 // Result is the outcome of a protocol instance on this node.
 type Result struct {
 	InstanceID string
@@ -96,8 +108,10 @@ func (f *Future) Wait(ctx context.Context) (Result, error) {
 
 // Config assembles an engine.
 type Config struct {
-	// Keys is the node's key material (index, thresholds, shares).
-	Keys *keys.Manager
+	// Keys is the node's keystore (index, thresholds, named keys). The
+	// engine reads it to resolve shares and OpKeyGen instances write
+	// freshly generated keys into it.
+	Keys *keys.Keystore
 	// Net is the node's P2P endpoint.
 	Net network.P2P
 	// Rand defaults to crypto/rand.Reader.
@@ -242,6 +256,9 @@ type event struct {
 	future *Future
 	batch  []batchItem
 	env    *network.Envelope
+	// keyRetries counts how often a start announcement was deferred
+	// waiting for its key to be installed.
+	keyRetries int
 }
 
 // batchItem is one request of a batched submission.
@@ -303,7 +320,7 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{
 		cfg:            cfg,
-		self:           cfg.Keys.Keys().Index,
+		self:           cfg.Keys.Index,
 		events:         make(chan event, cfg.QueueLen),
 		instances:      make(map[string]*instance),
 		retained:       list.New(),
@@ -461,7 +478,7 @@ func (e *Engine) handle(ev event) {
 			e.handleSubmit(item.req, item.future)
 		}
 	case ev.env != nil:
-		e.handleEnvelope(*ev.env)
+		e.handleEnvelope(*ev.env, ev.keyRetries)
 	}
 }
 
@@ -544,7 +561,7 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		return inst, nil
 	}
 
-	proto, err := protocols.New(e.cfg.Rand, e.cfg.Keys.Keys(), req)
+	proto, err := protocols.New(e.cfg.Rand, e.cfg.Keys, req)
 	if err == nil {
 		// Publish under e.mu so handleEnvelope's proto==nil check is
 		// race free.
@@ -600,7 +617,7 @@ func (e *Engine) broadcast(env network.Envelope) error {
 	// be.Peers is the count the transport actually attempted — the
 	// authoritative denominator even when only part of the mesh is
 	// registered (dynamic port assignment).
-	if reached := be.Peers - len(be.Failed); reached >= e.cfg.Keys.Keys().T {
+	if reached := be.Peers - len(be.Failed); reached >= e.cfg.Keys.T {
 		e.partialBroadcasts.Add(1)
 		return nil
 	}
@@ -616,7 +633,7 @@ func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
 	e.retire(inst)
 }
 
-func (e *Engine) handleEnvelope(env network.Envelope) {
+func (e *Engine) handleEnvelope(env network.Envelope, keyRetries int) {
 	// Unversioned senders mean generation 1.
 	gen := env.Gen
 	if gen < 1 {
@@ -630,6 +647,9 @@ func (e *Engine) handleEnvelope(env network.Envelope) {
 		}
 		if req.InstanceID() != env.Instance {
 			return // inconsistent announcement; ignore
+		}
+		if e.deferForKey(req, env, keyRetries) {
+			return
 		}
 		inst, err := e.ensureInstance(req, false, nil, gen)
 		if err == nil {
@@ -677,6 +697,28 @@ func (e *Engine) handleEnvelope(env network.Envelope) {
 		e.mu.Unlock()
 		e.expireAll(evicted)
 	}
+}
+
+// deferForKey reports whether a peer start announcement should wait
+// for its key: the referenced key is not installed yet (a DKG on this
+// node may still be finalizing) and retries remain. The envelope is
+// re-enqueued after an exponential backoff; meanwhile the instance
+// stays a placeholder, so early peer shares keep parking.
+func (e *Engine) deferForKey(req protocols.Request, env network.Envelope, retries int) bool {
+	if req.Op == protocols.OpKeyGen || retries >= maxKeyRetry {
+		return false
+	}
+	if _, err := e.cfg.Keys.Get(req.Scheme, req.EffectiveKeyID()); err == nil {
+		return false
+	}
+	delay := keyRetryBase << retries
+	time.AfterFunc(delay, func() {
+		select {
+		case e.events <- event{env: &env, keyRetries: retries + 1}:
+		case <-e.stop:
+		}
+	})
+	return true
 }
 
 // drainBacklog replays messages that arrived before the instance start.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ import (
 // cluster is an in-process Θ-network for tests.
 type cluster struct {
 	hub     *memnet.Hub
-	nodes   []*keys.NodeKeys
+	nodes   []*keys.Keystore
 	engines []*Engine
 }
 
@@ -41,7 +42,7 @@ func newCluster(t testing.TB, tt, n int, opts memnet.Options, mutate ...func(*Co
 	engines := make([]*Engine, n)
 	for i := 0; i < n; i++ {
 		cfg := Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		}
 		for _, m := range mutate {
@@ -104,7 +105,7 @@ func TestAllSchemesEndToEnd(t *testing.T) {
 		{
 			name: "SG02 decrypt",
 			req: func() protocols.Request {
-				ct, err := sg02.Encrypt(rand.Reader, c.nodes[0].SG02PK, []byte("front-running tx"), []byte("L"))
+				ct, err := sg02.Encrypt(rand.Reader, keys.MustPublic[*sg02.PublicKey](c.nodes[0], schemes.SG02), []byte("front-running tx"), []byte("L"))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -126,7 +127,7 @@ func TestAllSchemesEndToEnd(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := bls04.Verify(c.nodes[0].BLS04PK, []byte("blk"), sig); err != nil {
+				if err := bls04.Verify(keys.MustPublic[*bls04.PublicKey](c.nodes[0], schemes.BLS04), []byte("blk"), sig); err != nil {
 					t.Fatal(err)
 				}
 			},
@@ -141,7 +142,7 @@ func TestAllSchemesEndToEnd(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := sh00.Verify(c.nodes[0].SH00PK, []byte("cert"), sig); err != nil {
+				if err := sh00.Verify(keys.MustPublic[*sh00.PublicKey](c.nodes[0], schemes.SH00), []byte("cert"), sig); err != nil {
 					t.Fatal(err)
 				}
 			},
@@ -152,11 +153,11 @@ func TestAllSchemesEndToEnd(t *testing.T) {
 				return protocols.Request{Scheme: schemes.KG20, Op: protocols.OpSign, Payload: []byte("wallet tx")}
 			},
 			chk: func(t *testing.T, v []byte) {
-				sig, err := frost.UnmarshalSignature(c.nodes[0].FrostPK.Group, v)
+				sig, err := frost.UnmarshalSignature(keys.MustPublic[*frost.PublicKey](c.nodes[0], schemes.KG20).Group, v)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := frost.Verify(c.nodes[0].FrostPK, []byte("wallet tx"), sig); err != nil {
+				if err := frost.Verify(keys.MustPublic[*frost.PublicKey](c.nodes[0], schemes.KG20), []byte("wallet tx"), sig); err != nil {
 					t.Fatal(err)
 				}
 			},
@@ -193,7 +194,7 @@ func TestBZ03EndToEnd(t *testing.T) {
 	// slowest path and deserves its own timeout budget.
 	const tt, n = 1, 4
 	c := newCluster(t, tt, n, memnet.Options{})
-	ct, err := bz03.Encrypt(rand.Reader, c.nodes[0].BZ03PK, []byte("pairing payload"), nil)
+	ct, err := bz03.Encrypt(rand.Reader, keys.MustPublic[*bz03.PublicKey](c.nodes[0], schemes.BZ03), []byte("pairing payload"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestSingleNodeSubmissionPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bls04.Verify(c.nodes[0].BLS04PK, []byte("solo"), sig); err != nil {
+	if err := bls04.Verify(keys.MustPublic[*bls04.PublicKey](c.nodes[0], schemes.BLS04), []byte("solo"), sig); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -263,7 +264,7 @@ func TestCorruptSharesDoNotBlockProgress(t *testing.T) {
 	engines := make([]*Engine, 0, 3)
 	for i := 0; i < 3; i++ { // node 4 is the adversary, no engine
 		engines = append(engines, New(Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 			OnRejectedShare: func(string, error) {
 				mu.Lock()
@@ -408,5 +409,104 @@ func TestSubmitBatch(t *testing.T) {
 	}
 	if twin[0].InstanceID != twin[1].InstanceID {
 		t.Fatal("in-batch duplicate got a different instance")
+	}
+}
+
+// TestKeygenThroughEngines runs a full on-demand DKG through the
+// engines and immediately signs under the new key — the engine-level
+// half of the keychain contract: all nodes install the same key, the
+// keygen result is the key ID, and the follow-up instance resolves
+// even when its start announcement races a peer's still-finalizing
+// DKG (the deferForKey retry path).
+func TestKeygenThroughEngines(t *testing.T) {
+	const tt, n = 1, 4
+	c := newCluster(t, tt, n, memnet.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	gen := protocols.Request{Scheme: schemes.KG20, KeyID: "engine-made", Op: protocols.OpKeyGen}
+	f, err := c.engines[0].Submit(ctx, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || string(res.Value) != "engine-made" {
+		t.Fatalf("keygen result: %+v", res)
+	}
+	// Node 1 installed; submit the follow-up sign IMMEDIATELY, without
+	// waiting for the peers' own finalizations — peers whose keystore
+	// lags must park the start announcement and retry, not fail.
+	sign := protocols.Request{Scheme: schemes.KG20, KeyID: "engine-made", Op: protocols.OpSign, Payload: []byte("raced")}
+	sf, err := c.engines[0].Submit(ctx, sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sf.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Err != nil {
+		t.Fatalf("sign under fresh key: %v", sres.Err)
+	}
+	// Eventually every node agrees on the installed public key.
+	deadline := time.Now().Add(10 * time.Second)
+	ref, err := keys.Public[*frost.PublicKey](c.nodes[0], schemes.KG20, "engine-made")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		for {
+			pk, err := keys.Public[*frost.PublicKey](c.nodes[i], schemes.KG20, "engine-made")
+			if err == nil {
+				if !pk.Y.Equal(ref.Y) {
+					t.Fatalf("node %d installed a different key", i+1)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never installed the key: %v", i+1, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	sig, err := frost.UnmarshalSignature(ref.Group, sres.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frost.Verify(ref, []byte("raced"), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartForMissingKeyEventuallyFails pins the other side of the
+// retry: a start announcement under a key that never materializes is
+// not retried forever — after the retry budget the instance fails
+// with the typed missing-key error, visible to watchers.
+func TestStartForMissingKeyEventuallyFails(t *testing.T) {
+	const tt, n = 1, 2
+	c := newCluster(t, tt, n, memnet.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req := protocols.Request{Scheme: schemes.CKS05, KeyID: "never-installed", Op: protocols.OpCoin, Payload: []byte("x")}
+	// Bypass the submit-path pre-check by injecting the start
+	// announcement directly, as a peer would.
+	env := network.Envelope{
+		Instance: req.InstanceID(),
+		Kind:     network.KindStart,
+		Gen:      1,
+		Payload:  req.Marshal(),
+	}
+	f := c.engines[0].Attach(req.InstanceID())
+	c.engines[0].handle(event{env: &env})
+	res, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, keys.ErrKeyUnknown) {
+		t.Fatalf("want key-unknown failure, got %v", res.Err)
 	}
 }

@@ -9,67 +9,102 @@ import (
 	"thetacrypt/internal/schemes/bls04"
 	"thetacrypt/internal/schemes/bz03"
 	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
 	"thetacrypt/internal/schemes/sg02"
 	"thetacrypt/internal/schemes/sh00"
 )
 
-// New instantiates the TRI protocol for a request using the node's key
-// material. It is the factory the orchestration executor calls for every
-// new instance.
-func New(rand io.Reader, nk *keys.NodeKeys, req Request) (Protocol, error) {
+// New instantiates the TRI protocol for a request, resolving the share
+// material by (scheme, key ID) in the node's keystore. It is the
+// factory the orchestration executor calls for every new instance. A
+// missing key surfaces as keys.ErrKeyUnknown (the service layer's
+// key_unknown); OpKeyGen requests build the DKG protocol instead of a
+// lookup.
+func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
+	if req.Op == OpKeyGen {
+		return newKeygen(rand, store, req)
+	}
 	switch {
 	case req.Scheme == schemes.SG02 && req.Op == OpDecrypt:
-		if nk.SG02PK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no SG02 keys", nk.Index)
+		pk, ks, err := lookup[*sg02.PublicKey, sg02.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
-		ct, err := sg02.UnmarshalCiphertext(nk.SG02PK.Group, req.Payload)
+		ct, err := sg02.UnmarshalCiphertext(pk.Group, req.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: %w", err)
 		}
-		return newNonInteractive(rand, &sg02Adapter{pk: nk.SG02PK, ks: nk.SG02, ct: ct,
+		return newNonInteractive(rand, &sg02Adapter{pk: pk, ks: ks, ct: ct,
 			shares: make(map[int]*sg02.DecShare)}), nil
 
 	case req.Scheme == schemes.BZ03 && req.Op == OpDecrypt:
-		if nk.BZ03PK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no BZ03 keys", nk.Index)
+		pk, ks, err := lookup[*bz03.PublicKey, bz03.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
 		ct, err := bz03.UnmarshalCiphertext(req.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: %w", err)
 		}
-		return newNonInteractive(rand, &bz03Adapter{pk: nk.BZ03PK, ks: nk.BZ03, ct: ct,
+		return newNonInteractive(rand, &bz03Adapter{pk: pk, ks: ks, ct: ct,
 			shares: make(map[int]*bz03.DecShare)}), nil
 
 	case req.Scheme == schemes.SH00 && req.Op == OpSign:
-		if nk.SH00PK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no SH00 keys", nk.Index)
+		pk, ks, err := lookup[*sh00.PublicKey, sh00.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
-		return newNonInteractive(rand, &sh00Adapter{pk: nk.SH00PK, ks: nk.SH00, msg: req.Payload,
+		return newNonInteractive(rand, &sh00Adapter{pk: pk, ks: ks, msg: req.Payload,
 			shares: make(map[int]*sh00.SigShare)}), nil
 
 	case req.Scheme == schemes.BLS04 && req.Op == OpSign:
-		if nk.BLS04PK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no BLS04 keys", nk.Index)
+		pk, ks, err := lookup[*bls04.PublicKey, bls04.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
-		return newNonInteractive(rand, &bls04Adapter{pk: nk.BLS04PK, ks: nk.BLS04, msg: req.Payload,
+		return newNonInteractive(rand, &bls04Adapter{pk: pk, ks: ks, msg: req.Payload,
 			shares: make(map[int]*bls04.SigShare)}), nil
 
 	case req.Scheme == schemes.CKS05 && req.Op == OpCoin:
-		if nk.CKS05PK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no CKS05 keys", nk.Index)
+		pk, ks, err := lookup[*cks05.PublicKey, cks05.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
-		return newNonInteractive(rand, &cks05Adapter{pk: nk.CKS05PK, ks: nk.CKS05, name: req.Payload,
+		return newNonInteractive(rand, &cks05Adapter{pk: pk, ks: ks, name: req.Payload,
 			shares: make(map[int]*cks05.CoinShare)}), nil
 
 	case req.Scheme == schemes.KG20 && req.Op == OpSign:
-		if nk.FrostPK == nil {
-			return nil, fmt.Errorf("protocols: node %d has no KG20 keys", nk.Index)
+		pk, ks, err := lookup[*frost.PublicKey, frost.KeyShare](store, req)
+		if err != nil {
+			return nil, err
 		}
-		return NewFrost(rand, nk, req.Payload, nil, nil), nil
+		return NewFrost(rand, pk, ks, req.Payload, nil, nil), nil
 
 	default:
 		return nil, fmt.Errorf("protocols: scheme %q does not support operation %q", req.Scheme, req.Op)
 	}
+}
+
+// lookup resolves a request's key material with one keystore access
+// (this is the executor's per-instance hot path).
+func lookup[P any, S any](store *keys.Keystore, req Request) (P, S, error) {
+	var (
+		zeroP P
+		zeroS S
+	)
+	k, err := store.Get(req.Scheme, req.EffectiveKeyID())
+	if err != nil {
+		return zeroP, zeroS, fmt.Errorf("protocols: %w", err)
+	}
+	p, ok := k.Public.(P)
+	if !ok {
+		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s public material is %T", req.Scheme, k.ID, k.Public)
+	}
+	s, ok := k.Share.(S)
+	if !ok {
+		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s share material is %T", req.Scheme, k.ID, k.Share)
+	}
+	return p, s, nil
 }
 
 // sg02Adapter plugs the SG02 threshold cipher into the single-round

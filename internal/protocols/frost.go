@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes/frost"
 )
 
@@ -20,8 +19,8 @@ import (
 // finalization while identifying the culprit.
 type frostProtocol struct {
 	rand io.Reader
-	nk   *keys.NodeKeys
 	pk   *frost.PublicKey
+	ks   frost.KeyShare
 	msg  []byte
 
 	signers []int // the fixed signer group, ascending
@@ -35,19 +34,19 @@ type frostProtocol struct {
 	finalized   bool
 }
 
-// NewFrost creates a FROST signing instance. If nonce and preComms are
-// non-nil (a precomputed batch entry plus the pre-exchanged commitments
-// of the whole signer group), round 1 is skipped.
-func NewFrost(rand io.Reader, nk *keys.NodeKeys, msg []byte, nonce *frost.Nonce, preComms []*frost.NonceCommitment) Protocol {
-	pk := nk.FrostPK
+// NewFrost creates a FROST signing instance for the key share ks under
+// the group public key pk. If nonce and preComms are non-nil (a
+// precomputed batch entry plus the pre-exchanged commitments of the
+// whole signer group), round 1 is skipped.
+func NewFrost(rand io.Reader, pk *frost.PublicKey, ks frost.KeyShare, msg []byte, nonce *frost.Nonce, preComms []*frost.NonceCommitment) Protocol {
 	signers := make([]int, pk.T+1)
 	for i := range signers {
 		signers[i] = i + 1
 	}
 	p := &frostProtocol{
-		rand: rand, nk: nk, pk: pk, msg: msg,
+		rand: rand, pk: pk, ks: ks, msg: msg,
 		signers:     signers,
-		inGroup:     nk.Index <= pk.T+1,
+		inGroup:     ks.Index <= pk.T+1,
 		round:       1,
 		commitments: make(map[int]*frost.NonceCommitment, pk.T+1),
 		pending:     make(map[int][]byte),
@@ -90,7 +89,7 @@ func (p *frostProtocol) DoRound() (*RoundOutput, error) {
 		if !p.inGroup {
 			return nil, nil
 		}
-		nonce, comm, err := frost.GenerateNonce(p.rand, p.pk.Group, p.nk.Index)
+		nonce, comm, err := frost.GenerateNonce(p.rand, p.pk.Group, p.ks.Index)
 		if err != nil {
 			return nil, fmt.Errorf("frost round 1: %w", err)
 		}
@@ -102,7 +101,7 @@ func (p *frostProtocol) DoRound() (*RoundOutput, error) {
 		if !p.inGroup {
 			return nil, nil
 		}
-		ss, err := frost.Sign(p.pk, p.nk.Frost, p.nonce, p.msg, p.commitmentList())
+		ss, err := frost.Sign(p.pk, p.ks, p.nonce, p.msg, p.commitmentList())
 		if err != nil {
 			return nil, fmt.Errorf("frost round 2: %w", err)
 		}
@@ -182,7 +181,7 @@ func (p *frostProtocol) IsReadyForNextRound() bool {
 	// Advance to round 2 once all signer commitments are known and we
 	// have not signed yet.
 	if p.commitmentSetComplete() && p.inGroup {
-		if _, signed := p.shares[p.nk.Index]; !signed {
+		if _, signed := p.shares[p.ks.Index]; !signed {
 			p.round = 2
 			return true
 		}

@@ -1,0 +1,233 @@
+package protocols
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/dkg"
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	sharepkg "thetacrypt/internal/share"
+	"thetacrypt/internal/wire"
+)
+
+// keygenProtocol runs Pedersen's JF-DKG (internal/dkg) as a TRI
+// protocol instance, making key generation an on-demand operation of
+// the protocol API: every node broadcasts one dealing (its Feldman
+// commitments plus the sub-shares), verifies the dealings of all n
+// participants, and finalizes by installing the combined (t, n) key
+// into its keystore under the request's key ID. The instance result is
+// the key ID, so clients learn the name of the key they created from
+// the ordinary result path.
+//
+// Unlike the threshold operations, key generation involves all n
+// parties, and the happy-path qualified-set agreement assumes every
+// dealing reaches every node — which the reliable transport provides.
+// A dealing whose sub-share fails verification disqualifies that
+// dealer on the receiving node; fewer than t+1 qualified dealers abort
+// the instance (dkg.ErrTooFewDealers).
+//
+// Sub-shares travel inside the broadcast dealing. The reproduction's
+// transports are unauthenticated plaintext, so point-to-point delivery
+// would expose them identically; a production deployment would wrap
+// the mesh in TLS and send each sub-share privately (the full system
+// encrypts them per recipient).
+type keygenProtocol struct {
+	store  *keys.Keystore
+	scheme schemes.ID
+	keyID  string
+	g      group.Group
+	part   *dkg.Participant
+	rand   io.Reader
+
+	n, self   int
+	processed map[int]bool // dealers whose dealing was consumed (or rejected)
+	started   bool
+	finalized bool
+}
+
+// newKeygen builds the DKG instance for an OpKeyGen request. The
+// request payload names the DL group (empty = edwards25519).
+func newKeygen(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
+	if !keys.SupportsDKG(req.Scheme) {
+		return nil, fmt.Errorf("%w: scheme %s is deal-only", ErrKeygenUnsupported, req.Scheme)
+	}
+	g := group.Edwards25519()
+	if len(req.Payload) > 0 {
+		var err error
+		if g, err = group.ByName(string(req.Payload)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrKeygenUnsupported, err)
+		}
+	}
+	if _, err := store.Get(req.Scheme, req.KeyID); err == nil {
+		return nil, fmt.Errorf("%w: %s/%s", keys.ErrKeyExists, req.Scheme, req.KeyID)
+	}
+	part, err := dkg.NewParticipant(g, store.Index, store.T, store.N)
+	if err != nil {
+		return nil, fmt.Errorf("protocols keygen: %w", err)
+	}
+	return &keygenProtocol{
+		store:     store,
+		scheme:    req.Scheme,
+		keyID:     req.KeyID,
+		g:         g,
+		part:      part,
+		n:         store.N,
+		self:      store.Index,
+		rand:      rand,
+		processed: make(map[int]bool, store.N),
+	}, nil
+}
+
+func (p *keygenProtocol) DoRound() (*RoundOutput, error) {
+	if p.finalized {
+		return nil, ErrAlreadyFinalized
+	}
+	if p.started {
+		return nil, nil // single-round: nothing to do later
+	}
+	p.started = true
+	dealing, err := p.part.Deal(p.rand)
+	if err != nil {
+		return nil, fmt.Errorf("keygen deal: %w", err)
+	}
+	p.processed[p.self] = true // Deal self-accounts commitment and sub-share
+	return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: marshalDealing(dealing)}, nil
+}
+
+func (p *keygenProtocol) Update(msg ProtocolMessage) error {
+	if p.finalized || p.processed[msg.Sender] {
+		return nil // late or redelivered dealing
+	}
+	com, subs, err := unmarshalDealing(p.g, p.n, msg.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: dealing from %d: %v", ErrShareRejected, msg.Sender, err)
+	}
+	// The dealing counts as processed even when it disqualifies its
+	// dealer: readiness is "heard from everyone", qualification is
+	// decided at finalization.
+	p.processed[msg.Sender] = true
+	// All n sub-shares travel in the broadcast, so every node verifies
+	// every one of them — not just its own — before accepting the
+	// dealing. A dealer whose dealing is invalid for ANY recipient is
+	// excluded identically on all honest nodes, keeping the qualified
+	// set (and therefore the installed key) deterministic.
+	for _, s := range subs {
+		if !com.VerifyShare(s) {
+			return fmt.Errorf("%w: dealer %d sent an invalid sub-share for party %d",
+				ErrShareRejected, msg.Sender, s.Index)
+		}
+	}
+	if err := p.part.ReceiveCommitment(&dkg.PublicDealing{Dealer: msg.Sender, Commitment: com}); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if err := p.part.ReceiveSubShare(msg.Sender, subs[p.self-1]); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	return nil
+}
+
+func (p *keygenProtocol) IsReadyForNextRound() bool { return false }
+
+func (p *keygenProtocol) IsReadyToFinalize() bool {
+	return p.started && !p.finalized && len(p.processed) == p.n
+}
+
+func (p *keygenProtocol) Finalize() ([]byte, error) {
+	if !p.IsReadyToFinalize() {
+		return nil, ErrNotReady
+	}
+	res, err := p.part.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("keygen: %w", err)
+	}
+	key := &keys.Key{ID: p.keyID, Scheme: p.scheme}
+	switch p.scheme {
+	case schemes.SG02:
+		key.Public = &sg02.PublicKey{Group: p.g, H: res.PublicKey, VK: res.VK, T: p.store.T, N: p.n}
+		key.Share = sg02.KeyShare{Index: res.Index, X: res.Share}
+	case schemes.KG20:
+		key.Public = &frost.PublicKey{Group: p.g, Y: res.PublicKey, VK: res.VK, T: p.store.T, N: p.n}
+		key.Share = frost.KeyShare{Index: res.Index, X: res.Share}
+	case schemes.CKS05:
+		key.Public = &cks05.PublicKey{Group: p.g, Y: res.PublicKey, VK: res.VK, T: p.store.T, N: p.n}
+		key.Share = cks05.KeyShare{Index: res.Index, X: res.Share}
+	default:
+		return nil, fmt.Errorf("%w: scheme %s", ErrKeygenUnsupported, p.scheme)
+	}
+	if err := p.store.Add(key); err != nil {
+		// A concurrent generation won the (scheme, id) slot.
+		if errors.Is(err, keys.ErrKeyExists) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("keygen install: %w", err)
+	}
+	p.finalized = true
+	return []byte(p.keyID), nil
+}
+
+// marshalDealing encodes one dealer's broadcast: the t+1 Feldman
+// commitment points and the n sub-shares.
+func marshalDealing(d *dkg.Dealing) []byte {
+	w := wire.NewWriter()
+	w.Int(len(d.Commitment.Points))
+	for _, pt := range d.Commitment.Points {
+		w.Bytes(pt.Marshal())
+	}
+	w.Int(len(d.SubShares))
+	for _, s := range d.SubShares {
+		w.Int(s.Index)
+		w.BigInt(s.Value)
+	}
+	return w.Out()
+}
+
+// unmarshalDealing decodes a dealer's broadcast; n bounds the expected
+// sub-share count.
+func unmarshalDealing(g group.Group, n int, data []byte) (*sharepkg.FeldmanCommitment, []sharepkg.Share, error) {
+	r := wire.NewReader(data)
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if cnt < 1 || cnt > n+1 {
+		return nil, nil, fmt.Errorf("dealing with %d commitment points", cnt)
+	}
+	pts := make([]group.Point, cnt)
+	for i := 0; i < cnt; i++ {
+		raw := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		pt, err := g.UnmarshalPoint(raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts[i] = pt
+	}
+	scnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if scnt != n {
+		return nil, nil, fmt.Errorf("dealing with %d sub-shares for %d parties", scnt, n)
+	}
+	subs := make([]sharepkg.Share, scnt)
+	for i := 0; i < scnt; i++ {
+		subs[i] = sharepkg.Share{Index: r.Int(), Value: r.BigInt()}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	for i, s := range subs {
+		if s.Index != i+1 || s.Value == nil {
+			return nil, nil, fmt.Errorf("dealing sub-share %d malformed", i)
+		}
+	}
+	return &sharepkg.FeldmanCommitment{Group: g, Points: pts}, subs, nil
+}

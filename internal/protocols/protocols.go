@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/wire"
 )
@@ -37,6 +39,11 @@ const (
 	OpSign Operation = iota + 1
 	OpDecrypt
 	OpCoin
+	// OpKeyGen runs a distributed key generation as a protocol
+	// instance: the request's KeyID names the key to create, the
+	// payload carries the DL group name (empty = edwards25519), and the
+	// instance result is the new key's ID.
+	OpKeyGen
 )
 
 // String returns the lowercase operation name.
@@ -48,6 +55,8 @@ func (o Operation) String() string {
 		return "decrypt"
 	case OpCoin:
 		return "coin"
+	case OpKeyGen:
+		return "keygen"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -63,6 +72,8 @@ func ParseOperation(op string) (Operation, error) {
 		return OpDecrypt, nil
 	case "coin":
 		return OpCoin, nil
+	case "keygen":
+		return OpKeyGen, nil
 	default:
 		return 0, fmt.Errorf("protocols: unknown operation %q", op)
 	}
@@ -76,9 +87,13 @@ const MaxPayload = 1 << 20
 // Request is a client request for one threshold operation.
 type Request struct {
 	Scheme schemes.ID
-	Op     Operation
+	// KeyID names the key the operation runs under; empty selects the
+	// scheme's default key. For OpKeyGen it names the key to create
+	// (required — key generation never targets the implicit default).
+	KeyID string
+	Op    Operation
 	// Payload is the message to sign, the marshaled ciphertext to
-	// decrypt, or the coin name.
+	// decrypt, the coin name, or (for OpKeyGen) the DL group name.
 	Payload []byte
 	// Session distinguishes repeated requests on the same payload.
 	Session string
@@ -86,22 +101,56 @@ type Request struct {
 
 // Validation sentinels distinguished by the service layer's error
 // model (api.ValidateRequest); scheme failures surface as the scheme
-// registry's own lookup error.
+// registry's ErrUnknown.
 var (
 	ErrUnknownOperation = errors.New("protocols: unknown operation")
 	ErrPayloadTooLarge  = errors.New("protocols: payload too large")
+	// ErrBadKeyID flags a syntactically invalid key identifier (or a
+	// keygen request without one).
+	ErrBadKeyID = errors.New("protocols: bad key id")
+	// ErrKeygenUnsupported flags a keygen request for a scheme the DKG
+	// cannot produce keys for, or an unknown DKG group.
+	ErrKeygenUnsupported = errors.New("protocols: keygen unsupported")
 )
+
+// EffectiveKeyID resolves the key the request addresses: KeyID, or the
+// scheme's default key when empty. All derived identity (InstanceID,
+// the wire form) uses the effective ID, so "" and "default" name the
+// same instance on every node.
+func (r Request) EffectiveKeyID() string {
+	if r.KeyID == "" {
+		return keys.DefaultKeyID
+	}
+	return r.KeyID
+}
 
 // Validate checks the request against the scheme registry and the
 // protocol module's structural limits before any instance state is
 // created. It is the single validation seam shared by the embedded
-// facade and the service layer.
+// facade and the service layer. Whether the named key exists on a
+// node is a runtime property checked at submission and execution, not
+// here.
 func (r Request) Validate() error {
 	if _, err := schemes.Lookup(r.Scheme); err != nil {
 		return err
 	}
 	switch r.Op {
 	case OpSign, OpDecrypt, OpCoin:
+		if !keys.ValidKeyID(r.EffectiveKeyID()) {
+			return fmt.Errorf("%w %q", ErrBadKeyID, r.KeyID)
+		}
+	case OpKeyGen:
+		if !keys.ValidKeyID(r.KeyID) {
+			return fmt.Errorf("%w %q (keygen requires an explicit key id)", ErrBadKeyID, r.KeyID)
+		}
+		if !keys.SupportsDKG(r.Scheme) {
+			return fmt.Errorf("%w: scheme %s is deal-only", ErrKeygenUnsupported, r.Scheme)
+		}
+		if len(r.Payload) > 0 {
+			if _, err := group.ByName(string(r.Payload)); err != nil {
+				return fmt.Errorf("%w: %v", ErrKeygenUnsupported, err)
+			}
+		}
 	default:
 		return fmt.Errorf("%w %d", ErrUnknownOperation, int(r.Op))
 	}
@@ -112,10 +161,13 @@ func (r Request) Validate() error {
 }
 
 // InstanceID derives the deterministic protocol instance identifier all
-// nodes agree on for this request.
+// nodes agree on for this request. The key ID participates, so the
+// same operation under two keys is two instances (idempotency is
+// per-key).
 func (r Request) InstanceID() string {
 	h := sha256.New()
 	h.Write([]byte(r.Scheme))
+	h.Write([]byte(r.EffectiveKeyID()))
 	h.Write([]byte{byte(r.Op)})
 	h.Write([]byte(r.Session))
 	h.Write(r.Payload)
@@ -125,7 +177,8 @@ func (r Request) InstanceID() string {
 // Marshal encodes the request.
 func (r Request) Marshal() []byte {
 	return wire.NewWriter().
-		String(string(r.Scheme)).Int(int(r.Op)).Bytes(r.Payload).String(r.Session).Out()
+		String(string(r.Scheme)).Int(int(r.Op)).Bytes(r.Payload).String(r.Session).
+		String(r.EffectiveKeyID()).Out()
 }
 
 // UnmarshalRequest decodes a request.
@@ -137,6 +190,7 @@ func UnmarshalRequest(data []byte) (Request, error) {
 	}
 	req.Payload = rd.Bytes()
 	req.Session = rd.String()
+	req.KeyID = rd.String()
 	if err := rd.Err(); err != nil {
 		return Request{}, fmt.Errorf("protocols request: %w", err)
 	}

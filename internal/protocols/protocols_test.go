@@ -3,14 +3,18 @@ package protocols
 import (
 	"crypto/rand"
 	"errors"
+	"math/big"
 	"testing"
+
+	"thetacrypt/internal/dkg"
+	"thetacrypt/internal/group"
 
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/frost"
 )
 
-func dealNodes(t *testing.T, tt, n int, ids ...schemes.ID) []*keys.NodeKeys {
+func dealNodes(t *testing.T, tt, n int, ids ...schemes.ID) []*keys.Keystore {
 	t.Helper()
 	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
 		RSABits: 512, UseRSAFixture: true, Schemes: ids,
@@ -174,18 +178,19 @@ func TestFrostTRITwoRounds(t *testing.T) {
 		protos[i] = p
 	}
 	results := drive(t, protos)
-	sig, err := frost.UnmarshalSignature(nodes[0].FrostPK.Group, results[0])
+	fpk := keys.MustPublic[*frost.PublicKey](nodes[0], schemes.KG20)
+	sig, err := frost.UnmarshalSignature(fpk.Group, results[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := frost.Verify(nodes[0].FrostPK, []byte("frost tri"), sig); err != nil {
+	if err := frost.Verify(fpk, []byte("frost tri"), sig); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFrostPrecomputedSkipsRound1(t *testing.T) {
 	nodes := dealNodes(t, 1, 4, schemes.KG20)
-	pk := nodes[0].FrostPK
+	pk := keys.MustPublic[*frost.PublicKey](nodes[0], schemes.KG20)
 	g := pk.Group
 	quorum := pk.T + 1
 	// Pre-exchange commitments for the signer group.
@@ -201,7 +206,7 @@ func TestFrostPrecomputedSkipsRound1(t *testing.T) {
 	msg := []byte("one round")
 	// Assertion instance: with precomputed commitments the very first
 	// DoRound emits a round-2 signature share, no commitment exchange.
-	probe := NewFrost(rand.Reader, nodes[0], msg, nonces[0], comms)
+	probe := NewFrost(rand.Reader, pk, keys.MustShare[frost.KeyShare](nodes[0], schemes.KG20), msg, nonces[0], comms)
 	out, err := probe.DoRound()
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +223,7 @@ func TestFrostPrecomputedSkipsRound1(t *testing.T) {
 		} else {
 			nonce = nonces[0] // non-signers ignore the nonce
 		}
-		protos[i] = NewFrost(rand.Reader, nk, msg, nonce, comms)
+		protos[i] = NewFrost(rand.Reader, pk, keys.MustShare[frost.KeyShare](nk, schemes.KG20), msg, nonce, comms)
 	}
 	results := drive(t, protos)
 	sig, err := frost.UnmarshalSignature(g, results[0])
@@ -246,5 +251,159 @@ func TestRejectedSharesSurfaceButDoNotKill(t *testing.T) {
 	}
 	if p.IsReadyToFinalize() {
 		t.Fatal("garbage share advanced the quorum")
+	}
+}
+
+// TestKeygenProtocolInstallsAgreedKey drives the OpKeyGen TRI protocol
+// across four keystores and checks the DKG contract: every node
+// installs the key under the requested ID, all public keys agree, and
+// the new key immediately signs/decrypts through the ordinary request
+// path.
+func TestKeygenProtocolInstallsAgreedKey(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.CKS05) // keygen needs only thresholds, but deal CKS05 for contrast
+	gen := Request{Scheme: schemes.KG20, KeyID: "runtime-1", Op: OpKeyGen}
+	protos := make([]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+	}
+	results := drive(t, protos)
+	for i, v := range results {
+		if string(v) != "runtime-1" {
+			t.Fatalf("node %d keygen result %q", i+1, v)
+		}
+	}
+	ref, err := keys.Public[*frost.PublicKey](nodes[0], schemes.KG20, "runtime-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("agreement", func(t *testing.T) {
+		for i, nk := range nodes {
+			pk, err := keys.Public[*frost.PublicKey](nk, schemes.KG20, "runtime-1")
+			if err != nil {
+				t.Fatalf("node %d: %v", i+1, err)
+			}
+			if !pk.Y.Equal(ref.Y) {
+				t.Fatalf("node %d public key differs", i+1)
+			}
+			for j := range pk.VK {
+				if !pk.VK[j].Equal(ref.VK[j]) {
+					t.Fatalf("node %d VK[%d] differs", i+1, j)
+				}
+			}
+		}
+	})
+	t.Run("usable-for-signing", func(t *testing.T) {
+		sign := Request{Scheme: schemes.KG20, KeyID: "runtime-1", Op: OpSign, Payload: []byte("signed under DKG key")}
+		sp := make([]Protocol, len(nodes))
+		for i, nk := range nodes {
+			p, err := New(rand.Reader, nk, sign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp[i] = p
+		}
+		out := drive(t, sp)
+		sig, err := frost.UnmarshalSignature(ref.Group, out[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := frost.Verify(ref, sign.Payload, sig); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("conflict", func(t *testing.T) {
+		if _, err := New(rand.Reader, nodes[0], gen); !errors.Is(err, keys.ErrKeyExists) {
+			t.Fatalf("re-running keygen for an installed key: %v", err)
+		}
+	})
+	t.Run("unknown-key-lookup", func(t *testing.T) {
+		req := Request{Scheme: schemes.KG20, KeyID: "never-made", Op: OpSign, Payload: []byte("x")}
+		if _, err := New(rand.Reader, nodes[0], req); !errors.Is(err, keys.ErrKeyUnknown) {
+			t.Fatalf("unknown key: %v", err)
+		}
+	})
+}
+
+// TestKeygenValidation pins the Validate contract for OpKeyGen and
+// key-ID syntax.
+func TestKeygenValidation(t *testing.T) {
+	if err := (Request{Scheme: schemes.KG20, KeyID: "ok-1", Op: OpKeyGen}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Request{Scheme: schemes.KG20, Op: OpKeyGen}).Validate(); !errors.Is(err, ErrBadKeyID) {
+		t.Fatalf("keygen without id: %v", err)
+	}
+	if err := (Request{Scheme: schemes.SH00, KeyID: "k", Op: OpKeyGen}).Validate(); !errors.Is(err, ErrKeygenUnsupported) {
+		t.Fatalf("deal-only keygen: %v", err)
+	}
+	if err := (Request{Scheme: schemes.KG20, KeyID: "k", Op: OpKeyGen, Payload: []byte("no-such-group")}).Validate(); !errors.Is(err, ErrKeygenUnsupported) {
+		t.Fatalf("unknown group: %v", err)
+	}
+	if err := (Request{Scheme: schemes.CKS05, KeyID: "bad id", Op: OpCoin}).Validate(); !errors.Is(err, ErrBadKeyID) {
+		t.Fatalf("bad key id: %v", err)
+	}
+}
+
+// TestKeyIDThreadsThroughIdentity pins that the key ID participates in
+// the instance identity and the wire form, with "" and "default"
+// naming the same instance.
+func TestKeyIDThreadsThroughIdentity(t *testing.T) {
+	base := Request{Scheme: schemes.CKS05, Op: OpCoin, Payload: []byte("c")}
+	dflt := base
+	dflt.KeyID = keys.DefaultKeyID
+	if base.InstanceID() != dflt.InstanceID() {
+		t.Fatal("empty and explicit default key IDs diverged")
+	}
+	other := base
+	other.KeyID = "other"
+	if base.InstanceID() == other.InstanceID() {
+		t.Fatal("distinct keys share an instance")
+	}
+	got, err := UnmarshalRequest(other.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KeyID != "other" || got.InstanceID() != other.InstanceID() {
+		t.Fatalf("wire round trip lost the key id: %+v", got)
+	}
+}
+
+// TestKeygenRejectsDealingWithAnyBadSubShare pins the deterministic
+// exclusion rule: all n sub-shares travel in the broadcast dealing, so
+// a node rejects a dealing whose sub-share for ANY party fails
+// verification — not only its own — and every honest node excludes
+// the dealer identically.
+func TestKeygenRejectsDealingWithAnyBadSubShare(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.CKS05)
+	gen := Request{Scheme: schemes.CKS05, KeyID: "tamper", Op: OpKeyGen}
+	p1, err := New(rand.Reader, nodes[0], gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.DoRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Build dealer 2's dealing honestly, then corrupt the sub-share
+	// addressed to party 3 (NOT the receiving party 1).
+	dealer, err := dkg.NewParticipant(group.Edwards25519(), 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dealing, err := dealer.Deal(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dealing.SubShares[2].Value = new(big.Int).Add(dealing.SubShares[2].Value, big.NewInt(1))
+	kg := p1.(*keygenProtocol)
+	err = p1.Update(ProtocolMessage{Sender: 2, Round: 1, Payload: marshalDealing(dealing)})
+	if !errors.Is(err, ErrShareRejected) {
+		t.Fatalf("tampered dealing accepted: %v", err)
+	}
+	if qual := kg.part.Qualified(); len(qual) != 1 || qual[0] != 1 {
+		t.Fatalf("dealer 2 not excluded: qualified=%v", qual)
 	}
 }

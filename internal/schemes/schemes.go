@@ -4,7 +4,15 @@
 // child packages sg02, bz03, sh00, bls04, frost, and cks05.
 package schemes
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknown is wrapped by every failed registry lookup, so callers
+// (api.ValidateRequest) can distinguish "no such scheme" from other
+// validation failures without string matching.
+var ErrUnknown = errors.New("schemes: unknown scheme")
 
 // Kind classifies a threshold scheme by its function.
 type Kind int
@@ -77,7 +85,7 @@ func Lookup(id ID) (Info, error) {
 			return info, nil
 		}
 	}
-	return Info{}, fmt.Errorf("schemes: unknown scheme %q", id)
+	return Info{}, fmt.Errorf("%w %q", ErrUnknown, id)
 }
 
 // All returns the scheme IDs in registry order.

@@ -74,7 +74,7 @@ func TestV2OverloadedEndToEnd(t *testing.T) {
 	}
 	sn := &stallNet{release: make(chan struct{}), in: make(chan network.Envelope)}
 	engine := orchestration.New(orchestration.Config{
-		Keys:     keys.NewManager(nodes[0]),
+		Keys:     nodes[0],
 		Net:      sn,
 		QueueLen: 1,
 	})
@@ -135,7 +135,7 @@ func TestV2RetryAfterOverload(t *testing.T) {
 	}
 	sn := &stallNet{release: make(chan struct{}), in: make(chan network.Envelope)}
 	engine := orchestration.New(orchestration.Config{
-		Keys:     keys.NewManager(nodes[0]),
+		Keys:     nodes[0],
 		Net:      sn,
 		QueueLen: 1,
 	})
@@ -182,7 +182,7 @@ func TestV2BatchSizeCapped(t *testing.T) {
 	hub := memnet.NewHub(4, memnet.Options{})
 	t.Cleanup(hub.Close)
 	engine := orchestration.New(orchestration.Config{
-		Keys: keys.NewManager(nodes[0]),
+		Keys: nodes[0],
 		Net:  hub.Endpoint(1),
 	})
 	t.Cleanup(engine.Stop)
@@ -223,7 +223,7 @@ func TestV2StaleDeadlineDoesNotPoisonFreshRun(t *testing.T) {
 	hub := memnet.NewHub(4, memnet.Options{})
 	t.Cleanup(hub.Close)
 	engine := orchestration.New(orchestration.Config{
-		Keys:          keys.NewManager(nodes[0]),
+		Keys:          nodes[0],
 		Net:           hub.Endpoint(1),
 		RetainTTL:     80 * time.Millisecond,
 		SweepInterval: 20 * time.Millisecond,
@@ -288,7 +288,7 @@ func TestV2ExpiredResultEndToEnd(t *testing.T) {
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
 		engines[i] = orchestration.New(orchestration.Config{
-			Keys:          keys.NewManager(nodes[i]),
+			Keys:          nodes[i],
 			Net:           hub.Endpoint(i + 1),
 			RetainTTL:     100 * time.Millisecond,
 			SweepInterval: 10 * time.Millisecond,

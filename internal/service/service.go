@@ -70,11 +70,11 @@ type InfoResponse struct {
 }
 
 // Server exposes the service layer over HTTP: the legacy /v1 endpoints
-// and the /v2 API (batch submit, result streaming, structured errors;
-// see v2.go).
+// and the /v2 API (batch submit, result streaming, structured errors,
+// keychain management; see v2.go).
 type Server struct {
 	engine *orchestration.Engine
-	keys   *keys.NodeKeys
+	keys   *keys.Keystore
 	mux    *http.ServeMux
 
 	// mu guards the per-request deadlines recorded by v2 submissions and
@@ -86,10 +86,10 @@ type Server struct {
 }
 
 // NewServer wires the endpoints.
-func NewServer(engine *orchestration.Engine, nk *keys.NodeKeys) *Server {
+func NewServer(engine *orchestration.Engine, store *keys.Keystore) *Server {
 	s := &Server{
 		engine:        engine,
-		keys:          nk,
+		keys:          store,
 		mux:           http.NewServeMux(),
 		deadlines:     make(map[string]time.Time),
 		deadlineOrder: list.New(),
@@ -209,22 +209,24 @@ func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	}
 	switch schemes.ID(body.Scheme) {
 	case schemes.SG02:
-		if s.keys.SG02PK == nil {
+		pk, err := keys.Public[*sg02.PublicKey](s.keys, schemes.SG02, "")
+		if err != nil {
 			httpError(w, http.StatusNotFound, errors.New("service: no SG02 keys"))
 			return
 		}
-		ct, err := sg02.Encrypt(rand.Reader, s.keys.SG02PK, body.Message, body.Label)
+		ct, err := sg02.Encrypt(rand.Reader, pk, body.Message, body.Label)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, EncryptResponse{Ciphertext: ct.Marshal()})
 	case schemes.BZ03:
-		if s.keys.BZ03PK == nil {
+		pk, err := keys.Public[*bz03.PublicKey](s.keys, schemes.BZ03, "")
+		if err != nil {
 			httpError(w, http.StatusNotFound, errors.New("service: no BZ03 keys"))
 			return
 		}
-		ct, err := bz03.Encrypt(rand.Reader, s.keys.BZ03PK, body.Message, body.Label)
+		ct, err := bz03.Encrypt(rand.Reader, pk, body.Message, body.Label)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -237,10 +239,8 @@ func (s *Server) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	var present []string
-	for _, id := range schemes.All() {
-		if s.keys.Has(id) {
-			present = append(present, string(id))
-		}
+	for _, id := range s.keys.Schemes() {
+		present = append(present, string(id))
 	}
 	writeJSON(w, http.StatusOK, InfoResponse{
 		NodeIndex: s.keys.Index,

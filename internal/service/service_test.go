@@ -13,7 +13,7 @@ import (
 )
 
 // testService spins up a full 4-node Θ-network with HTTP front ends.
-func testService(t *testing.T) ([]*Client, []*keys.NodeKeys) {
+func testService(t *testing.T) ([]*Client, []*keys.Keystore) {
 	t.Helper()
 	const tt, n = 1, 4
 	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
@@ -26,7 +26,7 @@ func testService(t *testing.T) ([]*Client, []*keys.NodeKeys) {
 	clients := make([]*Client, n)
 	for i := 0; i < n; i++ {
 		engine := orchestration.New(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		})
 		srv := httptest.NewServer(NewServer(engine, nodes[i]))
@@ -66,7 +66,7 @@ func TestSignOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bls04.Verify(nodes[0].BLS04PK, []byte("http sig"), sig); err != nil {
+	if err := bls04.Verify(keys.MustPublic[*bls04.PublicKey](nodes[0], schemes.BLS04), []byte("http sig"), sig); err != nil {
 		t.Fatal(err)
 	}
 	// Any node can serve the result of the shared instance.

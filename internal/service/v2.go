@@ -61,6 +61,8 @@ func (s *Server) registerV2() {
 	s.mux.HandleFunc("GET /v2/protocol/results", s.handleResultsV2)
 	s.mux.HandleFunc("POST /v2/scheme/encrypt", s.handleEncryptV2)
 	s.mux.HandleFunc("GET /v2/info", s.handleInfoV2)
+	s.mux.HandleFunc("GET /v2/keys", s.handleKeysV2)
+	s.mux.HandleFunc("POST /v2/keys", s.handleGenerateKeyV2)
 }
 
 func writeErrorV2(w http.ResponseWriter, e *api.Error) {
@@ -80,8 +82,13 @@ func engineError(err error) *api.Error {
 }
 
 // validateItem classifies an item's defects into the structured error
-// model, funneling through the protocol module's validation seam.
-func validateItem(it api.SubmitItem) (protocols.Request, *api.Error) {
+// model, funneling through the protocol module's validation seam, then
+// resolves the named key against this node's keystore: a threshold
+// operation under a key the node does not hold is rejected with
+// key_unknown (404) before any instance state is created, identically
+// to the embedded deployments; a keygen naming an installed key is
+// rejected with key_exists (409).
+func (s *Server) validateItem(it api.SubmitItem) (protocols.Request, *api.Error) {
 	req, err := it.Request()
 	if err != nil {
 		var e *api.Error
@@ -91,6 +98,9 @@ func validateItem(it api.SubmitItem) (protocols.Request, *api.Error) {
 		return protocols.Request{}, api.Errf(api.CodeBadRequest, "%v", err)
 	}
 	if e := api.ValidateRequest(req); e != nil {
+		return protocols.Request{}, e
+	}
+	if e := api.CheckRequestKey(s.keys, req); e != nil {
 		return protocols.Request{}, e
 	}
 	return req, nil
@@ -126,7 +136,7 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 	var reqs []protocols.Request
 	var reqIdx []int // position of reqs[i] in entries
 	for i, it := range body.Requests {
-		req, e := validateItem(it)
+		req, e := s.validateItem(it)
 		if e != nil {
 			entries[i] = api.SubmitEntry{Error: e}
 			continue
@@ -273,15 +283,7 @@ func finishedEntry(id string, res orchestration.Result) api.ResultEntry {
 		Value:      res.Value,
 		LatencyMS:  res.Finished.Sub(res.Started).Milliseconds(),
 	}
-	switch {
-	case res.Err == nil:
-	case errors.Is(res.Err, orchestration.ErrExpired):
-		// The result outlived the retention window; re-submitting the
-		// request starts a fresh instance.
-		entry.Error = api.Errf(api.CodeExpired, "%v", res.Err)
-	default:
-		entry.Error = api.Errf(api.CodeInternal, "%v", res.Err)
-	}
+	entry.Error = api.ClassifyResultErr(res.Err)
 	return entry
 }
 
@@ -388,39 +390,41 @@ func (s *Server) handleEncryptV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch id {
-	case schemes.SG02:
-		if s.keys.SG02PK == nil {
-			writeErrorV2(w, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt to this node", id))
-			return
-		}
-		ct, err := sg02.Encrypt(rand.Reader, s.keys.SG02PK, body.Message, body.Label)
-		if err != nil {
-			writeErrorV2(w, api.Errf(api.CodeInternal, "%v", err))
-			return
-		}
-		writeJSON(w, http.StatusOK, api.EncryptResponse{Ciphertext: ct.Marshal()})
-	case schemes.BZ03:
-		if s.keys.BZ03PK == nil {
-			writeErrorV2(w, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt to this node", id))
-			return
-		}
-		ct, err := bz03.Encrypt(rand.Reader, s.keys.BZ03PK, body.Message, body.Label)
-		if err != nil {
-			writeErrorV2(w, api.Errf(api.CodeInternal, "%v", err))
-			return
-		}
-		writeJSON(w, http.StatusOK, api.EncryptResponse{Ciphertext: ct.Marshal()})
+	case schemes.SG02, schemes.BZ03:
 	default:
 		writeErrorV2(w, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", id))
+		return
 	}
+	if !s.keys.Has(id) {
+		writeErrorV2(w, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt to this node", id))
+		return
+	}
+	key, err := s.keys.Get(id, body.KeyID)
+	if err != nil {
+		writeErrorV2(w, api.Errf(api.CodeKeyUnknown, "%v", err))
+		return
+	}
+	var ct interface{ Marshal() []byte }
+	switch pk := key.Public.(type) {
+	case *sg02.PublicKey:
+		ct, err = sg02.Encrypt(rand.Reader, pk, body.Message, body.Label)
+	case *bz03.PublicKey:
+		ct, err = bz03.Encrypt(rand.Reader, pk, body.Message, body.Label)
+	default:
+		writeErrorV2(w, api.Errf(api.CodeInternal, "key %s/%s holds %T", id, key.ID, key.Public))
+		return
+	}
+	if err != nil {
+		writeErrorV2(w, api.Errf(api.CodeInternal, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.EncryptResponse{Ciphertext: ct.Marshal()})
 }
 
 func (s *Server) handleInfoV2(w http.ResponseWriter, _ *http.Request) {
 	var present []string
-	for _, id := range schemes.All() {
-		if s.keys.Has(id) {
-			present = append(present, string(id))
-		}
+	for _, id := range s.keys.Schemes() {
+		present = append(present, string(id))
 	}
 	writeJSON(w, http.StatusOK, api.InfoResponse{
 		APIVersion: 2,
@@ -428,6 +432,45 @@ func (s *Server) handleInfoV2(w http.ResponseWriter, _ *http.Request) {
 		N:          s.keys.N,
 		T:          s.keys.T,
 		Schemes:    present,
+		Keys:       api.KeyInfosOf(s.keys.List()),
 		Stats:      api.EngineStatsOf(s.engine.Stats()),
+	})
+}
+
+// handleKeysV2 lists the node's keychain (GET /v2/keys).
+func (s *Server) handleKeysV2(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.KeysResponse{Keys: api.KeyInfosOf(s.keys.List())})
+}
+
+// handleGenerateKeyV2 starts a distributed key generation
+// (POST /v2/keys): the keygen request is built from the body via the
+// shared api.KeygenRequest seam, pre-checked against the local
+// keystore (key_exists 409), and submitted to the engine like any
+// other protocol instance. The response carries the instance handle
+// and the assigned key ID; completion is observed on the ordinary
+// results endpoint, whose value is the key ID.
+func (s *Server) handleGenerateKeyV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
+	var body api.GenerateKeyRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
+		return
+	}
+	req, e := api.KeygenRequest(schemes.ID(body.Scheme), api.GenerateKeyOptions{KeyID: body.KeyID, Group: body.Group})
+	if e != nil {
+		writeErrorV2(w, e)
+		return
+	}
+	if e := api.CheckRequestKey(s.keys, req); e != nil {
+		writeErrorV2(w, e)
+		return
+	}
+	if _, err := s.engine.Submit(r.Context(), req); err != nil {
+		writeErrorV2(w, engineError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.GenerateKeyResponse{
+		InstanceID: req.InstanceID(),
+		KeyID:      req.KeyID,
 	})
 }

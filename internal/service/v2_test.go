@@ -37,7 +37,7 @@ func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // testServiceV2 spins up a full 4-node Θ-network with HTTP front ends
 // and returns v2 SDK clients plus per-node request counters.
-func testServiceV2(t *testing.T) ([]*client.Client, []*keys.NodeKeys, []*countingHandler) {
+func testServiceV2(t *testing.T) ([]*client.Client, []*keys.Keystore, []*countingHandler) {
 	t.Helper()
 	const tt, n = 1, 4
 	nodes, err := keys.Deal(rand.Reader, tt, n, keys.Options{
@@ -51,7 +51,7 @@ func testServiceV2(t *testing.T) ([]*client.Client, []*keys.NodeKeys, []*countin
 	counters := make([]*countingHandler, n)
 	for i := 0; i < n; i++ {
 		engine := orchestration.New(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		})
 		counters[i] = &countingHandler{h: NewServer(engine, nodes[i])}
@@ -77,7 +77,7 @@ func partialServiceV2(t *testing.T) *client.Client {
 	}
 	hub := memnet.NewHub(4, memnet.Options{})
 	engine := orchestration.New(orchestration.Config{
-		Keys: keys.NewManager(nodes[0]),
+		Keys: nodes[0],
 		Net:  hub.Endpoint(1),
 	})
 	srv := httptest.NewServer(NewServer(engine, nodes[0]))
@@ -110,7 +110,7 @@ func TestV2SignThroughSDK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bls04.Verify(nodes[0].BLS04PK, msg, sig); err != nil {
+	if err := bls04.Verify(keys.MustPublic[*bls04.PublicKey](nodes[0], schemes.BLS04), msg, sig); err != nil {
 		t.Fatal(err)
 	}
 	// Any node serves the result of the shared instance.
@@ -261,17 +261,17 @@ func TestV2EncryptErrors(t *testing.T) {
 	clients, _, _ := testServiceV2(t)
 	ctx := context.Background()
 	// BZ03 is a cipher, but this deployment dealt no BZ03 keys.
-	_, err := clients[0].Encrypt(ctx, schemes.BZ03, []byte("x"), nil)
+	_, err := clients[0].Encrypt(ctx, schemes.BZ03, "", []byte("x"), nil)
 	if api.CodeOf(err) != api.CodeSchemeNoKeys {
 		t.Fatalf("want %s, got %v", api.CodeSchemeNoKeys, err)
 	}
 	// BLS04 exists but does not encrypt.
-	_, err = clients[0].Encrypt(ctx, schemes.BLS04, []byte("x"), nil)
+	_, err = clients[0].Encrypt(ctx, schemes.BLS04, "", []byte("x"), nil)
 	if api.CodeOf(err) != api.CodeSchemeNotCipher {
 		t.Fatalf("want %s, got %v", api.CodeSchemeNotCipher, err)
 	}
 	// Unknown scheme.
-	_, err = clients[0].Encrypt(ctx, "NOPE", []byte("x"), nil)
+	_, err = clients[0].Encrypt(ctx, "NOPE", "", []byte("x"), nil)
 	if api.CodeOf(err) != api.CodeSchemeUnknown {
 		t.Fatalf("want %s, got %v", api.CodeSchemeUnknown, err)
 	}
@@ -487,4 +487,168 @@ func TestV2SSEStream(t *testing.T) {
 			t.Fatalf("stream result %d: %+v", i, res)
 		}
 	}
+}
+
+// TestKeysEndpoints pins the raw HTTP contract of the keychain API:
+// GET /v2/keys lists the keychain, POST /v2/keys runs a DKG whose
+// instance resolves to the key ID on the ordinary results endpoint,
+// the generated key is listed by every node and usable for submission
+// under its ID, and the typed key errors carry their HTTP statuses
+// (key_unknown 404, key_exists 409).
+func TestKeysEndpoints(t *testing.T) {
+	clients, nodes, _ := testServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	base := clientBase(t, clients[0])
+
+	// GET /v2/keys: one default key per dealt scheme.
+	var list api.KeysResponse
+	getJSON(t, base+"/v2/keys", &list)
+	if len(list.Keys) != 3 {
+		t.Fatalf("keychain: %+v", list.Keys)
+	}
+	for _, k := range list.Keys {
+		if k.KeyID != keys.DefaultKeyID || !k.Default || len(k.PublicKey) == 0 {
+			t.Fatalf("dealt key listing wrong: %+v", k)
+		}
+	}
+
+	// POST /v2/keys: 202 with instance handle and key id.
+	resp := postJSONRaw(t, base+"/v2/keys", `{"scheme":"CKS05","key_id":"http-key"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("generate status %d", resp.StatusCode)
+	}
+	var gen api.GenerateKeyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gen); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gen.KeyID != "http-key" || gen.InstanceID == "" {
+		t.Fatalf("generate response: %+v", gen)
+	}
+	// The keygen instance resolves on the ordinary results path with
+	// the key ID as its value.
+	res, err := clients[0].Wait(ctx, api.Handle{InstanceID: gen.InstanceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || string(res.Value) != "http-key" {
+		t.Fatalf("keygen result: %+v", res)
+	}
+	// Every node lists the generated key with the same public material.
+	var ref []byte
+	for i := range clients {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ks, err := clients[i].Keys(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pub []byte
+			for _, k := range ks {
+				if k.Scheme == "CKS05" && k.KeyID == "http-key" {
+					pub = k.PublicKey
+				}
+			}
+			if pub != nil {
+				if i == 0 {
+					ref = pub
+				} else if string(pub) != string(ref) {
+					t.Fatalf("node %d public key differs", i+1)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never listed the generated key", i+1)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// The key is usable for submission under its ID, from any node.
+	coin, err := api.Execute(ctx, clients[1], protocols.Request{
+		Scheme: schemes.CKS05, KeyID: "http-key", Op: protocols.OpCoin, Payload: []byte("http-coin"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coin) == 0 {
+		t.Fatal("empty coin")
+	}
+
+	// key_exists carries HTTP 409.
+	resp = postJSONRaw(t, base+"/v2/keys", `{"scheme":"CKS05","key_id":"http-key"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate generate status %d", resp.StatusCode)
+	}
+	var conflictBody api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&conflictBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if conflictBody.Error == nil || conflictBody.Error.Code != api.CodeKeyExists {
+		t.Fatalf("conflict body: %+v", conflictBody)
+	}
+
+	// key_unknown carries HTTP 404, for submissions and encryption.
+	resp = postJSONRaw(t, base+"/v2/protocol/submit",
+		`{"requests":[{"scheme":"CKS05","key_id":"no-such","op":"coin","payload":"YQ=="}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with unknown key status %d (batch errors are per-item)", resp.StatusCode)
+	}
+	var batch api.SubmitBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Results) != 1 || batch.Results[0].Error == nil || batch.Results[0].Error.Code != api.CodeKeyUnknown {
+		t.Fatalf("batch entry: %+v", batch.Results)
+	}
+	resp = postJSONRaw(t, base+"/v2/scheme/encrypt", `{"scheme":"SG02","key_id":"no-such","message":"YQ=="}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("encrypt unknown key status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if _, err := clients[0].Encrypt(ctx, schemes.SG02, "no-such", []byte("x"), nil); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("client encrypt unknown key: %v", err)
+	}
+
+	// /v2/info lists the keychain inline.
+	var info api.InfoResponse
+	getJSON(t, base+"/v2/info", &info)
+	if len(info.Keys) != 4 {
+		t.Fatalf("info keychain: %+v", info.Keys)
+	}
+	_ = nodes
+}
+
+// clientBase recovers the HTTP base URL a fixture client targets, for
+// raw-HTTP assertions on statuses and bodies.
+func clientBase(t *testing.T, c *client.Client) string {
+	t.Helper()
+	return c.BaseURL()
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSONRaw(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }

@@ -1,11 +1,15 @@
 package thetacrypt_test
 
 // Conformance: the same application code runs against every Service
-// implementation — the embedded Cluster and the remote client SDK over
-// the /v2 HTTP endpoints — exercising submit, wait, batch, idempotent
-// re-submission, the scheme API, and structured errors identically.
+// implementation — the embedded Cluster (memnet), a standalone Node
+// deployment (tcpnet), and the remote client SDK over the /v2 HTTP
+// endpoints — exercising submit, wait, batch, idempotent
+// re-submission, the scheme API, the keychain API (key listings,
+// on-demand DKG, per-key submission), and structured errors
+// identically.
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"fmt"
@@ -38,7 +42,7 @@ func remoteService(t *testing.T) thetacrypt.Service {
 	var first thetacrypt.Service
 	for i := 0; i < n; i++ {
 		engine := orchestration.New(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		})
 		srv := httptest.NewServer(service.NewServer(engine, nodes[i]))
@@ -64,6 +68,40 @@ func embeddedService(t *testing.T) thetacrypt.Service {
 	return cluster
 }
 
+// nodeDeployment stands up a real 4-node tcpnet deployment on loopback
+// (dynamic ports, peers wired after construction) and returns all
+// nodes; node 1 serves as the standalone-Node Service implementation.
+func nodeDeployment(t *testing.T) []*thetacrypt.Node {
+	t.Helper()
+	const tt, n = 1, 4
+	stores, err := keys.Deal(rand.Reader, tt, n, keys.Options{
+		Schemes: []schemes.ID{schemes.SG02, schemes.CKS05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*thetacrypt.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := thetacrypt.NewNode(thetacrypt.NodeConfig{
+			Keys:       stores[i],
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(node.Close)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nodes[i].SetPeer(j+1, nodes[j].P2PAddr())
+			}
+		}
+	}
+	return nodes
+}
+
 // exercise is the application code written once against the interface.
 func exercise(t *testing.T, svc thetacrypt.Service) {
 	t.Helper()
@@ -78,9 +116,24 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 		t.Fatalf("info: %+v", info)
 	}
 
-	// Scheme API + protocol API round-trip.
+	// Keychain listing: Keys and Info report the same keychain, one
+	// default key per dealt scheme.
+	listed, err := svc.Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 2 || !sameKeyLists(listed, info.Keys) {
+		t.Fatalf("key lists diverge: Keys=%+v Info=%+v", listed, info.Keys)
+	}
+	for _, k := range listed {
+		if k.KeyID != thetacrypt.DefaultKeyID || !k.Default || len(k.PublicKey) == 0 {
+			t.Fatalf("dealt key listing wrong: %+v", k)
+		}
+	}
+
+	// Scheme API + protocol API round-trip under the default key.
 	secret := []byte("interface-portable secret")
-	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, secret, []byte("L"))
+	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, "", secret, []byte("L"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +145,55 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 	}
 	if string(plain) != string(secret) {
 		t.Fatalf("decrypted %q", plain)
+	}
+
+	// Keychain API: generate a named SG02 key on demand — a real DKG
+	// through the orchestration engines — and use it immediately.
+	kh, err := svc.GenerateKey(ctx, thetacrypt.SG02, thetacrypt.GenerateKeyOptions{KeyID: "conf-genkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := svc.Wait(ctx, kh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kres.Err != nil || string(kres.Value) != "conf-genkey" {
+		t.Fatalf("keygen result: %+v", kres)
+	}
+	ct2, err := svc.Encrypt(ctx, thetacrypt.SG02, "conf-genkey", secret, []byte("L2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain2, err := thetacrypt.Execute(ctx, svc, thetacrypt.Request{
+		Scheme: thetacrypt.SG02, KeyID: "conf-genkey", Op: thetacrypt.OpDecrypt, Payload: ct2,
+	})
+	if err != nil {
+		t.Fatalf("decrypt under generated key: %v", err)
+	}
+	if string(plain2) != string(secret) {
+		t.Fatalf("generated-key decryption yielded %q", plain2)
+	}
+	// The keychain now lists the generated key, non-default.
+	listed, err = svc.Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range listed {
+		if k.Scheme == string(thetacrypt.SG02) && k.KeyID == "conf-genkey" && !k.Default {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("generated key missing from listing: %+v", listed)
+	}
+	// Re-generating the same name conflicts.
+	if _, err := svc.GenerateKey(ctx, thetacrypt.SG02, thetacrypt.GenerateKeyOptions{KeyID: "conf-genkey"}); api.CodeOf(err) != api.CodeKeyExists {
+		t.Fatalf("duplicate keygen: got %v (code %s)", err, api.CodeOf(err))
+	}
+	// DKG cannot produce RSA keys.
+	if _, err := svc.GenerateKey(ctx, thetacrypt.SH00, thetacrypt.GenerateKeyOptions{}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("SH00 keygen: got %v (code %s)", err, api.CodeOf(err))
 	}
 
 	// Batch submission with order-preserving results.
@@ -136,18 +238,58 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 		t.Fatalf("re-submission diverged: %+v", res)
 	}
 
+	// The explicit default key ID names the same instance as the empty
+	// one (idempotency is per effective key).
+	named := reqs[0]
+	named.KeyID = thetacrypt.DefaultKeyID
+	alias, err := svc.Submit(ctx, named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias.InstanceID != hs[0].InstanceID {
+		t.Fatalf("explicit default key changed handles: %s != %s", alias.InstanceID, hs[0].InstanceID)
+	}
+
 	// Structured errors carry the same codes on every implementation.
 	if _, err := svc.Submit(ctx, thetacrypt.Request{
 		Scheme: "NOPE", Op: thetacrypt.OpSign, Payload: []byte("x"),
 	}); api.CodeOf(err) != api.CodeSchemeUnknown {
 		t.Fatalf("unknown scheme: got %v (code %s)", err, api.CodeOf(err))
 	}
-	if _, err := svc.Encrypt(ctx, thetacrypt.CKS05, []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNotCipher {
+	if _, err := svc.Submit(ctx, thetacrypt.Request{
+		Scheme: thetacrypt.CKS05, KeyID: "no-such-key", Op: thetacrypt.OpCoin, Payload: []byte("x"),
+	}); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("unknown key submit: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := svc.Encrypt(ctx, thetacrypt.SG02, "no-such-key", []byte("x"), nil); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("unknown key encrypt: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := svc.Submit(ctx, thetacrypt.Request{
+		Scheme: thetacrypt.CKS05, KeyID: "bad key!", Op: thetacrypt.OpCoin, Payload: []byte("x"),
+	}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("malformed key id: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := svc.Encrypt(ctx, thetacrypt.CKS05, "", []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNotCipher {
 		t.Fatalf("non-cipher encrypt: got %v (code %s)", err, api.CodeOf(err))
 	}
-	if _, err := svc.Encrypt(ctx, thetacrypt.BZ03, []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNoKeys {
+	if _, err := svc.Encrypt(ctx, thetacrypt.BZ03, "", []byte("x"), nil); api.CodeOf(err) != api.CodeSchemeNoKeys {
 		t.Fatalf("no-keys encrypt: got %v (code %s)", err, api.CodeOf(err))
 	}
+}
+
+// sameKeyLists compares two keychain listings field by field.
+func sameKeyLists(a, b []thetacrypt.KeyInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Scheme != b[i].Scheme || a[i].KeyID != b[i].KeyID ||
+			a[i].Group != b[i].Group || a[i].Default != b[i].Default ||
+			!bytes.Equal(a[i].PublicKey, b[i].PublicKey) {
+			return false
+		}
+	}
+	return true
 }
 
 func TestServiceConformanceEmbedded(t *testing.T) {
@@ -156,4 +298,108 @@ func TestServiceConformanceEmbedded(t *testing.T) {
 
 func TestServiceConformanceRemote(t *testing.T) {
 	exercise(t, remoteService(t))
+}
+
+func TestServiceConformanceNodeTCP(t *testing.T) {
+	exercise(t, nodeDeployment(t)[0])
+}
+
+// TestKeyListsAgreeAcrossImplementations drives one tcpnet deployment
+// through two Service fronts — the in-process Node and the remote
+// client SDK over its HTTP handler — and checks that both report the
+// identical keychain, before and after an on-demand DKG, and that a
+// key generated through one front is visible and usable through the
+// other on every node.
+func TestKeyListsAgreeAcrossImplementations(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nodes := nodeDeployment(t)
+
+	srv := httptest.NewServer(nodes[0].Handler())
+	t.Cleanup(srv.Close)
+	remote := client.New(srv.URL)
+	fronts := []thetacrypt.Service{nodes[0], remote}
+
+	baseline, err := nodes[0].Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fronts {
+		got, err := f.Keys(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := f.Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameKeyLists(got, baseline) || !sameKeyLists(info.Keys, baseline) {
+			t.Fatalf("front %d keychain diverges: %+v vs %+v", i, got, baseline)
+		}
+	}
+
+	// Generate through the REMOTE front; observe through both.
+	kh, err := remote.GenerateKey(ctx, schemes.CKS05, api.GenerateKeyOptions{KeyID: "agreed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := remote.Wait(ctx, kh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kres.Err != nil || string(kres.Value) != "agreed" {
+		t.Fatalf("keygen result: %+v", kres)
+	}
+	// Every node of the deployment landed the same key ID and public
+	// key (the DKG agreement property, end to end over TCP).
+	deadline := time.Now().Add(10 * time.Second)
+	var ref thetacrypt.KeyInfo
+	for i, node := range nodes {
+		for {
+			ks, err := node.Keys(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got *thetacrypt.KeyInfo
+			for j := range ks {
+				if ks[j].Scheme == string(schemes.CKS05) && ks[j].KeyID == "agreed" {
+					got = &ks[j]
+				}
+			}
+			if got != nil {
+				if i == 0 {
+					ref = *got
+				} else if !bytes.Equal(got.PublicKey, ref.PublicKey) {
+					t.Fatalf("node %d landed a different public key", i+1)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never installed the generated key", i+1)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// ...and the key is usable through the in-process front at once.
+	coin, err := thetacrypt.Execute(ctx, nodes[0], thetacrypt.Request{
+		Scheme: schemes.CKS05, KeyID: "agreed", Op: thetacrypt.OpCoin, Payload: []byte("agreed-coin"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coin) == 0 {
+		t.Fatal("empty coin under generated key")
+	}
+	// The remote front sees the grown keychain identically.
+	after, err := nodes[0].Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgot, err := remote.Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameKeyLists(after, rgot) {
+		t.Fatalf("post-keygen keychains diverge: %+v vs %+v", after, rgot)
+	}
 }

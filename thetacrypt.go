@@ -66,9 +66,27 @@ type (
 	// Future resolves to a raw engine result (embedded deployments
 	// only; the Service interface uses Wait).
 	Future = orchestration.Future
-	// NodeKeys is the per-node key material produced by the dealer.
-	NodeKeys = keys.NodeKeys
+	// Keystore is a node's keychain: named keys addressed by
+	// (scheme, key ID), dealt offline or generated at runtime.
+	Keystore = keys.Keystore
+	// Key is one named key of a keystore.
+	Key = keys.Key
+	// KeyInfo describes one named key in listings (Service.Keys, Info).
+	KeyInfo = api.KeyInfo
+	// GenerateKeyOptions configures Service.GenerateKey.
+	GenerateKeyOptions = api.GenerateKeyOptions
 )
+
+// DefaultKeyID names the key a request without an explicit KeyID
+// resolves to.
+const DefaultKeyID = keys.DefaultKeyID
+
+// PublicKeyOf resolves a named key's public material, typed — e.g.
+// PublicKeyOf[*frost.PublicKey](ks, KG20, ""). The empty key ID
+// selects the scheme's default key.
+func PublicKeyOf[P any](ks *Keystore, scheme SchemeID, keyID string) (P, error) {
+	return keys.Public[P](ks, scheme, keyID)
+}
 
 // Execute submits one request against any Service and waits for its
 // value.
@@ -87,6 +105,7 @@ const (
 	OpSign    = protocols.OpSign
 	OpDecrypt = protocols.OpDecrypt
 	OpCoin    = protocols.OpCoin
+	OpKeyGen  = protocols.OpKeyGen
 )
 
 // Scheme identifiers (Table 1).
@@ -195,7 +214,7 @@ type ClusterOptions struct {
 
 // Cluster is an embedded in-process Θ-network of n nodes.
 type Cluster struct {
-	nodes   []*keys.NodeKeys
+	nodes   []*keys.Keystore
 	engines []*orchestration.Engine
 	hub     *memnet.Hub
 }
@@ -226,7 +245,7 @@ func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
 	engines := make([]*orchestration.Engine, n)
 	for i := 0; i < n; i++ {
 		engines[i] = orchestration.New(opts.Engine.engineConfig(orchestration.Config{
-			Keys: keys.NewManager(nodes[i]),
+			Keys: nodes[i],
 			Net:  hub.Endpoint(i + 1),
 		}))
 	}
@@ -244,9 +263,9 @@ func (c *Cluster) Close() {
 // N returns the cluster size.
 func (c *Cluster) N() int { return len(c.nodes) }
 
-// Keys returns node i's key material (1-indexed); the public parts serve
-// as the scheme API.
-func (c *Cluster) Keys(i int) *NodeKeys { return c.nodes[i-1] }
+// KeystoreAt returns node i's keystore (1-indexed); the public parts
+// serve as the scheme API.
+func (c *Cluster) KeystoreAt(i int) *Keystore { return c.nodes[i-1] }
 
 // Cluster implements the unified Service interface.
 var _ Service = (*Cluster)(nil)
@@ -258,19 +277,22 @@ func (c *Cluster) SubmitAt(ctx context.Context, i int, req Request) (*Future, er
 	if e := api.ValidateRequest(req); e != nil {
 		return nil, e
 	}
+	if e := api.CheckRequestKey(c.nodes[i-1], req); e != nil {
+		return nil, e
+	}
 	return c.engines[i-1].Submit(ctx, req)
 }
 
 // Submit starts a threshold operation at node 1 (Service interface).
 func (c *Cluster) Submit(ctx context.Context, req Request) (Handle, error) {
-	return submitOne(ctx, c.engines[0], req)
+	return submitOne(ctx, c.engines[0], c.nodes[0], req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off,
 // amortizing dispatch across the batch. Invalid requests fail the whole
 // call (the engine is never reached).
 func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	return submitMany(ctx, c.engines[0], reqs)
+	return submitMany(ctx, c.engines[0], c.nodes[0], reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
@@ -283,16 +305,30 @@ func (c *Cluster) Execute(ctx context.Context, req Request) ([]byte, error) {
 	return api.Execute(ctx, c, req)
 }
 
-// Encrypt creates a threshold ciphertext under the cluster's public key
-// (scheme API; SG02 or BZ03).
-func (c *Cluster) Encrypt(_ context.Context, scheme SchemeID, message, label []byte) ([]byte, error) {
-	return encryptLocal(c.nodes[0], scheme, message, label)
+// Encrypt creates a threshold ciphertext under a named public key of
+// the cluster (scheme API; SG02 or BZ03). The empty keyID selects the
+// scheme's default key.
+func (c *Cluster) Encrypt(_ context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
+	return encryptLocal(c.nodes[0], scheme, keyID, message, label)
 }
 
-// Info reports the deployment parameters and node 1's engine snapshot
-// (Service interface).
+// Info reports the deployment parameters, the keychain, and node 1's
+// engine snapshot (Service interface).
 func (c *Cluster) Info(context.Context) (ServiceInfo, error) {
 	return infoOf(c.nodes[0], c.engines[0]), nil
+}
+
+// Keys lists the named keys of node 1's keystore (Service interface).
+func (c *Cluster) Keys(context.Context) ([]KeyInfo, error) {
+	return api.KeyInfosOf(c.nodes[0].List()), nil
+}
+
+// GenerateKey runs a distributed key generation across the cluster
+// (Service interface): a real protocol instance through the
+// orchestration engines, after which every node holds a share of the
+// new key under the returned handle's result ID.
+func (c *Cluster) GenerateKey(ctx context.Context, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
+	return generateKey(ctx, c.engines[0], c.nodes[0], scheme, opts)
 }
 
 // StatsAt snapshots node i's engine (1-indexed): instance lifecycle and
@@ -319,11 +355,12 @@ func engineErr(err error) error {
 }
 
 // toAPIResult converts an engine result into the client-facing shape,
-// classifying retention expiry into the structured error model.
+// classifying failures into the structured error model exactly like
+// the HTTP service layer does.
 func toAPIResult(id string, res orchestration.Result) Result {
 	out := Result{InstanceID: id, Value: res.Value, Err: res.Err}
-	if errors.Is(res.Err, orchestration.ErrExpired) {
-		out.Err = api.Errf(api.CodeExpired, "%v", res.Err)
+	if e := api.ClassifyResultErr(res.Err); e != nil && e.Code != api.CodeInternal {
+		out.Err = e
 	}
 	if !res.Started.IsZero() && !res.Finished.IsZero() {
 		out.ServerLatency = res.Finished.Sub(res.Started)
@@ -332,10 +369,14 @@ func toAPIResult(id string, res orchestration.Result) Result {
 }
 
 // The embedded protocol-API path shared by Cluster and Node: validate,
-// hand to the engine, map errors onto the structured model.
+// resolve the named key, hand to the engine, map errors onto the
+// structured model.
 
-func submitOne(ctx context.Context, e *orchestration.Engine, req Request) (Handle, error) {
+func submitOne(ctx context.Context, e *orchestration.Engine, store *Keystore, req Request) (Handle, error) {
 	if e2 := api.ValidateRequest(req); e2 != nil {
+		return Handle{}, e2
+	}
+	if e2 := api.CheckRequestKey(store, req); e2 != nil {
 		return Handle{}, e2
 	}
 	if _, err := e.Submit(ctx, req); err != nil {
@@ -344,9 +385,12 @@ func submitOne(ctx context.Context, e *orchestration.Engine, req Request) (Handl
 	return Handle{InstanceID: req.InstanceID()}, nil
 }
 
-func submitMany(ctx context.Context, e *orchestration.Engine, reqs []Request) ([]Handle, error) {
+func submitMany(ctx context.Context, e *orchestration.Engine, store *Keystore, reqs []Request) ([]Handle, error) {
 	for i, req := range reqs {
 		if e2 := api.ValidateRequest(req); e2 != nil {
+			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e2)
+		}
+		if e2 := api.CheckRequestKey(store, req); e2 != nil {
 			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e2)
 		}
 	}
@@ -369,53 +413,71 @@ func waitOn(ctx context.Context, e *orchestration.Engine, h Handle) (Result, err
 	return toAPIResult(h.InstanceID, res), nil
 }
 
-// infoOf assembles the Service info of one node: key material plus the
+// generateKey is the embedded keychain API shared by Cluster and Node:
+// build the keygen request through the shared api seam, pre-check the
+// local keystore, and submit it like any protocol instance.
+func generateKey(ctx context.Context, e *orchestration.Engine, store *Keystore, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
+	req, e2 := api.KeygenRequest(scheme, opts)
+	if e2 != nil {
+		return Handle{}, e2
+	}
+	if e2 := api.CheckRequestKey(store, req); e2 != nil {
+		return Handle{}, e2
+	}
+	if _, err := e.Submit(ctx, req); err != nil {
+		return Handle{}, engineErr(err)
+	}
+	return Handle{InstanceID: req.InstanceID()}, nil
+}
+
+// infoOf assembles the Service info of one node: the keychain plus the
 // engine snapshot.
-func infoOf(nk *NodeKeys, e *orchestration.Engine) ServiceInfo {
-	info := keysInfo(nk)
+func infoOf(store *Keystore, e *orchestration.Engine) ServiceInfo {
+	info := ServiceInfo{
+		NodeIndex: store.Index,
+		N:         store.N,
+		T:         store.T,
+		Schemes:   store.Schemes(),
+		Keys:      api.KeyInfosOf(store.List()),
+	}
 	info.Stats = api.EngineStatsOf(e.Stats())
 	return info
 }
 
 // encryptLocal is the scheme API's local encryption against a node's
-// public key material, shared by Cluster and Node.
-func encryptLocal(nk *NodeKeys, scheme SchemeID, message, label []byte) ([]byte, error) {
+// named public keys, shared by Cluster and Node.
+func encryptLocal(store *Keystore, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
 	if _, err := schemes.Lookup(scheme); err != nil {
 		return nil, api.Errf(api.CodeSchemeUnknown, "%v", err)
 	}
 	switch scheme {
-	case SG02:
-		if nk.SG02PK == nil {
-			return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
-		}
-		ct, err := sg02.Encrypt(rand.Reader, nk.SG02PK, message, label)
+	case SG02, BZ03:
+	default:
+		return nil, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", scheme)
+	}
+	if !store.Has(scheme) {
+		return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
+	}
+	key, err := store.Get(scheme, keyID)
+	if err != nil {
+		return nil, api.Errf(api.CodeKeyUnknown, "%v", err)
+	}
+	switch pk := key.Public.(type) {
+	case *sg02.PublicKey:
+		ct, err := sg02.Encrypt(rand.Reader, pk, message, label)
 		if err != nil {
 			return nil, err
 		}
 		return ct.Marshal(), nil
-	case BZ03:
-		if nk.BZ03PK == nil {
-			return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
-		}
-		ct, err := bz03.Encrypt(rand.Reader, nk.BZ03PK, message, label)
+	case *bz03.PublicKey:
+		ct, err := bz03.Encrypt(rand.Reader, pk, message, label)
 		if err != nil {
 			return nil, err
 		}
 		return ct.Marshal(), nil
 	default:
-		return nil, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", scheme)
+		return nil, api.Errf(api.CodeInternal, "key %s/%s holds %T", scheme, key.ID, key.Public)
 	}
-}
-
-// keysInfo derives the Service info from key material.
-func keysInfo(nk *NodeKeys) ServiceInfo {
-	info := ServiceInfo{NodeIndex: nk.Index, N: nk.N, T: nk.T}
-	for _, id := range schemes.All() {
-		if nk.Has(id) {
-			info.Schemes = append(info.Schemes, id)
-		}
-	}
-	return info
 }
 
 // DefaultGroup returns the group used by the DL-based schemes.
@@ -423,8 +485,8 @@ func DefaultGroup() group.Group { return group.Edwards25519() }
 
 // NodeConfig configures a standalone deployment member.
 type NodeConfig struct {
-	// Keys is this node's material (from cmd/thetakeygen or keys.Deal).
-	Keys *NodeKeys
+	// Keys is this node's keystore (from cmd/thetakeygen or keys.Deal).
+	Keys *Keystore
 	// ListenAddr is the P2P listen address.
 	ListenAddr string
 	// Peers maps node index to P2P address for all other nodes.
@@ -442,7 +504,7 @@ type Node struct {
 	engine    *orchestration.Engine
 	transport *tcpnet.Transport
 	handler   *service.Server
-	keys      *NodeKeys
+	keys      *Keystore
 }
 
 // NewNode starts the network transport and orchestration engine.
@@ -463,7 +525,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("thetacrypt: transport: %w", err)
 	}
 	engine := orchestration.New(cfg.Engine.engineConfig(orchestration.Config{
-		Keys: keys.NewManager(cfg.Keys),
+		Keys: cfg.Keys,
 		Net:  transport,
 	}))
 	return &Node{
@@ -482,14 +544,23 @@ var _ Service = (*Node)(nil)
 // Handler returns the HTTP handler of the service layer (/v1 and /v2).
 func (n *Node) Handler() *service.Server { return n.handler }
 
+// P2PAddr returns the bound P2P listen address (useful with a ":0"
+// ListenAddr).
+func (n *Node) P2PAddr() string { return n.transport.Addr() }
+
+// SetPeer registers (or updates) a peer's P2P address after
+// construction, enabling deployments with dynamically assigned ports:
+// start every node on ":0", then exchange the bound addresses.
+func (n *Node) SetPeer(index int, addr string) { n.transport.SetPeer(index, addr) }
+
 // Submit starts a threshold operation locally (Service interface).
 func (n *Node) Submit(ctx context.Context, req Request) (Handle, error) {
-	return submitOne(ctx, n.engine, req)
+	return submitOne(ctx, n.engine, n.keys, req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off.
 func (n *Node) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	return submitMany(ctx, n.engine, reqs)
+	return submitMany(ctx, n.engine, n.keys, reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
@@ -497,16 +568,28 @@ func (n *Node) Wait(ctx context.Context, h Handle) (Result, error) {
 	return waitOn(ctx, n.engine, h)
 }
 
-// Encrypt creates a threshold ciphertext under the deployment's public
-// key (scheme API).
-func (n *Node) Encrypt(_ context.Context, scheme SchemeID, message, label []byte) ([]byte, error) {
-	return encryptLocal(n.keys, scheme, message, label)
+// Encrypt creates a threshold ciphertext under a named public key of
+// the deployment (scheme API).
+func (n *Node) Encrypt(_ context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
+	return encryptLocal(n.keys, scheme, keyID, message, label)
 }
 
-// Info reports the deployment parameters and the engine snapshot
-// (Service interface).
+// Info reports the deployment parameters, the keychain, and the engine
+// snapshot (Service interface).
 func (n *Node) Info(context.Context) (ServiceInfo, error) {
 	return infoOf(n.keys, n.engine), nil
+}
+
+// Keys lists the named keys of the node's keystore (Service
+// interface).
+func (n *Node) Keys(context.Context) ([]KeyInfo, error) {
+	return api.KeyInfosOf(n.keys.List()), nil
+}
+
+// GenerateKey runs a distributed key generation across the deployment
+// (Service interface).
+func (n *Node) GenerateKey(ctx context.Context, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
+	return generateKey(ctx, n.engine, n.keys, scheme, opts)
 }
 
 // Stats snapshots the node's engine: instance lifecycle and flow
