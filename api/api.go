@@ -71,6 +71,13 @@ type KeyInfo struct {
 	KeyID   string `json:"key_id"`
 	Group   string `json:"group,omitempty"`
 	Default bool   `json:"default,omitempty"`
+	// Epoch is the key's share version: 1 for freshly dealt or
+	// DKG-generated keys, bumped by every resharing. 0 marks a key
+	// loaded from a pre-epoch keystore file.
+	Epoch int `json:"epoch,omitempty"`
+	// Members lists the mesh node indices of the key's committee in
+	// share-index order; empty means the identity committee 1..n.
+	Members []int `json:"members,omitempty"`
 	// PublicKey is the scheme's marshaled public key.
 	PublicKey []byte `json:"public_key,omitempty"`
 }
@@ -85,6 +92,8 @@ func KeyInfosOf(list []keys.Info) []KeyInfo {
 			KeyID:     k.ID,
 			Group:     k.Group,
 			Default:   k.Default,
+			Epoch:     k.Epoch,
+			Members:   k.Members,
 			PublicKey: k.Public,
 		}
 	}
@@ -121,6 +130,64 @@ func KeygenRequest(scheme schemes.ID, opts GenerateKeyOptions) (protocols.Reques
 		KeyID:   id,
 		Op:      protocols.OpKeyGen,
 		Payload: []byte(opts.Group),
+	}
+	if e := ValidateRequest(req); e != nil {
+		return protocols.Request{}, e
+	}
+	return req, nil
+}
+
+// ReshareOptions configures Service.ReshareKey.
+type ReshareOptions struct {
+	// NewT is the corruption threshold of the new sharing; zero or
+	// negative keeps the key's current threshold.
+	NewT int
+	// Members lists the mesh node indices (strictly ascending, 1-based)
+	// that form the new committee; empty keeps the current committee.
+	// Nodes outside the list keep a public-only record of the key.
+	Members []int
+}
+
+// ReshareRequest builds the protocol request behind ReshareKey: an
+// OpReshare instance pinned to the key's current epoch, whose payload
+// carries the new committee spec. It is the one construction seam
+// shared by the embedded deployments and the HTTP service layer, so
+// both derive identical instances from identical options. The store is
+// consulted for the key's current epoch, threshold, and membership;
+// defaults fill from them.
+func ReshareRequest(store *keys.Keystore, scheme schemes.ID, keyID string, opts ReshareOptions) (protocols.Request, *Error) {
+	k, err := store.Get(scheme, keyID)
+	if err != nil {
+		return protocols.Request{}, Errf(CodeKeyUnknown, "%v", err)
+	}
+	if !keys.SupportsReshare(scheme) {
+		return protocols.Request{}, Errf(CodeBadRequest, "scheme %s does not support resharing", scheme)
+	}
+	t, n := k.Params()
+	spec := protocols.ReshareSpec{NewT: opts.NewT, Members: opts.Members}
+	if spec.NewT <= 0 {
+		spec.NewT = t
+	}
+	if len(spec.Members) == 0 {
+		if spec.Members = k.Members; spec.Members == nil {
+			spec.Members = make([]int, n)
+			for i := range spec.Members {
+				spec.Members[i] = i + 1
+			}
+		}
+	}
+	for _, m := range spec.Members {
+		if m < 1 || m > store.N {
+			return protocols.Request{}, Errf(CodeBadRequest,
+				"member %d outside deployment 1..%d", m, store.N)
+		}
+	}
+	req := protocols.Request{
+		Scheme:  scheme,
+		KeyID:   k.ID,
+		Op:      protocols.OpReshare,
+		Payload: spec.Marshal(),
+		Epoch:   k.Epoch,
 	}
 	if e := ValidateRequest(req); e != nil {
 		return protocols.Request{}, e
@@ -241,6 +308,15 @@ type Service interface {
 	// instance; its Result carries the new key's ID as the value. The
 	// generated key is immediately usable for Submit under that ID.
 	GenerateKey(ctx context.Context, scheme schemes.ID, opts GenerateKeyOptions) (Handle, error)
+	// ReshareKey starts a live resharing of a named key (same schemes
+	// as GenerateKey): the current committee re-deals its shares to the
+	// committee in opts (possibly a different node set with a different
+	// threshold), the key's epoch advances by one, and shares of the
+	// old epoch become unusable. The public key — and every ciphertext
+	// and signature under it — stays valid. The instance's Result
+	// carries the new epoch in decimal; the empty keyID selects the
+	// scheme's default key.
+	ReshareKey(ctx context.Context, scheme schemes.ID, keyID string, opts ReshareOptions) (Handle, error)
 }
 
 // BatchWaiter is implemented by Services that can wait for many handles
@@ -281,9 +357,17 @@ func ValidateRequest(req protocols.Request) *Error {
 // answering node's keystore, after ValidateRequest and before any
 // instance state is created: a threshold operation under a key the
 // node does not hold fails with CodeKeyUnknown (404), a keygen naming
-// an installed key with CodeKeyExists (409). Both Service
-// implementations funnel submissions through it, so embedded and
-// remote deployments reject identical requests with identical codes.
+// an installed key with CodeKeyExists (409), a request pinned to a
+// stale epoch with CodeKeyEpoch (409), and a quorum operation under a
+// key the node knows only publicly with CodeKeyNoShare (409). Both
+// Service implementations funnel submissions through it, so embedded
+// and remote deployments reject identical requests with identical
+// codes.
+//
+// Requests pinned to a FUTURE epoch pass: during a resharing the
+// submitting client may learn the new epoch before every node has
+// finalized, and the engine defers such requests briefly instead of
+// failing them.
 func CheckRequestKey(store *keys.Keystore, req protocols.Request) *Error {
 	if req.Op == protocols.OpKeyGen {
 		if _, err := store.Get(req.Scheme, req.KeyID); err == nil {
@@ -291,8 +375,21 @@ func CheckRequestKey(store *keys.Keystore, req protocols.Request) *Error {
 		}
 		return nil
 	}
-	if _, err := store.Get(req.Scheme, req.EffectiveKeyID()); err != nil {
+	k, err := store.Get(req.Scheme, req.EffectiveKeyID())
+	if err != nil {
 		return Errf(CodeKeyUnknown, "%v", err)
+	}
+	pinned := req.Epoch > 0 || req.Op == protocols.OpReshare
+	if pinned && req.Epoch < k.Epoch {
+		return Errf(CodeKeyEpoch, "key %s/%s is at epoch %d, request pinned to %d",
+			req.Scheme, k.ID, k.Epoch, req.Epoch)
+	}
+	// Reshare instances admit public-only nodes: a node leaving (or
+	// outside) the committee participates as an observer and installs
+	// the new public material.
+	if req.Op != protocols.OpReshare && k.Share == nil {
+		return Errf(CodeKeyNoShare, "node %d holds no share of key %s/%s",
+			store.Index, req.Scheme, k.ID)
 	}
 	return nil
 }

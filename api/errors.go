@@ -32,6 +32,16 @@ const (
 	// CodeKeyExists flags a key generation naming a (scheme, key ID)
 	// pair that is already installed. Transported as HTTP 409.
 	CodeKeyExists Code = "key_exists"
+	// CodeKeyEpoch flags a request pinned to a key epoch the answering
+	// node is not at: a share from a superseded epoch can never enter a
+	// quorum of the current one. Re-submitting unpinned (epoch 0) uses
+	// the node's current epoch. Transported as HTTP 409.
+	CodeKeyEpoch Code = "key_epoch"
+	// CodeKeyNoShare flags a threshold operation under a key the node
+	// knows only publicly — after a resharing moved the committee away
+	// from it, the node verifies and serves results but holds no share.
+	// Transported as HTTP 409.
+	CodeKeyNoShare Code = "key_no_share"
 	// CodeDuplicateInstance marks a submission that joined an existing
 	// protocol instance. v2 submissions are idempotent, so this code
 	// appears as metadata (HTTP 200 + existing handle), never as a
@@ -96,7 +106,7 @@ func HTTPStatus(code Code) int {
 		return http.StatusBadRequest
 	case CodeSchemeNoKeys, CodeKeyUnknown, CodeNotFound:
 		return http.StatusNotFound
-	case CodeKeyExists:
+	case CodeKeyExists, CodeKeyEpoch, CodeKeyNoShare:
 		return http.StatusConflict
 	case CodePayloadTooLarge:
 		return http.StatusRequestEntityTooLarge

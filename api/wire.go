@@ -30,6 +30,10 @@ func ClassifyResultErr(err error) *Error {
 		return Errf(CodeKeyUnknown, "%v", err)
 	case errors.Is(err, keys.ErrKeyExists):
 		return Errf(CodeKeyExists, "%v", err)
+	case errors.Is(err, keys.ErrKeyEpoch):
+		return Errf(CodeKeyEpoch, "%v", err)
+	case errors.Is(err, keys.ErrKeyNoShare):
+		return Errf(CodeKeyNoShare, "%v", err)
 	default:
 		return Errf(CodeInternal, "%v", err)
 	}
@@ -92,6 +96,7 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 //	GET  /v2/info               -> InfoResponse
 //	GET  /v2/keys               -> KeysResponse
 //	POST /v2/keys               GenerateKeyRequest  -> GenerateKeyResponse
+//	POST /v2/keys/{id}/reshare  ReshareKeyRequest   -> ReshareKeyResponse
 //
 // Non-2xx responses carry ErrorResponse. Batch submission is partial:
 // invalid items fail individually inside SubmitBatchResponse while the
@@ -107,6 +112,10 @@ type SubmitItem struct {
 	Payload []byte `json:"payload"`
 	// Session distinguishes repeated requests over the same payload.
 	Session string `json:"session,omitempty"`
+	// Epoch pins the request to one key epoch: the instance runs iff
+	// the key is at exactly this epoch, and fails with key_epoch
+	// otherwise. Zero (the default) selects the node's current epoch.
+	Epoch int `json:"epoch,omitempty"`
 	// TimeoutMS is the per-request deadline: once elapsed, result
 	// queries for this instance report CodeTimeout instead of blocking.
 	// Zero means no deadline.
@@ -121,6 +130,7 @@ func Item(req protocols.Request) SubmitItem {
 		Op:      req.Op.String(),
 		Payload: req.Payload,
 		Session: req.Session,
+		Epoch:   req.Epoch,
 	}
 }
 
@@ -136,6 +146,7 @@ func (it SubmitItem) Request() (protocols.Request, error) {
 		Op:      op,
 		Payload: it.Payload,
 		Session: it.Session,
+		Epoch:   it.Epoch,
 	}
 	return req, nil
 }
@@ -232,6 +243,27 @@ type GenerateKeyRequest struct {
 type GenerateKeyResponse struct {
 	InstanceID string `json:"instance_id"`
 	KeyID      string `json:"key_id"`
+}
+
+// ReshareKeyRequest is the body of POST /v2/keys/{id}/reshare: start a
+// live resharing of the named key. NewT and Members are optional —
+// zero keeps the current threshold, empty keeps the current committee
+// (a proactive refresh).
+type ReshareKeyRequest struct {
+	Scheme  string `json:"scheme"`
+	NewT    int    `json:"new_t,omitempty"`
+	Members []int  `json:"members,omitempty"`
+}
+
+// ReshareKeyResponse answers with the reshare instance handle, the key
+// being reshared, and the epoch the key will be at once the instance
+// finishes; the instance's result (via /v2/protocol/results) carries
+// that epoch in decimal once the new shares are installed on the
+// answering node.
+type ReshareKeyResponse struct {
+	InstanceID string `json:"instance_id"`
+	KeyID      string `json:"key_id"`
+	Epoch      int    `json:"epoch"`
 }
 
 // InfoResponse describes the node, its schemes, its keychain, and its

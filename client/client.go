@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"thetacrypt/api"
+	"thetacrypt/internal/keys"
 	"thetacrypt/internal/protocols"
 	"thetacrypt/internal/schemes"
 )
@@ -380,6 +381,28 @@ func (c *Client) GenerateKey(ctx context.Context, scheme schemes.ID, opts api.Ge
 		out = api.GenerateKeyResponse{}
 		return c.postJSON(ctx, "/v2/keys", api.GenerateKeyRequest{
 			Scheme: string(scheme), KeyID: opts.KeyID, Group: opts.Group,
+		}, &out)
+	})
+	if err != nil {
+		return api.Handle{}, err
+	}
+	return api.Handle{InstanceID: out.InstanceID}, nil
+}
+
+// ReshareKey starts a live resharing of a named key at the remote
+// deployment (POST /v2/keys/{id}/reshare) and returns the reshare
+// instance's handle; waiting on it yields the key's new epoch in
+// decimal. The empty keyID selects the scheme's default key. An
+// overloaded node is retried with backoff like a submission.
+func (c *Client) ReshareKey(ctx context.Context, scheme schemes.ID, keyID string, opts api.ReshareOptions) (api.Handle, error) {
+	if keyID == "" {
+		keyID = keys.DefaultKeyID
+	}
+	var out api.ReshareKeyResponse
+	err := c.retryOverload(ctx, func() error {
+		out = api.ReshareKeyResponse{}
+		return c.postJSON(ctx, "/v2/keys/"+url.PathEscape(keyID)+"/reshare", api.ReshareKeyRequest{
+			Scheme: string(scheme), NewT: opts.NewT, Members: opts.Members,
 		}, &out)
 	})
 	if err != nil {

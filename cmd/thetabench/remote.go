@@ -8,9 +8,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"thetacrypt"
@@ -31,6 +33,7 @@ func remoteBench(w io.Writer, args []string) error {
 		batch    = fs.Int("batch", 16, "batch size for the batched mode")
 		nodes    = fs.Int("n", 4, "cluster size (embedded only)")
 		thresh   = fs.Int("t", 1, "corruption threshold (embedded only)")
+		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,12 +49,19 @@ func remoteBench(w io.Writer, args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
+	// In JSON mode the banners are suppressed so stdout stays a single
+	// parseable document.
+	banner := func(format string, a ...any) {
+		if !*jsonOut {
+			fmt.Fprintf(w, format, a...)
+		}
+	}
 	var svc api.Service
 	var cl *client.Client
 	if *addr != "" {
 		cl = client.New(*addr)
 		svc = cl
-		fmt.Fprintf(w, "# remote bench against %s via the v2 client SDK\n", *addr)
+		banner("# remote bench against %s via the v2 client SDK\n", *addr)
 	} else {
 		cluster, err := thetacrypt.NewCluster(*thresh, *nodes, thetacrypt.ClusterOptions{
 			Schemes: []thetacrypt.SchemeID{id},
@@ -61,13 +71,13 @@ func remoteBench(w io.Writer, args []string) error {
 		}
 		defer cluster.Close()
 		svc = cluster
-		fmt.Fprintf(w, "# embedded bench (n=%d t=%d) through the same Service interface\n", *nodes, *thresh)
+		banner("# embedded bench (n=%d t=%d) through the same Service interface\n", *nodes, *thresh)
 	}
 	info, err := svc.Info(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "# deployment n=%d t=%d, scheme %s op %s, %d requests\n",
+	banner("# deployment n=%d t=%d, scheme %s op %s, %d requests\n",
 		info.N, info.T, id, operation, *requests)
 
 	// Payloads are prepared outside the timed sections: decrypt needs
@@ -100,23 +110,30 @@ func remoteBench(w io.Writer, args []string) error {
 		}
 	}
 
-	// Mode 1: sequential submit+wait cycles.
+	// Mode 1: sequential submit+wait cycles. Each request is timed
+	// individually, so the percentiles are true per-request latencies.
 	tripsBefore := clientTrips(cl)
+	seqLat := make([]time.Duration, 0, *requests)
 	start := time.Now()
 	for i, req := range seqReqs {
+		reqStart := time.Now()
 		if _, err := api.Execute(ctx, svc, req); err != nil {
 			return fmt.Errorf("sequential request %d: %w", i, err)
 		}
+		seqLat = append(seqLat, time.Since(reqStart))
 	}
 	seqWall := time.Since(start)
-	seqTrips := clientTrips(cl) - tripsBefore
-	report(w, "sequential", *requests, seqWall, seqTrips)
+	seq := modeReport("sequential", *requests, seqWall, clientTrips(cl)-tripsBefore, seqLat)
 
-	// Mode 2: batched submission + streamed results.
+	// Mode 2: batched submission + streamed results. A request's
+	// latency is its batch's wall clock: nothing completes for the
+	// caller until the batch stream drains.
 	tripsBefore = clientTrips(cl)
+	batchLat := make([]time.Duration, 0, *requests)
 	start = time.Now()
 	for off := 0; off < *requests; off += *batch {
 		size := min(*batch, *requests-off)
+		batchStart := time.Now()
 		results, err := api.ExecuteBatch(ctx, svc, batchReqs[off:off+size])
 		if err != nil {
 			return fmt.Errorf("batch at offset %d: %w", off, err)
@@ -126,14 +143,102 @@ func remoteBench(w io.Writer, args []string) error {
 				return fmt.Errorf("batch request %d: %w", off+i, res.Err)
 			}
 		}
+		for i := 0; i < size; i++ {
+			batchLat = append(batchLat, time.Since(batchStart))
+		}
 	}
 	batchWall := time.Since(start)
-	batchTrips := clientTrips(cl) - tripsBefore
-	report(w, fmt.Sprintf("batched(%d)", *batch), *requests, batchWall, batchTrips)
+	batched := modeReport(fmt.Sprintf("batched(%d)", *batch), *requests, batchWall, clientTrips(cl)-tripsBefore, batchLat)
+
+	if *jsonOut {
+		doc := benchDoc{
+			Bench:    "thetabench remote",
+			Scheme:   string(id),
+			Op:       operation.String(),
+			N:        info.N,
+			T:        info.T,
+			Requests: *requests,
+			Batch:    *batch,
+			Remote:   *addr != "",
+			Modes:    []benchMode{seq, batched},
+		}
+		if seqWall > 0 {
+			doc.BatchedOverSequential = float64(batchWall) / float64(seqWall)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	printMode(w, seq)
+	printMode(w, batched)
 	if seqWall > 0 && batchWall > 0 {
 		fmt.Fprintf(w, "batched/sequential wall-clock: %.2fx\n", float64(batchWall)/float64(seqWall))
 	}
 	return nil
+}
+
+// benchDoc is the machine-readable report emitted by -json; CI archives
+// it as a build artifact to track throughput and tail latency over time.
+type benchDoc struct {
+	Bench                 string      `json:"bench"`
+	Scheme                string      `json:"scheme"`
+	Op                    string      `json:"op"`
+	N                     int         `json:"n"`
+	T                     int         `json:"t"`
+	Requests              int         `json:"requests"`
+	Batch                 int         `json:"batch"`
+	Remote                bool        `json:"remote"`
+	Modes                 []benchMode `json:"modes"`
+	BatchedOverSequential float64     `json:"batched_over_sequential_wall,omitempty"`
+}
+
+type benchMode struct {
+	Mode          string  `json:"mode"`
+	Requests      int     `json:"requests"`
+	WallMS        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"latency_p50_ms"`
+	P99MS         float64 `json:"latency_p99_ms"`
+	RoundTrips    int64   `json:"http_round_trips,omitempty"`
+}
+
+func modeReport(mode string, n int, wall time.Duration, trips int64, lat []time.Duration) benchMode {
+	return benchMode{
+		Mode:          mode,
+		Requests:      n,
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		ThroughputRPS: float64(n) / wall.Seconds(),
+		P50MS:         percentileMS(lat, 50),
+		P99MS:         percentileMS(lat, 99),
+		RoundTrips:    trips,
+	}
+}
+
+// percentileMS returns the p-th percentile of the samples in
+// milliseconds, using the nearest-rank method on a sorted copy.
+func percentileMS(lat []time.Duration, p int) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * len)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1]) / float64(time.Millisecond)
+}
+
+func printMode(w io.Writer, m benchMode) {
+	fmt.Fprintf(w, "%-14s %d requests in %.0fms (%.1f req/s), p50 %.1fms p99 %.1fms",
+		m.Mode, m.Requests, m.WallMS, m.ThroughputRPS, m.P50MS, m.P99MS)
+	if m.RoundTrips > 0 {
+		fmt.Fprintf(w, ", %d HTTP round-trips", m.RoundTrips)
+	}
+	fmt.Fprintln(w)
 }
 
 // clientTrips reports HTTP round-trips so far, or 0 when embedded.
@@ -142,13 +247,4 @@ func clientTrips(cl *client.Client) int64 {
 		return 0
 	}
 	return cl.RoundTrips()
-}
-
-func report(w io.Writer, mode string, n int, wall time.Duration, trips int64) {
-	fmt.Fprintf(w, "%-14s %d requests in %v (%.1f req/s)", mode, n, wall.Round(time.Millisecond),
-		float64(n)/wall.Seconds())
-	if trips > 0 {
-		fmt.Fprintf(w, ", %d HTTP round-trips", trips)
-	}
-	fmt.Fprintln(w)
 }

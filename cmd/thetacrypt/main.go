@@ -46,6 +46,8 @@ func run() error {
 		dialRetry   = flag.Duration("dial-retry", 0, "initial peer reconnect backoff, doubling per failure (0 = default 250ms)")
 		dialMax     = flag.Duration("dial-backoff-max", 0, "cap on the peer reconnect backoff (0 = default 4s)")
 		sendTimeout = flag.Duration("send-timeout", 0, "bound on each round broadcast; bites only when a block-policy peer queue is saturated (0 = default 5s)")
+		persist     = flag.Bool("persist", false, "spill keystore mutations (generated keys, reshared epochs) back to the -key file atomically")
+		refresh     = flag.Duration("refresh-interval", 0, "proactive-refresh schedule: reshare every reshareable key to its own committee at this interval (0 = disabled)")
 	)
 	flag.Parse()
 	policy, err := thetacrypt.ParseQueuePolicy(*peerPolicy)
@@ -67,16 +69,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	keyFile := ""
+	if *persist {
+		keyFile = *keyPath
+	}
 	node, err := thetacrypt.NewNode(thetacrypt.NodeConfig{
 		Keys:       nk,
+		KeyFile:    keyFile,
 		ListenAddr: *listen,
 		Peers:      peers,
 		Engine: thetacrypt.EngineOptions{
-			Workers:     *workers,
-			QueueLen:    *queueLen,
-			RetainTTL:   *retainTTL,
-			RetainMax:   *retainMax,
-			SendTimeout: *sendTimeout,
+			Workers:         *workers,
+			QueueLen:        *queueLen,
+			RetainTTL:       *retainTTL,
+			RetainMax:       *retainMax,
+			SendTimeout:     *sendTimeout,
+			RefreshInterval: *refresh,
 		},
 		Transport: thetacrypt.TransportOptions{
 			OutQueueLen:    *peerQueue,

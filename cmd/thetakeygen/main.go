@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"thetacrypt/internal/atomicfile"
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
@@ -44,10 +45,13 @@ type manifest struct {
 }
 
 type manifestKey struct {
-	Scheme    string `json:"scheme"`
-	KeyID     string `json:"key_id"`
-	Group     string `json:"group,omitempty"`
-	Default   bool   `json:"default,omitempty"`
+	Scheme  string `json:"scheme"`
+	KeyID   string `json:"key_id"`
+	Group   string `json:"group,omitempty"`
+	Default bool   `json:"default,omitempty"`
+	// Epoch is the dealt share version (1 for fresh keys); a live
+	// resharing advances it on the running nodes.
+	Epoch     int    `json:"epoch"`
 	PublicKey string `json:"public_key,omitempty"` // base64
 }
 
@@ -101,7 +105,7 @@ func run() error {
 	for _, nk := range nodes {
 		name := fmt.Sprintf("node%d.key", nk.Index)
 		path := filepath.Join(*out, name)
-		if err := os.WriteFile(path, nk.Marshal(), 0o600); err != nil {
+		if err := atomicfile.WriteFile(path, nk.Marshal(), 0o600); err != nil {
 			return fmt.Errorf("write %s: %w", path, err)
 		}
 		man.Files = append(man.Files, name)
@@ -115,6 +119,7 @@ func run() error {
 			KeyID:     info.ID,
 			Group:     info.Group,
 			Default:   info.Default,
+			Epoch:     info.Epoch,
 			PublicKey: base64.StdEncoding.EncodeToString(info.Public),
 		})
 	}
@@ -123,7 +128,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(manPath, append(raw, '\n'), 0o644); err != nil {
+	if err := atomicfile.WriteFile(manPath, append(raw, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write keyring manifest: %w", err)
 	}
 	fmt.Println("wrote", manPath)
@@ -134,7 +139,7 @@ func run() error {
 		fmt.Fprintf(&sb, "%d 127.0.0.1:%d\n", i, 7000+i)
 	}
 	peersPath := filepath.Join(*out, "peers.txt")
-	if err := os.WriteFile(peersPath, []byte(sb.String()), 0o644); err != nil {
+	if err := atomicfile.WriteFile(peersPath, []byte(sb.String()), 0o644); err != nil {
 		return fmt.Errorf("write peers file: %w", err)
 	}
 	fmt.Println("wrote", peersPath)

@@ -1,0 +1,55 @@
+// Package atomicfile provides crash-safe file replacement: the data is
+// written to a temporary file in the target directory, fsynced, and
+// renamed over the destination, so readers observe either the old or
+// the new contents — never a truncated file. The durable keystore and
+// the dealer's output files both rely on it.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in the same directory (rename is only atomic within a
+// filesystem) and both the file and its directory are fsynced before
+// returning, so a crash immediately after WriteFile cannot lose the
+// update.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure the temp file is removed; on success the rename
+	// has already consumed it and the remove is a no-op.
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: sync %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: rename into %s: %w", path, err)
+	}
+	// Persist the directory entry; without this the rename itself can
+	// be lost on power failure. Some filesystems reject directory
+	// fsync — treat that as best-effort.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

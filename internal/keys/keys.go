@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"thetacrypt/internal/atomicfile"
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/bls04"
@@ -34,12 +35,27 @@ const DefaultKeyID = "default"
 const MaxKeyIDLen = 64
 
 // Typed keystore errors; the service layer maps them onto the
-// structured error model (key_unknown 404, key_exists 409).
+// structured error model (key_unknown 404, key_exists 409, key_epoch
+// and key_no_share 409).
 var (
 	ErrKeyUnknown = errors.New("keys: unknown key")
 	ErrKeyExists  = errors.New("keys: key already exists")
 	ErrKeyID      = errors.New("keys: invalid key id")
+	// ErrKeyEpoch reports an epoch mismatch: a request pinned to an
+	// epoch other than the key's current one, or a Replace that does
+	// not advance the epoch.
+	ErrKeyEpoch = errors.New("keys: key epoch mismatch")
+	// ErrKeyNoShare reports an operation that needs share material on
+	// a node that only holds the key's public half (it was left out of
+	// the committee by a membership-changing reshare).
+	ErrKeyNoShare = errors.New("keys: node holds no share for key")
 )
+
+// FirstEpoch is the epoch of freshly dealt or DKG-generated keys.
+// Epoch 0 is reserved for keys loaded from pre-epoch key files, so a
+// legacy key file and a fresh dealing are distinguishable; each
+// reshare advances the epoch by one.
+const FirstEpoch = 1
 
 // ValidKeyID reports whether id is a well-formed key identifier:
 // 1..MaxKeyIDLen characters from [a-zA-Z0-9._-].
@@ -69,6 +85,19 @@ type Key struct {
 	Group  string
 	Public any
 	Share  any
+	// Epoch versions the share material: FirstEpoch at dealing/DKG
+	// time, +1 per reshare, 0 for keys loaded from pre-epoch files.
+	// Shares of different epochs never combine — a reshare replaces
+	// the sharing polynomial.
+	Epoch int
+	// Members maps committee share indices to mesh node indices:
+	// Members[j-1] is the node holding share j. Nil means the identity
+	// committee 1..n (every dealt or DKG-generated key). A
+	// membership-changing reshare installs an explicit committee.
+	Members []int
+	// Share is nil on nodes outside the committee: they keep the
+	// public half (to serve Encrypt and to receive future reshares)
+	// but cannot contribute to quorums.
 }
 
 // Info is the listable description of one key (no share material).
@@ -80,6 +109,50 @@ type Info struct {
 	// Public is the marshaled public key, so clients can compare the
 	// key material served by different nodes.
 	Public []byte
+	// Epoch, T, N and Members mirror the lifecycle state of the key
+	// (see Key); Members is nil for the identity committee.
+	Epoch   int
+	T, N    int
+	Members []int
+}
+
+// Params returns the key's own threshold parameters (t, n). After a
+// membership-changing reshare these can differ from the keystore's
+// deployment-wide Index/N/T header.
+func (k *Key) Params() (t, n int) {
+	switch pk := k.Public.(type) {
+	case *sg02.PublicKey:
+		return pk.T, pk.N
+	case *bz03.PublicKey:
+		return pk.T, pk.N
+	case *sh00.PublicKey:
+		return pk.T, pk.NParties
+	case *bls04.PublicKey:
+		return pk.T, pk.N
+	case *frost.PublicKey:
+		return pk.T, pk.N
+	case *cks05.PublicKey:
+		return pk.T, pk.N
+	default:
+		return 0, 0
+	}
+}
+
+// MemberIndex returns the committee share index (1-based) held by mesh
+// node `node` under this key, or 0 when the node is not a member.
+func (k *Key) MemberIndex(node int) int {
+	if k.Members == nil {
+		if _, n := k.Params(); node >= 1 && node <= n {
+			return node
+		}
+		return 0
+	}
+	for j, m := range k.Members {
+		if m == node {
+			return j + 1
+		}
+	}
+	return 0
 }
 
 // keyRef addresses one key: IDs are namespaced per scheme.
@@ -102,6 +175,11 @@ type Keystore struct {
 	mu    sync.RWMutex
 	order []*Key
 	byRef map[keyRef]*Key
+
+	// persistMu serializes writers of the durable key file; it is
+	// always taken before mu's read lock (Marshal), never under it.
+	persistMu   sync.Mutex
+	persistPath string
 }
 
 // NewKeystore creates an empty keystore for party index of an (t, n)
@@ -110,10 +188,44 @@ func NewKeystore(index, t, n int) *Keystore {
 	return &Keystore{Index: index, N: n, T: t, byRef: make(map[keyRef]*Key)}
 }
 
+// SetPersistPath makes the keystore durable: every successful Add or
+// Replace re-spills the full store to path with an atomic
+// write-temp-fsync-rename, so DKG and reshare results survive a node
+// restart. The empty path (the default) disables persistence.
+func (ks *Keystore) SetPersistPath(path string) {
+	ks.persistMu.Lock()
+	ks.persistPath = path
+	ks.persistMu.Unlock()
+}
+
+// Save spills the current store to the persist path now (a no-op
+// without one). Call it once after SetPersistPath to verify the file
+// is writable before serving traffic.
+func (ks *Keystore) Save() error { return ks.persist() }
+
+func (ks *Keystore) persist() error {
+	ks.persistMu.Lock()
+	defer ks.persistMu.Unlock()
+	if ks.persistPath == "" {
+		return nil
+	}
+	if err := atomicfile.WriteFile(ks.persistPath, ks.Marshal(), 0o600); err != nil {
+		return fmt.Errorf("keys: persist keystore: %w", err)
+	}
+	return nil
+}
+
 // Add installs a key. The (scheme, ID) pair must be unused
 // (ErrKeyExists) and the ID well-formed (ErrKeyID). Group is derived
 // from the public material when empty.
 func (ks *Keystore) Add(k *Key) error {
+	if err := ks.add(k); err != nil {
+		return err
+	}
+	return ks.persist()
+}
+
+func (ks *Keystore) add(k *Key) error {
 	if !ValidKeyID(k.ID) {
 		return fmt.Errorf("%w %q", ErrKeyID, k.ID)
 	}
@@ -132,6 +244,41 @@ func (ks *Keystore) Add(k *Key) error {
 	ks.byRef[ref] = k
 	ks.order = append(ks.order, k)
 	return nil
+}
+
+// Replace swaps an existing key for its next-epoch version, the
+// install step of a finalized reshare. The key must already exist and
+// the replacement's epoch must be strictly greater than the current
+// one (ErrKeyEpoch otherwise), so a stale or replayed reshare result
+// can never roll a key back.
+func (ks *Keystore) Replace(k *Key) error {
+	if !ValidKeyID(k.ID) {
+		return fmt.Errorf("%w %q", ErrKeyID, k.ID)
+	}
+	if k.Group == "" {
+		k.Group = deriveGroup(k)
+	}
+	ref := keyRef{scheme: k.Scheme, id: k.ID}
+	ks.mu.Lock()
+	old, ok := ks.byRef[ref]
+	if !ok {
+		ks.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s on node %d", ErrKeyUnknown, k.Scheme, k.ID, ks.Index)
+	}
+	if k.Epoch <= old.Epoch {
+		ks.mu.Unlock()
+		return fmt.Errorf("%w: replacement epoch %d does not advance current %d for %s/%s",
+			ErrKeyEpoch, k.Epoch, old.Epoch, k.Scheme, k.ID)
+	}
+	ks.byRef[ref] = k
+	for i, cur := range ks.order {
+		if cur == old {
+			ks.order[i] = k
+			break
+		}
+	}
+	ks.mu.Unlock()
+	return ks.persist()
 }
 
 // Get resolves a key by scheme and ID; the empty ID selects
@@ -185,12 +332,17 @@ func (ks *Keystore) List() []Info {
 	ks.mu.RLock()
 	out := make([]Info, 0, len(ks.order))
 	for _, k := range ks.order {
+		t, n := k.Params()
 		out = append(out, Info{
 			Scheme:  k.Scheme,
 			ID:      k.ID,
 			Group:   k.Group,
 			Default: k.ID == DefaultKeyID,
 			Public:  k.PublicBytes(),
+			Epoch:   k.Epoch,
+			T:       t,
+			N:       n,
+			Members: append([]int(nil), k.Members...),
 		})
 	}
 	ks.mu.RUnlock()
@@ -229,6 +381,9 @@ func ShareOf[S any](ks *Keystore, scheme schemes.ID, id string) (S, error) {
 	k, err := ks.Get(scheme, id)
 	if err != nil {
 		return zero, err
+	}
+	if k.Share == nil {
+		return zero, fmt.Errorf("%w: %s/%s on node %d", ErrKeyNoShare, scheme, k.ID, ks.Index)
 	}
 	s, ok := k.Share.(S)
 	if !ok {
@@ -288,6 +443,12 @@ func SupportsDKG(scheme schemes.ID) bool {
 	}
 }
 
+// SupportsReshare reports whether proactive refresh and membership
+// change (internal/share reshare primitives over a DL group) apply to
+// the scheme — the same set as DKG: the RSA and pairing schemes keep
+// dealer-fixed shares.
+func SupportsReshare(scheme schemes.ID) bool { return SupportsDKG(scheme) }
+
 // Options configures the dealer.
 type Options struct {
 	// Group is the DL group for SG02, KG20, CKS05 (default edwards25519,
@@ -334,7 +495,7 @@ func Deal(rand io.Reader, t, n int, opts Options) ([]*Keystore, error) {
 	}
 	add := func(scheme schemes.ID, pub func(i int) any, shr func(i int) any) error {
 		for i, ks := range stores {
-			if err := ks.Add(&Key{ID: opts.KeyID, Scheme: scheme, Public: pub(i), Share: shr(i)}); err != nil {
+			if err := ks.Add(&Key{ID: opts.KeyID, Scheme: scheme, Epoch: FirstEpoch, Public: pub(i), Share: shr(i)}); err != nil {
 				return err
 			}
 		}

@@ -192,7 +192,9 @@ func legacyMarshal(t *testing.T, ks *Keystore) []byte {
 			t.Fatal(err)
 		}
 		w.String(string(id))
-		writeMaterial(w, k)
+		writePublic(w, k)
+		_, val := shareRef(k)
+		w.BigInt(val)
 	}
 	return w.Out()
 }
@@ -220,6 +222,11 @@ func TestLegacyKeyFilesStillLoad(t *testing.T) {
 			}
 			if k.ID != DefaultKeyID {
 				t.Fatalf("legacy %s loaded as %q, want default", id, k.ID)
+			}
+			// Pre-epoch files surface at epoch 0: distinguishable from
+			// dealt keys (epoch 1) yet fully usable and resharable.
+			if k.Epoch != 0 {
+				t.Fatalf("legacy %s loaded at epoch %d, want 0", id, k.Epoch)
 			}
 		}
 		if MustShare[sg02.KeyShare](got, schemes.SG02).X.Cmp(MustShare[sg02.KeyShare](nk, schemes.SG02).X) != 0 {

@@ -2,6 +2,7 @@ package keys
 
 import (
 	"fmt"
+	"math/big"
 
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/mathutil"
@@ -16,15 +17,18 @@ import (
 	"thetacrypt/internal/wire"
 )
 
-// The keystore file format is versioned. Version 2 ("TKS2") carries
-// named keys: a header, then one record per key. The unversioned
-// legacy format (one anonymous key per scheme, written by
-// pre-keychain thetakeygen) is still read: its first field is an
-// 8-byte node index where v2 carries the 4-byte magic, so the two
-// cannot be confused.
+// The keystore file format is versioned. Version 3 ("TKS2") carries
+// the key lifecycle state: per-record epoch, committee membership and
+// per-key (t, n) — after a membership-changing reshare these differ
+// from the store header — plus an explicit has-share flag so nodes
+// outside a key's committee persist the public half only. Version 2
+// (named keys, pre-epoch) and the unversioned legacy format (one
+// anonymous key per scheme; its first field is an 8-byte node index
+// where newer files carry the 4-byte magic) still load, with every key
+// at epoch 0.
 const (
 	keystoreMagic   = "TKS2"
-	keystoreVersion = 2
+	keystoreVersion = 3
 )
 
 // Marshal serializes the keystore — header, then one named-key record
@@ -38,21 +42,36 @@ func (ks *Keystore) Marshal() []byte {
 	w.Int(len(ks.order))
 	for _, k := range ks.order {
 		w.String(k.ID).String(string(k.Scheme))
-		writeMaterial(w, k)
+		w.Int(k.Epoch)
+		t, n := k.Params()
+		w.Int(t).Int(n)
+		w.Int(len(k.Members))
+		for _, m := range k.Members {
+			w.Int(m)
+		}
+		idx, val := shareRef(k)
+		w.Int(idx)
+		writePublic(w, k)
+		if idx > 0 {
+			w.BigInt(val)
+		}
 	}
 	return w.Out()
 }
 
-// UnmarshalKeystore parses a keystore file of either format: the
-// versioned named-key format written by Marshal, or the legacy
-// single-key-per-scheme format (each key loads under DefaultKeyID).
+// UnmarshalKeystore parses a keystore file of any supported format:
+// the current v3 lifecycle format, the pre-epoch v2 named-key format,
+// or the legacy single-key-per-scheme format (each key loads under
+// DefaultKeyID). Pre-v3 keys load at epoch 0 with the identity
+// committee.
 func UnmarshalKeystore(data []byte) (*Keystore, error) {
 	r := wire.NewReader(data)
 	if r.String() != keystoreMagic || r.Err() != nil {
 		return unmarshalLegacy(data)
 	}
-	if v := r.Int(); v != keystoreVersion {
-		return nil, fmt.Errorf("keys: unsupported keystore version %d", v)
+	version := r.Int()
+	if version != 2 && version != keystoreVersion {
+		return nil, fmt.Errorf("keys: unsupported keystore version %d", version)
 	}
 	ks := NewKeystore(r.Int(), 0, 0)
 	ks.N = r.Int()
@@ -67,11 +86,18 @@ func UnmarshalKeystore(data []byte) (*Keystore, error) {
 		if err := r.Err(); err != nil {
 			return nil, fmt.Errorf("keys record %d: %w", i, err)
 		}
-		pub, shr, err := readMaterial(r, scheme, ks.Index, ks.T, ks.N)
+		var k *Key
+		var err error
+		if version == 2 {
+			k, err = readRecordV2(r, scheme, ks.Index, ks.T, ks.N)
+		} else {
+			k, err = readRecordV3(r, scheme)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("keys %s/%s: %w", scheme, id, err)
 		}
-		if err := ks.Add(&Key{ID: id, Scheme: scheme, Public: pub, Share: shr}); err != nil {
+		k.ID = id
+		if err := ks.Add(k); err != nil {
 			return nil, err
 		}
 	}
@@ -79,6 +105,55 @@ func UnmarshalKeystore(data []byte) (*Keystore, error) {
 		return nil, fmt.Errorf("keys: %w", err)
 	}
 	return ks, nil
+}
+
+// readRecordV2 reads one pre-epoch record: public material then the
+// share value, with index and (t, n) taken from the store header.
+func readRecordV2(r *wire.Reader, scheme schemes.ID, index, t, n int) (*Key, error) {
+	pub, shr, err := readMaterial(r, scheme, index, t, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Key{Scheme: scheme, Public: pub, Share: shr}, nil
+}
+
+// readRecordV3 reads one lifecycle record: epoch, per-key (t, n),
+// committee, share index (0 = public-only), public material, and the
+// share value when present.
+func readRecordV3(r *wire.Reader, scheme schemes.ID) (*Key, error) {
+	epoch := r.Int()
+	t := r.Int()
+	n := r.Int()
+	mcount := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if mcount < 0 || mcount > 1<<16 {
+		return nil, fmt.Errorf("keys: implausible committee size %d", mcount)
+	}
+	var members []int
+	if mcount > 0 {
+		members = make([]int, mcount)
+		for i := range members {
+			members[i] = r.Int()
+		}
+	}
+	idx := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	pub, err := readPublic(r, scheme, t, n)
+	if err != nil {
+		return nil, err
+	}
+	var shr any
+	if idx > 0 {
+		shr = makeShare(scheme, idx, r.BigInt())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &Key{Scheme: scheme, Public: pub, Share: shr, Epoch: epoch, Members: members}, nil
 }
 
 // unmarshalLegacy reads the pre-keychain format: Index, N, T, then one
@@ -112,17 +187,17 @@ func unmarshalLegacy(data []byte) (*Keystore, error) {
 	return ks, nil
 }
 
-// writeMaterial appends one key's cryptographic material. The
-// per-scheme encodings are unchanged from the legacy format, so the
-// two formats share readMaterial.
-func writeMaterial(w *wire.Writer, k *Key) {
+// writePublic appends one key's public material. The per-scheme
+// encodings are unchanged from the legacy format; in every pre-v3
+// record the share value followed directly, which is why the formats
+// can share the read path.
+func writePublic(w *wire.Writer, k *Key) {
 	switch k.Scheme {
 	case schemes.SG02:
 		pk := k.Public.(*sg02.PublicKey)
 		w.String(pk.Group.Name())
 		w.Bytes(pk.H.Marshal())
 		writePoints(w, pk.VK)
-		w.BigInt(k.Share.(sg02.KeyShare).X)
 	case schemes.BZ03:
 		pk := k.Public.(*bz03.PublicKey)
 		w.Bytes(pk.Y.Marshal())
@@ -130,7 +205,6 @@ func writeMaterial(w *wire.Writer, k *Key) {
 		for _, vk := range pk.VK {
 			w.Bytes(vk.Marshal())
 		}
-		w.BigInt(k.Share.(bz03.KeyShare).X)
 	case schemes.SH00:
 		pk := k.Public.(*sh00.PublicKey)
 		w.BigInt(pk.N).BigInt(pk.E).BigInt(pk.V)
@@ -138,7 +212,6 @@ func writeMaterial(w *wire.Writer, k *Key) {
 		for _, vk := range pk.VK {
 			w.BigInt(vk)
 		}
-		w.BigInt(k.Share.(sh00.KeyShare).S)
 	case schemes.BLS04:
 		pk := k.Public.(*bls04.PublicKey)
 		w.Bytes(pk.Y.Marshal())
@@ -146,56 +219,94 @@ func writeMaterial(w *wire.Writer, k *Key) {
 		for _, vk := range pk.VK {
 			w.Bytes(vk.Marshal())
 		}
-		w.BigInt(k.Share.(bls04.KeyShare).X)
 	case schemes.KG20:
 		pk := k.Public.(*frost.PublicKey)
 		w.String(pk.Group.Name())
 		w.Bytes(pk.Y.Marshal())
 		writePoints(w, pk.VK)
-		w.BigInt(k.Share.(frost.KeyShare).X)
 	case schemes.CKS05:
 		pk := k.Public.(*cks05.PublicKey)
 		w.String(pk.Group.Name())
 		w.Bytes(pk.Y.Marshal())
 		writePoints(w, pk.VK)
-		w.BigInt(k.Share.(cks05.KeyShare).X)
 	}
 }
 
-// readMaterial parses one key's cryptographic material.
-func readMaterial(r *wire.Reader, scheme schemes.ID, index, t, n int) (pub, shr any, err error) {
+// shareRef extracts the share index and scalar value of a key's share
+// material; (0, nil) for public-only records.
+func shareRef(k *Key) (int, *big.Int) {
+	switch s := k.Share.(type) {
+	case sg02.KeyShare:
+		return s.Index, s.X
+	case bz03.KeyShare:
+		return s.Index, s.X
+	case sh00.KeyShare:
+		return s.Index, s.S
+	case bls04.KeyShare:
+		return s.Index, s.X
+	case frost.KeyShare:
+		return s.Index, s.X
+	case cks05.KeyShare:
+		return s.Index, s.X
+	default:
+		return 0, nil
+	}
+}
+
+// makeShare wraps a share scalar in the scheme's key-share type.
+func makeShare(scheme schemes.ID, index int, v *big.Int) any {
+	switch scheme {
+	case schemes.SG02:
+		return sg02.KeyShare{Index: index, X: v}
+	case schemes.BZ03:
+		return bz03.KeyShare{Index: index, X: v}
+	case schemes.SH00:
+		return sh00.KeyShare{Index: index, S: v}
+	case schemes.BLS04:
+		return bls04.KeyShare{Index: index, X: v}
+	case schemes.KG20:
+		return frost.KeyShare{Index: index, X: v}
+	case schemes.CKS05:
+		return cks05.KeyShare{Index: index, X: v}
+	default:
+		return nil
+	}
+}
+
+// readPublic parses one key's public material into the scheme's
+// public-key type with the given threshold parameters.
+func readPublic(r *wire.Reader, scheme schemes.ID, t, n int) (any, error) {
+	var pub any
 	switch scheme {
 	case schemes.SG02:
 		g, err := group.ByName(r.String())
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		h, err := readPoint(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		vk, err := readPoints(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		pub = &sg02.PublicKey{Group: g, H: h, VK: vk, T: t, N: n}
-		shr = sg02.KeyShare{Index: index, X: r.BigInt()}
 	case schemes.BZ03:
 		y, ok := pairing.UnmarshalG1(r.Bytes())
 		if !ok {
-			return nil, nil, fmt.Errorf("bad Y")
+			return nil, fmt.Errorf("bad Y")
 		}
 		cnt := r.Int()
 		vk := make([]*pairing.G2, cnt)
 		for j := 0; j < cnt; j++ {
 			p, ok := pairing.UnmarshalG2(r.Bytes())
 			if !ok {
-				return nil, nil, fmt.Errorf("bad VK[%d]", j)
+				return nil, fmt.Errorf("bad VK[%d]", j)
 			}
 			vk[j] = p
 		}
 		pub = &bz03.PublicKey{Y: y, VK: vk, T: t, N: n}
-		shr = bz03.KeyShare{Index: index, X: r.BigInt()}
 	case schemes.SH00:
 		pk := &sh00.PublicKey{
 			N: r.BigInt(), E: r.BigInt(), V: r.BigInt(),
@@ -207,56 +318,66 @@ func readMaterial(r *wire.Reader, scheme schemes.ID, index, t, n int) (pub, shr 
 		}
 		pk.Delta = mathutil.Factorial(n)
 		pub = pk
-		shr = sh00.KeyShare{Index: index, S: r.BigInt()}
 	case schemes.BLS04:
 		y, ok := pairing.UnmarshalG2(r.Bytes())
 		if !ok {
-			return nil, nil, fmt.Errorf("bad Y")
+			return nil, fmt.Errorf("bad Y")
 		}
 		cnt := r.Int()
 		vk := make([]*pairing.G2, cnt)
 		for j := 0; j < cnt; j++ {
 			p, ok := pairing.UnmarshalG2(r.Bytes())
 			if !ok {
-				return nil, nil, fmt.Errorf("bad VK[%d]", j)
+				return nil, fmt.Errorf("bad VK[%d]", j)
 			}
 			vk[j] = p
 		}
 		pub = &bls04.PublicKey{Y: y, VK: vk, T: t, N: n}
-		shr = bls04.KeyShare{Index: index, X: r.BigInt()}
 	case schemes.KG20:
 		g, err := group.ByName(r.String())
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		y, err := readPoint(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		vk, err := readPoints(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		pub = &frost.PublicKey{Group: g, Y: y, VK: vk, T: t, N: n}
-		shr = frost.KeyShare{Index: index, X: r.BigInt()}
 	case schemes.CKS05:
 		g, err := group.ByName(r.String())
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		y, err := readPoint(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		vk, err := readPoints(r, g)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		pub = &cks05.PublicKey{Group: g, Y: y, VK: vk, T: t, N: n}
-		shr = cks05.KeyShare{Index: index, X: r.BigInt()}
 	default:
-		return nil, nil, fmt.Errorf("keys: unknown scheme %q in key file", scheme)
+		return nil, fmt.Errorf("keys: unknown scheme %q in key file", scheme)
 	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+// readMaterial parses one pre-v3 record: public material, then the
+// share value, indexed by the store header.
+func readMaterial(r *wire.Reader, scheme schemes.ID, index, t, n int) (pub, shr any, err error) {
+	pub, err = readPublic(r, scheme, t, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	shr = makeShare(scheme, index, r.BigInt())
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}

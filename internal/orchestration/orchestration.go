@@ -139,6 +139,14 @@ type Config struct {
 	// OnRejectedShare, when set, observes invalid shares (for metrics
 	// and tests). It runs on the worker goroutine and must be fast.
 	OnRejectedShare func(instanceID string, err error)
+	// RefreshInterval, when positive, schedules proactive key
+	// refreshes: every interval the engine submits one same-committee
+	// OpReshare per reshareable key, pinned to the key's current epoch
+	// with a deterministic session. Every node of a deployment running
+	// the same schedule converges on the same instance IDs, so the
+	// refreshes are idempotent across the mesh; a node whose tick
+	// fires late simply joins the instance its peers announced.
+	RefreshInterval time.Duration
 }
 
 // Stats is a point-in-time snapshot of the engine's lifecycle and flow
@@ -340,7 +348,34 @@ func New(cfg Config) *Engine {
 		e.done.Add(1)
 		go e.worker()
 	}
+	if cfg.RefreshInterval > 0 {
+		e.done.Add(1)
+		go e.refresher()
+	}
 	return e
+}
+
+// refresher drives the scheduled proactive refresh: each tick submits
+// the deterministic same-committee reshare requests for the current
+// keystore contents. An overloaded queue skips the key until the next
+// tick; results are not awaited (failures surface in the instance
+// lifecycle like any other run).
+func (e *Engine) refresher() {
+	defer e.done.Done()
+	ticker := time.NewTicker(e.cfg.RefreshInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, req := range protocols.ProactiveRefreshRequests(e.cfg.Keys) {
+				if _, err := e.Submit(context.Background(), req); err != nil {
+					continue
+				}
+			}
+		case <-e.stop:
+			return
+		}
+	}
 }
 
 // Stop shuts the engine down and waits for its goroutines.
@@ -701,14 +736,18 @@ func (e *Engine) handleEnvelope(env network.Envelope, keyRetries int) {
 
 // deferForKey reports whether a peer start announcement should wait
 // for its key: the referenced key is not installed yet (a DKG on this
-// node may still be finalizing) and retries remain. The envelope is
-// re-enqueued after an exponential backoff; meanwhile the instance
-// stays a placeholder, so early peer shares keep parking.
+// node may still be finalizing), or the announcement pins a future
+// epoch (a reshare on this node may still be finalizing), and retries
+// remain. The envelope is re-enqueued after an exponential backoff;
+// meanwhile the instance stays a placeholder, so early peer shares
+// keep parking. A request pinned BEHIND the key's current epoch does
+// not defer — time cannot roll it forward, so it fails fast with the
+// typed epoch error.
 func (e *Engine) deferForKey(req protocols.Request, env network.Envelope, retries int) bool {
 	if req.Op == protocols.OpKeyGen || retries >= maxKeyRetry {
 		return false
 	}
-	if _, err := e.cfg.Keys.Get(req.Scheme, req.EffectiveKeyID()); err == nil {
+	if k, err := e.cfg.Keys.Get(req.Scheme, req.EffectiveKeyID()); err == nil && req.Epoch <= k.Epoch {
 		return false
 	}
 	delay := keyRetryBase << retries

@@ -18,15 +18,44 @@ import (
 // material by (scheme, key ID) in the node's keystore. It is the
 // factory the orchestration executor calls for every new instance. A
 // missing key surfaces as keys.ErrKeyUnknown (the service layer's
-// key_unknown); OpKeyGen requests build the DKG protocol instead of a
-// lookup.
+// key_unknown), a pinned epoch that is not the key's current one as
+// keys.ErrKeyEpoch, and an operation needing share material on a node
+// outside the key's committee as keys.ErrKeyNoShare. OpKeyGen requests
+// build the DKG protocol instead of a lookup; OpReshare builds the
+// resharing protocol on every node holding at least the public half.
+// When the key's committee is not the identity mapping, the protocol
+// is wrapped so mesh sender indices translate to committee share
+// indices before the scheme sees them.
 func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 	if req.Op == OpKeyGen {
 		return newKeygen(rand, store, req)
 	}
+	k, err := checkedKey(store, req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Op == OpReshare {
+		// Reshares translate senders themselves (dealers are OLD
+		// members; the wrapper maps to the new committee).
+		return newReshare(rand, store, k, req)
+	}
+	if k.Share == nil {
+		return nil, fmt.Errorf("protocols: %w: %s/%s on node %d",
+			keys.ErrKeyNoShare, req.Scheme, k.ID, store.Index)
+	}
+	p, err := buildOp(rand, k, req)
+	if err != nil {
+		return nil, err
+	}
+	return mapSenders(p, k), nil
+}
+
+// buildOp constructs the scheme protocol for a sign/decrypt/coin
+// request from resolved key material.
+func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
 	switch {
 	case req.Scheme == schemes.SG02 && req.Op == OpDecrypt:
-		pk, ks, err := lookup[*sg02.PublicKey, sg02.KeyShare](store, req)
+		pk, ks, err := material[*sg02.PublicKey, sg02.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -38,7 +67,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 			shares: make(map[int]*sg02.DecShare)}), nil
 
 	case req.Scheme == schemes.BZ03 && req.Op == OpDecrypt:
-		pk, ks, err := lookup[*bz03.PublicKey, bz03.KeyShare](store, req)
+		pk, ks, err := material[*bz03.PublicKey, bz03.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +79,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 			shares: make(map[int]*bz03.DecShare)}), nil
 
 	case req.Scheme == schemes.SH00 && req.Op == OpSign:
-		pk, ks, err := lookup[*sh00.PublicKey, sh00.KeyShare](store, req)
+		pk, ks, err := material[*sh00.PublicKey, sh00.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +87,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 			shares: make(map[int]*sh00.SigShare)}), nil
 
 	case req.Scheme == schemes.BLS04 && req.Op == OpSign:
-		pk, ks, err := lookup[*bls04.PublicKey, bls04.KeyShare](store, req)
+		pk, ks, err := material[*bls04.PublicKey, bls04.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +95,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 			shares: make(map[int]*bls04.SigShare)}), nil
 
 	case req.Scheme == schemes.CKS05 && req.Op == OpCoin:
-		pk, ks, err := lookup[*cks05.PublicKey, cks05.KeyShare](store, req)
+		pk, ks, err := material[*cks05.PublicKey, cks05.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +103,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 			shares: make(map[int]*cks05.CoinShare)}), nil
 
 	case req.Scheme == schemes.KG20 && req.Op == OpSign:
-		pk, ks, err := lookup[*frost.PublicKey, frost.KeyShare](store, req)
+		pk, ks, err := material[*frost.PublicKey, frost.KeyShare](k)
 		if err != nil {
 			return nil, err
 		}
@@ -85,26 +114,73 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 	}
 }
 
-// lookup resolves a request's key material with one keystore access
-// (this is the executor's per-instance hot path).
-func lookup[P any, S any](store *keys.Keystore, req Request) (P, S, error) {
+// checkedKey resolves the request's key and enforces the epoch pin:
+// a request carrying Epoch > 0 must name the key's current epoch, so
+// an old-epoch submission can never seed (or join) a new-epoch quorum.
+// Reshares pin strictly — even epoch zero — because all participants
+// of one instance must deal from the same sharing.
+func checkedKey(store *keys.Keystore, req Request) (*keys.Key, error) {
+	k, err := store.Get(req.Scheme, req.EffectiveKeyID())
+	if err != nil {
+		return nil, fmt.Errorf("protocols: %w", err)
+	}
+	if (req.Epoch > 0 || req.Op == OpReshare) && k.Epoch != req.Epoch {
+		return nil, fmt.Errorf("protocols: %w: %s/%s is at epoch %d, request pinned to %d",
+			keys.ErrKeyEpoch, req.Scheme, k.ID, k.Epoch, req.Epoch)
+	}
+	return k, nil
+}
+
+// material type-asserts a key's public and share halves (the
+// executor's per-instance hot path).
+func material[P any, S any](k *keys.Key) (P, S, error) {
 	var (
 		zeroP P
 		zeroS S
 	)
-	k, err := store.Get(req.Scheme, req.EffectiveKeyID())
-	if err != nil {
-		return zeroP, zeroS, fmt.Errorf("protocols: %w", err)
-	}
 	p, ok := k.Public.(P)
 	if !ok {
-		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s public material is %T", req.Scheme, k.ID, k.Public)
+		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s public material is %T", k.Scheme, k.ID, k.Public)
 	}
 	s, ok := k.Share.(S)
 	if !ok {
-		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s share material is %T", req.Scheme, k.ID, k.Share)
+		return zeroP, zeroS, fmt.Errorf("protocols: key %s/%s share material is %T", k.Scheme, k.ID, k.Share)
 	}
 	return p, s, nil
+}
+
+// senderMapped translates mesh sender indices into committee share
+// indices before the wrapped protocol sees them. The scheme adapters
+// (and FROST) check that a share's index equals its sender, which
+// holds for dealt keys where node i holds share i — after a
+// membership-changing reshare the committee is an arbitrary node
+// subset, and this wrapper restores the invariant without touching
+// any scheme code.
+type senderMapped struct {
+	Protocol
+	toShare map[int]int // mesh node index -> committee share index
+}
+
+func (p *senderMapped) Update(msg ProtocolMessage) error {
+	idx, ok := p.toShare[msg.Sender]
+	if !ok {
+		return fmt.Errorf("%w: node %d is not a committee member", ErrShareRejected, msg.Sender)
+	}
+	msg.Sender = idx
+	return p.Protocol.Update(msg)
+}
+
+// mapSenders wraps p when the key's committee departs from the
+// identity mapping.
+func mapSenders(p Protocol, k *keys.Key) Protocol {
+	if k.Members == nil {
+		return p
+	}
+	m := make(map[int]int, len(k.Members))
+	for j, node := range k.Members {
+		m[node] = j + 1
+	}
+	return &senderMapped{Protocol: p, toShare: m}
 }
 
 // sg02Adapter plugs the SG02 threshold cipher into the single-round

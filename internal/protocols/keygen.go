@@ -146,7 +146,7 @@ func (p *keygenProtocol) Finalize() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keygen: %w", err)
 	}
-	key := &keys.Key{ID: p.keyID, Scheme: p.scheme}
+	key := &keys.Key{ID: p.keyID, Scheme: p.scheme, Epoch: keys.FirstEpoch}
 	switch p.scheme {
 	case schemes.SG02:
 		key.Public = &sg02.PublicKey{Group: p.g, H: res.PublicKey, VK: res.VK, T: p.store.T, N: p.n}

@@ -44,6 +44,13 @@ const (
 	// payload carries the DL group name (empty = edwards25519), and the
 	// instance result is the new key's ID.
 	OpKeyGen
+	// OpReshare refreshes an existing key's sharing as a protocol
+	// instance: the payload carries a marshaled ReshareSpec (the new
+	// threshold and committee), the request's epoch pins the sharing
+	// being refreshed, and the instance result is the new epoch in
+	// decimal. Same-committee specs implement proactive refresh;
+	// different committees grow, shrink or replace nodes live.
+	OpReshare
 )
 
 // String returns the lowercase operation name.
@@ -57,6 +64,8 @@ func (o Operation) String() string {
 		return "coin"
 	case OpKeyGen:
 		return "keygen"
+	case OpReshare:
+		return "reshare"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -74,6 +83,8 @@ func ParseOperation(op string) (Operation, error) {
 		return OpCoin, nil
 	case "keygen":
 		return OpKeyGen, nil
+	case "reshare":
+		return OpReshare, nil
 	default:
 		return 0, fmt.Errorf("protocols: unknown operation %q", op)
 	}
@@ -97,6 +108,15 @@ type Request struct {
 	Payload []byte
 	// Session distinguishes repeated requests on the same payload.
 	Session string
+	// Epoch pins the request to one version of the key's sharing: a
+	// request with Epoch > 0 is rejected unless it equals the key's
+	// current epoch, so an old-epoch share can never enter a new-epoch
+	// quorum. Zero means "the current epoch, whatever it is" — the
+	// back-compatible default. OpReshare alone treats the epoch as
+	// always pinned (zero pins a pre-epoch legacy key), so nodes
+	// mid-reshare cannot deal from different sharings under one
+	// instance ID.
+	Epoch int
 }
 
 // Validation sentinels distinguished by the service layer's error
@@ -111,6 +131,11 @@ var (
 	// ErrKeygenUnsupported flags a keygen request for a scheme the DKG
 	// cannot produce keys for, or an unknown DKG group.
 	ErrKeygenUnsupported = errors.New("protocols: keygen unsupported")
+	// ErrReshareUnsupported flags a reshare request for a deal-only
+	// scheme or with a malformed ReshareSpec payload.
+	ErrReshareUnsupported = errors.New("protocols: reshare unsupported")
+	// ErrBadEpoch flags a request with a negative epoch.
+	ErrBadEpoch = errors.New("protocols: bad epoch")
 )
 
 // EffectiveKeyID resolves the key the request addresses: KeyID, or the
@@ -151,8 +176,25 @@ func (r Request) Validate() error {
 				return fmt.Errorf("%w: %v", ErrKeygenUnsupported, err)
 			}
 		}
+	case OpReshare:
+		if !keys.ValidKeyID(r.EffectiveKeyID()) {
+			return fmt.Errorf("%w %q", ErrBadKeyID, r.KeyID)
+		}
+		if !keys.SupportsReshare(r.Scheme) {
+			return fmt.Errorf("%w: scheme %s is deal-only", ErrReshareUnsupported, r.Scheme)
+		}
+		spec, err := UnmarshalReshareSpec(r.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrReshareUnsupported, err)
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrReshareUnsupported, err)
+		}
 	default:
 		return fmt.Errorf("%w %d", ErrUnknownOperation, int(r.Op))
+	}
+	if r.Epoch < 0 {
+		return fmt.Errorf("%w %d", ErrBadEpoch, r.Epoch)
 	}
 	if len(r.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes exceeds limit %d", ErrPayloadTooLarge, len(r.Payload), MaxPayload)
@@ -161,9 +203,9 @@ func (r Request) Validate() error {
 }
 
 // InstanceID derives the deterministic protocol instance identifier all
-// nodes agree on for this request. The key ID participates, so the
-// same operation under two keys is two instances (idempotency is
-// per-key).
+// nodes agree on for this request. The key ID and epoch participate,
+// so the same operation under two keys — or under two epochs of one
+// key — is two instances (idempotency is per-key, per-epoch).
 func (r Request) InstanceID() string {
 	h := sha256.New()
 	h.Write([]byte(r.Scheme))
@@ -171,14 +213,22 @@ func (r Request) InstanceID() string {
 	h.Write([]byte{byte(r.Op)})
 	h.Write([]byte(r.Session))
 	h.Write(r.Payload)
+	if r.Epoch > 0 {
+		// Epoch 0 ("current") hashes like a pre-epoch request, so
+		// instance IDs of unpinned requests are unchanged across the
+		// wire-format upgrade.
+		fmt.Fprintf(h, "epoch:%d", r.Epoch)
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// Marshal encodes the request.
+// Marshal encodes the request. The epoch rides last so pre-epoch
+// decoders reading a zero-epoch request would only miss a trailing
+// zero.
 func (r Request) Marshal() []byte {
 	return wire.NewWriter().
 		String(string(r.Scheme)).Int(int(r.Op)).Bytes(r.Payload).String(r.Session).
-		String(r.EffectiveKeyID()).Out()
+		String(r.EffectiveKeyID()).Int(r.Epoch).Out()
 }
 
 // UnmarshalRequest decodes a request.
@@ -191,6 +241,7 @@ func UnmarshalRequest(data []byte) (Request, error) {
 	req.Payload = rd.Bytes()
 	req.Session = rd.String()
 	req.KeyID = rd.String()
+	req.Epoch = rd.Int()
 	if err := rd.Err(); err != nil {
 		return Request{}, fmt.Errorf("protocols request: %w", err)
 	}

@@ -1,0 +1,420 @@
+package protocols
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"strconv"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/cks05"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	sharepkg "thetacrypt/internal/share"
+	"thetacrypt/internal/wire"
+)
+
+// ReshareSpec is the OpReshare payload: the target threshold and
+// committee of the new sharing. A spec equal to the key's current
+// parameters is a proactive refresh; any other spec is a membership
+// change (grow, shrink, or replace nodes).
+type ReshareSpec struct {
+	// NewT is the new corruption threshold (quorum NewT+1).
+	NewT int
+	// Members lists the mesh node indices of the new committee in
+	// share-index order: Members[j-1] receives share j. It must be
+	// strictly ascending, so equivalent specs marshal identically and
+	// every node derives the same instance ID.
+	Members []int
+}
+
+// Marshal encodes the spec canonically.
+func (s ReshareSpec) Marshal() []byte {
+	w := wire.NewWriter().Int(s.NewT).Int(len(s.Members))
+	for _, m := range s.Members {
+		w.Int(m)
+	}
+	return w.Out()
+}
+
+// UnmarshalReshareSpec decodes an OpReshare payload.
+func UnmarshalReshareSpec(data []byte) (ReshareSpec, error) {
+	r := wire.NewReader(data)
+	s := ReshareSpec{NewT: r.Int()}
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return ReshareSpec{}, fmt.Errorf("reshare spec: %w", err)
+	}
+	if cnt < 0 || cnt > 1<<16 {
+		return ReshareSpec{}, fmt.Errorf("reshare spec: implausible committee size %d", cnt)
+	}
+	s.Members = make([]int, cnt)
+	for i := range s.Members {
+		s.Members[i] = r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return ReshareSpec{}, fmt.Errorf("reshare spec: %w", err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec's structural invariants.
+func (s ReshareSpec) Validate() error {
+	if err := sharepkg.ValidateParams(s.NewT, len(s.Members)); err != nil {
+		return err
+	}
+	prev := 0
+	for _, m := range s.Members {
+		if m <= prev {
+			return fmt.Errorf("reshare spec: members %v not strictly ascending node indices", s.Members)
+		}
+		prev = m
+	}
+	return nil
+}
+
+// reshareProtocol runs the internal/share reshare primitives as a TRI
+// instance, the runtime half of the key lifecycle: every old committee
+// member broadcasts one dealing (a Feldman-committed sub-sharing of
+// its OWN share, addressed to the new committee), every node — old
+// member, new member, or plain observer keeping the public half —
+// verifies every dealing against the old verification keys, and
+// finalization installs the next-epoch key. Like the DKG, readiness is
+// "heard from every old member" and qualification is decided at
+// finalization; because all sub-shares travel in the broadcast and are
+// all verified by everyone, the qualified dealer set is identical on
+// every honest node. Both CombineReshares and NewVerificationKeys use
+// exactly the sorted first oldT+1 qualified dealers, so all nodes
+// derive the SAME new polynomial — a necessity, not an optimization:
+// different dealer subsets yield different (all valid) sharings.
+//
+// The instance result is the new epoch in decimal.
+type reshareProtocol struct {
+	store  *keys.Keystore
+	key    *keys.Key
+	scheme schemes.ID
+	g      group.Group
+	oldVK  []group.Point
+	oldPub group.Point
+	rand   io.Reader
+
+	spec       ReshareSpec
+	newEpoch   int
+	oldMembers []int // node index per old share index
+	oldT       int
+	myOldIdx   int      // this node's old share index (0: not an old member)
+	myOldVal   *big.Int // this node's old share scalar
+	myNewIdx   int      // this node's new share index (0: leaving the committee)
+
+	processed map[int]bool                     // old share indices heard from
+	dealings  map[int]*sharepkg.ReshareDealing // verified dealings by old share index
+	started   bool
+	finalized bool
+}
+
+// newReshare builds the reshare instance for an OpReshare request.
+// Epoch pinning is strict for reshares — the request's epoch must
+// equal the key's current epoch even when zero (a pre-epoch legacy
+// key), so two nodes straddling a previous reshare can never deal from
+// different sharings inside one instance.
+func newReshare(rand io.Reader, store *keys.Keystore, k *keys.Key, req Request) (Protocol, error) {
+	if !keys.SupportsReshare(req.Scheme) {
+		return nil, fmt.Errorf("%w: scheme %s is deal-only", ErrReshareUnsupported, req.Scheme)
+	}
+	spec, err := UnmarshalReshareSpec(req.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReshareUnsupported, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReshareUnsupported, err)
+	}
+	for _, m := range spec.Members {
+		if m > store.N {
+			return nil, fmt.Errorf("%w: member %d outside deployment of %d nodes", ErrReshareUnsupported, m, store.N)
+		}
+	}
+	g, pub, vk, err := dlView(k)
+	if err != nil {
+		return nil, err
+	}
+	oldT, oldN := k.Params()
+	oldMembers := k.Members
+	if oldMembers == nil {
+		oldMembers = make([]int, oldN)
+		for i := range oldMembers {
+			oldMembers[i] = i + 1
+		}
+	}
+	p := &reshareProtocol{
+		store:      store,
+		key:        k,
+		scheme:     req.Scheme,
+		g:          g,
+		oldVK:      vk,
+		oldPub:     pub,
+		rand:       rand,
+		spec:       spec,
+		newEpoch:   k.Epoch + 1,
+		oldMembers: oldMembers,
+		oldT:       oldT,
+		myNewIdx:   memberPos(spec.Members, store.Index),
+		processed:  make(map[int]bool, oldN),
+		dealings:   make(map[int]*sharepkg.ReshareDealing, oldN),
+	}
+	if idx, val, ok := dlShare(k); ok {
+		p.myOldIdx, p.myOldVal = idx, val
+	}
+	return p, nil
+}
+
+func (p *reshareProtocol) DoRound() (*RoundOutput, error) {
+	if p.finalized {
+		return nil, ErrAlreadyFinalized
+	}
+	if p.started {
+		return nil, nil // single-round: nothing to do later
+	}
+	p.started = true
+	if p.myOldIdx == 0 {
+		// Not an old member: nothing to deal, only receive.
+		return nil, nil
+	}
+	d, err := sharepkg.Reshare(p.rand, p.g, sharepkg.Share{Index: p.myOldIdx, Value: p.myOldVal},
+		p.spec.NewT, len(p.spec.Members))
+	if err != nil {
+		return nil, fmt.Errorf("reshare deal: %w", err)
+	}
+	// Self-account the local dealing; the broadcast goes to the peers.
+	p.processed[p.myOldIdx] = true
+	p.dealings[p.myOldIdx] = d
+	return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: marshalReshareDealing(d)}, nil
+}
+
+func (p *reshareProtocol) Update(msg ProtocolMessage) error {
+	if p.finalized {
+		return nil // late or redelivered dealing
+	}
+	oldIdx := memberPos(p.oldMembers, msg.Sender)
+	if oldIdx == 0 {
+		return fmt.Errorf("%w: node %d is not an old committee member", ErrShareRejected, msg.Sender)
+	}
+	if p.processed[oldIdx] {
+		return nil
+	}
+	newN := len(p.spec.Members)
+	com, subs, err := unmarshalDealing(p.g, newN, msg.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: reshare dealing from %d: %v", ErrShareRejected, msg.Sender, err)
+	}
+	// As in the DKG, the dealing counts as processed even when it
+	// disqualifies its dealer: readiness is "heard from every old
+	// member", qualification is decided at finalization.
+	p.processed[oldIdx] = true
+	d := &sharepkg.ReshareDealing{Dealer: oldIdx, Commitment: com, SubShares: subs}
+	// The commitment must share exactly the dealer's old share (its
+	// public key equals the old verification key) at the new degree.
+	if err := sharepkg.VerifyReshareDealing(p.g, d, p.oldVK[oldIdx-1], p.spec.NewT); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	// Verify ALL sub-shares, not just our own: a dealer invalid for
+	// ANY recipient is excluded identically on every honest node,
+	// keeping the qualified set — and with it the new polynomial —
+	// deterministic.
+	for _, s := range subs {
+		if !com.VerifyShare(s) {
+			return fmt.Errorf("%w: dealer %d sent an invalid reshare sub-share for party %d",
+				ErrShareRejected, oldIdx, s.Index)
+		}
+	}
+	p.dealings[oldIdx] = d
+	return nil
+}
+
+func (p *reshareProtocol) IsReadyForNextRound() bool { return false }
+
+func (p *reshareProtocol) IsReadyToFinalize() bool {
+	return p.started && !p.finalized && len(p.processed) == len(p.oldMembers)
+}
+
+func (p *reshareProtocol) Finalize() ([]byte, error) {
+	if !p.IsReadyToFinalize() {
+		return nil, ErrNotReady
+	}
+	qual := make([]int, 0, len(p.dealings))
+	for d := range p.dealings {
+		qual = append(qual, d)
+	}
+	sort.Ints(qual)
+	if len(qual) < p.oldT+1 {
+		return nil, fmt.Errorf("reshare: only %d qualified dealers, need %d", len(qual), p.oldT+1)
+	}
+	// Exactly the first oldT+1 qualified dealers, on every node.
+	subset := qual[:p.oldT+1]
+	newN := len(p.spec.Members)
+	coms := make(map[int]*sharepkg.FeldmanCommitment, len(subset))
+	for _, d := range subset {
+		coms[d] = p.dealings[d].Commitment
+	}
+	vk, pub, err := sharepkg.NewVerificationKeys(p.g, p.oldT, newN, coms)
+	if err != nil {
+		return nil, fmt.Errorf("reshare: %w", err)
+	}
+	if !pub.Equal(p.oldPub) {
+		return nil, fmt.Errorf("reshare: new sharing does not preserve the public key")
+	}
+	var shr any
+	if p.myNewIdx > 0 {
+		subs := make(map[int]sharepkg.Share, len(subset))
+		for _, d := range subset {
+			subs[d] = p.dealings[d].SubShares[p.myNewIdx-1]
+		}
+		x, err := sharepkg.CombineReshares(p.g, p.myNewIdx, p.oldT, subs)
+		if err != nil {
+			return nil, fmt.Errorf("reshare combine: %w", err)
+		}
+		if !p.g.BaseMul(x).Equal(vk[p.myNewIdx-1]) {
+			return nil, fmt.Errorf("reshare: combined share inconsistent with new verification key")
+		}
+		shr = dlMakeShare(p.scheme, p.myNewIdx, x)
+	}
+	newPub, err := rebuildPublic(p.key, vk, p.spec.NewT, newN)
+	if err != nil {
+		return nil, err
+	}
+	next := &keys.Key{
+		ID:      p.key.ID,
+		Scheme:  p.scheme,
+		Group:   p.key.Group,
+		Public:  newPub,
+		Share:   shr,
+		Epoch:   p.newEpoch,
+		Members: append([]int(nil), p.spec.Members...),
+	}
+	if err := p.store.Replace(next); err != nil {
+		// A concurrent reshare advanced the key first.
+		return nil, err
+	}
+	p.finalized = true
+	return []byte(strconv.Itoa(p.newEpoch)), nil
+}
+
+// marshalReshareDealing encodes a dealing with the same framing as the
+// DKG broadcast (commitment points, then sub-shares); the dealer
+// identity is implied by the envelope sender, exactly as in the DKG.
+func marshalReshareDealing(d *sharepkg.ReshareDealing) []byte {
+	w := wire.NewWriter()
+	w.Int(len(d.Commitment.Points))
+	for _, pt := range d.Commitment.Points {
+		w.Bytes(pt.Marshal())
+	}
+	w.Int(len(d.SubShares))
+	for _, s := range d.SubShares {
+		w.Int(s.Index)
+		w.BigInt(s.Value)
+	}
+	return w.Out()
+}
+
+// memberPos returns the 1-based position of node in members, 0 when
+// absent.
+func memberPos(members []int, node int) int {
+	for i, m := range members {
+		if m == node {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// dlView extracts the discrete-log view shared by the reshareable
+// schemes: the group, the public point, and the verification keys.
+func dlView(k *keys.Key) (group.Group, group.Point, []group.Point, error) {
+	switch pk := k.Public.(type) {
+	case *sg02.PublicKey:
+		return pk.Group, pk.H, pk.VK, nil
+	case *frost.PublicKey:
+		return pk.Group, pk.Y, pk.VK, nil
+	case *cks05.PublicKey:
+		return pk.Group, pk.Y, pk.VK, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: key %s/%s has no DL sharing", ErrReshareUnsupported, k.Scheme, k.ID)
+	}
+}
+
+// dlShare extracts the share index and scalar of a reshareable key's
+// share material.
+func dlShare(k *keys.Key) (int, *big.Int, bool) {
+	switch s := k.Share.(type) {
+	case sg02.KeyShare:
+		return s.Index, s.X, true
+	case frost.KeyShare:
+		return s.Index, s.X, true
+	case cks05.KeyShare:
+		return s.Index, s.X, true
+	default:
+		return 0, nil, false
+	}
+}
+
+// dlMakeShare wraps a reshared scalar in the scheme's key-share type.
+func dlMakeShare(scheme schemes.ID, index int, x *big.Int) any {
+	switch scheme {
+	case schemes.SG02:
+		return sg02.KeyShare{Index: index, X: x}
+	case schemes.KG20:
+		return frost.KeyShare{Index: index, X: x}
+	case schemes.CKS05:
+		return cks05.KeyShare{Index: index, X: x}
+	default:
+		return nil
+	}
+}
+
+// rebuildPublic carries a key's public point into its next epoch with
+// the reshared verification keys and parameters.
+func rebuildPublic(k *keys.Key, vk []group.Point, newT, newN int) (any, error) {
+	switch pk := k.Public.(type) {
+	case *sg02.PublicKey:
+		return &sg02.PublicKey{Group: pk.Group, H: pk.H, VK: vk, T: newT, N: newN}, nil
+	case *frost.PublicKey:
+		return &frost.PublicKey{Group: pk.Group, Y: pk.Y, VK: vk, T: newT, N: newN}, nil
+	case *cks05.PublicKey:
+		return &cks05.PublicKey{Group: pk.Group, Y: pk.Y, VK: vk, T: newT, N: newN}, nil
+	default:
+		return nil, fmt.Errorf("%w: key %s/%s has no DL sharing", ErrReshareUnsupported, k.Scheme, k.ID)
+	}
+}
+
+// ProactiveRefreshRequests builds one same-committee OpReshare request
+// per reshareable key in the store, pinned to the key's current epoch
+// with a deterministic session — every node of a deployment building
+// the requests independently converges on the same instance IDs, so a
+// scheduled refresh is idempotent across the mesh.
+func ProactiveRefreshRequests(store *keys.Keystore) []Request {
+	var out []Request
+	for _, info := range store.List() {
+		if !keys.SupportsReshare(info.Scheme) {
+			continue
+		}
+		members := info.Members
+		if members == nil {
+			members = make([]int, info.N)
+			for i := range members {
+				members[i] = i + 1
+			}
+		}
+		spec := ReshareSpec{NewT: info.T, Members: members}
+		out = append(out, Request{
+			Scheme:  info.Scheme,
+			KeyID:   info.ID,
+			Op:      OpReshare,
+			Payload: spec.Marshal(),
+			Session: fmt.Sprintf("refresh-%d", info.Epoch),
+			Epoch:   info.Epoch,
+		})
+	}
+	return out
+}

@@ -63,6 +63,7 @@ func (s *Server) registerV2() {
 	s.mux.HandleFunc("GET /v2/info", s.handleInfoV2)
 	s.mux.HandleFunc("GET /v2/keys", s.handleKeysV2)
 	s.mux.HandleFunc("POST /v2/keys", s.handleGenerateKeyV2)
+	s.mux.HandleFunc("POST /v2/keys/{id}/reshare", s.handleReshareKeyV2)
 }
 
 func writeErrorV2(w http.ResponseWriter, e *api.Error) {
@@ -472,5 +473,41 @@ func (s *Server) handleGenerateKeyV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, api.GenerateKeyResponse{
 		InstanceID: req.InstanceID(),
 		KeyID:      req.KeyID,
+	})
+}
+
+// handleReshareKeyV2 starts a live resharing of a named key
+// (POST /v2/keys/{id}/reshare): the reshare request is built from the
+// body via the shared api.ReshareRequest seam — which resolves the
+// key's current epoch, threshold, and committee from the local
+// keystore and pins the instance to that epoch — pre-checked like any
+// submission, and handed to the engine. The response carries the
+// instance handle and the target epoch; completion is observed on the
+// ordinary results endpoint, whose value is the new epoch in decimal.
+func (s *Server) handleReshareKeyV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
+	var body api.ReshareKeyRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeBadRequest, "decode body: %v", err))
+		return
+	}
+	req, e := api.ReshareRequest(s.keys, schemes.ID(body.Scheme), r.PathValue("id"),
+		api.ReshareOptions{NewT: body.NewT, Members: body.Members})
+	if e != nil {
+		writeErrorV2(w, e)
+		return
+	}
+	if e := api.CheckRequestKey(s.keys, req); e != nil {
+		writeErrorV2(w, e)
+		return
+	}
+	if _, err := s.engine.Submit(r.Context(), req); err != nil {
+		writeErrorV2(w, engineError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.ReshareKeyResponse{
+		InstanceID: req.InstanceID(),
+		KeyID:      req.KeyID,
+		Epoch:      req.Epoch + 1,
 	})
 }

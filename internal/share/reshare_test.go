@@ -151,3 +151,54 @@ func TestCombineResharesErrors(t *testing.T) {
 		t.Fatal("misaddressed sub-share accepted")
 	}
 }
+
+// BenchmarkReshareDeal measures one dealer's cost of re-sharing its
+// share to a (1, 4) committee (CI bench smoke gates it).
+func BenchmarkReshareDeal(b *testing.B) {
+	g := group.Edwards25519()
+	secret, _ := g.RandomScalar(rand.Reader)
+	old, err := Split(rand.Reader, secret, 1, 4, g.Order())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reshare(rand.Reader, g, old[0], 1, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReshareVerifyAndCombine measures a receiving node's cost per
+// reshare: verify a quorum of dealings and combine its new share.
+func BenchmarkReshareVerifyAndCombine(b *testing.B) {
+	g := group.Edwards25519()
+	secret, _ := g.RandomScalar(rand.Reader)
+	old, err := Split(rand.Reader, secret, 1, 4, g.Order())
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldVK := make([]group.Point, len(old))
+	for i, s := range old {
+		oldVK[i] = g.BaseMul(s.Value)
+	}
+	dealings := make([]*ReshareDealing, 2)
+	for i := range dealings {
+		if dealings[i], err = Reshare(rand.Reader, g, old[i], 1, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := make(map[int]Share, len(dealings))
+		for _, d := range dealings {
+			if err := VerifyReshareDealing(g, d, oldVK[d.Dealer-1], 1); err != nil {
+				b.Fatal(err)
+			}
+			sub[d.Dealer] = d.SubShares[0]
+		}
+		if _, err := CombineReshares(g, 1, 1, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -75,6 +75,9 @@ type (
 	KeyInfo = api.KeyInfo
 	// GenerateKeyOptions configures Service.GenerateKey.
 	GenerateKeyOptions = api.GenerateKeyOptions
+	// ReshareOptions configures Service.ReshareKey: the new threshold
+	// and committee of a live resharing.
+	ReshareOptions = api.ReshareOptions
 )
 
 // DefaultKeyID names the key a request without an explicit KeyID
@@ -106,6 +109,7 @@ const (
 	OpDecrypt = protocols.OpDecrypt
 	OpCoin    = protocols.OpCoin
 	OpKeyGen  = protocols.OpKeyGen
+	OpReshare = protocols.OpReshare
 )
 
 // Scheme identifiers (Table 1).
@@ -183,6 +187,13 @@ type EngineOptions struct {
 	// transport (default 5s); it only bites when a block-policy peer
 	// queue is saturated.
 	SendTimeout time.Duration
+	// RefreshInterval enables scheduled proactive refresh: every
+	// interval, the node submits a same-committee resharing for each
+	// reshareable key, advancing its epoch without changing the public
+	// key. All nodes of a deployment should use the same interval; the
+	// submissions are idempotent, so overlapping schedules join the
+	// same instances. Zero disables the schedule.
+	RefreshInterval time.Duration
 }
 
 // engineConfig merges the options into an engine config.
@@ -192,6 +203,7 @@ func (o EngineOptions) engineConfig(cfg orchestration.Config) orchestration.Conf
 	cfg.RetainTTL = o.RetainTTL
 	cfg.RetainMax = o.RetainMax
 	cfg.SendTimeout = o.SendTimeout
+	cfg.RefreshInterval = o.RefreshInterval
 	return cfg
 }
 
@@ -331,6 +343,14 @@ func (c *Cluster) GenerateKey(ctx context.Context, scheme SchemeID, opts Generat
 	return generateKey(ctx, c.engines[0], c.nodes[0], scheme, opts)
 }
 
+// ReshareKey runs a live resharing of a named key across the cluster
+// (Service interface): the key's epoch advances by one and its shares
+// move to the committee in opts, while the public key — and every
+// ciphertext and signature under it — stays valid.
+func (c *Cluster) ReshareKey(ctx context.Context, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
+	return reshareKey(ctx, c.engines[0], c.nodes[0], scheme, keyID, opts)
+}
+
 // StatsAt snapshots node i's engine (1-indexed): instance lifecycle and
 // flow control counters.
 func (c *Cluster) StatsAt(i int) EngineStats {
@@ -430,6 +450,25 @@ func generateKey(ctx context.Context, e *orchestration.Engine, store *Keystore, 
 	return Handle{InstanceID: req.InstanceID()}, nil
 }
 
+// reshareKey is the embedded resharing path shared by Cluster and
+// Node: build the reshare request through the shared api seam — which
+// pins it to the key's current epoch and fills threshold/committee
+// defaults from the local keystore — pre-check, and submit it like any
+// protocol instance.
+func reshareKey(ctx context.Context, e *orchestration.Engine, store *Keystore, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
+	req, e2 := api.ReshareRequest(store, scheme, keyID, opts)
+	if e2 != nil {
+		return Handle{}, e2
+	}
+	if e2 := api.CheckRequestKey(store, req); e2 != nil {
+		return Handle{}, e2
+	}
+	if _, err := e.Submit(ctx, req); err != nil {
+		return Handle{}, engineErr(err)
+	}
+	return Handle{InstanceID: req.InstanceID()}, nil
+}
+
 // infoOf assembles the Service info of one node: the keychain plus the
 // engine snapshot.
 func infoOf(store *Keystore, e *orchestration.Engine) ServiceInfo {
@@ -487,6 +526,12 @@ func DefaultGroup() group.Group { return group.Edwards25519() }
 type NodeConfig struct {
 	// Keys is this node's keystore (from cmd/thetakeygen or keys.Deal).
 	Keys *Keystore
+	// KeyFile makes the keystore durable: every mutation — a
+	// DKG-generated key, a resharing's epoch bump — is spilled to this
+	// path with an atomic write-temp-fsync-rename, and the file is
+	// (re)written once at startup, so a restarted node resumes at the
+	// epoch it crashed at. Empty keeps the keystore in memory only.
+	KeyFile string
 	// ListenAddr is the P2P listen address.
 	ListenAddr string
 	// Peers maps node index to P2P address for all other nodes.
@@ -509,6 +554,12 @@ type Node struct {
 
 // NewNode starts the network transport and orchestration engine.
 func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.KeyFile != "" {
+		cfg.Keys.SetPersistPath(cfg.KeyFile)
+		if err := cfg.Keys.Save(); err != nil {
+			return nil, fmt.Errorf("thetacrypt: persist keystore: %w", err)
+		}
+	}
 	transport, err := tcpnet.New(tcpnet.Config{
 		Self:           cfg.Keys.Index,
 		ListenAddr:     cfg.ListenAddr,
@@ -590,6 +641,12 @@ func (n *Node) Keys(context.Context) ([]KeyInfo, error) {
 // (Service interface).
 func (n *Node) GenerateKey(ctx context.Context, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
 	return generateKey(ctx, n.engine, n.keys, scheme, opts)
+}
+
+// ReshareKey runs a live resharing of a named key across the
+// deployment (Service interface).
+func (n *Node) ReshareKey(ctx context.Context, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
+	return reshareKey(ctx, n.engine, n.keys, scheme, keyID, opts)
 }
 
 // Stats snapshots the node's engine: instance lifecycle and flow
