@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"sync"
 	"time"
 
 	"thetacrypt/internal/keys"
@@ -61,6 +62,29 @@ type Info struct {
 	// Stats is the answering node's engine snapshot (lifecycle and
 	// flow control); nil when the endpoint predates API v2.1.
 	Stats *EngineStats
+	// Committees describes the committees behind a router endpoint,
+	// one block per backend in routing order; nil for single-committee
+	// deployments (API v2.4).
+	Committees []CommitteeInfo
+}
+
+// CommitteeInfo is one committee behind a router endpoint: its
+// parameters, the keys placed on it, and its front node's engine
+// snapshot. A committee the router could not reach when Info was
+// assembled is reported with Down set and its last error — the router
+// stays up and keeps serving the remaining committees.
+type CommitteeInfo struct {
+	Name    string   `json:"name"`
+	N       int      `json:"n,omitempty"`
+	T       int      `json:"t,omitempty"`
+	Schemes []string `json:"schemes,omitempty"`
+	// Keys counts the named keys this committee reported.
+	Keys int `json:"keys"`
+	// Down marks a committee that did not answer; Error carries the
+	// failure.
+	Down  bool         `json:"down,omitempty"`
+	Error string       `json:"error,omitempty"`
+	Stats *EngineStats `json:"stats,omitempty"`
 }
 
 // KeyInfo describes one named key of a keystore: its address
@@ -325,6 +349,52 @@ type Service interface {
 // in handle order.
 type BatchWaiter interface {
 	WaitBatch(ctx context.Context, hs []Handle) ([]Result, error)
+}
+
+// EachWaiter is implemented by Services that can deliver batch results
+// as each instance finishes, instead of all at once: fn is invoked with
+// the handle's position and its result, serially, in completion order.
+// Callers time or stream per-request completions through it without
+// waiting for the whole batch.
+type EachWaiter interface {
+	WaitEach(ctx context.Context, hs []Handle, fn func(i int, res Result)) error
+}
+
+// WaitEach waits for every handle and invokes fn as each result
+// arrives, using the service's streaming delivery when available and
+// falling back to one concurrent Wait per handle otherwise. fn calls
+// are serialized. A transport or deadline failure is returned after all
+// in-flight waits settle; instance failures arrive inside Result.Err.
+func WaitEach(ctx context.Context, s Service, hs []Handle, fn func(i int, res Result)) error {
+	if ew, ok := s.(EachWaiter); ok {
+		return ew.WaitEach(ctx, hs, fn)
+	}
+	var (
+		mu       sync.Mutex // serializes fn
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h Handle) {
+			defer wg.Done()
+			res, err := s.Wait(ctx, h)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			mu.Lock()
+			fn(i, res)
+			mu.Unlock()
+		}(i, h)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // ValidateRequest classifies a request's defects into the structured

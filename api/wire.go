@@ -276,6 +276,9 @@ type InfoResponse struct {
 	Schemes    []string     `json:"schemes"`
 	Keys       []KeyInfo    `json:"keys,omitempty"`
 	Stats      *EngineStats `json:"stats,omitempty"`
+	// Committees is the per-committee block of a router endpoint; absent
+	// on single-committee deployments.
+	Committees []CommitteeInfo `json:"committees,omitempty"`
 }
 
 // Info converts the wire form into the typed info.
@@ -284,7 +287,8 @@ func (ir InfoResponse) Info() Info {
 	for i, s := range ir.Schemes {
 		ids[i] = schemes.ID(s)
 	}
-	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids, Keys: ir.Keys, Stats: ir.Stats}
+	return Info{NodeIndex: ir.NodeIndex, N: ir.N, T: ir.T, Schemes: ids, Keys: ir.Keys,
+		Stats: ir.Stats, Committees: ir.Committees}
 }
 
 // ErrorResponse is the body of every non-2xx v2 response.

@@ -112,6 +112,7 @@ func (c *Client) retryOverload(ctx context.Context, fn func() error) error {
 var (
 	_ api.Service     = (*Client)(nil)
 	_ api.BatchWaiter = (*Client)(nil)
+	_ api.EachWaiter  = (*Client)(nil)
 )
 
 // RoundTrips reports the number of HTTP requests issued so far; the
@@ -267,8 +268,20 @@ func (c *Client) Wait(ctx context.Context, h api.Handle) (api.Result, error) {
 // them in handle order.
 func (c *Client) WaitBatch(ctx context.Context, hs []api.Handle) ([]api.Result, error) {
 	results := make([]api.Result, len(hs))
+	err := c.WaitEach(ctx, hs, func(i int, res api.Result) { results[i] = res })
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// WaitEach streams results over the same SSE connection as WaitBatch
+// but hands each one to fn the moment its entry arrives, in completion
+// order — per-request completion times are observable instead of being
+// flattened to the batch's wall clock.
+func (c *Client) WaitEach(ctx context.Context, hs []api.Handle, fn func(i int, res api.Result)) error {
 	// The same handle may appear several times (idempotent duplicates);
-	// every final entry fills all its positions.
+	// every final entry fires fn for all its positions.
 	pending := make(map[string][]int, len(hs))
 	for i, h := range hs {
 		pending[h.InstanceID] = append(pending[h.InstanceID], i)
@@ -280,20 +293,20 @@ func (c *Client) WaitBatch(ctx context.Context, hs []api.Handle) ([]api.Result, 
 		}
 		if err := c.streamOnce(ctx, ids, func(entry api.ResultEntry) {
 			for _, i := range pending[entry.InstanceID] {
-				results[i] = entry.Result()
+				fn(i, entry.Result())
 			}
 			delete(pending, entry.InstanceID)
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		if len(pending) > 0 {
 			// Stream window closed with instances still pending.
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // streamOnce consumes one SSE results stream, invoking fn per final

@@ -12,7 +12,9 @@
 //	validate                   simulator vs real-stack cross check
 //	remote                     drive a deployment through the v2 Service
 //	                           API (embedded, or -addr URL via the SDK)
-//	all                        everything above (except remote)
+//	sharded                    router-vs-single-committee scaling: K
+//	                           embedded committees behind the router
+//	all                        everything above (except remote/sharded)
 //
 // Flags: -duration (capacity window, default 5s), -steady (steady-state
 // window, default 30s), -schemes, -deployments, -seed. The paper's full
@@ -47,7 +49,7 @@ func run() error {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|remote|all)")
+		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|remote|sharded|all)")
 	}
 	opts := eval.Options{
 		Duration:       *duration,
@@ -72,6 +74,8 @@ func run() error {
 	switch cmd {
 	case "remote":
 		return remoteBench(w, flag.Args()[1:])
+	case "sharded":
+		return shardedBench(w, flag.Args()[1:])
 	case "table1":
 		eval.Table1(w)
 	case "table2":

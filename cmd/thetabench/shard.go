@@ -1,0 +1,227 @@
+package main
+
+// The sharded benchmark measures the router tier's scaling claim: a
+// fleet of K*n nodes split into K independent committees of n behind
+// one stateless router, against the same K*n nodes forming one large
+// committee. Threshold protocols pay per committee size — every member
+// computes a share per request and the broadcast is O(n^2) — so
+// sharding keeps the per-request cost at the small-committee rate
+// while the router spreads keys (and load) across the fleet. Both
+// sides run embedded (memnet) committees driven through the Service
+// interface at the same concurrency, so the comparison isolates the
+// sharding effect from transport differences.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thetacrypt"
+	"thetacrypt/api"
+	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
+)
+
+// shardedBench implements the "sharded" subcommand.
+func shardedBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sharded", flag.ContinueOnError)
+	var (
+		committees  = fs.Int("committees", 2, "number of committees behind the router")
+		nodes       = fs.Int("n", 4, "nodes per committee")
+		thresh      = fs.Int("t", 1, "corruption threshold per committee")
+		scheme      = fs.String("scheme", "SG02", "scheme to drive")
+		op          = fs.String("op", "decrypt", "operation: sign|decrypt|coin")
+		requests    = fs.Int("requests", 64, "total requests per side")
+		concurrency = fs.Int("concurrency", 8, "concurrent in-flight requests")
+		jsonOut     = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *committees < 2 {
+		return fmt.Errorf("sharding needs at least 2 committees, got %d", *committees)
+	}
+	id := schemes.ID(*scheme)
+	if _, err := schemes.Lookup(id); err != nil {
+		return err
+	}
+	operation, err := protocols.ParseOperation(*op)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	banner := func(format string, a ...any) {
+		if !*jsonOut {
+			fmt.Fprintf(w, format, a...)
+		}
+	}
+
+	// Baseline: the whole fleet as one committee. The threshold scales
+	// with the size so both sides tolerate the same corruption fraction.
+	nTotal, tTotal := *committees**nodes, *committees**thresh
+	baseline, err := thetacrypt.NewCluster(tTotal, nTotal, thetacrypt.ClusterOptions{
+		Schemes: []thetacrypt.SchemeID{id},
+	})
+	if err != nil {
+		return fmt.Errorf("baseline committee: %w", err)
+	}
+	defer baseline.Close()
+
+	// Sharded side: the same fleet split into K committees, each dealt
+	// its key under a distinct name, so the router's placement map
+	// sends a request to exactly the committee that can serve it.
+	backends := make([]thetacrypt.RouterBackend, *committees)
+	keyIDs := make([]string, *committees)
+	for i := range backends {
+		keyIDs[i] = fmt.Sprintf("shard-%d", i)
+		c, err := thetacrypt.NewCluster(*thresh, *nodes, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{id},
+			KeyID:   keyIDs[i],
+		})
+		if err != nil {
+			return fmt.Errorf("committee %d: %w", i, err)
+		}
+		defer c.Close()
+		backends[i] = thetacrypt.RouterBackend{Name: keyIDs[i], Service: c}
+	}
+	rt := thetacrypt.NewRouter(backends...)
+	banner("# sharded bench: fleet of %d nodes as %d committees of n=%d t=%d behind the router, vs one n=%d t=%d committee\n",
+		nTotal, *committees, *nodes, *thresh, nTotal, tTotal)
+	banner("# scheme %s op %s, %d requests at concurrency %d\n", id, operation, *requests, *concurrency)
+
+	// Requests name their shard's key explicitly; decrypt payloads are
+	// prepared outside the timed sections, through the router so each
+	// ciphertext is bound to its owning committee's key.
+	build := func(svc api.Service, side, keyID string, i int) (thetacrypt.Request, error) {
+		req := thetacrypt.Request{
+			Scheme:  id,
+			KeyID:   keyID,
+			Op:      operation,
+			Session: fmt.Sprintf("shardbench-%s-%d", side, i),
+			Payload: []byte(fmt.Sprintf("shard payload %s %d", side, i)),
+		}
+		if operation == thetacrypt.OpDecrypt {
+			ct, err := svc.Encrypt(ctx, id, req.KeyID, req.Payload, nil)
+			if err != nil {
+				return thetacrypt.Request{}, fmt.Errorf("prepare ciphertext: %w", err)
+			}
+			req.Payload = ct
+		}
+		return req, nil
+	}
+	singleReqs := make([]thetacrypt.Request, *requests)
+	shardReqs := make([]thetacrypt.Request, *requests)
+	for i := 0; i < *requests; i++ {
+		if singleReqs[i], err = build(baseline, "single", "", i); err != nil {
+			return err
+		}
+		if shardReqs[i], err = build(rt, "router", keyIDs[i%*committees], i); err != nil {
+			return err
+		}
+	}
+
+	// Baseline: the large committee, driven directly, carrying the full
+	// load.
+	singleWall, singleLat, err := runLoad(ctx, baseline, singleReqs, *concurrency)
+	if err != nil {
+		return fmt.Errorf("single-committee side: %w", err)
+	}
+	single := modeReport(fmt.Sprintf("single(n=%d)", nTotal), *requests, singleWall, 0, singleLat)
+
+	// Sharded: the same load through the router, spread round-robin
+	// over all committees by key.
+	shardWall, shardLat, err := runLoad(ctx, rt, shardReqs, *concurrency)
+	if err != nil {
+		return fmt.Errorf("sharded side: %w", err)
+	}
+	sharded := modeReport(fmt.Sprintf("sharded(%d)", *committees), *requests, shardWall, 0, shardLat)
+
+	ratio := 0.0
+	if singleWall > 0 && shardWall > 0 {
+		ratio = sharded.ThroughputRPS / single.ThroughputRPS
+	}
+	if *jsonOut {
+		doc := shardDoc{
+			Bench:            "thetabench sharded",
+			Scheme:           string(id),
+			Op:               operation.String(),
+			Committees:       *committees,
+			N:                *nodes,
+			T:                *thresh,
+			Requests:         *requests,
+			Concurrency:      *concurrency,
+			Modes:            []benchMode{single, sharded},
+			RouterOverSingle: ratio,
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	printMode(w, single)
+	printMode(w, sharded)
+	fmt.Fprintf(w, "router/single throughput: %.2fx\n", ratio)
+	return nil
+}
+
+// shardDoc is the machine-readable report of the sharded benchmark; CI
+// archives it to track the router tier's scaling over time.
+type shardDoc struct {
+	Bench            string      `json:"bench"`
+	Scheme           string      `json:"scheme"`
+	Op               string      `json:"op"`
+	Committees       int         `json:"committees"`
+	N                int         `json:"n"`
+	T                int         `json:"t"`
+	Requests         int         `json:"requests"`
+	Concurrency      int         `json:"concurrency"`
+	Modes            []benchMode `json:"modes"`
+	RouterOverSingle float64     `json:"router_over_single_throughput"`
+}
+
+// runLoad drives reqs through svc with the given number of concurrent
+// workers, timing each request individually.
+func runLoad(ctx context.Context, svc api.Service, reqs []thetacrypt.Request, concurrency int) (time.Duration, []time.Duration, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex // guards lat and firstErr
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	lat := make([]time.Duration, len(reqs))
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				reqStart := time.Now()
+				_, err := api.Execute(ctx, svc, reqs[i])
+				d := time.Since(reqStart)
+				mu.Lock()
+				lat[i] = d
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("request %d: %w", i, err)
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), lat, firstErr
+}

@@ -1,13 +1,17 @@
 // Command thetacrypt runs one standalone Thetacrypt service node: TCP
 // P2P mesh to its peers plus the HTTP service layer for applications.
+// With -router it instead runs the stateless routing tier in front of
+// several committee deployments, serving the same /v2 surface.
 //
 // Usage:
 //
 //	thetacrypt -key keys/node1.key -peers keys/peers.txt -listen :7001 -http :8081
+//	thetacrypt -router -committees alpha=http://10.0.0.1:8081,beta=http://10.0.1.1:8081 -http :8080
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -16,8 +20,10 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"thetacrypt"
+	"thetacrypt/client"
 	"thetacrypt/internal/keys"
 )
 
@@ -48,8 +54,13 @@ func run() error {
 		sendTimeout = flag.Duration("send-timeout", 0, "bound on each round broadcast; bites only when a block-policy peer queue is saturated (0 = default 5s)")
 		persist     = flag.Bool("persist", false, "spill keystore mutations (generated keys, reshared epochs) back to the -key file atomically")
 		refresh     = flag.Duration("refresh-interval", 0, "proactive-refresh schedule: reshare every reshareable key to its own committee at this interval (0 = disabled)")
+		routerMode  = flag.Bool("router", false, "run the stateless routing tier over committee endpoints instead of a node")
+		committees  = flag.String("committees", "", "router mode: comma-separated committee endpoints, each \"url\" or \"name=url\"")
 	)
 	flag.Parse()
+	if *routerMode {
+		return runRouter(*committees, *httpAddr)
+	}
 	policy, err := thetacrypt.ParseQueuePolicy(*peerPolicy)
 	if err != nil {
 		return err
@@ -101,13 +112,65 @@ func run() error {
 	}
 	defer node.Close()
 
-	srv := &http.Server{Addr: *httpAddr, Handler: node.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 	st := node.Stats()
 	fmt.Printf("node %d up: p2p %s, http %s, n=%d t=%d, queue=%d, retention: see /v2/info stats\n",
 		nk.Index, *listen, *httpAddr, nk.N, nk.T, st.QueueCap)
+	return serveUntilSignal(&http.Server{Addr: *httpAddr, Handler: node.Handler()})
+}
 
+// runRouter serves the /v2 surface of a stateless routing tier over the
+// named committee endpoints: the router owns no shares and no engine,
+// only the key→committee placement map, so any number of identically
+// configured replicas can front the same fleet.
+func runRouter(committees, httpAddr string) error {
+	if committees == "" {
+		return fmt.Errorf("-router requires -committees (url or name=url, comma-separated)")
+	}
+	var backends []thetacrypt.RouterBackend
+	for _, entry := range strings.Split(committees, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url := "", entry
+		if at := strings.IndexByte(entry, '='); at >= 0 {
+			name, url = entry[:at], entry[at+1:]
+		}
+		if !strings.Contains(url, "://") {
+			return fmt.Errorf("committee endpoint %q is not a URL (want http://host:port)", url)
+		}
+		backends = append(backends, thetacrypt.RouterBackend{Name: name, Service: client.New(url)})
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-committees named no endpoints")
+	}
+	rt := thetacrypt.NewRouter(backends...)
+
+	// Probing Info at startup is advisory: committees that are still
+	// coming up are reported down and picked up on first use.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	info, err := rt.Info(ctx)
+	cancel()
+	if err != nil {
+		fmt.Printf("router up: http %s, %d committees (none reachable yet: %v)\n", httpAddr, len(backends), err)
+	} else {
+		down := 0
+		for _, c := range info.Committees {
+			if c.Down {
+				down++
+			}
+		}
+		fmt.Printf("router up: http %s, %d committees (%d reachable), %d keys placed\n",
+			httpAddr, len(backends), len(backends)-down, len(info.Keys))
+	}
+	return serveUntilSignal(&http.Server{Addr: httpAddr, Handler: thetacrypt.ServiceHandler(rt)})
+}
+
+// serveUntilSignal runs the HTTP server until it fails or the process
+// is asked to stop.
+func serveUntilSignal(srv *http.Server) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {

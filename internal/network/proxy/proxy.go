@@ -12,11 +12,13 @@ package proxy
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"thetacrypt/internal/network"
 )
@@ -27,6 +29,7 @@ const (
 	opBroadcast
 	opDeliver
 	opSubmit // TOB submit
+	opStats  // transport-stats request (node -> host) and reply (host -> node)
 )
 
 // Client is the node-side proxy: a network.P2P (and network.TOB) backed
@@ -38,6 +41,11 @@ type Client struct {
 	once sync.Once
 	wmu  sync.Mutex
 	done sync.WaitGroup
+	// statsMu serializes TransportStats callers (one outstanding
+	// request on the wire); statsCh carries the host's reply from the
+	// read loop to the waiting caller.
+	statsMu sync.Mutex
+	statsCh chan network.TransportStats
 }
 
 var (
@@ -52,9 +60,10 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("proxy dial: %w", err)
 	}
 	c := &Client{
-		conn: conn,
-		in:   make(chan network.Envelope, 1024),
-		stop: make(chan struct{}),
+		conn:    conn,
+		in:      make(chan network.Envelope, 1024),
+		stop:    make(chan struct{}),
+		statsCh: make(chan network.TransportStats, 1),
 	}
 	c.done.Add(1)
 	go c.readLoop()
@@ -67,6 +76,16 @@ func (c *Client) readLoop() {
 		op, frame, err := readOpFrame(c.conn)
 		if err != nil {
 			return
+		}
+		if op == opStats {
+			var ts network.TransportStats
+			if json.Unmarshal(frame, &ts) == nil {
+				select {
+				case c.statsCh <- ts:
+				default: // no caller waiting; drop the stale reply
+				}
+			}
+			continue
 		}
 		if op != opDeliver {
 			continue
@@ -109,10 +128,30 @@ func (c *Client) Submit(_ context.Context, env network.Envelope) error {
 // Receive returns the inbound message stream.
 func (c *Client) Receive() <-chan network.Envelope { return c.in }
 
-// TransportStats reports an empty snapshot: the host platform owns the
-// peer links behind the proxy, so per-peer health is not observable
-// from the node side.
-func (c *Client) TransportStats() network.TransportStats { return network.TransportStats{} }
+// TransportStats asks the host platform for a snapshot of the peer
+// links it runs on the node's behalf, so /v2/info stays truthful behind
+// the proxy. The request/reply rides the same framed connection; a host
+// that predates the stats op simply never answers, and the bounded wait
+// degrades to the old empty snapshot.
+func (c *Client) TransportStats() network.TransportStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	select {
+	case <-c.statsCh: // drop a stale reply from an abandoned request
+	default:
+	}
+	if err := c.write(opStats, nil); err != nil {
+		return network.TransportStats{}
+	}
+	select {
+	case ts := <-c.statsCh:
+		return ts
+	case <-c.stop:
+		return network.TransportStats{}
+	case <-time.After(2 * time.Second):
+		return network.TransportStats{}
+	}
+}
 
 // Delivered returns the ordered stream (same channel: the host platform
 // guarantees the order for TOB deployments).
@@ -194,6 +233,21 @@ func (s *Server) acceptLoop() {
 				op, frame, err := readOpFrame(conn)
 				if err != nil {
 					return
+				}
+				if op == opStats {
+					// Stats requests carry no envelope; answer on the
+					// shared writer before the envelope decode below.
+					data, err := json.Marshal(s.inner.TransportStats())
+					if err != nil {
+						continue
+					}
+					wmu.Lock()
+					err = writeOpFrame(conn, opStats, data)
+					wmu.Unlock()
+					if err != nil {
+						return
+					}
+					continue
 				}
 				env, err := network.UnmarshalEnvelope(frame)
 				if err != nil {

@@ -3,6 +3,7 @@ package orchestration
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -92,5 +93,67 @@ func TestResubmitAfterCapEvictionJoinsPeersFreshRun(t *testing.T) {
 	}
 	if !bytes.Equal(rA.Value, rA2.Value) {
 		t.Fatalf("re-run coin differs from the original: %x vs %x", rA2.Value, rA.Value)
+	}
+}
+
+// TestGenerationMemorySurvivesTombstoneEviction is the regression test
+// for the double-eviction stall: generation info used to live only in
+// the tombstone, so once churn pushed an id's tombstone out of its
+// bounded FIFO, a re-submission restarted at generation 1 — which peers
+// still retaining generation N ignore, stalling the run until liveTTL.
+// The gens backstop must keep answering with the next generation after
+// the tombstone itself is gone.
+func TestGenerationMemorySurvivesTombstoneEviction(t *testing.T) {
+	c := newCluster(t, 1, 3, memnet.Options{}, func(cfg *Config) {
+		cfg.RetainMax = 1 // tombstoneMax = 4: a handful of fillers evicts any tombstone
+	})
+	e := c.engines[0]
+
+	e.mu.Lock()
+	e.tombstoneLocked("doomed", 2)
+	for i := 0; i < 8; i++ {
+		e.tombstoneLocked(fmt.Sprintf("filler-%d", i), 1)
+	}
+	_, tombed := e.tombstones["doomed"]
+	got := e.nextGenLocked("doomed")
+	e.mu.Unlock()
+
+	if tombed {
+		t.Fatal("filler flood did not evict the tombstone; the test no longer exercises the double eviction")
+	}
+	if got != 3 {
+		t.Fatalf("nextGen after tombstone eviction = %d, want 3", got)
+	}
+}
+
+// TestGenerationMemoryBounded pins the backstop's own bounds: it may
+// forget the oldest ids under FIFO pressure, but never grows past
+// genMax, and updating a remembered id keeps the highest generation
+// without duplicating its entry.
+func TestGenerationMemoryBounded(t *testing.T) {
+	c := newCluster(t, 1, 3, memnet.Options{}, func(cfg *Config) {
+		cfg.RetainMax = 1 // genMax = 16
+	})
+	e := c.engines[0]
+
+	e.mu.Lock()
+	for i := 0; i < 100; i++ {
+		e.tombstoneLocked(fmt.Sprintf("id-%d", i), i+1)
+	}
+	size, capacity := len(e.gens), e.genMax
+	e.tombstoneLocked("id-99", 200)
+	e.tombstoneLocked("id-99", 150) // lower generation must not regress the memory
+	next := e.nextGenLocked("id-99")
+	sizeAfter := len(e.gens)
+	e.mu.Unlock()
+
+	if size > capacity {
+		t.Fatalf("gen memory grew to %d entries, cap is %d", size, capacity)
+	}
+	if sizeAfter != size {
+		t.Fatalf("re-recording a remembered id changed the entry count: %d -> %d", size, sizeAfter)
+	}
+	if next != 201 {
+		t.Fatalf("nextGen after update = %d, want 201", next)
 	}
 }

@@ -210,7 +210,17 @@ type Engine struct {
 	tombstones   map[string]*list.Element
 	tombOrder    *list.List
 	tombstoneMax int
-	evicted      uint64
+	// gens is a second, longer memory of the highest generation an id
+	// is known to have run as. It is written alongside every tombstone
+	// but never cleared when the tombstone is superseded or pushed out
+	// of its FIFO: without it, a double eviction (the tombstone itself
+	// evicted by churn before the re-submission arrives) would restart
+	// the id at generation 1, which peers still retaining generation N
+	// ignore, stalling the run until liveTTL. Bounded FIFO of genMax.
+	gens     map[string]*list.Element
+	genOrder *list.List
+	genMax   int
+	evicted  uint64
 
 	rejectedShares    atomic.Uint64
 	overloaded        atomic.Uint64
@@ -339,6 +349,9 @@ func New(cfg Config) *Engine {
 		tombstones:     make(map[string]*list.Element),
 		tombOrder:      list.New(),
 		tombstoneMax:   4 * cfg.RetainMax,
+		gens:           make(map[string]*list.Element),
+		genOrder:       list.New(),
+		genMax:         16 * cfg.RetainMax,
 		stop:           make(chan struct{}),
 	}
 	e.done.Add(2)
@@ -934,8 +947,13 @@ func (e *Engine) supersedeLocked(inst *instance) {
 
 // nextGenLocked is the generation a fresh local submission of id should
 // run as: one above the evicted run's, when remembered; e.mu is held.
+// The gens FIFO backstops the tombstone, so generation memory survives
+// the tombstone's own eviction or supersession.
 func (e *Engine) nextGenLocked(id string) int {
 	if elem, ok := e.tombstones[id]; ok {
+		return elem.Value.(tombstone).gen + 1
+	}
+	if elem, ok := e.gens[id]; ok {
 		return elem.Value.(tombstone).gen + 1
 	}
 	return 1
@@ -999,6 +1017,7 @@ func (e *Engine) expireAll(insts []*instance) {
 // tombstoneLocked remembers an evicted id (and the generation it ran
 // as) in the bounded FIFO; e.mu is held.
 func (e *Engine) tombstoneLocked(id string, gen int) {
+	e.rememberGenLocked(id, gen)
 	if elem, ok := e.tombstones[id]; ok {
 		if ts := elem.Value.(tombstone); gen > ts.gen {
 			elem.Value = tombstone{id: id, gen: gen}
@@ -1013,8 +1032,28 @@ func (e *Engine) tombstoneLocked(id string, gen int) {
 	}
 }
 
+// rememberGenLocked records the highest generation id is known to have
+// run as; e.mu is held. Unlike the tombstone, this memory is not
+// cleared by clearTombstoneLocked — only FIFO pressure forgets it.
+func (e *Engine) rememberGenLocked(id string, gen int) {
+	if elem, ok := e.gens[id]; ok {
+		if ts := elem.Value.(tombstone); gen > ts.gen {
+			elem.Value = tombstone{id: id, gen: gen}
+		}
+		return
+	}
+	e.gens[id] = e.genOrder.PushBack(tombstone{id: id, gen: gen})
+	for e.genOrder.Len() > e.genMax {
+		front := e.genOrder.Front()
+		e.genOrder.Remove(front)
+		delete(e.gens, front.Value.(tombstone).id)
+	}
+}
+
 // clearTombstoneLocked forgets an evicted id (new activity supersedes
-// the tombstone); e.mu is held.
+// the tombstone); e.mu is held. The generation memory in e.gens is
+// deliberately kept: the superseding run still needs to announce a
+// generation above the evicted one if it is ever resubmitted.
 func (e *Engine) clearTombstoneLocked(id string) {
 	if elem, ok := e.tombstones[id]; ok {
 		e.tombOrder.Remove(elem)

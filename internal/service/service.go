@@ -10,13 +10,11 @@ package service
 
 import (
 	"bytes"
-	"container/list"
 	"crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"thetacrypt/internal/keys"
@@ -77,22 +75,19 @@ type Server struct {
 	keys   *keys.Keystore
 	mux    *http.ServeMux
 
-	// mu guards the per-request deadlines recorded by v2 submissions and
-	// enforced by the v2 results endpoints; deadlineOrder tracks
-	// insertion order for pruning (see pruneDeadlinesLocked).
-	mu            sync.Mutex
-	deadlines     map[string]time.Time
-	deadlineOrder *list.List
+	// deadlines records the per-request deadlines set by v2 submissions
+	// and enforced by the v2 results endpoints (shared with the generic
+	// Front; see front.go).
+	deadlines deadlineTable
 }
 
 // NewServer wires the endpoints.
 func NewServer(engine *orchestration.Engine, store *keys.Keystore) *Server {
 	s := &Server{
-		engine:        engine,
-		keys:          store,
-		mux:           http.NewServeMux(),
-		deadlines:     make(map[string]time.Time),
-		deadlineOrder: list.New(),
+		engine:    engine,
+		keys:      store,
+		mux:       http.NewServeMux(),
+		deadlines: newDeadlineTable(),
 	}
 	s.mux.HandleFunc("POST /v1/protocol/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/protocol/result/{id}", s.handleResult)

@@ -168,65 +168,13 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 			// of the same request — a stale expired deadline must not
 			// poison the fresh run with spurious timeouts.
 			if ms := body.Requests[reqIdx[i]].TimeoutMS; ms > 0 {
-				s.setDeadline(sub.InstanceID, now.Add(time.Duration(ms)*time.Millisecond))
+				s.deadlines.set(sub.InstanceID, now.Add(time.Duration(ms)*time.Millisecond))
 			} else {
-				s.clearDeadline(sub.InstanceID)
+				s.deadlines.clear(sub.InstanceID)
 			}
 		}
 	}
 	writeJSON(w, status, api.SubmitBatchResponse{Results: entries})
-}
-
-// deadlineEntry is one insertion-ordered record for pruning.
-type deadlineEntry struct {
-	id       string
-	deadline time.Time
-}
-
-func (s *Server) setDeadline(id string, d time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.deadlines[id] = d
-	s.deadlineOrder.PushBack(deadlineEntry{id: id, deadline: d})
-	s.pruneDeadlinesLocked(time.Now())
-}
-
-func (s *Server) deadline(id string) (time.Time, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.deadlines[id]
-	return d, ok
-}
-
-// clearDeadline drops an instance's deadline (observed-finished
-// instances, and fresh runs submitted without one). The order-list
-// entry goes stale and is dropped by the next prune. Expired deadlines
-// of unfinished instances are kept until the grace window passes, so
-// polls keep reporting the timeout while the engine still tracks the
-// instance.
-func (s *Server) clearDeadline(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.deadlines, id)
-}
-
-// pruneDeadlinesLocked bounds the deadline map: entries whose deadline
-// passed more than deadlineGrace ago are dropped (by then the engine
-// has retired or evicted the instance, whose own expired/tombstone
-// semantics take over), and the hard cap evicts oldest-first. s.mu is
-// held.
-func (s *Server) pruneDeadlinesLocked(now time.Time) {
-	for front := s.deadlineOrder.Front(); front != nil; front = s.deadlineOrder.Front() {
-		ent := front.Value.(deadlineEntry)
-		over := s.deadlineOrder.Len() > maxDeadlines
-		if !over && now.Before(ent.deadline.Add(deadlineGrace)) {
-			break
-		}
-		s.deadlineOrder.Remove(front)
-		if d, ok := s.deadlines[ent.id]; ok && d.Equal(ent.deadline) {
-			delete(s.deadlines, ent.id)
-		}
-	}
 }
 
 // resultEvent pairs a finished (or deadline-expired) instance with its
@@ -243,14 +191,14 @@ func (s *Server) watchInstances(ctx context.Context, ids []string) <-chan result
 	events := make(chan resultEvent, len(ids))
 	for i, id := range ids {
 		future := s.engine.Attach(id)
-		deadline, hasDeadline := s.deadline(id)
+		deadline, hasDeadline := s.deadlines.get(id)
 		go func(i int, id string, f *orchestration.Future) {
 			// A result that is already available wins over an expired
 			// deadline: the timeout bounds waiting, it does not
 			// invalidate finished work.
 			select {
 			case res := <-f.Done():
-				s.clearDeadline(id)
+				s.deadlines.clear(id)
 				events <- resultEvent{idx: i, entry: finishedEntry(id, res)}
 				return
 			default:
@@ -263,13 +211,10 @@ func (s *Server) watchInstances(ctx context.Context, ids []string) <-chan result
 			}
 			select {
 			case res := <-f.Done():
-				s.clearDeadline(id)
+				s.deadlines.clear(id)
 				events <- resultEvent{idx: i, entry: finishedEntry(id, res)}
 			case <-expire:
-				events <- resultEvent{idx: i, entry: api.ResultEntry{
-					InstanceID: id,
-					Error:      api.Errf(api.CodeTimeout, "per-request deadline exceeded"),
-				}}
+				events <- resultEvent{idx: i, entry: deadlineEntryFor(id)}
 			case <-ctx.Done():
 			}
 		}(i, id, future)
@@ -295,34 +240,58 @@ func finishedEntry(id string, res orchestration.Result) api.ResultEntry {
 // ResultEntry per SSE "data:" event as instances finish, over a single
 // connection.
 func (s *Server) handleResultsV2(w http.ResponseWriter, r *http.Request) {
-	idsParam := r.URL.Query().Get("ids")
-	if idsParam == "" {
-		writeErrorV2(w, api.Errf(api.CodeBadRequest, "missing ids query parameter"))
+	ids, window, e := parseResultsQuery(r)
+	if e != nil {
+		writeErrorV2(w, e)
 		return
-	}
-	ids := strings.Split(idsParam, ",")
-	if len(ids) > maxResultIDs {
-		writeErrorV2(w, api.Errf(api.CodeBadRequest, "%d ids exceeds limit %d", len(ids), maxResultIDs))
-		return
-	}
-	window := defaultWaitWindow
-	if msParam := r.URL.Query().Get("timeout_ms"); msParam != "" {
-		ms, err := strconv.ParseInt(msParam, 10, 64)
-		if err != nil || ms < 0 {
-			writeErrorV2(w, api.Errf(api.CodeBadRequest, "bad timeout_ms %q", msParam))
-			return
-		}
-		window = min(time.Duration(ms)*time.Millisecond, maxWaitWindow)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), window)
 	defer cancel()
 
 	events := s.watchInstances(ctx, ids)
 	if r.URL.Query().Get("stream") == "1" {
-		s.streamResults(ctx, w, len(ids), events)
+		streamResults(ctx, w, len(ids), events)
 		return
 	}
+	longPollResults(ctx, w, ids, events)
+}
 
+// parseResultsQuery validates the shared query grammar of the results
+// endpoint (ids=a,b,c plus an optional timeout_ms wait window), used by
+// both the engine-backed Server and the Service-backed Front.
+func parseResultsQuery(r *http.Request) ([]string, time.Duration, *api.Error) {
+	idsParam := r.URL.Query().Get("ids")
+	if idsParam == "" {
+		return nil, 0, api.Errf(api.CodeBadRequest, "missing ids query parameter")
+	}
+	ids := strings.Split(idsParam, ",")
+	if len(ids) > maxResultIDs {
+		return nil, 0, api.Errf(api.CodeBadRequest, "%d ids exceeds limit %d", len(ids), maxResultIDs)
+	}
+	window := defaultWaitWindow
+	if msParam := r.URL.Query().Get("timeout_ms"); msParam != "" {
+		ms, err := strconv.ParseInt(msParam, 10, 64)
+		if err != nil || ms < 0 {
+			return nil, 0, api.Errf(api.CodeBadRequest, "bad timeout_ms %q", msParam)
+		}
+		window = min(time.Duration(ms)*time.Millisecond, maxWaitWindow)
+	}
+	return ids, window, nil
+}
+
+// deadlineEntryFor is the final entry of an instance whose per-request
+// deadline elapsed before its result arrived.
+func deadlineEntryFor(id string) api.ResultEntry {
+	return api.ResultEntry{
+		InstanceID: id,
+		Error:      api.Errf(api.CodeTimeout, "per-request deadline exceeded"),
+	}
+}
+
+// longPollResults collects events until every instance is final or the
+// wait window closes, then writes one response; instances still pending
+// at the window are reported with done=false.
+func longPollResults(ctx context.Context, w http.ResponseWriter, ids []string, events <-chan resultEvent) {
 	entries := make([]api.ResultEntry, len(ids))
 	for i, id := range ids {
 		entries[i] = api.ResultEntry{InstanceID: id} // pending unless finalized below
@@ -344,7 +313,7 @@ func (s *Server) handleResultsV2(w http.ResponseWriter, r *http.Request) {
 // streamResults writes one SSE event per final instance. The stream
 // ends when every requested instance is final or the wait window
 // closes; clients re-poll for instances they did not see.
-func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, n int, events <-chan resultEvent) {
+func streamResults(ctx context.Context, w http.ResponseWriter, n int, events <-chan resultEvent) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeErrorV2(w, api.Errf(api.CodeInternal, "streaming unsupported by transport"))

@@ -14,6 +14,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"net/http/httptest"
+	"slices"
 	"testing"
 	"time"
 
@@ -277,7 +278,8 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 	}
 }
 
-// sameKeyLists compares two keychain listings field by field.
+// sameKeyLists compares two keychain listings field by field,
+// including the share-version epoch and committee membership.
 func sameKeyLists(a, b []thetacrypt.KeyInfo) bool {
 	if len(a) != len(b) {
 		return false
@@ -285,6 +287,7 @@ func sameKeyLists(a, b []thetacrypt.KeyInfo) bool {
 	for i := range a {
 		if a[i].Scheme != b[i].Scheme || a[i].KeyID != b[i].KeyID ||
 			a[i].Group != b[i].Group || a[i].Default != b[i].Default ||
+			a[i].Epoch != b[i].Epoch || !slices.Equal(a[i].Members, b[i].Members) ||
 			!bytes.Equal(a[i].PublicKey, b[i].PublicKey) {
 			return false
 		}
@@ -292,8 +295,46 @@ func sameKeyLists(a, b []thetacrypt.KeyInfo) bool {
 	return true
 }
 
+// routerService stands up two independent embedded committees behind
+// the stateless router — the fourth Service implementation. Both
+// committees are dealt the same default key IDs, so the router's
+// first-wins placement shadows the duplicates and the fleet presents
+// the same two-key keychain the single-committee harnesses do.
+func routerService(t *testing.T) *thetacrypt.Router {
+	t.Helper()
+	backends := make([]thetacrypt.RouterBackend, 2)
+	for i := range backends {
+		cluster, err := thetacrypt.NewCluster(1, 4, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{thetacrypt.SG02, thetacrypt.CKS05},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cluster.Close)
+		backends[i] = thetacrypt.RouterBackend{Service: cluster}
+	}
+	return thetacrypt.NewRouter(backends...)
+}
+
 func TestServiceConformanceEmbedded(t *testing.T) {
 	exercise(t, embeddedService(t))
+}
+
+// TestServiceConformanceRouter runs the application code verbatim
+// against the router tier: submissions route by key, the generated key
+// lands on the least-loaded committee, and every structured error code
+// survives the indirection.
+func TestServiceConformanceRouter(t *testing.T) {
+	exercise(t, routerService(t))
+}
+
+// TestServiceConformanceRouterHTTP runs the suite against a full
+// sharded deployment: two committees behind the router behind the
+// generic /v2 HTTP front, driven through the untouched client SDK.
+func TestServiceConformanceRouterHTTP(t *testing.T) {
+	srv := httptest.NewServer(thetacrypt.ServiceHandler(routerService(t)))
+	t.Cleanup(srv.Close)
+	exercise(t, client.New(srv.URL))
 }
 
 func TestServiceConformanceRemote(t *testing.T) {
@@ -302,6 +343,127 @@ func TestServiceConformanceRemote(t *testing.T) {
 
 func TestServiceConformanceNodeTCP(t *testing.T) {
 	exercise(t, nodeDeployment(t)[0])
+}
+
+// TestRouterInfoMergesCommittees checks the router's fleet view against
+// the backing committees directly: Keys (including Epoch and Members,
+// after a live reshare through the router) must be exactly the union of
+// the committees' keychains, Info must carry one CommitteeInfo block
+// per backend with that committee's own key count and engine stats, and
+// engine activity driven through the router must show up in the owning
+// committee's block.
+func TestRouterInfoMergesCommittees(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Distinct per-committee key names: nothing is shadowed, so the
+	// union is the full fleet keychain.
+	keyIDs := []string{"shard-a", "shard-b"}
+	clusters := make([]*thetacrypt.Cluster, 2)
+	backends := make([]thetacrypt.RouterBackend, 2)
+	for i := range clusters {
+		cluster, err := thetacrypt.NewCluster(1, 4, thetacrypt.ClusterOptions{
+			Schemes: []thetacrypt.SchemeID{thetacrypt.SG02, thetacrypt.CKS05},
+			KeyID:   keyIDs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cluster.Close)
+		clusters[i] = cluster
+		backends[i] = thetacrypt.RouterBackend{Name: keyIDs[i], Service: cluster}
+	}
+	rt := thetacrypt.NewRouter(backends...)
+
+	// Drive work through the router so the second committee's engine has
+	// activity of its own: a reshare of its key (epoch 1 -> 2).
+	rh, err := rt.ReshareKey(ctx, thetacrypt.SG02, "shard-b", thetacrypt.ReshareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := rt.Wait(ctx, rh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Err != nil || string(rres.Value) != "2" {
+		t.Fatalf("reshare through router: %+v", rres)
+	}
+
+	// The union check: every key a committee lists appears in the router
+	// listing with identical fields (epoch and members included), and
+	// nothing else does.
+	routerKeys, err := rt.Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []thetacrypt.KeyInfo
+	for _, c := range clusters {
+		ks, err := c.Keys(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, ks...)
+	}
+	if len(routerKeys) != len(union) {
+		t.Fatalf("router lists %d keys, committees hold %d", len(routerKeys), len(union))
+	}
+	for _, want := range union {
+		found := false
+		for _, got := range routerKeys {
+			if got.Scheme == want.Scheme && got.KeyID == want.KeyID {
+				if !sameKeyLists([]thetacrypt.KeyInfo{got}, []thetacrypt.KeyInfo{want}) {
+					t.Fatalf("router key %s/%s diverges from its committee: %+v vs %+v",
+						want.Scheme, want.KeyID, got, want)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("committee key %s/%s missing from router listing", want.Scheme, want.KeyID)
+		}
+	}
+	// The reshared key reports its bumped epoch through the router.
+	for _, k := range routerKeys {
+		if k.Scheme == string(thetacrypt.SG02) && k.KeyID == "shard-b" && k.Epoch != 2 {
+			t.Fatalf("reshared key epoch through router = %d, want 2", k.Epoch)
+		}
+	}
+
+	// Info: one committee block per backend, each matching the backend's
+	// own view — key counts and the engine-stats snapshot the paper's
+	// operators monitor.
+	info, err := rt.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameKeyLists(info.Keys, routerKeys) {
+		t.Fatalf("Info.Keys diverges from Keys: %+v vs %+v", info.Keys, routerKeys)
+	}
+	if len(info.Committees) != 2 {
+		t.Fatalf("got %d committee blocks, want 2", len(info.Committees))
+	}
+	for i, block := range info.Committees {
+		cinfo, err := clusters[i].Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if block.Name != keyIDs[i] || block.Down {
+			t.Fatalf("block %d: %+v", i, block)
+		}
+		if block.N != cinfo.N || block.T != cinfo.T || block.Keys != len(cinfo.Keys) {
+			t.Fatalf("block %d diverges from committee info: %+v vs %+v", i, block, cinfo)
+		}
+		if block.Stats == nil {
+			t.Fatalf("block %d has no engine stats", i)
+		}
+	}
+	// The reshare ran on the second committee's engine, not the first's.
+	if info.Committees[1].Stats.Finished == 0 {
+		t.Fatalf("owning committee shows no finished instances: %+v", info.Committees[1].Stats)
+	}
+	if info.Committees[0].Stats.Finished != 0 {
+		t.Fatalf("idle committee shows finished instances: %+v", info.Committees[0].Stats)
+	}
 }
 
 // TestKeyListsAgreeAcrossImplementations drives one tcpnet deployment

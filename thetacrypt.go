@@ -15,12 +15,12 @@ package thetacrypt
 
 import (
 	"context"
-	"crypto/rand"
-	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"thetacrypt/api"
+	"thetacrypt/internal/committee"
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
@@ -28,9 +28,8 @@ import (
 	"thetacrypt/internal/network/tcpnet"
 	"thetacrypt/internal/orchestration"
 	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/router"
 	"thetacrypt/internal/schemes"
-	"thetacrypt/internal/schemes/bz03"
-	"thetacrypt/internal/schemes/sg02"
 	"thetacrypt/internal/service"
 )
 
@@ -214,6 +213,10 @@ type ClusterOptions struct {
 	// RSABits for SH00 (default 2048). Fixture keys are used so cluster
 	// startup stays fast; see keys.Options.
 	RSABits int
+	// KeyID names the dealt keys; empty selects DefaultKeyID. Sharded
+	// deployments give each committee distinct key names so the router's
+	// placement map spreads traffic instead of shadowing duplicates.
+	KeyID string
 	// Latency is the simulated one-way network delay between nodes.
 	Latency time.Duration
 	// Engine tunes every node's orchestration engine (flow control and
@@ -224,60 +227,44 @@ type ClusterOptions struct {
 	Transport TransportOptions
 }
 
-// Cluster is an embedded in-process Θ-network of n nodes.
+// Cluster is an embedded in-process Θ-network of n nodes: one
+// committee.Committee behind the facade's option types.
 type Cluster struct {
-	nodes   []*keys.Keystore
-	engines []*orchestration.Engine
-	hub     *memnet.Hub
+	com *committee.Committee
 }
 
 // NewCluster deals fresh keys and starts n in-process nodes with
 // threshold t (any t+1 cooperate, up to t may be corrupted).
 func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
-	nodes, err := keys.Deal(rand.Reader, t, n, keys.Options{
-		Schemes:       opts.Schemes,
-		RSABits:       opts.RSABits,
-		UseRSAFixture: true,
+	com, err := committee.New(t, n, committee.Config{
+		Schemes: opts.Schemes,
+		RSABits: opts.RSABits,
+		KeyID:   opts.KeyID,
+		Latency: opts.Latency,
+		Engine:  opts.Engine.engineConfig,
+		Net: memnet.Options{
+			OutQueueLen:   opts.Transport.OutQueueLen,
+			Policy:        opts.Transport.Policy,
+			AckWindow:     opts.Transport.AckWindow,
+			AckInterval:   opts.Transport.AckInterval,
+			ResendTimeout: opts.Transport.ResendTimeout,
+		},
 	})
 	if err != nil {
-		return nil, fmt.Errorf("thetacrypt: deal keys: %w", err)
+		return nil, err
 	}
-	var latency memnet.LatencyFunc
-	if opts.Latency > 0 {
-		latency = memnet.Uniform(opts.Latency)
-	}
-	hub := memnet.NewHub(n, memnet.Options{
-		Latency:       latency,
-		OutQueueLen:   opts.Transport.OutQueueLen,
-		Policy:        opts.Transport.Policy,
-		AckWindow:     opts.Transport.AckWindow,
-		AckInterval:   opts.Transport.AckInterval,
-		ResendTimeout: opts.Transport.ResendTimeout,
-	})
-	engines := make([]*orchestration.Engine, n)
-	for i := 0; i < n; i++ {
-		engines[i] = orchestration.New(opts.Engine.engineConfig(orchestration.Config{
-			Keys: nodes[i],
-			Net:  hub.Endpoint(i + 1),
-		}))
-	}
-	return &Cluster{nodes: nodes, engines: engines, hub: hub}, nil
+	return &Cluster{com: com}, nil
 }
 
 // Close stops all nodes.
-func (c *Cluster) Close() {
-	for _, e := range c.engines {
-		e.Stop()
-	}
-	c.hub.Close()
-}
+func (c *Cluster) Close() { c.com.Close() }
 
 // N returns the cluster size.
-func (c *Cluster) N() int { return len(c.nodes) }
+func (c *Cluster) N() int { return c.com.N() }
 
 // KeystoreAt returns node i's keystore (1-indexed); the public parts
 // serve as the scheme API.
-func (c *Cluster) KeystoreAt(i int) *Keystore { return c.nodes[i-1] }
+func (c *Cluster) KeystoreAt(i int) *Keystore { return c.com.UnitAt(i).Store }
 
 // Cluster implements the unified Service interface.
 var _ Service = (*Cluster)(nil)
@@ -286,30 +273,31 @@ var _ Service = (*Cluster)(nil)
 // returns its raw engine future — embedded-only access for tests and
 // fault-injection scenarios. Applications use the Service methods.
 func (c *Cluster) SubmitAt(ctx context.Context, i int, req Request) (*Future, error) {
+	u := c.com.UnitAt(i)
 	if e := api.ValidateRequest(req); e != nil {
 		return nil, e
 	}
-	if e := api.CheckRequestKey(c.nodes[i-1], req); e != nil {
+	if e := api.CheckRequestKey(u.Store, req); e != nil {
 		return nil, e
 	}
-	return c.engines[i-1].Submit(ctx, req)
+	return u.Engine.Submit(ctx, req)
 }
 
 // Submit starts a threshold operation at node 1 (Service interface).
 func (c *Cluster) Submit(ctx context.Context, req Request) (Handle, error) {
-	return submitOne(ctx, c.engines[0], c.nodes[0], req)
+	return c.com.Submit(ctx, req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off,
 // amortizing dispatch across the batch. Invalid requests fail the whole
 // call (the engine is never reached).
 func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	return submitMany(ctx, c.engines[0], c.nodes[0], reqs)
+	return c.com.SubmitBatch(ctx, reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
 func (c *Cluster) Wait(ctx context.Context, h Handle) (Result, error) {
-	return waitOn(ctx, c.engines[0], h)
+	return c.com.Wait(ctx, h)
 }
 
 // Execute submits at node 1 and waits for the result.
@@ -320,19 +308,19 @@ func (c *Cluster) Execute(ctx context.Context, req Request) ([]byte, error) {
 // Encrypt creates a threshold ciphertext under a named public key of
 // the cluster (scheme API; SG02 or BZ03). The empty keyID selects the
 // scheme's default key.
-func (c *Cluster) Encrypt(_ context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
-	return encryptLocal(c.nodes[0], scheme, keyID, message, label)
+func (c *Cluster) Encrypt(ctx context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
+	return c.com.Encrypt(ctx, scheme, keyID, message, label)
 }
 
 // Info reports the deployment parameters, the keychain, and node 1's
 // engine snapshot (Service interface).
-func (c *Cluster) Info(context.Context) (ServiceInfo, error) {
-	return infoOf(c.nodes[0], c.engines[0]), nil
+func (c *Cluster) Info(ctx context.Context) (ServiceInfo, error) {
+	return c.com.Info(ctx)
 }
 
 // Keys lists the named keys of node 1's keystore (Service interface).
-func (c *Cluster) Keys(context.Context) ([]KeyInfo, error) {
-	return api.KeyInfosOf(c.nodes[0].List()), nil
+func (c *Cluster) Keys(ctx context.Context) ([]KeyInfo, error) {
+	return c.com.Keys(ctx)
 }
 
 // GenerateKey runs a distributed key generation across the cluster
@@ -340,7 +328,7 @@ func (c *Cluster) Keys(context.Context) ([]KeyInfo, error) {
 // orchestration engines, after which every node holds a share of the
 // new key under the returned handle's result ID.
 func (c *Cluster) GenerateKey(ctx context.Context, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
-	return generateKey(ctx, c.engines[0], c.nodes[0], scheme, opts)
+	return c.com.GenerateKey(ctx, scheme, opts)
 }
 
 // ReshareKey runs a live resharing of a named key across the cluster
@@ -348,175 +336,37 @@ func (c *Cluster) GenerateKey(ctx context.Context, scheme SchemeID, opts Generat
 // move to the committee in opts, while the public key — and every
 // ciphertext and signature under it — stays valid.
 func (c *Cluster) ReshareKey(ctx context.Context, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
-	return reshareKey(ctx, c.engines[0], c.nodes[0], scheme, keyID, opts)
+	return c.com.ReshareKey(ctx, scheme, keyID, opts)
 }
 
 // StatsAt snapshots node i's engine (1-indexed): instance lifecycle and
 // flow control counters.
 func (c *Cluster) StatsAt(i int) EngineStats {
-	return *api.EngineStatsOf(c.engines[i-1].Stats())
+	return c.com.UnitAt(i).Stats()
 }
 
-// engineErr maps engine submission failures onto the structured error
-// model, so embedded deployments classify overload and shutdown exactly
-// like the remote client does (api.CodeOf branches work against any
-// Service implementation).
-func engineErr(err error) error {
-	switch {
-	case err == nil:
-		return nil
-	case errors.Is(err, orchestration.ErrOverloaded):
-		return api.Errf(api.CodeOverloaded, "%v", err)
-	case errors.Is(err, orchestration.ErrStopped):
-		return api.Errf(api.CodeUnavailable, "%v", err)
-	default:
-		return err
-	}
+// Router is the stateless router tier over several committees — the
+// fourth Service implementation (see internal/router).
+type Router = router.Router
+
+// RouterBackend names one committee behind a Router; its Service may be
+// an embedded Cluster, a client.Client pointed at a deployment, or any
+// other Service implementation.
+type RouterBackend = router.Backend
+
+// NewRouter fronts the given committees with a stateless router: keys
+// are placed on the committee that holds them (first backend wins on
+// duplicates), requests are forwarded to the owning committee, batches
+// scatter/gather, and Info/Keys merge the fleet view.
+func NewRouter(backends ...RouterBackend) *Router {
+	return router.New(backends)
 }
 
-// toAPIResult converts an engine result into the client-facing shape,
-// classifying failures into the structured error model exactly like
-// the HTTP service layer does.
-func toAPIResult(id string, res orchestration.Result) Result {
-	out := Result{InstanceID: id, Value: res.Value, Err: res.Err}
-	if e := api.ClassifyResultErr(res.Err); e != nil && e.Code != api.CodeInternal {
-		out.Err = e
-	}
-	if !res.Started.IsZero() && !res.Finished.IsZero() {
-		out.ServerLatency = res.Finished.Sub(res.Started)
-	}
-	return out
-}
-
-// The embedded protocol-API path shared by Cluster and Node: validate,
-// resolve the named key, hand to the engine, map errors onto the
-// structured model.
-
-func submitOne(ctx context.Context, e *orchestration.Engine, store *Keystore, req Request) (Handle, error) {
-	if e2 := api.ValidateRequest(req); e2 != nil {
-		return Handle{}, e2
-	}
-	if e2 := api.CheckRequestKey(store, req); e2 != nil {
-		return Handle{}, e2
-	}
-	if _, err := e.Submit(ctx, req); err != nil {
-		return Handle{}, engineErr(err)
-	}
-	return Handle{InstanceID: req.InstanceID()}, nil
-}
-
-func submitMany(ctx context.Context, e *orchestration.Engine, store *Keystore, reqs []Request) ([]Handle, error) {
-	for i, req := range reqs {
-		if e2 := api.ValidateRequest(req); e2 != nil {
-			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e2)
-		}
-		if e2 := api.CheckRequestKey(store, req); e2 != nil {
-			return nil, fmt.Errorf("thetacrypt: request %d rejected: %w", i, e2)
-		}
-	}
-	subs, err := e.SubmitBatch(ctx, reqs)
-	if err != nil {
-		return nil, engineErr(err)
-	}
-	hs := make([]Handle, len(subs))
-	for i, sub := range subs {
-		hs[i] = Handle{InstanceID: sub.InstanceID}
-	}
-	return hs, nil
-}
-
-func waitOn(ctx context.Context, e *orchestration.Engine, h Handle) (Result, error) {
-	res, err := e.Attach(h.InstanceID).Wait(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	return toAPIResult(h.InstanceID, res), nil
-}
-
-// generateKey is the embedded keychain API shared by Cluster and Node:
-// build the keygen request through the shared api seam, pre-check the
-// local keystore, and submit it like any protocol instance.
-func generateKey(ctx context.Context, e *orchestration.Engine, store *Keystore, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
-	req, e2 := api.KeygenRequest(scheme, opts)
-	if e2 != nil {
-		return Handle{}, e2
-	}
-	if e2 := api.CheckRequestKey(store, req); e2 != nil {
-		return Handle{}, e2
-	}
-	if _, err := e.Submit(ctx, req); err != nil {
-		return Handle{}, engineErr(err)
-	}
-	return Handle{InstanceID: req.InstanceID()}, nil
-}
-
-// reshareKey is the embedded resharing path shared by Cluster and
-// Node: build the reshare request through the shared api seam — which
-// pins it to the key's current epoch and fills threshold/committee
-// defaults from the local keystore — pre-check, and submit it like any
-// protocol instance.
-func reshareKey(ctx context.Context, e *orchestration.Engine, store *Keystore, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
-	req, e2 := api.ReshareRequest(store, scheme, keyID, opts)
-	if e2 != nil {
-		return Handle{}, e2
-	}
-	if e2 := api.CheckRequestKey(store, req); e2 != nil {
-		return Handle{}, e2
-	}
-	if _, err := e.Submit(ctx, req); err != nil {
-		return Handle{}, engineErr(err)
-	}
-	return Handle{InstanceID: req.InstanceID()}, nil
-}
-
-// infoOf assembles the Service info of one node: the keychain plus the
-// engine snapshot.
-func infoOf(store *Keystore, e *orchestration.Engine) ServiceInfo {
-	info := ServiceInfo{
-		NodeIndex: store.Index,
-		N:         store.N,
-		T:         store.T,
-		Schemes:   store.Schemes(),
-		Keys:      api.KeyInfosOf(store.List()),
-	}
-	info.Stats = api.EngineStatsOf(e.Stats())
-	return info
-}
-
-// encryptLocal is the scheme API's local encryption against a node's
-// named public keys, shared by Cluster and Node.
-func encryptLocal(store *Keystore, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
-	if _, err := schemes.Lookup(scheme); err != nil {
-		return nil, api.Errf(api.CodeSchemeUnknown, "%v", err)
-	}
-	switch scheme {
-	case SG02, BZ03:
-	default:
-		return nil, api.Errf(api.CodeSchemeNotCipher, "scheme %s does not encrypt", scheme)
-	}
-	if !store.Has(scheme) {
-		return nil, api.Errf(api.CodeSchemeNoKeys, "no %s keys dealt", scheme)
-	}
-	key, err := store.Get(scheme, keyID)
-	if err != nil {
-		return nil, api.Errf(api.CodeKeyUnknown, "%v", err)
-	}
-	switch pk := key.Public.(type) {
-	case *sg02.PublicKey:
-		ct, err := sg02.Encrypt(rand.Reader, pk, message, label)
-		if err != nil {
-			return nil, err
-		}
-		return ct.Marshal(), nil
-	case *bz03.PublicKey:
-		ct, err := bz03.Encrypt(rand.Reader, pk, message, label)
-		if err != nil {
-			return nil, err
-		}
-		return ct.Marshal(), nil
-	default:
-		return nil, api.Errf(api.CodeInternal, "key %s/%s holds %T", scheme, key.ID, key.Public)
-	}
+// ServiceHandler serves the /v2 HTTP surface over any Service — the
+// handler a router deployment mounts so the client SDK talks to a
+// sharded fleet exactly as it talks to one node.
+func ServiceHandler(svc api.Service) http.Handler {
+	return service.NewFront(svc)
 }
 
 // DefaultGroup returns the group used by the DL-based schemes.
@@ -544,12 +394,12 @@ type NodeConfig struct {
 	Transport TransportOptions
 }
 
-// Node is one standalone Thetacrypt service node over TCP.
+// Node is one standalone Thetacrypt service node over TCP: a
+// committee.Unit bound to a real transport and the HTTP service layer.
 type Node struct {
-	engine    *orchestration.Engine
+	unit      committee.Unit
 	transport *tcpnet.Transport
 	handler   *service.Server
-	keys      *Keystore
 }
 
 // NewNode starts the network transport and orchestration engine.
@@ -580,10 +430,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Net:  transport,
 	}))
 	return &Node{
-		engine:    engine,
+		unit:      committee.Unit{Store: cfg.Keys, Engine: engine},
 		transport: transport,
 		handler:   service.NewServer(engine, cfg.Keys),
-		keys:      cfg.Keys,
 	}, nil
 }
 
@@ -606,57 +455,57 @@ func (n *Node) SetPeer(index int, addr string) { n.transport.SetPeer(index, addr
 
 // Submit starts a threshold operation locally (Service interface).
 func (n *Node) Submit(ctx context.Context, req Request) (Handle, error) {
-	return submitOne(ctx, n.engine, n.keys, req)
+	return n.unit.Submit(ctx, req)
 }
 
 // SubmitBatch starts 1..N operations with a single engine hand-off.
 func (n *Node) SubmitBatch(ctx context.Context, reqs []Request) ([]Handle, error) {
-	return submitMany(ctx, n.engine, n.keys, reqs)
+	return n.unit.SubmitBatch(ctx, reqs)
 }
 
 // Wait blocks until the instance finishes or ctx expires.
 func (n *Node) Wait(ctx context.Context, h Handle) (Result, error) {
-	return waitOn(ctx, n.engine, h)
+	return n.unit.Wait(ctx, h)
 }
 
 // Encrypt creates a threshold ciphertext under a named public key of
 // the deployment (scheme API).
-func (n *Node) Encrypt(_ context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
-	return encryptLocal(n.keys, scheme, keyID, message, label)
+func (n *Node) Encrypt(ctx context.Context, scheme SchemeID, keyID string, message, label []byte) ([]byte, error) {
+	return n.unit.Encrypt(ctx, scheme, keyID, message, label)
 }
 
 // Info reports the deployment parameters, the keychain, and the engine
 // snapshot (Service interface).
-func (n *Node) Info(context.Context) (ServiceInfo, error) {
-	return infoOf(n.keys, n.engine), nil
+func (n *Node) Info(ctx context.Context) (ServiceInfo, error) {
+	return n.unit.Info(ctx)
 }
 
 // Keys lists the named keys of the node's keystore (Service
 // interface).
-func (n *Node) Keys(context.Context) ([]KeyInfo, error) {
-	return api.KeyInfosOf(n.keys.List()), nil
+func (n *Node) Keys(ctx context.Context) ([]KeyInfo, error) {
+	return n.unit.Keys(ctx)
 }
 
 // GenerateKey runs a distributed key generation across the deployment
 // (Service interface).
 func (n *Node) GenerateKey(ctx context.Context, scheme SchemeID, opts GenerateKeyOptions) (Handle, error) {
-	return generateKey(ctx, n.engine, n.keys, scheme, opts)
+	return n.unit.GenerateKey(ctx, scheme, opts)
 }
 
 // ReshareKey runs a live resharing of a named key across the
 // deployment (Service interface).
 func (n *Node) ReshareKey(ctx context.Context, scheme SchemeID, keyID string, opts ReshareOptions) (Handle, error) {
-	return reshareKey(ctx, n.engine, n.keys, scheme, keyID, opts)
+	return n.unit.ReshareKey(ctx, scheme, keyID, opts)
 }
 
 // Stats snapshots the node's engine: instance lifecycle and flow
 // control counters.
 func (n *Node) Stats() EngineStats {
-	return *api.EngineStatsOf(n.engine.Stats())
+	return n.unit.Stats()
 }
 
 // Close stops the node.
 func (n *Node) Close() {
-	n.engine.Stop()
+	n.unit.Engine.Stop()
 	_ = n.transport.Close()
 }
