@@ -238,6 +238,35 @@ type EngineStats struct {
 	// Transport is the per-peer health of the node's P2P links; nil when
 	// the endpoint predates API v2.2 or the transport has no peers.
 	Transport *TransportStats `json:"transport,omitempty"`
+	// Crypto is the node's precompute-layer snapshot (Lagrange cache,
+	// verification batching, FROST nonce pool); nil when the endpoint
+	// predates API v2.5.
+	Crypto *CryptoStats `json:"crypto,omitempty"`
+}
+
+// CryptoStats is the wire form of the precompute layer's counters.
+// Field meanings match precompute.Stats.
+type CryptoStats struct {
+	// LagrangeHits/LagrangeMisses describe the coefficient cache: a hit
+	// skips the modular-inverse chain of a Lagrange basis computation.
+	LagrangeHits   int64 `json:"lagrange_hits"`
+	LagrangeMisses int64 `json:"lagrange_misses"`
+	// NoncePoolDepth is the total number of FROST nonce slots currently
+	// banked across keys; NonceRefills and NonceExhaustions count refill
+	// batches banked and signing requests that found the pool empty
+	// (and degraded to the two-round path).
+	NoncePoolDepth   int   `json:"nonce_pool_depth"`
+	NonceRefills     int64 `json:"nonce_refills"`
+	NonceExhaustions int64 `json:"nonce_exhaustions"`
+	// BatchesVerified/BatchedRelations/MaxBatch describe share
+	// verification batching; CoalescedRequests counts verifications that
+	// shared another request's batch, BatchFallbacks the batches that
+	// failed and were replayed individually for attribution.
+	BatchesVerified   int64 `json:"batches_verified"`
+	BatchedRelations  int64 `json:"batched_relations"`
+	MaxBatch          int   `json:"max_batch"`
+	BatchFallbacks    int64 `json:"batch_fallbacks"`
+	CoalescedRequests int64 `json:"coalesced_requests"`
 }
 
 // TransportStats is the wire form of the P2P layer's health snapshot.
@@ -341,6 +370,61 @@ type Service interface {
 	// carries the new epoch in decimal; the empty keyID selects the
 	// scheme's default key.
 	ReshareKey(ctx context.Context, scheme schemes.ID, keyID string, opts ReshareOptions) (Handle, error)
+}
+
+// KeyFetcher is implemented by Services that can resolve one named key
+// without transferring the whole keychain (the client SDK issues a
+// single GET /v2/keys/{scheme}/{id}). A missing key fails with
+// CodeKeyUnknown on every implementation.
+type KeyFetcher interface {
+	Key(ctx context.Context, scheme schemes.ID, keyID string) (KeyInfo, error)
+}
+
+// FetchKey resolves one named key via the service's direct lookup when
+// available, falling back to filtering the full keychain listing. The
+// empty keyID selects the scheme's default key.
+func FetchKey(ctx context.Context, s Service, scheme schemes.ID, keyID string) (KeyInfo, error) {
+	if kf, ok := s.(KeyFetcher); ok {
+		return kf.Key(ctx, scheme, keyID)
+	}
+	if keyID == "" {
+		keyID = keys.DefaultKeyID
+	}
+	list, err := s.Keys(ctx)
+	if err != nil {
+		return KeyInfo{}, err
+	}
+	for _, k := range list {
+		if k.Scheme == string(scheme) && k.KeyID == keyID {
+			return k, nil
+		}
+	}
+	return KeyInfo{}, Errf(CodeKeyUnknown, "unknown key %s/%s", scheme, keyID)
+}
+
+// KeyInfoFromStore resolves one named key of a keystore into the wire
+// shape — the lookup seam shared by the HTTP service layer and the
+// embedded deployments, so all of them 404 identically on a missing
+// key (scheme_unknown before key_unknown, matching the submission
+// path's check order). The empty keyID selects the scheme's default
+// key.
+func KeyInfoFromStore(store *keys.Keystore, scheme schemes.ID, keyID string) (KeyInfo, *Error) {
+	if _, err := schemes.Lookup(scheme); err != nil {
+		return KeyInfo{}, Errf(CodeSchemeUnknown, "%v", err)
+	}
+	k, err := store.Get(scheme, keyID)
+	if err != nil {
+		return KeyInfo{}, Errf(CodeKeyUnknown, "%v", err)
+	}
+	return KeyInfo{
+		Scheme:    string(k.Scheme),
+		KeyID:     k.ID,
+		Group:     k.Group,
+		Default:   k.ID == keys.DefaultKeyID,
+		Epoch:     k.Epoch,
+		Members:   append([]int(nil), k.Members...),
+		PublicKey: k.PublicBytes(),
+	}, nil
 }
 
 // BatchWaiter is implemented by Services that can wait for many handles

@@ -7,6 +7,7 @@ import (
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/orchestration"
+	"thetacrypt/internal/precompute"
 	"thetacrypt/internal/protocols"
 	"thetacrypt/internal/schemes"
 )
@@ -52,6 +53,23 @@ func EngineStatsOf(st orchestration.Stats) *EngineStats {
 		Overloaded:        st.Overloaded,
 		PartialBroadcasts: st.PartialBroadcasts,
 		Transport:         TransportStatsOf(st.Transport),
+		Crypto:            CryptoStatsOf(st.Crypto),
+	}
+}
+
+// CryptoStatsOf converts a precompute snapshot into the wire shape.
+func CryptoStatsOf(cs precompute.Stats) *CryptoStats {
+	return &CryptoStats{
+		LagrangeHits:      cs.LagrangeHits,
+		LagrangeMisses:    cs.LagrangeMisses,
+		NoncePoolDepth:    cs.NoncePoolDepth,
+		NonceRefills:      cs.NonceRefills,
+		NonceExhaustions:  cs.NonceExhaustions,
+		BatchesVerified:   cs.BatchesVerified,
+		BatchedRelations:  cs.BatchedRelations,
+		MaxBatch:          cs.MaxBatch,
+		BatchFallbacks:    cs.BatchFallbacks,
+		CoalescedRequests: cs.CoalescedRequests,
 	}
 }
 
@@ -95,6 +113,7 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 //	POST /v2/scheme/encrypt     EncryptRequest      -> EncryptResponse
 //	GET  /v2/info               -> InfoResponse
 //	GET  /v2/keys               -> KeysResponse
+//	GET  /v2/keys/{scheme}/{id} -> KeyResponse (404 key_unknown)
 //	POST /v2/keys               GenerateKeyRequest  -> GenerateKeyResponse
 //	POST /v2/keys/{id}/reshare  ReshareKeyRequest   -> ReshareKeyResponse
 //
@@ -226,6 +245,14 @@ type EncryptResponse struct {
 // KeysResponse answers GET /v2/keys with the node's keychain.
 type KeysResponse struct {
 	Keys []KeyInfo `json:"keys"`
+}
+
+// KeyResponse answers GET /v2/keys/{scheme}/{id} with one named key's
+// description — epoch, committee membership, and public material —
+// without transferring the whole keychain. An unknown scheme answers
+// 404 scheme_unknown, an unknown key 404 key_unknown.
+type KeyResponse struct {
+	Key KeyInfo `json:"key"`
 }
 
 // GenerateKeyRequest is the body of POST /v2/keys: start a distributed

@@ -384,6 +384,26 @@ func (c *Client) Keys(ctx context.Context) ([]api.KeyInfo, error) {
 	return out.Keys, nil
 }
 
+// Key resolves one named key of the remote keychain without
+// transferring the whole listing (GET /v2/keys/{scheme}/{id}); the
+// empty keyID selects the scheme's default key. A missing key reports
+// CodeKeyUnknown (api.KeyFetcher).
+func (c *Client) Key(ctx context.Context, scheme schemes.ID, keyID string) (api.KeyInfo, error) {
+	if keyID == "" {
+		keyID = keys.DefaultKeyID
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v2/keys/"+url.PathEscape(string(scheme))+"/"+url.PathEscape(keyID), nil)
+	if err != nil {
+		return api.KeyInfo{}, err
+	}
+	var out api.KeyResponse
+	if err := c.do(req, &out); err != nil {
+		return api.KeyInfo{}, err
+	}
+	return out.Key, nil
+}
+
 // GenerateKey starts a distributed key generation at the remote
 // deployment (POST /v2/keys) and returns the keygen instance's handle;
 // waiting on it yields the new key's ID as the result value. An

@@ -38,6 +38,7 @@ func shardedBench(w io.Writer, args []string) error {
 		op          = fs.String("op", "decrypt", "operation: sign|decrypt|coin")
 		requests    = fs.Int("requests", 64, "total requests per side")
 		concurrency = fs.Int("concurrency", 8, "concurrent in-flight requests")
+		pool        = fs.Int("pool", 0, "FROST nonce pool depth per node (KG20 only; 0 = disabled, two-round signing)")
 		jsonOut     = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,8 +66,10 @@ func shardedBench(w io.Writer, args []string) error {
 	// Baseline: the whole fleet as one committee. The threshold scales
 	// with the size so both sides tolerate the same corruption fraction.
 	nTotal, tTotal := *committees**nodes, *committees**thresh
+	engine := thetacrypt.EngineOptions{FrostPoolDepth: *pool}
 	baseline, err := thetacrypt.NewCluster(tTotal, nTotal, thetacrypt.ClusterOptions{
 		Schemes: []thetacrypt.SchemeID{id},
+		Engine:  engine,
 	})
 	if err != nil {
 		return fmt.Errorf("baseline committee: %w", err)
@@ -77,20 +80,38 @@ func shardedBench(w io.Writer, args []string) error {
 	// its key under a distinct name, so the router's placement map
 	// sends a request to exactly the committee that can serve it.
 	backends := make([]thetacrypt.RouterBackend, *committees)
+	shards := make([]*thetacrypt.Cluster, *committees)
 	keyIDs := make([]string, *committees)
 	for i := range backends {
 		keyIDs[i] = fmt.Sprintf("shard-%d", i)
 		c, err := thetacrypt.NewCluster(*thresh, *nodes, thetacrypt.ClusterOptions{
 			Schemes: []thetacrypt.SchemeID{id},
 			KeyID:   keyIDs[i],
+			Engine:  engine,
 		})
 		if err != nil {
 			return fmt.Errorf("committee %d: %w", i, err)
 		}
 		defer c.Close()
+		shards[i] = c
 		backends[i] = thetacrypt.RouterBackend{Name: keyIDs[i], Service: c}
 	}
 	rt := thetacrypt.NewRouter(backends...)
+
+	// Warm the FROST nonce pools outside the timed window so the
+	// measured runs take the one-round online path from the first
+	// request instead of paying the preprocessing round inline.
+	if *pool > 0 && id == schemes.KG20 {
+		if err := baseline.WarmNoncePools(ctx); err != nil {
+			return fmt.Errorf("warm baseline nonce pools: %w", err)
+		}
+		for i, c := range shards {
+			if err := c.WarmNoncePools(ctx); err != nil {
+				return fmt.Errorf("warm committee %d nonce pools: %w", i, err)
+			}
+		}
+		banner("# FROST nonce pools warmed: depth %d per node, one-round online signing\n", *pool)
+	}
 	banner("# sharded bench: fleet of %d nodes as %d committees of n=%d t=%d behind the router, vs one n=%d t=%d committee\n",
 		nTotal, *committees, *nodes, *thresh, nTotal, tTotal)
 	banner("# scheme %s op %s, %d requests at concurrency %d\n", id, operation, *requests, *concurrency)
@@ -156,6 +177,7 @@ func shardedBench(w io.Writer, args []string) error {
 			T:                *thresh,
 			Requests:         *requests,
 			Concurrency:      *concurrency,
+			Pool:             *pool,
 			Modes:            []benchMode{single, sharded},
 			RouterOverSingle: ratio,
 		}
@@ -180,6 +202,7 @@ type shardDoc struct {
 	T                int         `json:"t"`
 	Requests         int         `json:"requests"`
 	Concurrency      int         `json:"concurrency"`
+	Pool             int         `json:"pool"`
 	Modes            []benchMode `json:"modes"`
 	RouterOverSingle float64     `json:"router_over_single_throughput"`
 }

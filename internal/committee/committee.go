@@ -108,6 +108,15 @@ func (u Unit) Keys(context.Context) ([]api.KeyInfo, error) {
 	return api.KeyInfosOf(u.Store.List()), nil
 }
 
+// Key resolves one named key of the unit's keystore (api.KeyFetcher).
+func (u Unit) Key(_ context.Context, scheme schemes.ID, keyID string) (api.KeyInfo, error) {
+	info, e := api.KeyInfoFromStore(u.Store, scheme, keyID)
+	if e != nil {
+		return api.KeyInfo{}, e
+	}
+	return info, nil
+}
+
 // GenerateKey starts a distributed key generation: build the keygen
 // request through the shared api seam, pre-check the local keystore,
 // and submit it like any protocol instance.
@@ -316,6 +325,10 @@ func (c *Committee) Info(ctx context.Context) (api.Info, error) {
 
 func (c *Committee) Keys(ctx context.Context) ([]api.KeyInfo, error) {
 	return c.Front().Keys(ctx)
+}
+
+func (c *Committee) Key(ctx context.Context, scheme schemes.ID, keyID string) (api.KeyInfo, error) {
+	return c.Front().Key(ctx, scheme, keyID)
 }
 
 func (c *Committee) GenerateKey(ctx context.Context, scheme schemes.ID, opts api.GenerateKeyOptions) (api.Handle, error) {

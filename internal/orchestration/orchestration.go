@@ -43,7 +43,9 @@ import (
 
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
+	"thetacrypt/internal/precompute"
 	"thetacrypt/internal/protocols"
+	"thetacrypt/internal/schemes"
 )
 
 // Errors returned by the engine.
@@ -147,6 +149,20 @@ type Config struct {
 	// refreshes are idempotent across the mesh; a node whose tick
 	// fires late simply joins the instance its peers announced.
 	RefreshInterval time.Duration
+	// FrostPoolDepth, when positive, enables the FROST preprocessed
+	// nonce pool: each KG20 key banks this many commitment slots per
+	// epoch, turning online signing into a single message round while
+	// the pool is warm. Zero disables pooling (two-round signing).
+	FrostPoolDepth int
+	// FrostPoolRefill is the pool's refill watermark (default
+	// FrostPoolDepth/2): a refill run is scheduled when a key's banked
+	// slots drop below it.
+	FrostPoolRefill int
+	// PoolInterval is the cadence of the background pool maintainer
+	// (default 1s when FrostPoolDepth > 0). Each tick the designated
+	// initiator (the node holding share index 1) submits deterministic
+	// OpPoolRefill runs for every KG20 key below its watermark.
+	PoolInterval time.Duration
 }
 
 // Stats is a point-in-time snapshot of the engine's lifecycle and flow
@@ -176,12 +192,19 @@ type Stats struct {
 	// Transport is the P2P layer's per-peer health snapshot: link state
 	// (up/dialing/down), outbound queue depth, and send/drop counters.
 	Transport network.TransportStats
+	// Crypto snapshots the precompute layer: Lagrange cache hit rate,
+	// nonce pool depth and refills, and share-verification batching.
+	Crypto precompute.Stats
 }
 
 // Engine is one node's orchestration module.
 type Engine struct {
 	cfg  Config
 	self int
+	// suite is the node-wide precompute layer (Lagrange cache, batch
+	// verifier, optional nonce pool) threaded into every protocol
+	// instance. Always non-nil.
+	suite *precompute.Suite
 
 	events chan event
 
@@ -250,6 +273,11 @@ type instance struct {
 	// backlog holds protocol messages that arrived before the instance
 	// (or its generation) was started on this node.
 	backlog []backlogEntry
+	// op/scheme/keyID mirror the request that started this instance
+	// (set at adoption, read at finish for precompute invalidation).
+	op     protocols.Operation
+	scheme string
+	keyID  string
 	// starting marks that a worker has claimed the instance for
 	// protocol creation (guarded by Engine.mu). It distinguishes a
 	// placeholder — created by Attach or by a peer share arriving
@@ -328,6 +356,9 @@ func New(cfg Config) *Engine {
 	if cfg.SendTimeout <= 0 {
 		cfg.SendTimeout = 5 * time.Second
 	}
+	if cfg.FrostPoolDepth > 0 && cfg.PoolInterval <= 0 {
+		cfg.PoolInterval = time.Second
+	}
 	// A started instance gets several retention windows (with a floor)
 	// to finish before it is expired: generous against slow protocol
 	// runs, still a hard bound on stalled ones (e.g. a quorum that
@@ -337,8 +368,12 @@ func New(cfg Config) *Engine {
 		liveTTL = 2 * time.Second
 	}
 	e := &Engine{
-		cfg:            cfg,
-		self:           cfg.Keys.Index,
+		cfg:  cfg,
+		self: cfg.Keys.Index,
+		suite: precompute.NewSuite(cfg.Rand, precompute.Options{
+			PoolDepth:  cfg.FrostPoolDepth,
+			PoolRefill: cfg.FrostPoolRefill,
+		}),
 		events:         make(chan event, cfg.QueueLen),
 		instances:      make(map[string]*instance),
 		retained:       list.New(),
@@ -365,7 +400,91 @@ func New(cfg Config) *Engine {
 		e.done.Add(1)
 		go e.refresher()
 	}
+	if cfg.FrostPoolDepth > 0 {
+		e.done.Add(1)
+		go e.pooler()
+	}
 	return e
+}
+
+// pooler keeps the FROST nonce pool warm: each tick it submits the
+// deterministic refill runs for every KG20 key below its watermark.
+// Results are not awaited; a failed refill retries next tick.
+func (e *Engine) pooler() {
+	defer e.done.Done()
+	ticker := time.NewTicker(e.cfg.PoolInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, sub := range e.poolRefillRequests() {
+				if _, err := e.Submit(context.Background(), sub); err != nil {
+					continue
+				}
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// poolRefillRequests builds the OpPoolRefill requests this node should
+// initiate right now: one per KG20 key whose bank for the current epoch
+// is below the refill watermark. Only the key's designated initiator —
+// the node holding share index 1 — submits, so concurrent refills never
+// race on overlapping sequence ranges; the deterministic session
+// ("pool-<epoch>-<base>") makes a straggler's own tick join the
+// announced instance instead of forking a second one.
+func (e *Engine) poolRefillRequests() []protocols.Request {
+	pool := e.suite.NoncePool()
+	if !pool.Enabled() {
+		return nil
+	}
+	var reqs []protocols.Request
+	for _, info := range e.cfg.Keys.List() {
+		if info.Scheme != schemes.KG20 {
+			continue
+		}
+		k, err := e.cfg.Keys.Get(info.Scheme, info.ID)
+		if err != nil || k.Share == nil || k.MemberIndex(e.self) != 1 {
+			continue
+		}
+		base, count, need := pool.NeedRefill(string(k.Scheme), k.ID, k.Epoch)
+		if !need {
+			continue
+		}
+		reqs = append(reqs, protocols.Request{
+			Scheme:  schemes.KG20,
+			KeyID:   k.ID,
+			Op:      protocols.OpPoolRefill,
+			Payload: protocols.MarshalPoolRefill(base, count),
+			Session: fmt.Sprintf("pool-%d-%d", k.Epoch, base),
+			Epoch:   k.Epoch,
+		})
+	}
+	return reqs
+}
+
+// WarmNoncePools fills the FROST nonce pools synchronously: it submits
+// the due refill runs and waits for them to finish (or ctx to expire).
+// Benchmarks and tests call it to measure the steady warm-pool state
+// instead of racing the background pooler's first tick. A node that is
+// not the designated initiator of any key returns immediately.
+func (e *Engine) WarmNoncePools(ctx context.Context) error {
+	for _, req := range e.poolRefillRequests() {
+		f, err := e.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		res, err := f.Wait(ctx)
+		if err != nil {
+			return err
+		}
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
 }
 
 // refresher drives the scheduled proactive refresh: each tick submits
@@ -591,6 +710,11 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		e.adoptLocked(inst)
 		adopt = true
 	}
+	if adopt {
+		inst.op = req.Op
+		inst.scheme = string(req.Scheme)
+		inst.keyID = req.EffectiveKeyID()
+	}
 	e.mu.Unlock()
 	if superseded != nil {
 		// Fail the stale copy's watchers (no-op when it had finished).
@@ -609,7 +733,10 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		return inst, nil
 	}
 
-	proto, err := protocols.New(e.cfg.Rand, e.cfg.Keys, req)
+	proto, err := protocols.NewWith(e.cfg.Rand, e.cfg.Keys, req, protocols.Env{
+		Suite:     e.suite,
+		Initiator: announce,
+	})
 	if err == nil {
 		// Publish under e.mu so handleEnvelope's proto==nil check is
 		// race free.
@@ -884,6 +1011,14 @@ func (e *Engine) finishLocked(id string, inst *instance, res Result) {
 		f.ch <- res
 	}
 	inst.futures = nil
+	if inst.op == protocols.OpReshare && res.Err == nil {
+		// The reshare advanced the key's epoch: drop cached Lagrange
+		// coefficients and banked nonces of the superseded sharing, so
+		// stale precomputed material can never meet the new shares.
+		if k, err := e.cfg.Keys.Get(schemes.ID(inst.scheme), inst.keyID); err == nil {
+			e.suite.Invalidate(inst.scheme, inst.keyID, k.Epoch)
+		}
+	}
 }
 
 // retire moves a finished instance into the retention window and
@@ -1176,5 +1311,6 @@ func (e *Engine) Stats() Stats {
 	st.Overloaded = e.overloaded.Load()
 	st.PartialBroadcasts = e.partialBroadcasts.Load()
 	st.Transport = e.cfg.Net.TransportStats()
+	st.Crypto = e.suite.Stats()
 	return st
 }

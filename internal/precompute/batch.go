@@ -1,0 +1,165 @@
+package precompute
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/mathutil"
+)
+
+// ErrRelation is the per-item verdict after a failed batch is replayed
+// individually: these relations do not hold. Callers wrap it with their
+// scheme-level rejection (attribution is theirs — each Verify call
+// covers exactly one share's relations).
+var ErrRelation = errors.New("precompute: relation does not hold")
+
+// batchItem is one caller's pending verification: its relations and the
+// channel its verdict is delivered on.
+type batchItem struct {
+	g    group.Group
+	rels []group.Relation
+	done chan error
+}
+
+// BatchVerifier folds the linear relations of concurrently pending
+// proofs into one random-linear-combination multi-scalar multiplication
+// per group. Scheduling is caller-becomes-flusher single-flight: the
+// first caller to arrive while no flush is running drains the queue and
+// verifies for everyone; callers arriving mid-flush park their items
+// and are picked up by the next drain, so batches form exactly when the
+// engine is processing shares concurrently and a lone caller pays no
+// added latency. A failed batch is replayed item by item, preserving
+// per-share attribution. A nil *BatchVerifier verifies directly.
+type BatchVerifier struct {
+	rand io.Reader
+
+	mu       sync.Mutex
+	pending  []*batchItem
+	flushing bool
+
+	batches   atomic.Int64
+	relations atomic.Int64
+	fallbacks atomic.Int64
+	coalesced atomic.Int64
+	maxBatch  atomic.Int64
+}
+
+func newBatchVerifier(r io.Reader) *BatchVerifier {
+	if r == nil {
+		r = rand.Reader
+	}
+	return &BatchVerifier{rand: r}
+}
+
+// Verify checks that every relation holds, batching with whatever else
+// is pending. It blocks until this caller's verdict is known and
+// returns nil or ErrRelation.
+func (b *BatchVerifier) Verify(g group.Group, rels []group.Relation) error {
+	if len(rels) == 0 {
+		return nil
+	}
+	if b == nil {
+		return checkDirect(g, rels)
+	}
+	it := &batchItem{g: g, rels: rels, done: make(chan error, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	if b.flushing {
+		b.mu.Unlock()
+		return <-it.done
+	}
+	b.flushing = true
+	b.mu.Unlock()
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		b.pending = nil
+		if len(batch) == 0 {
+			b.flushing = false
+			b.mu.Unlock()
+			break
+		}
+		b.mu.Unlock()
+		b.flush(batch)
+	}
+	return <-it.done
+}
+
+func checkDirect(g group.Group, rels []group.Relation) error {
+	for _, rel := range rels {
+		if !rel.Holds(g) {
+			return ErrRelation
+		}
+	}
+	return nil
+}
+
+// flush verifies one drained batch: per distinct group, every pending
+// relation is scaled by a fresh 128-bit multiplier and folded into a
+// single multi-scalar multiplication. If the folded sum is the identity
+// all items pass (a forged share would need to guess the multipliers);
+// otherwise each item is replayed individually so exactly the bad
+// shares are rejected.
+func (b *BatchVerifier) flush(batch []*batchItem) {
+	b.batches.Add(1)
+	if n := int64(len(batch)); n > b.maxBatch.Load() {
+		b.maxBatch.Store(n)
+	}
+	if len(batch) > 1 {
+		b.coalesced.Add(int64(len(batch) - 1))
+	}
+	byGroup := make(map[string][]*batchItem)
+	groups := make(map[string]group.Group)
+	for _, it := range batch {
+		name := it.g.Name()
+		byGroup[name] = append(byGroup[name], it)
+		groups[name] = it.g
+		b.relations.Add(int64(len(it.rels)))
+	}
+	for name, items := range byGroup {
+		b.flushGroup(groups[name], items)
+	}
+}
+
+var batchMultiplierBound = new(big.Int).Lsh(big.NewInt(1), 128)
+
+func (b *BatchVerifier) flushGroup(g group.Group, items []*batchItem) {
+	var pts []group.Point
+	var scalars []*big.Int
+	order := g.Order()
+	for _, it := range items {
+		for _, rel := range it.rels {
+			r, err := mathutil.RandInt(b.rand, batchMultiplierBound)
+			if err != nil {
+				// No randomness, no RLC soundness: replay everything
+				// individually.
+				b.fallbackGroup(g, items)
+				return
+			}
+			r.Add(r, big.NewInt(1)) // never zero out a relation
+			for i, p := range rel.Points {
+				pts = append(pts, p)
+				scalars = append(scalars, mathutil.MulMod(rel.Scalars[i], r, order))
+			}
+		}
+	}
+	if group.MultiScalarMul(g, pts, scalars).IsIdentity() {
+		for _, it := range items {
+			it.done <- nil
+		}
+		return
+	}
+	b.fallbackGroup(g, items)
+}
+
+func (b *BatchVerifier) fallbackGroup(g group.Group, items []*batchItem) {
+	b.fallbacks.Add(1)
+	for _, it := range items {
+		it.done <- checkDirect(g, it.rels)
+	}
+}

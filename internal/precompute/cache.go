@@ -1,0 +1,110 @@
+package precompute
+
+import (
+	"math/big"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"thetacrypt/internal/share"
+)
+
+// coeffKey identifies one memoized Lagrange coefficient map. The subset
+// component is the canonical (sorted, deduped) index list rendered as a
+// string, so permutations of the same signer set hit the same entry.
+type coeffKey struct {
+	scheme string
+	keyID  string
+	epoch  int
+	subset string
+}
+
+// Cache memoizes Lagrange coefficient maps. Entries are immutable once
+// stored (callers must not mutate the returned maps); the cache is
+// bounded and evicts in insertion order.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[coeffKey]map[int]*big.Int
+	order   []coeffKey
+	cap     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newCache(cap int) *Cache {
+	return &Cache{entries: make(map[coeffKey]map[int]*big.Int), cap: cap}
+}
+
+func subsetString(canon []int) string {
+	var b strings.Builder
+	for i, idx := range canon {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	return b.String()
+}
+
+func (c *Cache) lagrange(scheme, keyID string, epoch int, subset []int, modulus *big.Int) (map[int]*big.Int, error) {
+	canon := share.CanonicalSubset(subset)
+	key := coeffKey{scheme: scheme, keyID: keyID, epoch: epoch, subset: subsetString(canon)}
+	c.mu.Lock()
+	if m, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return m, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	m, err := share.Coefficients(canon, modulus)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = m
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+// invalidate removes the named key's entries below keepEpoch.
+func (c *Cache) invalidate(scheme, keyID string, keepEpoch int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if k.scheme == scheme && k.keyID == keyID && k.epoch < keepEpoch {
+			delete(c.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	c.order = kept
+}
+
+// CoeffSource adapts one (scheme, key, epoch) view of the cache to
+// share.CoefficientSource. The zero value (nil cache) computes directly,
+// so callers can thread it unconditionally.
+type CoeffSource struct {
+	cache  *Cache
+	scheme string
+	keyID  string
+	epoch  int
+}
+
+// Lagrange implements share.CoefficientSource.
+func (s CoeffSource) Lagrange(subset []int, modulus *big.Int) (map[int]*big.Int, error) {
+	if s.cache == nil {
+		return share.Coefficients(subset, modulus)
+	}
+	return s.cache.lagrange(s.scheme, s.keyID, s.epoch, subset, modulus)
+}

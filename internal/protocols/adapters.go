@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"thetacrypt/internal/keys"
+	"thetacrypt/internal/precompute"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/bls04"
 	"thetacrypt/internal/schemes/bz03"
@@ -12,7 +13,19 @@ import (
 	"thetacrypt/internal/schemes/frost"
 	"thetacrypt/internal/schemes/sg02"
 	"thetacrypt/internal/schemes/sh00"
+	"thetacrypt/internal/share"
 )
+
+// Env carries the engine-owned cross-instance facilities into a
+// protocol instance: the precompute suite (coefficient cache, batch
+// verifier, nonce pool) and whether this node initiated the request
+// locally (a submission, as opposed to joining a peer's announcement).
+// The zero Env disables all of it — New uses it, so existing callers
+// get today's behavior unchanged.
+type Env struct {
+	Suite     *precompute.Suite
+	Initiator bool
+}
 
 // New instantiates the TRI protocol for a request, resolving the share
 // material by (scheme, key ID) in the node's keystore. It is the
@@ -27,6 +40,14 @@ import (
 // is wrapped so mesh sender indices translate to committee share
 // indices before the scheme sees them.
 func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
+	return NewWith(rand, store, req, Env{})
+}
+
+// NewWith is New threading the engine environment into the instance:
+// the precompute suite serves cached Lagrange coefficients, batches
+// share verification, and — for KG20 with a warm nonce pool — turns the
+// initiator's signing path into a single round.
+func NewWith(rand io.Reader, store *keys.Keystore, req Request, env Env) (Protocol, error) {
 	if req.Op == OpKeyGen {
 		return newKeygen(rand, store, req)
 	}
@@ -39,11 +60,20 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 		// members; the wrapper maps to the new committee).
 		return newReshare(rand, store, k, req)
 	}
+	if req.Op == OpPoolRefill {
+		// Refills run on every committee node, signer or not (public
+		// material suffices to observe commitments).
+		p, err := newPoolRefill(rand, k, req, env, k.MemberIndex(store.Index))
+		if err != nil {
+			return nil, err
+		}
+		return mapSenders(p, k), nil
+	}
 	if k.Share == nil {
 		return nil, fmt.Errorf("protocols: %w: %s/%s on node %d",
 			keys.ErrKeyNoShare, req.Scheme, k.ID, store.Index)
 	}
-	p, err := buildOp(rand, k, req)
+	p, err := buildOp(rand, k, req, env)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +82,12 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 
 // buildOp constructs the scheme protocol for a sign/decrypt/coin
 // request from resolved key material.
-func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
+func buildOp(rand io.Reader, k *keys.Key, req Request, env Env) (Protocol, error) {
+	// The coefficient source is scoped to this key's epoch: a reshare
+	// changes the epoch and with it every cache key, so stale
+	// coefficients are structurally unreachable.
+	src := env.Suite.Coefficients(string(k.Scheme), k.ID, k.Epoch)
+	batch := env.Suite.Verifier()
 	switch {
 	case req.Scheme == schemes.SG02 && req.Op == OpDecrypt:
 		pk, ks, err := material[*sg02.PublicKey, sg02.KeyShare](k)
@@ -64,6 +99,7 @@ func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
 			return nil, fmt.Errorf("protocols: %w", err)
 		}
 		return newNonInteractive(rand, &sg02Adapter{pk: pk, ks: ks, ct: ct,
+			src: src, batch: batch,
 			shares: make(map[int]*sg02.DecShare)}), nil
 
 	case req.Scheme == schemes.BZ03 && req.Op == OpDecrypt:
@@ -92,6 +128,7 @@ func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
 			return nil, err
 		}
 		return newNonInteractive(rand, &bls04Adapter{pk: pk, ks: ks, msg: req.Payload,
+			src:    src,
 			shares: make(map[int]*bls04.SigShare)}), nil
 
 	case req.Scheme == schemes.CKS05 && req.Op == OpCoin:
@@ -100,6 +137,7 @@ func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
 			return nil, err
 		}
 		return newNonInteractive(rand, &cks05Adapter{pk: pk, ks: ks, name: req.Payload,
+			src: src, batch: batch,
 			shares: make(map[int]*cks05.CoinShare)}), nil
 
 	case req.Scheme == schemes.KG20 && req.Op == OpSign:
@@ -107,7 +145,12 @@ func buildOp(rand io.Reader, k *keys.Key, req Request) (Protocol, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewFrost(rand, pk, ks, req.Payload, nil, nil), nil
+		return newFrostWith(rand, pk, ks, req.Payload, frostEnv{
+			src: src, batch: batch,
+			pool:   env.Suite.NoncePool(),
+			scheme: string(k.Scheme), keyID: k.ID, epoch: k.Epoch,
+			initiator: env.Initiator,
+		}), nil
 
 	default:
 		return nil, fmt.Errorf("protocols: scheme %q does not support operation %q", req.Scheme, req.Op)
@@ -189,6 +232,8 @@ type sg02Adapter struct {
 	pk     *sg02.PublicKey
 	ks     sg02.KeyShare
 	ct     *sg02.Ciphertext
+	src    share.CoefficientSource
+	batch  *precompute.BatchVerifier
 	shares map[int]*sg02.DecShare
 }
 
@@ -208,8 +253,16 @@ func (a *sg02Adapter) OnShare(sender int, payload []byte) error {
 	if ds.Index != sender {
 		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, ds.Index, sender)
 	}
-	if err := sg02.VerifyShare(a.pk, a.ct, ds); err != nil {
+	// The cheap structural work runs eagerly; the point equations join
+	// the engine's shared verification batch (or run directly when no
+	// batch verifier is threaded in). A failed batch replays items
+	// individually, so this share's verdict stays its own.
+	rels, err := sg02.ShareRelations(a.pk, a.ct, ds)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if err := a.batch.Verify(a.pk.Group, rels); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, sg02.ErrInvalidShare)
 	}
 	a.shares[ds.Index] = ds
 	return nil
@@ -222,7 +275,7 @@ func (a *sg02Adapter) Combine() ([]byte, error) {
 	for _, ds := range a.shares {
 		dss = append(dss, ds)
 	}
-	return sg02.Combine(a.pk, a.ct, dss)
+	return sg02.CombineWith(a.src, a.pk, a.ct, dss)
 }
 
 // bz03Adapter plugs the BZ03 threshold cipher into the single-round
@@ -319,6 +372,7 @@ type bls04Adapter struct {
 	pk     *bls04.PublicKey
 	ks     bls04.KeyShare
 	msg    []byte
+	src    share.CoefficientSource
 	shares map[int]*bls04.SigShare
 }
 
@@ -348,7 +402,7 @@ func (a *bls04Adapter) Combine() ([]byte, error) {
 	for _, ss := range a.shares {
 		sss = append(sss, ss)
 	}
-	sig, err := bls04.Combine(a.pk, a.msg, sss)
+	sig, err := bls04.CombineWith(a.src, a.pk, a.msg, sss)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +414,8 @@ type cks05Adapter struct {
 	pk     *cks05.PublicKey
 	ks     cks05.KeyShare
 	name   []byte
+	src    share.CoefficientSource
+	batch  *precompute.BatchVerifier
 	shares map[int]*cks05.CoinShare
 }
 
@@ -379,8 +435,12 @@ func (a *cks05Adapter) OnShare(sender int, payload []byte) error {
 	if cs.Index != sender {
 		return fmt.Errorf("%w: share index %d from sender %d", ErrShareRejected, cs.Index, sender)
 	}
-	if err := cks05.VerifyShare(a.pk, a.name, cs); err != nil {
+	rels, err := cks05.ShareRelations(a.pk, a.name, cs)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrShareRejected, err)
+	}
+	if err := a.batch.Verify(a.pk.Group, rels); err != nil {
+		return fmt.Errorf("%w: %v", ErrShareRejected, cks05.ErrInvalidShare)
 	}
 	a.shares[cs.Index] = cs
 	return nil
@@ -393,5 +453,5 @@ func (a *cks05Adapter) Combine() ([]byte, error) {
 	for _, cs := range a.shares {
 		css = append(css, cs)
 	}
-	return cks05.Combine(a.pk, a.name, css)
+	return cks05.CombineWith(a.src, a.pk, a.name, css)
 }

@@ -73,6 +73,7 @@ var (
 	_ api.Service     = (*Router)(nil)
 	_ api.BatchWaiter = (*Router)(nil)
 	_ api.EachWaiter  = (*Router)(nil)
+	_ api.KeyFetcher  = (*Router)(nil)
 )
 
 // New creates a router over the given committees. Backends without a
@@ -529,6 +530,23 @@ func (r *Router) Info(ctx context.Context) (api.Info, error) {
 	}
 	merged.Keys = r.mergeKeyLists(lists)
 	return merged, nil
+}
+
+// Key resolves the committee holding the named key and fetches its
+// metadata from there, so the router answers single-key lookups with
+// the same 404 vocabulary as a single committee: unknown schemes are
+// scheme_unknown, keys no committee holds are key_unknown
+// (api.KeyFetcher).
+func (r *Router) Key(ctx context.Context, scheme schemes.ID, keyID string) (api.KeyInfo, error) {
+	if _, err := schemes.Lookup(scheme); err != nil {
+		return api.KeyInfo{}, api.Errf(api.CodeSchemeUnknown, "%v", err)
+	}
+	idx, ok := r.ownerOf(ctx, scheme, keyID)
+	if !ok {
+		return api.KeyInfo{}, api.Errf(api.CodeKeyUnknown, "no committee holds key %s/%s",
+			scheme, effectiveKeyID(keyID))
+	}
+	return api.FetchKey(ctx, r.backends[idx].Service, scheme, keyID)
 }
 
 // Keys lists the union of the committees' keychains, deduplicated by

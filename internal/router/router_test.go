@@ -418,3 +418,45 @@ func TestKeysUnionShadowsDuplicates(t *testing.T) {
 		t.Fatalf("duplicate key routed to (a=%d, b=%d), want (1, 0)", len(a.submitted), len(b.submitted))
 	}
 }
+
+func TestKeyResolvesOwningCommittee(t *testing.T) {
+	_, _, rt := twoCommittees()
+	ctx := context.Background()
+
+	// Each shard's key is fetched from its owning committee.
+	k0, err := rt.Key(ctx, schemes.SG02, "shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0.KeyID != "shard-0" {
+		t.Fatalf("fetched %+v", k0)
+	}
+	k1, err := rt.Key(ctx, schemes.SG02, "shard-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.KeyID != "shard-1" {
+		t.Fatalf("fetched %+v", k1)
+	}
+
+	// A key nobody holds is key_unknown; a scheme outside the registry
+	// is scheme_unknown, checked before placement.
+	if _, err := rt.Key(ctx, schemes.SG02, "no-such"); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("unknown key: %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := rt.Key(ctx, "NOPE", "shard-0"); api.CodeOf(err) != api.CodeSchemeUnknown {
+		t.Fatalf("unknown scheme: %v (code %s)", err, api.CodeOf(err))
+	}
+
+	// A reshare through the router is visible in the fetched epoch.
+	if _, err := rt.ReshareKey(ctx, schemes.SG02, "shard-1", api.ReshareOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	k1, err = rt.Key(ctx, schemes.SG02, "shard-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Epoch != 2 {
+		t.Fatalf("post-reshare fetch epoch %d, want 2", k1.Epoch)
+	}
+}

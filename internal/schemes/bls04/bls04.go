@@ -95,6 +95,14 @@ func VerifyShare(pk *PublicKey, msg []byte, ss *SigShare) error {
 // Combine interpolates t+1 signature shares in G1 and verifies the
 // result against the group public key (the paper's result verification).
 func Combine(pk *PublicKey, msg []byte, shares []*SigShare) (*Signature, error) {
+	return CombineWith(nil, pk, msg, shares)
+}
+
+// CombineWith is Combine drawing Lagrange coefficients from src (nil
+// selects direct computation). The pairing group cannot join the
+// precompute layer's multi-scalar batches, but the coefficient cache
+// still amortizes repeated signer subsets.
+func CombineWith(src share.CoefficientSource, pk *PublicKey, msg []byte, shares []*SigShare) (*Signature, error) {
 	if len(shares) < pk.T+1 {
 		return nil, share.ErrNotEnoughShares
 	}
@@ -112,11 +120,15 @@ func Combine(pk *PublicKey, msg []byte, shares []*SigShare) (*Signature, error) 
 	for idx := range chosen {
 		subset = append(subset, idx)
 	}
+	coeffs, err := share.SourceOrDirect(src).Lagrange(subset, pairing.Order())
+	if err != nil {
+		return nil, err
+	}
 	acc := pairing.G1Identity()
 	for idx, s := range chosen {
-		lambda, err := share.LagrangeCoefficient(idx, subset, pairing.Order())
-		if err != nil {
-			return nil, err
+		lambda, ok := coeffs[idx]
+		if !ok {
+			return nil, fmt.Errorf("bls04: signer %d missing from coefficient map", idx)
 		}
 		acc = acc.Add(s.Mul(lambda))
 	}

@@ -91,22 +91,45 @@ func Share(rand io.Reader, pk *PublicKey, ks KeyShare, name []byte) (*CoinShare,
 // VerifyShare checks a coin share against the issuing party's
 // verification key.
 func VerifyShare(pk *PublicKey, name []byte, cs *CoinShare) error {
+	rels, err := ShareRelations(pk, name, cs)
+	if err != nil {
+		return err
+	}
+	for _, rel := range rels {
+		if !rel.Holds(pk.Group) {
+			return ErrInvalidShare
+		}
+	}
+	return nil
+}
+
+// ShareRelations does the structural checks and challenge recomputation
+// eagerly and returns the linear point relations completing share
+// verification, for the batch verifier to fold across shares.
+func ShareRelations(pk *PublicKey, name []byte, cs *CoinShare) ([]group.Relation, error) {
 	if cs == nil || cs.Sigma == nil || cs.Index < 1 || cs.Index > pk.N {
-		return ErrInvalidShare
+		return nil, ErrInvalidShare
 	}
 	g := pk.Group
 	base := coinBase(g, name)
-	if !zkp.VerifyDLEQ(g, "cks05/share",
-		g.Generator(), pk.VK[cs.Index-1], base, cs.Sigma, cs.Proof, name) {
-		return ErrInvalidShare
+	rels, err := zkp.DLEQRelations(g, "cks05/share",
+		g.Generator(), pk.VK[cs.Index-1], base, cs.Sigma, cs.Proof, name)
+	if err != nil {
+		return nil, ErrInvalidShare
 	}
-	return nil
+	return rels, nil
 }
 
 // Combine interpolates t+1 coin shares into Ĥ(C)^x and hashes it to the
 // coin value. Shares must have been verified; the combine is
 // deterministic, so all correct parties derive the same value.
 func Combine(pk *PublicKey, name []byte, css []*CoinShare) ([]byte, error) {
+	return CombineWith(nil, pk, name, css)
+}
+
+// CombineWith is Combine drawing Lagrange coefficients from src (nil
+// selects direct computation).
+func CombineWith(src share.CoefficientSource, pk *PublicKey, name []byte, css []*CoinShare) ([]byte, error) {
 	if len(css) < pk.T+1 {
 		return nil, share.ErrNotEnoughShares
 	}
@@ -120,7 +143,7 @@ func Combine(pk *PublicKey, name []byte, css []*CoinShare) ([]byte, error) {
 	if len(points) < pk.T+1 {
 		return nil, share.ErrDuplicateIndex
 	}
-	sigma, err := share.InterpolateInExponent(pk.Group, points)
+	sigma, err := share.InterpolateInExponentWith(src, pk.Group, points)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +187,7 @@ func UnmarshalCoinShare(g group.Group, data []byte) (*CoinShare, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cks05 share sigma: %w", err)
 	}
-	proof, err := zkp.UnmarshalDLEQ(proofRaw)
+	proof, err := zkp.UnmarshalDLEQ(g, proofRaw)
 	if err != nil {
 		return nil, fmt.Errorf("cks05 share proof: %w", err)
 	}

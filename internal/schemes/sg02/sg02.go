@@ -181,21 +181,47 @@ func DecryptShare(rand io.Reader, pk *PublicKey, ks KeyShare, ct *Ciphertext) (*
 // VerifyShare checks a decryption share against the ciphertext and the
 // issuing party's verification key.
 func VerifyShare(pk *PublicKey, ct *Ciphertext, ds *DecShare) error {
-	if ds == nil || ds.U == nil || ds.Index < 1 || ds.Index > pk.N {
-		return ErrInvalidShare
+	rels, err := ShareRelations(pk, ct, ds)
+	if err != nil {
+		return err
 	}
-	g := pk.Group
-	if !zkp.VerifyDLEQ(g, "sg02/share",
-		g.Generator(), pk.VK[ds.Index-1], ct.U, ds.U, ds.Proof, ct.EncKey) {
-		return ErrInvalidShare
+	for _, rel := range rels {
+		if !rel.Holds(pk.Group) {
+			return ErrInvalidShare
+		}
 	}
 	return nil
+}
+
+// ShareRelations performs the structural checks and Fiat-Shamir
+// recomputation of share verification eagerly and returns the linear
+// point relations whose truth completes it — the batch-verification
+// split: a batch verifier folds many shares' relations into one
+// multi-scalar multiplication.
+func ShareRelations(pk *PublicKey, ct *Ciphertext, ds *DecShare) ([]group.Relation, error) {
+	if ds == nil || ds.U == nil || ds.Index < 1 || ds.Index > pk.N {
+		return nil, ErrInvalidShare
+	}
+	g := pk.Group
+	rels, err := zkp.DLEQRelations(g, "sg02/share",
+		g.Generator(), pk.VK[ds.Index-1], ct.U, ds.U, ds.Proof, ct.EncKey)
+	if err != nil {
+		return nil, ErrInvalidShare
+	}
+	return rels, nil
 }
 
 // Combine interpolates t+1 verified decryption shares into h^r, unwraps
 // the data-encapsulation key, and opens the payload. The AEAD tag is the
 // result verification: a wrong combination cannot authenticate.
 func Combine(pk *PublicKey, ct *Ciphertext, dss []*DecShare) ([]byte, error) {
+	return CombineWith(nil, pk, ct, dss)
+}
+
+// CombineWith is Combine drawing Lagrange coefficients from src (nil
+// selects direct computation), letting the precompute layer's
+// epoch-scoped cache serve repeated signer subsets.
+func CombineWith(src share.CoefficientSource, pk *PublicKey, ct *Ciphertext, dss []*DecShare) ([]byte, error) {
 	if err := VerifyCiphertext(pk, ct); err != nil {
 		return nil, err
 	}
@@ -212,7 +238,7 @@ func Combine(pk *PublicKey, ct *Ciphertext, dss []*DecShare) ([]byte, error) {
 	if len(points) < pk.T+1 {
 		return nil, share.ErrDuplicateIndex
 	}
-	hr, err := share.InterpolateInExponent(pk.Group, points)
+	hr, err := share.InterpolateInExponentWith(src, pk.Group, points)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +316,7 @@ func UnmarshalDecShare(g group.Group, data []byte) (*DecShare, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sg02 share U: %w", err)
 	}
-	proof, err := zkp.UnmarshalDLEQ(proofRaw)
+	proof, err := zkp.UnmarshalDLEQ(g, proofRaw)
 	if err != nil {
 		return nil, fmt.Errorf("sg02 share proof: %w", err)
 	}

@@ -45,6 +45,7 @@ func NewFront(svc api.Service) *Front {
 	f.mux.HandleFunc("POST /v2/scheme/encrypt", f.handleEncrypt)
 	f.mux.HandleFunc("GET /v2/info", f.handleInfo)
 	f.mux.HandleFunc("GET /v2/keys", f.handleKeys)
+	f.mux.HandleFunc("GET /v2/keys/{scheme}/{id}", f.handleKey)
 	f.mux.HandleFunc("POST /v2/keys", f.handleGenerateKey)
 	f.mux.HandleFunc("POST /v2/keys/{id}/reshare", f.handleReshareKey)
 	return f
@@ -280,6 +281,23 @@ func (f *Front) handleKeys(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.KeysResponse{Keys: list})
+}
+
+// handleKey resolves one named key (GET /v2/keys/{scheme}/{id}) through
+// the Service's direct lookup when it has one, else by filtering the
+// listing — same 404 grammar as the engine-backed Server.
+func (f *Front) handleKey(w http.ResponseWriter, r *http.Request) {
+	id := schemes.ID(r.PathValue("scheme"))
+	if _, err := schemes.Lookup(id); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeSchemeUnknown, "%v", err))
+		return
+	}
+	info, err := api.FetchKey(r.Context(), f.svc, id, r.PathValue("id"))
+	if err != nil {
+		writeErrorV2(w, asAPIError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.KeyResponse{Key: info})
 }
 
 // handleGenerateKey pre-assigns the key ID through the shared keygen

@@ -62,6 +62,7 @@ func (s *Server) registerV2() {
 	s.mux.HandleFunc("POST /v2/scheme/encrypt", s.handleEncryptV2)
 	s.mux.HandleFunc("GET /v2/info", s.handleInfoV2)
 	s.mux.HandleFunc("GET /v2/keys", s.handleKeysV2)
+	s.mux.HandleFunc("GET /v2/keys/{scheme}/{id}", s.handleKeyV2)
 	s.mux.HandleFunc("POST /v2/keys", s.handleGenerateKeyV2)
 	s.mux.HandleFunc("POST /v2/keys/{id}/reshare", s.handleReshareKeyV2)
 }
@@ -410,6 +411,23 @@ func (s *Server) handleInfoV2(w http.ResponseWriter, _ *http.Request) {
 // handleKeysV2 lists the node's keychain (GET /v2/keys).
 func (s *Server) handleKeysV2(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.KeysResponse{Keys: api.KeyInfosOf(s.keys.List())})
+}
+
+// handleKeyV2 resolves one named key (GET /v2/keys/{scheme}/{id}):
+// scheme_unknown for a scheme outside the registry, key_unknown for a
+// key the node does not hold, both 404.
+func (s *Server) handleKeyV2(w http.ResponseWriter, r *http.Request) {
+	id := schemes.ID(r.PathValue("scheme"))
+	if _, err := schemes.Lookup(id); err != nil {
+		writeErrorV2(w, api.Errf(api.CodeSchemeUnknown, "%v", err))
+		return
+	}
+	info, e := api.KeyInfoFromStore(s.keys, id, r.PathValue("id"))
+	if e != nil {
+		writeErrorV2(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.KeyResponse{Key: info})
 }
 
 // handleGenerateKeyV2 starts a distributed key generation

@@ -622,6 +622,71 @@ func TestKeysEndpoints(t *testing.T) {
 	_ = nodes
 }
 
+// TestSingleKeyEndpoint pins the raw HTTP contract of
+// GET /v2/keys/{scheme}/{id}: 200 with the key's full record, 404
+// key_unknown for a key the node does not hold, 400 scheme_unknown for
+// a scheme outside the registry — and the client SDK's Key() speaking
+// exactly that endpoint.
+func TestSingleKeyEndpoint(t *testing.T) {
+	clients, nodes, counters := testServiceV2(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	base := clientBase(t, clients[0])
+
+	var kr api.KeyResponse
+	getJSON(t, base+"/v2/keys/SG02/"+keys.DefaultKeyID, &kr)
+	want, e := api.KeyInfoFromStore(nodes[0], schemes.SG02, "")
+	if e != nil {
+		t.Fatal(e)
+	}
+	if kr.Key.Scheme != want.Scheme || kr.Key.KeyID != want.KeyID || kr.Key.Epoch != want.Epoch ||
+		!kr.Key.Default || string(kr.Key.PublicKey) != string(want.PublicKey) {
+		t.Fatalf("single-key body %+v, want %+v", kr.Key, want)
+	}
+
+	resp, err := http.Get(base + "/v2/keys/SG02/no-such")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || eb.Error == nil || eb.Error.Code != api.CodeKeyUnknown {
+		t.Fatalf("unknown key: status %d body %+v", resp.StatusCode, eb)
+	}
+
+	resp, err = http.Get(base + "/v2/keys/NOPE/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb = api.ErrorResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error == nil || eb.Error.Code != api.CodeSchemeUnknown {
+		t.Fatalf("unknown scheme: status %d body %+v", resp.StatusCode, eb)
+	}
+
+	// The SDK's Key() resolves with ONE round-trip, not a listing fetch.
+	before := counters[0].n.Load()
+	got, err := clients[0].Key(ctx, schemes.SG02, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trips := counters[0].n.Load() - before; trips != 1 {
+		t.Fatalf("client Key() used %d round-trips, want 1", trips)
+	}
+	if got.KeyID != want.KeyID || string(got.PublicKey) != string(want.PublicKey) {
+		t.Fatalf("client Key() %+v, want %+v", got, want)
+	}
+	if _, err := clients[0].Key(ctx, schemes.SG02, "no-such"); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("client unknown key: %v (code %s)", err, api.CodeOf(err))
+	}
+}
+
 // clientBase recovers the HTTP base URL a fixture client targets, for
 // raw-HTTP assertions on statuses and bodies.
 func clientBase(t *testing.T, c *client.Client) string {

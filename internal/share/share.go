@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 
 	"thetacrypt/internal/group"
 	"thetacrypt/internal/mathutil"
@@ -111,13 +112,35 @@ func Split(rand io.Reader, secret *big.Int, t, n int, modulus *big.Int) ([]Share
 	return poly.Shares(n), nil
 }
 
+// CanonicalSubset is the single canonicalization point for signer/share
+// index subsets: a strictly ascending copy of subset with duplicates
+// removed. Callers reach interpolation with subsets in whatever order
+// they were collected (map iteration, network arrival); canonicalizing
+// here guarantees that equivalent sets produce identical coefficient
+// maps, identical operation order, and — for the precompute layer —
+// identical cache keys.
+func CanonicalSubset(subset []int) []int {
+	out := make([]int, len(subset))
+	copy(out, subset)
+	sort.Ints(out)
+	dedup := out[:0]
+	for i, k := range out {
+		if i == 0 || k != out[i-1] {
+			dedup = append(dedup, k)
+		}
+	}
+	return dedup
+}
+
 // LagrangeCoefficient computes λ_j = Π_{k∈S, k≠j} k/(k-j) mod q, the
 // weight of share j when interpolating f(0) from the index subset S.
+// The subset is canonicalized, so permutations of the same set are
+// indistinguishable to this function.
 func LagrangeCoefficient(j int, subset []int, modulus *big.Int) (*big.Int, error) {
 	num := big.NewInt(1)
 	den := big.NewInt(1)
 	seen := false
-	for _, k := range subset {
+	for _, k := range CanonicalSubset(subset) {
 		if k == j {
 			seen = true
 			continue
@@ -135,6 +158,48 @@ func LagrangeCoefficient(j int, subset []int, modulus *big.Int) (*big.Int, error
 		return nil, fmt.Errorf("lagrange denominator: %w", err)
 	}
 	return mathutil.MulMod(num, dinv, modulus), nil
+}
+
+// Coefficients computes the full coefficient map λ_j for every j of the
+// canonicalized subset — the direct (uncached) CoefficientSource.
+func Coefficients(subset []int, modulus *big.Int) (map[int]*big.Int, error) {
+	canon := CanonicalSubset(subset)
+	out := make(map[int]*big.Int, len(canon))
+	for _, j := range canon {
+		lambda, err := LagrangeCoefficient(j, canon, modulus)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = lambda
+	}
+	return out, nil
+}
+
+// CoefficientSource supplies the Lagrange coefficient map of an index
+// subset. The direct implementation recomputes per call; the precompute
+// layer provides a cached source keyed by (scheme, key, epoch, subset).
+// Callers must treat the returned map and its values as read-only.
+type CoefficientSource interface {
+	Lagrange(subset []int, modulus *big.Int) (map[int]*big.Int, error)
+}
+
+type directSource struct{}
+
+func (directSource) Lagrange(subset []int, modulus *big.Int) (map[int]*big.Int, error) {
+	return Coefficients(subset, modulus)
+}
+
+// DirectCoefficients is the uncached CoefficientSource: every call
+// recomputes the coefficient map.
+var DirectCoefficients CoefficientSource = directSource{}
+
+// SourceOrDirect resolves the nil CoefficientSource to the direct one,
+// so plumbing can pass nil for "no cache".
+func SourceOrDirect(src CoefficientSource) CoefficientSource {
+	if src == nil {
+		return DirectCoefficients
+	}
+	return src
 }
 
 // Reconstruct interpolates f(0) from at least t+1 distinct shares.
@@ -168,6 +233,15 @@ func Reconstruct(shares []Share, t int, modulus *big.Int) (*big.Int, error) {
 // f(0)*G using Lagrange coefficients, the core of every threshold
 // combine step. points maps share index to group element.
 func InterpolateInExponent(g group.Group, points map[int]group.Point) (group.Point, error) {
+	return InterpolateInExponentWith(nil, g, points)
+}
+
+// InterpolateInExponentWith is InterpolateInExponent drawing its
+// coefficients from src (nil selects the direct source). The subset is
+// canonicalized before the lookup, so equivalent point maps — collected
+// in any order — hit the same cache entry and combine in the same
+// order; the interpolation itself is one multi-scalar multiplication.
+func InterpolateInExponentWith(src CoefficientSource, g group.Group, points map[int]group.Point) (group.Point, error) {
 	if len(points) == 0 {
 		return nil, ErrNotEnoughShares
 	}
@@ -175,15 +249,22 @@ func InterpolateInExponent(g group.Group, points map[int]group.Point) (group.Poi
 	for idx := range points {
 		subset = append(subset, idx)
 	}
-	acc := g.Identity()
-	for idx, pt := range points {
-		lambda, err := LagrangeCoefficient(idx, subset, g.Order())
-		if err != nil {
-			return nil, err
-		}
-		acc = acc.Add(pt.Mul(lambda))
+	subset = CanonicalSubset(subset)
+	coeffs, err := SourceOrDirect(src).Lagrange(subset, g.Order())
+	if err != nil {
+		return nil, err
 	}
-	return acc, nil
+	pts := make([]group.Point, len(subset))
+	scalars := make([]*big.Int, len(subset))
+	for i, idx := range subset {
+		lambda, ok := coeffs[idx]
+		if !ok {
+			return nil, fmt.Errorf("share: coefficient source omitted index %d", idx)
+		}
+		pts[i] = points[idx]
+		scalars[i] = lambda
+	}
+	return group.MultiScalarMul(g, pts, scalars), nil
 }
 
 // FeldmanCommitment is the public commitment A_i = a_i*G to each

@@ -226,3 +226,57 @@ func TestIntegerLagrangeUnknownIndex(t *testing.T) {
 		t.Fatal("index outside subset must error")
 	}
 }
+
+func TestCanonicalSubset(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{nil, []int{}},
+		{[]int{}, []int{}},
+		{[]int{3}, []int{3}},
+		{[]int{3, 1, 2}, []int{1, 2, 3}},
+		{[]int{2, 1, 2, 3, 1}, []int{1, 2, 3}},
+		{[]int{5, 5, 5}, []int{5}},
+	}
+	for _, c := range cases {
+		got := CanonicalSubset(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("CanonicalSubset(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("CanonicalSubset(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	// The input slice is never mutated.
+	in := []int{4, 2, 4, 1}
+	CanonicalSubset(in)
+	if in[0] != 4 || in[1] != 2 || in[2] != 4 || in[3] != 1 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSourceOrDirectMatchesCoefficients(t *testing.T) {
+	src := SourceOrDirect(nil)
+	if src == nil {
+		t.Fatal("SourceOrDirect(nil) returned nil")
+	}
+	subset := []int{3, 1, 2}
+	viaSource, err := src.Lagrange(subset, testModulus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Coefficients(subset, testModulus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaSource) != len(direct) {
+		t.Fatalf("coefficient map sizes differ: %d vs %d", len(viaSource), len(direct))
+	}
+	for idx, want := range direct {
+		if got := viaSource[idx]; got == nil || got.Cmp(want) != 0 {
+			t.Fatalf("coefficient for index %d differs", idx)
+		}
+	}
+}

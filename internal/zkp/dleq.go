@@ -4,6 +4,15 @@
 // transform. SG02 uses DLEQ for decryption-share correctness, CKS05 for
 // coin-share correctness, and SH00 uses the RSA analogue implemented in
 // the sh00 package.
+//
+// Proofs are stored in commitment form (A1, A2, F) rather than
+// challenge form (E, F): the challenge is recomputable from the
+// commitments, and verification then reduces to two LINEAR point
+// equations — F*g1 - A1 - e*h1 == 0 and F*g2 - A2 - e*h2 == 0 — which
+// the precompute layer folds across many proofs into one random-linear-
+// combination multi-scalar multiplication (batch verification). The
+// challenge-form proof cannot be batched: recomputing the challenge
+// needs the commitments as hash inputs.
 package zkp
 
 import (
@@ -17,10 +26,12 @@ import (
 )
 
 // DLEQProof proves knowledge of x with h1 = x*g1 and h2 = x*g2 without
-// revealing x. E is the Fiat-Shamir challenge, F the response.
+// revealing x. A1, A2 are the prover's nonce commitments (s*g1, s*g2)
+// and F the response s + x*e for the Fiat-Shamir challenge e.
 type DLEQProof struct {
-	E *big.Int
-	F *big.Int
+	A1 group.Point
+	A2 group.Point
+	F  *big.Int
 }
 
 // ProveDLEQ produces a proof bound to a domain string and an optional
@@ -35,23 +46,45 @@ func ProveDLEQ(rand io.Reader, g group.Group, domain string, g1, h1, g2, h2 grou
 	e := challenge(g, domain, g1, h1, g2, h2, a1, a2, transcript)
 	// f = s + x*e mod q
 	f := mathutil.AddMod(s, mathutil.MulMod(x, e, g.Order()), g.Order())
-	return &DLEQProof{E: e, F: f}, nil
+	return &DLEQProof{A1: a1, A2: a2, F: f}, nil
 }
 
 // VerifyDLEQ checks a proof against the same domain and transcript.
 func VerifyDLEQ(g group.Group, domain string, g1, h1, g2, h2 group.Point, proof *DLEQProof, transcript ...[]byte) bool {
-	if proof == nil || proof.E == nil || proof.F == nil {
+	rels, err := DLEQRelations(g, domain, g1, h1, g2, h2, proof, transcript...)
+	if err != nil {
 		return false
 	}
-	if proof.E.Sign() < 0 || proof.E.Cmp(g.Order()) >= 0 ||
-		proof.F.Sign() < 0 || proof.F.Cmp(g.Order()) >= 0 {
-		return false
+	for _, rel := range rels {
+		if !rel.Holds(g) {
+			return false
+		}
 	}
-	// a1 = f*g1 - e*h1 ; a2 = f*g2 - e*h2
-	a1 := g1.Mul(proof.F).Add(h1.Mul(proof.E).Neg())
-	a2 := g2.Mul(proof.F).Add(h2.Mul(proof.E).Neg())
-	e := challenge(g, domain, g1, h1, g2, h2, a1, a2, transcript)
-	return e.Cmp(proof.E) == 0
+	return true
+}
+
+// DLEQRelations performs the cheap part of verification eagerly — the
+// structural checks and the Fiat-Shamir challenge recomputation — and
+// returns the two linear point relations whose truth is equivalent to
+// the proof verifying. Callers either check them directly (VerifyDLEQ)
+// or hand them to a batch verifier that folds many proofs' relations
+// into one multi-scalar multiplication.
+func DLEQRelations(g group.Group, domain string, g1, h1, g2, h2 group.Point, proof *DLEQProof, transcript ...[]byte) ([]group.Relation, error) {
+	if proof == nil || proof.A1 == nil || proof.A2 == nil || proof.F == nil {
+		return nil, fmt.Errorf("zkp: malformed dleq proof")
+	}
+	if proof.F.Sign() < 0 || proof.F.Cmp(g.Order()) >= 0 {
+		return nil, fmt.Errorf("zkp: dleq response out of range")
+	}
+	e := challenge(g, domain, g1, h1, g2, h2, proof.A1, proof.A2, transcript)
+	// F*g1 - A1 - e*h1 == 0 and F*g2 - A2 - e*h2 == 0.
+	negOne := new(big.Int).Sub(g.Order(), big.NewInt(1))
+	negE := new(big.Int).Sub(g.Order(), e)
+	negE.Mod(negE, g.Order())
+	return []group.Relation{
+		{Points: []group.Point{g1, proof.A1, h1}, Scalars: []*big.Int{proof.F, negOne, negE}},
+		{Points: []group.Point{g2, proof.A2, h2}, Scalars: []*big.Int{proof.F, negOne, negE}},
+	}, nil
 }
 
 func challenge(g group.Group, domain string, g1, h1, g2, h2, a1, a2 group.Point, transcript [][]byte) *big.Int {
@@ -63,16 +96,25 @@ func challenge(g group.Group, domain string, g1, h1, g2, h2, a1, a2 group.Point,
 
 // Marshal encodes a proof.
 func (p *DLEQProof) Marshal() []byte {
-	return wire.NewWriter().BigInt(p.E).BigInt(p.F).Out()
+	return wire.NewWriter().Bytes(p.A1.Marshal()).Bytes(p.A2.Marshal()).BigInt(p.F).Out()
 }
 
-// UnmarshalDLEQ decodes a proof.
-func UnmarshalDLEQ(data []byte) (*DLEQProof, error) {
+// UnmarshalDLEQ decodes a proof over the given group.
+func UnmarshalDLEQ(g group.Group, data []byte) (*DLEQProof, error) {
 	r := wire.NewReader(data)
-	e := r.BigInt()
+	a1Raw := r.Bytes()
+	a2Raw := r.Bytes()
 	f := r.BigInt()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	return &DLEQProof{E: e, F: f}, nil
+	a1, err := g.UnmarshalPoint(a1Raw)
+	if err != nil {
+		return nil, fmt.Errorf("dleq commitment A1: %w", err)
+	}
+	a2, err := g.UnmarshalPoint(a2Raw)
+	if err != nil {
+		return nil, fmt.Errorf("dleq commitment A2: %w", err)
+	}
+	return &DLEQProof{A1: a1, A2: a2, F: f}, nil
 }

@@ -132,6 +132,32 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 		}
 	}
 
+	// Single-key fetch: every implementation answers GET-one-key with
+	// the same record the listing carries, and misses use the typed 404
+	// vocabulary (scheme_unknown before key_unknown).
+	kf, ok := svc.(api.KeyFetcher)
+	if !ok {
+		t.Fatalf("%T does not implement api.KeyFetcher", svc)
+	}
+	one, err := kf.Key(ctx, thetacrypt.SG02, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Scheme != string(thetacrypt.SG02) || one.KeyID != thetacrypt.DefaultKeyID || !one.Default || len(one.PublicKey) == 0 {
+		t.Fatalf("single-key fetch: %+v", one)
+	}
+	for _, k := range listed {
+		if k.Scheme == one.Scheme && k.KeyID == one.KeyID && !sameKeyLists([]thetacrypt.KeyInfo{one}, []thetacrypt.KeyInfo{k}) {
+			t.Fatalf("single-key fetch diverges from listing: %+v vs %+v", one, k)
+		}
+	}
+	if _, err := kf.Key(ctx, thetacrypt.SG02, "no-such-key"); api.CodeOf(err) != api.CodeKeyUnknown {
+		t.Fatalf("unknown key fetch: got %v (code %s)", err, api.CodeOf(err))
+	}
+	if _, err := kf.Key(ctx, "NOPE", ""); api.CodeOf(err) != api.CodeSchemeUnknown {
+		t.Fatalf("unknown scheme fetch: got %v (code %s)", err, api.CodeOf(err))
+	}
+
 	// Scheme API + protocol API round-trip under the default key.
 	secret := []byte("interface-portable secret")
 	ct, err := svc.Encrypt(ctx, thetacrypt.SG02, "", secret, []byte("L"))
@@ -187,6 +213,14 @@ func exercise(t *testing.T, svc thetacrypt.Service) {
 	}
 	if !found {
 		t.Fatalf("generated key missing from listing: %+v", listed)
+	}
+	// ...and is fetchable by name through the single-key endpoint.
+	gen, err := kf.Key(ctx, thetacrypt.SG02, "conf-genkey")
+	if err != nil {
+		t.Fatalf("fetch generated key: %v", err)
+	}
+	if gen.KeyID != "conf-genkey" || gen.Default || len(gen.PublicKey) == 0 {
+		t.Fatalf("generated key fetch: %+v", gen)
 	}
 	// Re-generating the same name conflicts.
 	if _, err := svc.GenerateKey(ctx, thetacrypt.SG02, thetacrypt.GenerateKeyOptions{KeyID: "conf-genkey"}); api.CodeOf(err) != api.CodeKeyExists {
