@@ -433,7 +433,7 @@ func (e *Engine) pooler() {
 // is below the refill watermark. Only the key's designated initiator —
 // the node holding share index 1 — submits, so concurrent refills never
 // race on overlapping sequence ranges; the deterministic session
-// ("pool-<epoch>-<base>") makes a straggler's own tick join the
+// ("pool-<epoch>-<run>-<base>") makes a straggler's own tick join the
 // announced instance instead of forking a second one.
 func (e *Engine) poolRefillRequests() []protocols.Request {
 	pool := e.suite.NoncePool()
@@ -449,16 +449,19 @@ func (e *Engine) poolRefillRequests() []protocols.Request {
 		if err != nil || k.Share == nil || k.MemberIndex(e.self) != 1 {
 			continue
 		}
-		base, count, need := pool.NeedRefill(string(k.Scheme), k.ID, k.Epoch)
+		run, base, count, need := pool.NeedRefill(string(k.Scheme), k.ID, k.Epoch)
 		if !need {
 			continue
 		}
+		// The run id in the session keeps a restarted initiator's refill
+		// (which starts over at base 0) from colliding with a retained
+		// pre-restart instance of the same base.
 		reqs = append(reqs, protocols.Request{
 			Scheme:  schemes.KG20,
 			KeyID:   k.ID,
 			Op:      protocols.OpPoolRefill,
-			Payload: protocols.MarshalPoolRefill(base, count),
-			Session: fmt.Sprintf("pool-%d-%d", k.Epoch, base),
+			Payload: protocols.MarshalPoolRefill(run, base, count),
+			Session: fmt.Sprintf("pool-%d-%x-%d", k.Epoch, run, base),
 			Epoch:   k.Epoch,
 		})
 	}
@@ -659,10 +662,13 @@ func (e *Engine) handle(ev event) {
 // retained finished result whose peers already evicted theirs) is
 // retired and this node joins the fresh run deliberately instead of
 // stalling it until liveTTL expiry. gen is the announced generation
-// (0 for a local submission, which derives it). Lock order is always
-// e.mu before inst.mu. The instance is returned even on error, so
-// callers can retire it.
-func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future, gen int) (*instance, error) {
+// (0 for a local submission, which derives it); from is the mesh node
+// index that initiated the instance — self for a local submission, the
+// start announcement's sender otherwise — so protocols can tell whether
+// the initiator is able to open their optimized paths (FROST's pooled
+// single round). Lock order is always e.mu before inst.mu. The
+// instance is returned even on error, so callers can retire it.
+func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Future, gen, from int) (*instance, error) {
 	id := req.InstanceID()
 	e.mu.Lock()
 	inst, ok := e.instances[id]
@@ -734,8 +740,9 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 	}
 
 	proto, err := protocols.NewWith(e.cfg.Rand, e.cfg.Keys, req, protocols.Env{
-		Suite:     e.suite,
-		Initiator: announce,
+		Suite:         e.suite,
+		Initiator:     announce,
+		InitiatorNode: from,
 	})
 	if err == nil {
 		// Publish under e.mu so handleEnvelope's proto==nil check is
@@ -800,7 +807,7 @@ func (e *Engine) broadcast(env network.Envelope) error {
 }
 
 func (e *Engine) handleSubmit(req protocols.Request, future *Future) {
-	inst, err := e.ensureInstance(req, true, future, 0)
+	inst, err := e.ensureInstance(req, true, future, 0, e.self)
 	if err == nil {
 		// Peer shares may have arrived before the local submission.
 		e.drainBacklog(req.InstanceID(), inst)
@@ -826,7 +833,7 @@ func (e *Engine) handleEnvelope(env network.Envelope, keyRetries int) {
 		if e.deferForKey(req, env, keyRetries) {
 			return
 		}
-		inst, err := e.ensureInstance(req, false, nil, gen)
+		inst, err := e.ensureInstance(req, false, nil, gen, env.From)
 		if err == nil {
 			e.drainBacklog(env.Instance, inst)
 		}

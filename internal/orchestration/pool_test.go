@@ -68,10 +68,16 @@ func (c *countingNet) count(instance string) int {
 // verifying the signature.
 func signOnce(t *testing.T, c *cluster, session string, msg []byte) string {
 	t.Helper()
+	return signOnceOn(t, c, 0, session, msg)
+}
+
+// signOnceOn is signOnce submitting on the engine with the given index.
+func signOnceOn(t *testing.T, c *cluster, engine int, session string, msg []byte) string {
+	t.Helper()
 	req := protocols.Request{Scheme: schemes.KG20, Op: protocols.OpSign, Payload: msg, Session: session}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	f, err := c.engines[0].Submit(ctx, req)
+	f, err := c.engines[engine].Submit(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,6 +152,28 @@ func TestFrostColdPoolDegradesToTwoRounds(t *testing.T) {
 	}
 	if st := c.engines[0].Stats().Crypto; st.NonceExhaustions == 0 {
 		t.Fatal("cold-pool sign did not count an exhaustion")
+	}
+}
+
+// TestFrostPooledNonSignerInitiator: a client may submit via a
+// committee node OUTSIDE the fixed signer group (share index > t+1).
+// Such a node banks no nonces and can never open a pooled round, so
+// the signers must start the fresh two-round path spontaneously —
+// deferring on a pooled start that never comes would stall the
+// instance until expiry and fail the request.
+func TestFrostPooledNonSignerInitiator(t *testing.T) {
+	const tt, n = 1, 4 // signer group {1, 2}; node 3 is outside it
+	c, counter := poolCluster(t, tt, n, 4)
+	warmPools(t, c)
+
+	id := signOnceOn(t, c, 2, "nonsigner-1", []byte("submitted via node 3"))
+	signers := tt + 1
+	if got := counter.count(id); got != 2*signers {
+		t.Fatalf("non-signer-initiated sign used %d broadcasts, want %d (fresh two-round path)", got, 2*signers)
+	}
+	// The warm pool was not touched: no slot consumed, no exhaustion.
+	if st := c.engines[0].Stats().Crypto; st.NonceExhaustions != 0 {
+		t.Fatalf("non-signer initiator burned the pool: %d exhaustions", st.NonceExhaustions)
 	}
 }
 

@@ -33,7 +33,10 @@ type batchItem struct {
 // verifies for everyone; callers arriving mid-flush park their items
 // and are picked up by the next drain, so batches form exactly when the
 // engine is processing shares concurrently and a lone caller pays no
-// added latency. A failed batch is replayed item by item, preserving
+// added latency. A flushing caller verifies exactly one batch — the one
+// holding its own item — and hands any work that piled up meanwhile to
+// a detached drainer, so no request's latency grows with other callers'
+// traffic. A failed batch is replayed item by item, preserving
 // per-share attribution. A nil *BatchVerifier verifies directly.
 type BatchVerifier struct {
 	rand io.Reader
@@ -74,7 +77,31 @@ func (b *BatchVerifier) Verify(g group.Group, rels []group.Relation) error {
 		return <-it.done
 	}
 	b.flushing = true
+	batch := b.pending
+	b.pending = nil
 	b.mu.Unlock()
+	// This batch contains the caller's own item, so its verdict is known
+	// once the flush returns. Items that arrived mid-flush go to a
+	// detached drainer instead of this caller: under sustained traffic a
+	// caller that kept draining could flush other requests' batches
+	// indefinitely, giving one unlucky request unbounded tail latency.
+	b.flush(batch)
+	b.mu.Lock()
+	if len(b.pending) == 0 {
+		b.flushing = false
+		b.mu.Unlock()
+	} else {
+		b.mu.Unlock()
+		go b.drain()
+	}
+	return <-it.done
+}
+
+// drain flushes pending batches until the queue is observed empty; the
+// flushing flag stays set for the whole time, so exactly one goroutine
+// — a caller or a drainer — owns the queue at any moment and every
+// parked item is eventually verified even if no further caller arrives.
+func (b *BatchVerifier) drain() {
 	for {
 		b.mu.Lock()
 		batch := b.pending
@@ -82,12 +109,11 @@ func (b *BatchVerifier) Verify(g group.Group, rels []group.Relation) error {
 		if len(batch) == 0 {
 			b.flushing = false
 			b.mu.Unlock()
-			break
+			return
 		}
 		b.mu.Unlock()
 		b.flush(batch)
 	}
-	return <-it.done
 }
 
 func checkDirect(g group.Group, rels []group.Relation) error {

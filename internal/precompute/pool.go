@@ -1,8 +1,12 @@
 package precompute
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"thetacrypt/internal/schemes/frost"
 )
@@ -17,9 +21,26 @@ import (
 // crashes mid-way — reuse would leak the key share. Banks are keyed by
 // epoch: after a reshare the old bank is unreachable and the pool warms
 // up fresh under the new epoch.
+//
+// Sequence numbers are meaningful only within one *run* — the random id
+// the refill initiator draws at boot and carries in every refill. The
+// sequence high-water mark is volatile, so after a restart the
+// initiator would propose already-used bases again; under the old run
+// those seqs are burned on the followers (re-banking them would let the
+// banked secrets diverge from the broadcast commitments), but a fresh
+// run id opens a fresh namespace: followers reset the key's bank on the
+// first refill of a new run and bank from base zero again. The old
+// run's surviving slots are dropped with the reset — the restarted
+// initiator lost its secrets for them, so they could never complete a
+// signing round anyway.
 type NoncePool struct {
 	depth  int
 	refill int
+	// run is this node's refill namespace id, drawn fresh each boot. It
+	// only reaches the wire when this node is a key's designated refill
+	// initiator; everyone else banks under the run id of the refills it
+	// observes.
+	run uint64
 
 	mu    sync.Mutex
 	banks map[nonceBankKey]*nonceBank
@@ -28,8 +49,16 @@ type NoncePool struct {
 	exhaustions atomic.Int64
 }
 
-func newNoncePool(depth, refill int) *NoncePool {
-	return &NoncePool{depth: depth, refill: refill, banks: make(map[nonceBankKey]*nonceBank)}
+func newNoncePool(rnd io.Reader, depth, refill int) *NoncePool {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	var buf [8]byte
+	run := uint64(time.Now().UnixNano()) // fallback if rnd fails
+	if _, err := io.ReadFull(rnd, buf[:]); err == nil {
+		run = binary.BigEndian.Uint64(buf[:])
+	}
+	return &NoncePool{depth: depth, refill: refill, run: run, banks: make(map[nonceBankKey]*nonceBank)}
 }
 
 // Depth returns the configured target bank depth.
@@ -43,11 +72,22 @@ func (p *NoncePool) Depth() int {
 // Enabled reports whether pooling is on.
 func (p *NoncePool) Enabled() bool { return p != nil && p.depth > 0 }
 
-func (p *NoncePool) bank(scheme, keyID string, epoch int) *nonceBank {
+// bankFor returns the bank for (scheme, key, epoch) under the given
+// run id, creating it when absent. An existing bank under a DIFFERENT
+// run is reset: a new run means the refill initiator restarted and lost
+// every secret it banked under the old one, so the old slots can never
+// complete a signing round — keeping them would only hard-fail requests
+// and (worse) let re-banked sequence numbers diverge from previously
+// broadcast commitments. p.mu is held.
+func (p *NoncePool) bankFor(scheme, keyID string, epoch int, run uint64) *nonceBank {
 	k := nonceBankKey{scheme: scheme, keyID: keyID, epoch: epoch}
 	b := p.banks[k]
+	if b != nil && b.run != run {
+		b = nil
+	}
 	if b == nil {
 		b = &nonceBank{
+			run:   run,
 			own:   make(map[uint64]*frost.Nonce),
 			comms: make(map[uint64]map[int]*frost.NonceCommitment),
 		}
@@ -57,34 +97,37 @@ func (p *NoncePool) bank(scheme, keyID string, epoch int) *nonceBank {
 }
 
 // NeedRefill reports whether the bank for (scheme, key, epoch) has
-// dropped below the refill watermark, and if so the base sequence
-// number and count a refill round should cover. Only the designated
-// refill initiator should act on it, so concurrent refills never race
-// on sequence assignment.
-func (p *NoncePool) NeedRefill(scheme, keyID string, epoch int) (base uint64, count int, need bool) {
+// dropped below the refill watermark, and if so the run id, base
+// sequence number, and count a refill round should cover. Only the
+// designated refill initiator should act on it, so concurrent refills
+// never race on sequence assignment; run is this node's per-boot
+// namespace id, so a restarted initiator never reuses the sequence
+// ranges of its previous life.
+func (p *NoncePool) NeedRefill(scheme, keyID string, epoch int) (run, base uint64, count int, need bool) {
 	if !p.Enabled() {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b := p.bank(scheme, keyID, epoch)
+	b := p.bankFor(scheme, keyID, epoch, p.run)
 	if len(b.own) >= p.refill {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	return b.nextSeq, p.depth - len(b.own), true
+	return p.run, b.nextSeq, p.depth - len(b.own), true
 }
 
 // BankOwn stores this node's freshly generated nonces for sequence
-// numbers base..base+len(nonces)-1 and their commitments. Sequence
-// numbers already assigned locally are skipped — a replayed or
-// overlapping refill can never resurrect a consumed nonce.
-func (p *NoncePool) BankOwn(scheme, keyID string, epoch int, base uint64, nonces []*frost.Nonce, comms []*frost.NonceCommitment) {
+// numbers base..base+len(nonces)-1 of the given refill run and their
+// commitments. Within a run, sequence numbers already assigned locally
+// are skipped — a replayed or overlapping refill can never resurrect a
+// consumed nonce. A new run resets the bank (see bankFor).
+func (p *NoncePool) BankOwn(scheme, keyID string, epoch int, run, base uint64, nonces []*frost.Nonce, comms []*frost.NonceCommitment) {
 	if !p.Enabled() {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b := p.bank(scheme, keyID, epoch)
+	b := p.bankFor(scheme, keyID, epoch, run)
 	for i, n := range nonces {
 		seq := base + uint64(i)
 		if seq < b.nextSeq {
@@ -100,14 +143,14 @@ func (p *NoncePool) BankOwn(scheme, keyID string, epoch int, base uint64, nonces
 }
 
 // Observe records another member's commitments for sequence numbers
-// base..base+len(comms)-1.
-func (p *NoncePool) Observe(scheme, keyID string, epoch int, base uint64, comms []*frost.NonceCommitment) {
+// base..base+len(comms)-1 of the given refill run.
+func (p *NoncePool) Observe(scheme, keyID string, epoch int, run, base uint64, comms []*frost.NonceCommitment) {
 	if !p.Enabled() {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b := p.bank(scheme, keyID, epoch)
+	b := p.bankFor(scheme, keyID, epoch, run)
 	for i, c := range comms {
 		p.observeLocked(b, base+uint64(i), c)
 	}
@@ -137,7 +180,11 @@ func (p *NoncePool) Acquire(scheme, keyID string, epoch int, signers []int) (seq
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b := p.bank(scheme, keyID, epoch)
+	b := p.banks[nonceBankKey{scheme: scheme, keyID: keyID, epoch: epoch}]
+	if b == nil {
+		p.exhaustions.Add(1)
+		return 0, nil, nil, false
+	}
 	best := uint64(0)
 	found := false
 	for s := range b.own {
@@ -174,7 +221,10 @@ func (p *NoncePool) Claim(scheme, keyID string, epoch int, seq uint64, self int)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b := p.bank(scheme, keyID, epoch)
+	b := p.banks[nonceBankKey{scheme: scheme, keyID: keyID, epoch: epoch}]
+	if b == nil {
+		return nil, nil, false
+	}
 	nonce = b.own[seq]
 	if nonce == nil {
 		return nil, nil, false

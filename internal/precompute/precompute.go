@@ -90,7 +90,7 @@ func NewSuite(rand io.Reader, opts Options) *Suite {
 	opts.fill()
 	var pool *NoncePool
 	if opts.PoolDepth > 0 {
-		pool = newNoncePool(opts.PoolDepth, opts.PoolRefill)
+		pool = newNoncePool(rand, opts.PoolDepth, opts.PoolRefill)
 	}
 	return &Suite{
 		coeffs: newCache(opts.CoeffCap),
@@ -171,9 +171,13 @@ type nonceBankKey struct {
 // nonceBank is the per-(key, epoch) store: this node's secret nonces by
 // sequence number plus every member's observed commitments.
 type nonceBank struct {
-	// nextSeq is the first sequence number not yet assigned locally;
-	// refills below it are ignored so a sequence number is banked (and
-	// hence consumable) at most once per node.
+	// run is the refill initiator's per-boot namespace id this bank's
+	// sequence numbers live in. A refill under a different run replaces
+	// the bank wholesale (the initiator restarted; see NoncePool).
+	run uint64
+	// nextSeq is the first sequence number not yet assigned locally
+	// within run; refills below it are ignored so a sequence number is
+	// banked (and hence consumable) at most once per node and run.
 	nextSeq uint64
 	own     map[uint64]*frost.Nonce
 	comms   map[uint64]map[int]*frost.NonceCommitment

@@ -25,6 +25,14 @@ import (
 type Env struct {
 	Suite     *precompute.Suite
 	Initiator bool
+	// InitiatorNode is the mesh node index that initiated the instance:
+	// the local node for a submission, the start announcement's sender
+	// when joining a peer's run, 0 when unknown (zero Env). FROST uses
+	// it to decide whether the initiator can open a pooled single-round
+	// run at all — an initiator outside the fixed signer group never
+	// can, so the signers must start the fresh path spontaneously
+	// instead of deferring on a pooled start that will never come.
+	InitiatorNode int
 }
 
 // New instantiates the TRI protocol for a request, resolving the share
@@ -150,6 +158,9 @@ func buildOp(rand io.Reader, k *keys.Key, req Request, env Env) (Protocol, error
 			pool:   env.Suite.NoncePool(),
 			scheme: string(k.Scheme), keyID: k.ID, epoch: k.Epoch,
 			initiator: env.Initiator,
+			// 0 when the initiator is not a committee member (it then
+			// holds no share, let alone a banked nonce).
+			initiatorShare: k.MemberIndex(env.InitiatorNode),
 		}), nil
 
 	default:

@@ -26,11 +26,13 @@ import (
 // share — one message round end to end. A cold or exhausted pool
 // degrades to the fresh two-round path; it never fails the request.
 //
-// When pooling is enabled, a non-initiating signer defers its first
-// round until a message reveals which mode the initiator chose
-// (round 1/2 → fresh, round 3 → pooled); with pooling disabled the
-// protocol starts in fresh mode directly, byte-identical to the
-// pre-pool behavior.
+// When pooling is enabled and the initiator is inside the signer
+// group, a non-initiating signer defers its first round until a message
+// reveals which mode the initiator chose (round 1/2 → fresh, round 3 →
+// pooled). An initiator outside the signer group can never open a
+// pooled round (it banks no nonces), so in that case — and with pooling
+// disabled — everyone starts in fresh mode directly, byte-identical to
+// the pre-pool behavior.
 //
 // FROST is not robust: the protocol waits for the contributions of all
 // signers in the group, and an invalid share aborts the instance at
@@ -82,6 +84,12 @@ type frostEnv struct {
 	keyID     string
 	epoch     int
 	initiator bool
+	// initiatorShare is the committee share index of the node that
+	// initiated the instance (0: not a committee member / unknown). It
+	// decides whether deferring on the initiator's mode choice is safe:
+	// only an initiator inside the fixed signer group can ever send a
+	// pooled start.
+	initiatorShare int
 }
 
 // NewFrost creates a FROST signing instance for the key share ks under
@@ -119,10 +127,21 @@ func newFrostWith(rand io.Reader, pk *frost.PublicKey, ks frost.KeyShare, msg []
 		shares:      make(map[int]*frost.SignatureShare, pk.T+1),
 	}
 	if env.pool.Enabled() {
-		if env.initiator && p.inGroup {
+		switch {
+		case env.initiator && p.inGroup:
 			p.mode = frostModePooled // attempt; DoRound may degrade to fresh
-		} else {
+		case env.initiator:
+			// Submitting node outside the signer group: it has no banked
+			// nonce to open a pooled round with, so the run is fresh from
+			// the start (the signers reach the same conclusion below).
+		case env.initiatorShare >= 1 && env.initiatorShare <= pk.T+1:
 			p.mode = frostModeUndecided // first message decides
+		default:
+			// The announcing node is outside the signer group (or not a
+			// committee member at all): a pooled start can never come, so
+			// deferring would stall the instance until expiry. Signers
+			// start the fresh two-round path spontaneously — the pre-pool
+			// behavior.
 		}
 	}
 	return p

@@ -10,24 +10,28 @@ import (
 	"thetacrypt/internal/wire"
 )
 
-// MarshalPoolRefill encodes an OpPoolRefill payload: the base sequence
-// number the batch starts at and the batch size.
-func MarshalPoolRefill(base uint64, batch int) []byte {
-	return wire.NewWriter().Uint64(base).Int(batch).Out()
+// MarshalPoolRefill encodes an OpPoolRefill payload: the initiator's
+// per-boot run id, the base sequence number the batch starts at, and
+// the batch size. The run id namespaces the sequence numbers — a
+// restarted initiator draws a fresh one, so its volatile sequence
+// counter can never collide with ranges banked before the restart.
+func MarshalPoolRefill(run, base uint64, batch int) []byte {
+	return wire.NewWriter().Uint64(run).Uint64(base).Int(batch).Out()
 }
 
 // UnmarshalPoolRefill decodes an OpPoolRefill payload.
-func UnmarshalPoolRefill(data []byte) (base uint64, batch int, err error) {
+func UnmarshalPoolRefill(data []byte) (run, base uint64, batch int, err error) {
 	r := wire.NewReader(data)
+	run = r.Uint64()
 	base = r.Uint64()
 	batch = r.Int()
 	if err := r.Err(); err != nil {
-		return 0, 0, fmt.Errorf("pool refill payload: %w", err)
+		return 0, 0, 0, fmt.Errorf("pool refill payload: %w", err)
 	}
 	if batch < 1 || batch > 4096 {
-		return 0, 0, fmt.Errorf("pool refill batch %d out of range", batch)
+		return 0, 0, 0, fmt.Errorf("pool refill batch %d out of range", batch)
 	}
-	return base, batch, nil
+	return run, base, batch, nil
 }
 
 // poolRefillProtocol is the one-round FROST preprocessing instance:
@@ -51,6 +55,7 @@ type poolRefillProtocol struct {
 	// selfShare is this node's committee share index (0 outside the
 	// committee); only signers (selfShare ≤ T+1) contribute nonces.
 	selfShare int
+	run       uint64
 	base      uint64
 	batch     int
 
@@ -69,7 +74,7 @@ func newPoolRefill(rand io.Reader, k *keys.Key, req Request, env Env, selfShare 
 	if !ok {
 		return nil, fmt.Errorf("protocols: key %s/%s public material is %T", k.Scheme, k.ID, k.Public)
 	}
-	base, batch, err := UnmarshalPoolRefill(req.Payload)
+	run, base, batch, err := UnmarshalPoolRefill(req.Payload)
 	if err != nil {
 		return nil, fmt.Errorf("protocols: %w", err)
 	}
@@ -81,7 +86,7 @@ func newPoolRefill(rand io.Reader, k *keys.Key, req Request, env Env, selfShare 
 		rand: rand, pk: pk, pool: pool,
 		scheme: string(k.Scheme), keyID: k.ID, epoch: k.Epoch,
 		selfShare: selfShare,
-		base:      base, batch: batch,
+		run:       run, base: base, batch: batch,
 		signers: signers,
 		heard:   make(map[int]bool, len(signers)),
 	}, nil
@@ -106,7 +111,7 @@ func (p *poolRefillProtocol) DoRound() (*RoundOutput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pool refill: %w", err)
 	}
-	p.pool.BankOwn(p.scheme, p.keyID, p.epoch, p.base, nonces, comms)
+	p.pool.BankOwn(p.scheme, p.keyID, p.epoch, p.run, p.base, nonces, comms)
 	p.heard[p.selfShare] = true
 	w := wire.NewWriter().Uint64(p.base).Int(len(comms))
 	for _, c := range comms {
@@ -136,7 +141,7 @@ func (p *poolRefillProtocol) Update(msg ProtocolMessage) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("%w: truncated refill batch from %d", ErrShareRejected, msg.Sender)
 	}
-	p.pool.Observe(p.scheme, p.keyID, p.epoch, base, comms)
+	p.pool.Observe(p.scheme, p.keyID, p.epoch, p.run, base, comms)
 	p.heard[msg.Sender] = true
 	return nil
 }

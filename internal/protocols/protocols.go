@@ -206,7 +206,7 @@ func (r Request) Validate() error {
 		if r.Scheme != schemes.KG20 {
 			return fmt.Errorf("%w: pool refill applies to KG20 only, not %s", ErrUnknownOperation, r.Scheme)
 		}
-		if _, _, err := UnmarshalPoolRefill(r.Payload); err != nil {
+		if _, _, _, err := UnmarshalPoolRefill(r.Payload); err != nil {
 			return fmt.Errorf("%w: %v", ErrUnknownOperation, err)
 		}
 	default:

@@ -13,6 +13,14 @@
 // combination multi-scalar multiplication (batch verification). The
 // challenge-form proof cannot be batched: recomputing the challenge
 // needs the commitments as hash inputs.
+//
+// COMPATIBILITY: the commitment-form encoding (A1, A2, F) replaced the
+// earlier challenge-form encoding (E, F) and is NOT wire-compatible
+// with it — a node on either side of the change rejects every SG02
+// decryption share and CKS05 coin share sent by the other side, taking
+// those operations below threshold in a mixed-version committee.
+// Upgrade a deployment in a coordinated step (stop all nodes, upgrade,
+// restart), not by rolling nodes one at a time.
 package zkp
 
 import (
