@@ -279,6 +279,9 @@ type TransportStats struct {
 	// frames lost between socket and engine are resent after reconnect
 	// and deduplicated before delivery.
 	Reliable bool `json:"reliable,omitempty"`
+	// Authenticated reports that every link runs the identity-keyed
+	// mutual-authentication handshake and AEAD record layer.
+	Authenticated bool `json:"authenticated,omitempty"`
 }
 
 // Peer returns the snapshot of one peer link.
@@ -316,6 +319,9 @@ type PeerStats struct {
 	Dropped             uint64 `json:"dropped"`
 	ConsecutiveFailures uint64 `json:"consecutive_failures"`
 	LastError           string `json:"last_error,omitempty"`
+	// Authenticated marks the link's current connection as having
+	// completed the roster handshake.
+	Authenticated bool `json:"authenticated,omitempty"`
 }
 
 // Service is the one client-facing interface over every deployment

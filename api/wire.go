@@ -80,9 +80,10 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 		return nil
 	}
 	out := &TransportStats{
-		Peers:    make([]PeerStats, len(ts.Peers)),
-		Policy:   ts.Policy.String(),
-		Reliable: ts.Reliable,
+		Peers:         make([]PeerStats, len(ts.Peers)),
+		Policy:        ts.Policy.String(),
+		Reliable:      ts.Reliable,
+		Authenticated: ts.Authenticated,
 	}
 	for i, p := range ts.Peers {
 		out.Peers[i] = PeerStats{
@@ -98,6 +99,7 @@ func TransportStatsOf(ts network.TransportStats) *TransportStats {
 			Dropped:             p.Dropped,
 			ConsecutiveFailures: p.ConsecutiveFailures,
 			LastError:           p.LastError,
+			Authenticated:       p.Authenticated,
 		}
 	}
 	return out

@@ -14,7 +14,9 @@
 //	                           API (embedded, or -addr URL via the SDK)
 //	sharded                    router-vs-single-committee scaling: K
 //	                           embedded committees behind the router
-//	all                        everything above (except remote/sharded)
+//	secure                     authenticated-mesh cost: tcpnet signing
+//	                           throughput with secure links off vs on
+//	all                        everything above (except remote/sharded/secure)
 //
 // Flags: -duration (capacity window, default 5s), -steady (steady-state
 // window, default 30s), -schemes, -deployments, -seed. The paper's full
@@ -49,7 +51,7 @@ func run() error {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|remote|sharded|all)")
+		return fmt.Errorf("missing subcommand (table1|table2|table3|fig4|table4|fig5a|fig5b|micro|validate|remote|sharded|secure|all)")
 	}
 	opts := eval.Options{
 		Duration:       *duration,
@@ -76,6 +78,8 @@ func run() error {
 		return remoteBench(w, flag.Args()[1:])
 	case "sharded":
 		return shardedBench(w, flag.Args()[1:])
+	case "secure":
+		return secureBench(w, flag.Args()[1:])
 	case "table1":
 		eval.Table1(w)
 	case "table2":

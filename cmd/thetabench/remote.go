@@ -199,6 +199,7 @@ type benchDoc struct {
 	Remote                bool        `json:"remote"`
 	Modes                 []benchMode `json:"modes"`
 	BatchedOverSequential float64     `json:"batched_over_sequential_wall,omitempty"`
+	SecureOverPlaintext   float64     `json:"secure_over_plaintext_wall,omitempty"`
 }
 
 type benchMode struct {

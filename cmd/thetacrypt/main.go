@@ -6,6 +6,8 @@
 // Usage:
 //
 //	thetacrypt -key keys/node1.key -peers keys/peers.txt -listen :7001 -http :8081
+//	thetacrypt -key keys/node1.key -peers keys/peers.txt -listen :7001 -http :8081 \
+//	           -secure -identity keys/node1.id -roster keys/roster.json
 //	thetacrypt -router -committees alpha=http://10.0.0.1:8081,beta=http://10.0.1.1:8081 -http :8080
 package main
 
@@ -58,6 +60,9 @@ func run() error {
 		frostRefill = flag.Int("frost-refill", 0, "refill the FROST nonce pool when it drops below this watermark (0 = half the pool depth)")
 		routerMode  = flag.Bool("router", false, "run the stateless routing tier over committee endpoints instead of a node")
 		committees  = flag.String("committees", "", "router mode: comma-separated committee endpoints, each \"url\" or \"name=url\"")
+		secure      = flag.Bool("secure", false, "authenticated mesh: require -identity and -roster, run every link through the mutual-auth handshake and AEAD layer, seal DKG sub-shares")
+		idPath      = flag.String("identity", "", "path to this node's private identity file (node<i>.id from thetakeygen)")
+		rosterPath  = flag.String("roster", "", "path to the mesh roster file (roster.json from thetakeygen)")
 	)
 	flag.Parse()
 	if *routerMode {
@@ -82,6 +87,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Secure mode: -identity and -roster travel together; naming either
+	// one implies the intent, and -secure guards against silently
+	// falling back to plaintext links when a path is forgotten.
+	if *secure && (*idPath == "" || *rosterPath == "") {
+		return fmt.Errorf("-secure requires both -identity and -roster")
+	}
+	if (*idPath == "") != (*rosterPath == "") {
+		return fmt.Errorf("-identity and -roster must be given together")
+	}
+	var nodeID *thetacrypt.IdentityKey
+	var roster thetacrypt.IdentityRoster
+	if *idPath != "" {
+		if nodeID, err = thetacrypt.LoadIdentity(*idPath); err != nil {
+			return err
+		}
+		if roster, err = thetacrypt.LoadRoster(*rosterPath); err != nil {
+			return err
+		}
+	}
 	keyFile := ""
 	if *persist {
 		keyFile = *keyPath
@@ -91,6 +115,8 @@ func run() error {
 		KeyFile:    keyFile,
 		ListenAddr: *listen,
 		Peers:      peers,
+		Identity:   nodeID,
+		Roster:     roster,
 		Engine: thetacrypt.EngineOptions{
 			Workers:         *workers,
 			QueueLen:        *queueLen,
@@ -117,8 +143,12 @@ func run() error {
 	defer node.Close()
 
 	st := node.Stats()
-	fmt.Printf("node %d up: p2p %s, http %s, n=%d t=%d, queue=%d, retention: see /v2/info stats\n",
-		nk.Index, *listen, *httpAddr, nk.N, nk.T, st.QueueCap)
+	mesh := "plaintext mesh"
+	if nodeID != nil {
+		mesh = "secure mesh"
+	}
+	fmt.Printf("node %d up: p2p %s (%s), http %s, n=%d t=%d, queue=%d, retention: see /v2/info stats\n",
+		nk.Index, *listen, mesh, *httpAddr, nk.N, nk.T, st.QueueCap)
 	return serveUntilSignal(&http.Server{Addr: *httpAddr, Handler: node.Handler()})
 }
 

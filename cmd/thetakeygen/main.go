@@ -1,7 +1,8 @@
 // Command thetakeygen is the trusted dealer: it generates named
 // threshold key material for all schemes and writes one keystore file
-// per node, a keyring manifest describing the dealt keys, and a peers
-// file template for cmd/thetacrypt.
+// per node, one transport identity file per node, the mesh roster, a
+// keyring manifest describing the dealt keys and the roster, and a
+// peers file template for cmd/thetacrypt.
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 
 	"thetacrypt/internal/atomicfile"
 	"thetacrypt/internal/group"
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
 )
@@ -42,6 +44,10 @@ type manifest struct {
 	Quorum int           `json:"quorum"`
 	Files  []string      `json:"files"`
 	Keys   []manifestKey `json:"keys"`
+	// Peers is the transport identity roster (node index → public
+	// identity keys), the same shape as the standalone roster.json.
+	// Nodes running with -secure enforce it on every link.
+	Peers map[string]identity.PublicJSON `json:"peers,omitempty"`
 }
 
 type manifestKey struct {
@@ -111,6 +117,29 @@ func run() error {
 		man.Files = append(man.Files, name)
 		fmt.Println("wrote", path)
 	}
+	// Transport identities: one private identity file per node plus the
+	// shared roster, consumed by cmd/thetacrypt's -identity/-roster
+	// flags. Generated unconditionally so a deployment can turn on
+	// -secure later without re-dealing shares.
+	roster := make(identity.Roster, *n)
+	for i := 1; i <= *n; i++ {
+		id, err := identity.Generate(rand.Reader, i)
+		if err != nil {
+			return fmt.Errorf("generate identity %d: %w", i, err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("node%d.id", i))
+		if err := id.Save(path); err != nil {
+			return fmt.Errorf("write identity: %w", err)
+		}
+		roster[i] = id.Public()
+		fmt.Println("wrote", path)
+	}
+	rosterPath := filepath.Join(*out, "roster.json")
+	if err := roster.Save(rosterPath); err != nil {
+		return fmt.Errorf("write roster: %w", err)
+	}
+	fmt.Println("wrote", rosterPath)
+	man.Peers = identity.MarshalRoster(roster)
 	// The manifest lists the shared public material; every node's
 	// listing is identical, so node 1's serves.
 	for _, info := range nodes[0].List() {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"thetacrypt/api"
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network/memnet"
 	"thetacrypt/internal/orchestration"
@@ -247,6 +248,18 @@ type Config struct {
 	// policy, ack layer). The Latency field above wins over Net.Latency
 	// when set.
 	Net memnet.Options
+	// Secure switches the committee to the authenticated mesh: every
+	// node gets a transport identity, the hub enforces the roster, and
+	// DKG/reshare dealings ride per-recipient sealed boxes with
+	// complaint rounds. Fresh identities are generated unless
+	// Identities/Roster override them.
+	Secure bool
+	// Identities overrides the generated per-node identities (node
+	// index → private identity). Tests model an impostor by registering
+	// a key that does not match the roster entry.
+	Identities map[int]*identity.Key
+	// Roster overrides the roster derived from Identities.
+	Roster identity.Roster
 }
 
 // Committee is an embedded in-process Θ-network of n units over a
@@ -274,10 +287,35 @@ func New(t, n int, cfg Config) (*Committee, error) {
 	if cfg.Latency > 0 {
 		cfg.Net.Latency = memnet.Uniform(cfg.Latency)
 	}
+	ids := cfg.Identities
+	roster := cfg.Roster
+	if cfg.Secure {
+		if ids == nil {
+			ids = make(map[int]*identity.Key, n)
+			for i := 1; i <= n; i++ {
+				k, err := identity.Generate(rand.Reader, i)
+				if err != nil {
+					return nil, fmt.Errorf("thetacrypt: generate identity %d: %w", i, err)
+				}
+				ids[i] = k
+			}
+		}
+		if roster == nil {
+			roster = make(identity.Roster, len(ids))
+			for i, k := range ids {
+				roster[i] = k.Public()
+			}
+		}
+		cfg.Net.Secure = &memnet.SecureOptions{Identities: ids, Roster: roster}
+	}
 	hub := memnet.NewHub(n, cfg.Net)
 	units := make([]Unit, n)
 	for i := 0; i < n; i++ {
 		ecfg := orchestration.Config{Keys: stores[i], Net: hub.Endpoint(i + 1)}
+		if cfg.Secure {
+			ecfg.Identity = ids[i+1]
+			ecfg.Roster = roster
+		}
 		if cfg.Engine != nil {
 			ecfg = cfg.Engine(ecfg)
 		}

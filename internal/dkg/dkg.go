@@ -4,13 +4,18 @@
 // a Feldman verifiable sharing of a random secret; the group key is the
 // sum of the qualified dealings, and no party ever learns it.
 //
-// The protocol has two rounds: (1) every participant broadcasts its
-// coefficient commitments and sends each peer its sub-share, (2) each
-// participant verifies the received sub-shares against the commitments
-// and disqualifies dealers whose shares fail. The happy path completes
-// without complaints; faulty dealers are excluded deterministically, so
-// all honest parties agree on the qualified set as long as they observe
-// the same dealings (e.g., via the TOB channel).
+// The protocol: (1) every participant broadcasts its coefficient
+// commitments and sends each peer its sub-share, (2) each participant
+// verifies its own sub-shares against the commitments. When sub-shares
+// travel sealed (ECIES boxes to each recipient's identity key), other
+// nodes cannot check a dealer's full dealing, so the DKG grows
+// complaint/justification rounds toward GJKR: a recipient whose
+// sub-share is missing or fails Feldman verification broadcasts a
+// complaint, the accused dealer must broadcast the disputed sub-share
+// as a justification, and dealers whose justifications do not verify
+// are disqualified deterministically by every honest node. Legacy
+// cleartext deployments skip the complaint rounds; a dealer whose share
+// fails simply never becomes qualified.
 package dkg
 
 import (
@@ -57,6 +62,8 @@ type Participant struct {
 	received map[int]share.Share              // verified sub-shares by dealer
 	public   map[int]*share.FeldmanCommitment // commitments by dealer
 	excluded map[int]bool
+	mine     map[int]bool // dealers this party will complain about
+	log      *ComplaintLog
 }
 
 // NewParticipant initializes party `index` of an (t, n) DKG over g.
@@ -72,6 +79,8 @@ func NewParticipant(g group.Group, index, t, n int) (*Participant, error) {
 		received: make(map[int]share.Share, n),
 		public:   make(map[int]*share.FeldmanCommitment, n),
 		excluded: make(map[int]bool),
+		mine:     make(map[int]bool),
+		log:      NewComplaintLog(),
 	}, nil
 }
 
@@ -116,7 +125,12 @@ func (p *Participant) ReceiveCommitment(pd *PublicDealing) error {
 }
 
 // ReceiveSubShare is round 2: verify dealer's private sub-share against
-// its commitment; dealers with invalid shares are disqualified.
+// its commitment. A share failing Feldman verification records a
+// pending complaint against the dealer (GJKR-style) — the dealer is
+// disqualified only if the justification round does not discharge it
+// (see FinishComplaints). Callers that do not run complaint rounds can
+// treat the returned error as a final verdict: the dealer is never
+// added to the received set, so it stays unqualified either way.
 func (p *Participant) ReceiveSubShare(dealer int, s share.Share) error {
 	if s.Index != p.index {
 		return ErrWrongRecipient
@@ -129,7 +143,7 @@ func (p *Participant) ReceiveSubShare(dealer int, s share.Share) error {
 		return fmt.Errorf("dkg: dealer %d already disqualified", dealer)
 	}
 	if !com.VerifyShare(s) {
-		p.excluded[dealer] = true
+		p.Complain(dealer)
 		return fmt.Errorf("dkg: dealer %d sent an invalid sub-share", dealer)
 	}
 	p.received[dealer] = s.Clone()

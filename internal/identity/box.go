@@ -1,0 +1,85 @@
+package identity
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"fmt"
+	"io"
+)
+
+// boxInfo labels the sealed-box key derivation. Bumping it is a wire
+// break for DKG dealings (see the README's coordinated-upgrade note).
+const boxInfo = "thetacrypt/box/v1"
+
+// boxOverhead is the sealed-box size overhead: the ephemeral X25519
+// public key plus the AES-GCM tag.
+const boxOverhead = 32 + 16
+
+// Seal encrypts plaintext to the recipient's box key (ECIES-style): a
+// fresh ephemeral X25519 key agrees with the recipient's static key,
+// the shared secret expands through HKDF bound to both public keys and
+// the caller's context string, and AES-256-GCM seals the payload. The
+// context binds the box to its protocol slot — a dealing box carries
+// (instance, dealer, recipient), so a box replayed into another
+// instance or recipient fails to open.
+func Seal(rand io.Reader, to Public, context, plaintext []byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("identity: seal: %w", err)
+	}
+	aead, err := boxAEAD(eph, to.Box, eph.PublicKey(), context)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 32, 32+len(plaintext)+16)
+	copy(out, eph.PublicKey().Bytes())
+	// The key is single-use (fresh ephemeral per box), so a fixed
+	// all-zero nonce is safe and saves 12 bytes per box.
+	return aead.Seal(out, make([]byte, aead.NonceSize()), plaintext, context), nil
+}
+
+// Open decrypts a sealed box addressed to this identity's box key. The
+// caller must pass the same context the sealer used; any mismatch —
+// wrong recipient, wrong context, or a flipped bit — returns ErrOpen.
+func (k *Key) Open(context, box []byte) ([]byte, error) {
+	if len(box) < boxOverhead {
+		return nil, fmt.Errorf("%w: truncated", ErrOpen)
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(box[:32])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad ephemeral key", ErrOpen)
+	}
+	aead, err := boxAEAD(k.Box, ephPub, ephPub, context)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, make([]byte, aead.NonceSize()), box[32:], context)
+	if err != nil {
+		return nil, ErrOpen
+	}
+	return pt, nil
+}
+
+// boxAEAD derives the sealed-box AEAD from the X25519 agreement
+// between priv and pub, bound to the ephemeral public key and context.
+func boxAEAD(priv *ecdh.PrivateKey, pub, ephPub *ecdh.PublicKey, context []byte) (cipher.AEAD, error) {
+	secret, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("identity: box agreement: %w", err)
+	}
+	info := make([]byte, 0, len(boxInfo)+32+len(context))
+	info = append(info, boxInfo...)
+	info = append(info, ephPub.Bytes()...)
+	info = append(info, context...)
+	key := HKDF(secret, nil, info, 32)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("identity: box cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("identity: box aead: %w", err)
+	}
+	return aead, nil
+}

@@ -132,6 +132,11 @@ type PeerStats struct {
 	ConsecutiveFailures uint64
 	// LastError is the most recent dial/write failure, empty when none.
 	LastError string
+	// Authenticated reports that the link's current connection completed
+	// the mutual-authentication handshake against the roster (always
+	// false on an insecure transport, and false while a secure link is
+	// down or redialing).
+	Authenticated bool
 }
 
 // TransportStats is a snapshot of every peer link of a transport,
@@ -146,6 +151,10 @@ type TransportStats struct {
 	// lossless delivery (the TOB sequencer) accept lossy queue policies
 	// only on reliable transports.
 	Reliable bool
+	// Authenticated reports that the transport runs every link through
+	// the identity-keyed mutual-authentication handshake: unrostered
+	// peers cannot join, and frames ride per-direction AEAD channels.
+	Authenticated bool
 }
 
 // Peer returns the snapshot of one peer link.

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/outq"
 	"thetacrypt/internal/network/relink"
@@ -78,6 +79,42 @@ type Options struct {
 	// ResendTimeout is how long a frame stays unacknowledged before it
 	// is retransmitted (default 500 ms).
 	ResendTimeout time.Duration
+	// Secure enables roster enforcement, mirroring tcpnet's
+	// secure-link semantics in-process so the conformance suite
+	// exercises identical seams on both transports: a link carries
+	// traffic only when both endpoints' identity keys match their
+	// roster entries — an impostor or unrostered node is cut off
+	// exactly as a failed handshake cuts it off on TCP — and
+	// TransportStats reports the same Authenticated markers. Nil means
+	// the polite pre-identity network, as before.
+	Secure *SecureOptions
+}
+
+// SecureOptions carries the mesh identities into a secure hub. Tests
+// model an impostor by registering a key that does not match the
+// node's roster entry.
+type SecureOptions struct {
+	// Identities maps node index → that node's private identity (the
+	// in-process analogue of each node's identity file).
+	Identities map[int]*identity.Key
+	// Roster is the shared membership authority all nodes enforce.
+	Roster identity.Roster
+}
+
+// authentic reports whether node i's registered identity proves its
+// roster entry — the in-process analogue of node i being able to
+// complete the handshake.
+func (s *SecureOptions) authentic(i int) bool {
+	k, ok := s.Identities[i]
+	if !ok || k == nil || k.Node != i {
+		return false
+	}
+	p, err := s.Roster.Lookup(i)
+	if err != nil {
+		return false
+	}
+	pub := k.Public()
+	return pub.Sign.Equal(p.Sign) && pub.Box.Equal(p.Box)
 }
 
 // Hub connects n in-process endpoints.
@@ -314,9 +351,26 @@ func (h *Hub) destDown(to int) bool {
 	return h.crashed[to] && !h.closed
 }
 
-// transmit schedules delivery of env to node `to`.
+// linkAuthentic reports whether the (from, to) link would survive the
+// secure handshake: both endpoints must prove their roster entries.
+// Always true on an insecure hub.
+func (h *Hub) linkAuthentic(from, to int) bool {
+	s := h.opts.Secure
+	if s == nil {
+		return true
+	}
+	return s.authentic(from) && s.authentic(to)
+}
+
+// transmit schedules delivery of env to node `to`. On a secure hub an
+// unauthenticated link is wire loss — the handshake the frame would
+// have ridden behind never completes, matching tcpnet's rejection of
+// impostor and unrostered peers.
 func (h *Hub) transmit(to int, env network.Envelope) {
 	now := time.Now()
+	if !h.linkAuthentic(env.From, to) {
+		return
+	}
 	h.mu.Lock()
 	if h.closed || h.crashed[env.From] || h.crashed[to] ||
 		(h.dropFn != nil && h.dropFn(env)) {
@@ -535,12 +589,27 @@ func (e *endpoint) Broadcast(ctx context.Context, env network.Envelope) error {
 // crashed peer is Down (its pump is stalled, its queue backing up),
 // everything else is Up.
 func (e *endpoint) TransportStats() network.TransportStats {
-	out := network.TransportStats{Policy: e.hub.opts.Policy, Reliable: true}
+	out := network.TransportStats{
+		Policy:        e.hub.opts.Policy,
+		Reliable:      true,
+		Authenticated: e.hub.opts.Secure != nil,
+	}
 	for to := 1; to <= e.hub.n; to++ {
 		if to == e.index {
 			continue
 		}
 		ps := network.PeerStats{Peer: to, State: network.PeerUp}
+		if out.Authenticated {
+			ps.Authenticated = e.hub.linkAuthentic(e.index, to)
+			if !ps.Authenticated {
+				// The handshake can never complete: the link reports
+				// down with the same shape a failed TCP handshake
+				// produces.
+				ps.State = network.PeerDown
+				ps.ConsecutiveFailures = 1
+				ps.LastError = "handshake rejected"
+			}
+		}
 		e.hub.mu.Lock()
 		crashed := e.hub.crashed[to]
 		l := e.hub.links[[2]int{e.index, to}]

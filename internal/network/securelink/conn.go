@@ -1,0 +1,150 @@
+package securelink
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"thetacrypt/internal/identity"
+)
+
+// maxRecord bounds one AEAD record's plaintext. Larger writes are
+// split across records; tcpnet's own 16 MiB frame cap rides on top
+// unchanged.
+const maxRecord = 64 << 10
+
+// recordOverhead is the per-record ciphertext expansion (GCM tag).
+const recordOverhead = 16
+
+// ErrReplay reports an AEAD record that failed to open: tampering,
+// truncation, reordering, or a replayed record — the counter nonces
+// make any of these fail authentication.
+var ErrReplay = errors.New("securelink: record authentication failed")
+
+// Conn is an established secure link: a net.Conn whose Read and Write
+// move AEAD records (4-byte length prefix, AES-256-GCM body) over the
+// underlying connection. Each direction has its own key and a counter
+// nonce, so records cannot be replayed, reordered, or reflected.
+type Conn struct {
+	conn net.Conn
+
+	wmu    sync.Mutex
+	sealer cipher.AEAD
+	wseq   uint64
+
+	rmu    sync.Mutex
+	opener cipher.AEAD
+	rseq   uint64
+	rbuf   []byte // undelivered plaintext from the last record
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// newConn derives the per-direction keys from the handshake secret and
+// transcript hash. Both sides compute the same two keys; `client`
+// selects which one seals locally (client→server) and which opens.
+func newConn(conn net.Conn, secret, th []byte, client bool) (*Conn, error) {
+	keys := identity.HKDF(secret, th, []byte(labelLinkKeys), 64)
+	c2s, err := newAEAD(keys[:32])
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := newAEAD(keys[32:])
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: conn}
+	if client {
+		c.sealer, c.opener = c2s, s2c
+	} else {
+		c.sealer, c.opener = s2c, c2s
+	}
+	return c, nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("securelink: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("securelink: aead: %w", err)
+	}
+	return aead, nil
+}
+
+// nonce encodes a record counter as the 12-byte GCM nonce.
+func nonce(seq uint64) []byte {
+	var n [12]byte
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n[:]
+}
+
+// Write seals p into one or more records. It satisfies net.Conn's
+// contract: on return either all of p is on the wire (as ciphertext)
+// or an error is reported.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > maxRecord {
+			chunk = p[:maxRecord]
+		}
+		record := make([]byte, 4, 4+len(chunk)+recordOverhead)
+		ct := c.sealer.Seal(record[4:], nonce(c.wseq), chunk, nil)
+		c.wseq++
+		binary.BigEndian.PutUint32(record[:4], uint32(len(ct)))
+		if _, err := c.conn.Write(record[:4+len(ct)]); err != nil {
+			return total, err
+		}
+		total += len(chunk)
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+// Read delivers plaintext from the record stream, reading and opening
+// the next record when the buffer is empty.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rbuf) == 0 {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(c.conn, lenbuf[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n > maxRecord+recordOverhead {
+			return 0, fmt.Errorf("securelink: record of %d bytes exceeds cap", n)
+		}
+		ct := make([]byte, n)
+		if _, err := io.ReadFull(c.conn, ct); err != nil {
+			return 0, err
+		}
+		pt, err := c.opener.Open(ct[:0], nonce(c.rseq), ct, nil)
+		if err != nil {
+			return 0, ErrReplay
+		}
+		c.rseq++
+		c.rbuf = pt // an empty record simply loops for the next one
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+func (c *Conn) Close() error                       { return c.conn.Close() }
+func (c *Conn) LocalAddr() net.Addr                { return c.conn.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.conn.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.conn.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.conn.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }

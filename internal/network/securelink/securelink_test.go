@@ -1,0 +1,270 @@
+package securelink
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"thetacrypt/internal/identity"
+)
+
+// testMesh builds a roster of n identities.
+func testMesh(t *testing.T, n int) ([]*identity.Key, identity.Roster) {
+	t.Helper()
+	keys := make([]*identity.Key, n+1)
+	roster := make(identity.Roster, n)
+	for i := 1; i <= n; i++ {
+		k, err := identity.Generate(rand.Reader, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+		roster[i] = k.Public()
+	}
+	return keys, roster
+}
+
+// handshakePair runs Client against Server over a pipe and returns
+// both ends (or the two errors).
+func handshakePair(keys []*identity.Key, roster identity.Roster, clientNode, serverNode, dialTo int) (*Conn, *Conn, int, error, error) {
+	cc, sc := net.Pipe()
+	type serverResult struct {
+		conn *Conn
+		peer int
+		err  error
+	}
+	srv := make(chan serverResult, 1)
+	go func() {
+		conn, peer, err := Server(sc, Config{Key: keys[serverNode], Roster: roster, Timeout: 5 * time.Second})
+		if err != nil {
+			sc.Close() // release a client blocked on the pipe
+		}
+		srv <- serverResult{conn, peer, err}
+	}()
+	clientConn, cerr := Client(cc, Config{Key: keys[clientNode], Roster: roster, Timeout: 5 * time.Second}, dialTo)
+	if cerr != nil {
+		cc.Close()
+	}
+	sr := <-srv
+	return clientConn, sr.conn, sr.peer, cerr, sr.err
+}
+
+func TestHandshakeAndRecordLayer(t *testing.T) {
+	keys, roster := testMesh(t, 3)
+	client, server, peer, cerr, serr := handshakePair(keys, roster, 1, 2, 2)
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake failed: client=%v server=%v", cerr, serr)
+	}
+	if peer != 1 {
+		t.Fatalf("server authenticated peer %d, want 1", peer)
+	}
+	defer client.Close()
+
+	// Both directions move data; large writes span multiple records.
+	msgs := [][]byte{
+		[]byte("hello over the sealed link"),
+		bytes.Repeat([]byte{0xab}, 3*maxRecord+17),
+	}
+	for _, msg := range msgs {
+		go func() { client.Write(msg) }()
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(server, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("message corrupted across the link")
+		}
+	}
+	reply := []byte("and back")
+	go func() { server.Write(reply) }()
+	got := make([]byte, len(reply))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, reply) {
+		t.Fatal("reply corrupted across the link")
+	}
+}
+
+func TestHandshakeRejectsImpostor(t *testing.T) {
+	keys, roster := testMesh(t, 3)
+	// Node 3 re-keys without telling the roster: it now speaks for
+	// index 3 with keys the roster does not vouch for.
+	impostor, err := identity.Generate(rand.Reader, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := []*identity.Key{nil, keys[1], keys[2], impostor}
+
+	// Impostor dials an honest node: rejected by signature check.
+	_, _, _, cerr, serr := handshakePair(forged, roster, 3, 1, 1)
+	if serr == nil || !errors.Is(serr, ErrBadPeer) {
+		t.Fatalf("server accepted an impostor client: %v", serr)
+	}
+	_ = cerr // client observes a closed/failed pipe; the server verdict is what matters
+
+	// Honest node dials the impostor: rejected by signature check.
+	cc, sc := net.Pipe()
+	go func() {
+		if _, _, err := Server(sc, Config{Key: impostor, Roster: roster, Timeout: 5 * time.Second}); err != nil {
+			sc.Close()
+		}
+	}()
+	_, err = Client(cc, Config{Key: keys[1], Roster: roster, Timeout: 5 * time.Second}, 3)
+	cc.Close()
+	if err == nil || !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("client accepted an impostor server: %v", err)
+	}
+}
+
+func TestHandshakeRejectsUnrostered(t *testing.T) {
+	keys, roster := testMesh(t, 2)
+	// Node 9 holds a perfectly good key — it is just not in the roster.
+	stranger, err := identity.Generate(rand.Reader, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, sc := net.Pipe()
+	serr := make(chan error, 1)
+	go func() {
+		_, _, err := Server(sc, Config{Key: keys[1], Roster: roster, Timeout: 5 * time.Second})
+		if err != nil {
+			sc.Close()
+		}
+		serr <- err
+	}()
+	// The stranger needs a roster to dial with; give it the real one
+	// plus itself, as a compromised config would.
+	r2 := identity.Roster{1: roster[1], 2: roster[2], 9: stranger.Public()}
+	if _, err := Client(cc, Config{Key: stranger, Roster: r2, Timeout: 5 * time.Second}, 1); err == nil {
+		cc.Close()
+	}
+	if err := <-serr; err == nil || !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("server accepted an unrostered peer: %v", err)
+	}
+
+	// Dialing an index outside the roster fails locally, before any
+	// bytes move.
+	if _, err := Client(nil, Config{Key: keys[1], Roster: roster}, 7); !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("Client dialed an unrostered index: %v", err)
+	}
+}
+
+func TestHandshakeRejectsWrongServerIndex(t *testing.T) {
+	keys, roster := testMesh(t, 3)
+	// Client dials expecting node 2, but node 3 answers (e.g. a
+	// misrouted address). Node 3's signature is valid for index 3 —
+	// the client must still refuse, because it wanted node 2.
+	_, _, _, cerr, _ := handshakePair(keys, roster, 1, 3, 2)
+	if cerr == nil || !errors.Is(cerr, ErrBadPeer) {
+		t.Fatalf("client accepted the wrong server identity: %v", cerr)
+	}
+}
+
+func TestHandshakeVersionSkew(t *testing.T) {
+	keys, roster := testMesh(t, 2)
+	cc, sc := net.Pipe()
+	serr := make(chan error, 1)
+	go func() {
+		_, _, err := Server(sc, Config{Key: keys[1], Roster: roster, Timeout: 5 * time.Second})
+		serr <- err
+	}()
+	// A future-version hello: version byte 2.
+	hello := append([]byte{2}, make([]byte, 36)...)
+	if err := writeHandshakeFrame(cc, hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serr; err == nil || !errors.Is(err, ErrVersion) {
+		t.Fatalf("server did not diagnose version skew: %v", err)
+	}
+}
+
+// TestHandshakeDeadline proves a black-holed peer cannot wedge the
+// handshake: the deadline trips and the attempt fails.
+func TestHandshakeDeadline(t *testing.T) {
+	keys, roster := testMesh(t, 2)
+	cc, sc := net.Pipe()
+	defer sc.Close()
+	defer cc.Close()
+	start := time.Now()
+	// The peer never responds (no Server running).
+	_, err := Client(cc, Config{Key: keys[1], Roster: roster, Timeout: 100 * time.Millisecond}, 2)
+	if err == nil {
+		t.Fatal("handshake against a silent peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("handshake took %v; the deadline did not bound it", elapsed)
+	}
+}
+
+func TestRecordLayerRejectsTampering(t *testing.T) {
+	keys, roster := testMesh(t, 2)
+
+	// Run the handshake over real sockets so we can interpose on the
+	// raw ciphertext.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acc := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acc <- acceptResult{c, err}
+	}()
+	rawClient, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawClient.Close()
+	ar := <-acc
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	defer ar.conn.Close()
+
+	var server *Conn
+	serverDone := make(chan error, 1)
+	go func() {
+		var err error
+		server, _, err = Server(ar.conn, Config{Key: keys[2], Roster: roster, Timeout: 5 * time.Second})
+		serverDone <- err
+	}()
+	client, err := Client(rawClient, Config{Key: keys[1], Roster: roster, Timeout: 5 * time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// A record written by the client but tampered on the wire must be
+	// rejected by the server's opener. Send a valid record first to
+	// capture its shape, then replay it (same bytes, wrong counter).
+	if _, err := client.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge: write garbage that parses as a record frame straight onto
+	// the raw socket beneath the client's record layer.
+	forged := []byte{0, 0, 0, 17}
+	forged = append(forged, bytes.Repeat([]byte{0x42}, 17)...)
+	if _, err := rawClient.Write(forged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Read(make([]byte, 16)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("server accepted a forged record: %v", err)
+	}
+}

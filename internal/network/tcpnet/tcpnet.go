@@ -36,6 +36,7 @@ import (
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/outq"
 	"thetacrypt/internal/network/relink"
+	"thetacrypt/internal/network/securelink"
 )
 
 // maxFrame bounds a single wire frame (16 MiB).
@@ -78,6 +79,15 @@ type Config struct {
 	// ResendTimeout is how long a frame stays unacknowledged before it
 	// is retransmitted (default 500 ms).
 	ResendTimeout time.Duration
+	// Secure enables the identity-keyed secure-link layer: every
+	// connection — dialed and accepted — runs the mutual-authentication
+	// handshake before any relink frame flows, peers not provable
+	// against the roster are rejected, and all traffic rides the
+	// per-direction AEAD record layer. The handshake runs under its own
+	// deadline (Secure.Timeout, defaulting to WriteTimeout) so a
+	// black-holed or protocol-stalled peer releases the dialer instead
+	// of wedging it. Nil means plaintext TCP, as before.
+	Secure *securelink.Config
 }
 
 // Transport is a network.P2P over TCP.
@@ -126,6 +136,9 @@ type peer struct {
 	state       network.PeerState
 	consecFails uint64
 	lastErr     error
+	// authed marks the current outbound connection as having completed
+	// the secure-link handshake; cleared whenever the conn drops.
+	authed bool
 
 	sent atomic.Uint64
 }
@@ -153,6 +166,18 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.Secure != nil {
+		if cfg.Secure.Key == nil || len(cfg.Secure.Roster) == 0 {
+			return nil, fmt.Errorf("tcpnet: secure mode needs an identity key and a roster")
+		}
+		// Copy so defaulting the handshake deadline never mutates a
+		// caller-shared config.
+		s := *cfg.Secure
+		if s.Timeout <= 0 {
+			s.Timeout = cfg.WriteTimeout
+		}
+		cfg.Secure = &s
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
@@ -267,6 +292,20 @@ func (t *Transport) acceptLoop() {
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.done.Done()
 	defer conn.Close()
+	// In secure mode the accepted connection must authenticate before
+	// a single relink frame is read: the handshake binds the peer to a
+	// roster identity (rejecting unrostered or impostor peers) and
+	// replaces conn with the AEAD record layer. The handshake runs
+	// under its own deadline, so a connect-and-stall peer cannot pin
+	// this goroutine.
+	from := 0
+	if t.cfg.Secure != nil {
+		sconn, peer, err := securelink.Server(conn, *t.cfg.Secure)
+		if err != nil {
+			return // unauthenticated connection: drop it
+		}
+		conn, from = sconn, peer
+	}
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
@@ -275,6 +314,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 		env, err := network.UnmarshalEnvelope(frame)
 		if err != nil {
 			continue // skip malformed frames
+		}
+		// An authenticated link pins the sender: a rostered peer still
+		// cannot speak for anyone but itself.
+		if from != 0 && env.From != from {
+			continue
 		}
 		if !t.handleInbound(env) {
 			return
@@ -474,11 +518,27 @@ func (t *Transport) ensureConn(p *peer) (net.Conn, error) {
 		p.noteFailure(err)
 		return nil, err
 	}
+	authed := false
+	if t.cfg.Secure != nil {
+		// Authenticate before the link carries a single frame. The
+		// handshake runs under its own deadline (armed inside Client),
+		// so a peer that accepts and stalls fails the attempt instead
+		// of wedging this writer; failure lands in the same dial
+		// backoff as a refused connection.
+		sconn, err := securelink.Client(conn, *t.cfg.Secure, p.index)
+		if err != nil {
+			_ = conn.Close()
+			p.noteFailure(err)
+			return nil, err
+		}
+		conn, authed = sconn, true
+	}
 	p.mu.Lock()
 	p.conn = conn
 	p.state = network.PeerUp
 	p.consecFails = 0
 	p.lastErr = nil
+	p.authed = authed
 	p.mu.Unlock()
 	return conn, nil
 }
@@ -500,6 +560,7 @@ func (p *peer) noteFailure(err error) {
 	p.state = network.PeerDown
 	p.consecFails++
 	p.lastErr = err
+	p.authed = false
 	p.mu.Unlock()
 }
 
@@ -509,6 +570,7 @@ func (p *peer) dropConn(conn net.Conn) {
 	p.mu.Lock()
 	if p.conn == conn {
 		p.conn = nil
+		p.authed = false
 	}
 	p.mu.Unlock()
 }
@@ -580,9 +642,10 @@ func (t *Transport) Broadcast(ctx context.Context, env network.Envelope) error {
 func (t *Transport) TransportStats() network.TransportStats {
 	peers := t.peerSnapshot()
 	out := network.TransportStats{
-		Peers:    make([]network.PeerStats, 0, len(peers)),
-		Policy:   t.cfg.Policy,
-		Reliable: true,
+		Peers:         make([]network.PeerStats, 0, len(peers)),
+		Policy:        t.cfg.Policy,
+		Reliable:      true,
+		Authenticated: t.cfg.Secure != nil,
 	}
 	for _, p := range peers {
 		p.mu.Lock()
@@ -590,6 +653,7 @@ func (t *Transport) TransportStats() network.TransportStats {
 			Peer:                p.index,
 			State:               p.state,
 			ConsecutiveFailures: p.consecFails,
+			Authenticated:       p.authed,
 		}
 		if p.lastErr != nil {
 			ps.LastError = p.lastErr.Error()

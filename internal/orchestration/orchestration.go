@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/precompute"
@@ -163,6 +164,14 @@ type Config struct {
 	// initiator (the node holding share index 1) submits deterministic
 	// OpPoolRefill runs for every KG20 key below its watermark.
 	PoolInterval time.Duration
+	// Identity and Roster, when set, switch DKG and reshare instances
+	// to sealed dealings: sub-shares travel as per-recipient ECIES
+	// boxes and the protocols run complaint/justification rounds. All
+	// nodes of a deployment must agree (the dealing wire format
+	// changes). They are typically the same identity material the
+	// secure transport authenticates with.
+	Identity *identity.Key
+	Roster   identity.Roster
 }
 
 // Stats is a point-in-time snapshot of the engine's lifecycle and flow
@@ -743,6 +752,8 @@ func (e *Engine) ensureInstance(req protocols.Request, announce bool, future *Fu
 		Suite:         e.suite,
 		Initiator:     announce,
 		InitiatorNode: from,
+		Identity:      e.cfg.Identity,
+		Roster:        e.cfg.Roster,
 	})
 	if err == nil {
 		// Publish under e.mu so handleEnvelope's proto==nil check is

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/precompute"
 	"thetacrypt/internal/schemes"
@@ -33,6 +34,15 @@ type Env struct {
 	// can, so the signers must start the fresh path spontaneously
 	// instead of deferring on a pooled start that will never come.
 	InitiatorNode int
+	// Identity and Roster carry the node's transport identity key and
+	// the deployment's peer roster into the DKG and reshare protocols:
+	// when present, sub-shares travel as per-recipient sealed boxes and
+	// the instances run GJKR-style complaint/justification rounds. Nil
+	// Identity keeps the legacy cleartext dealings. All nodes of a
+	// deployment must agree on the mode — it changes the dealing wire
+	// format.
+	Identity *identity.Key
+	Roster   identity.Roster
 }
 
 // New instantiates the TRI protocol for a request, resolving the share
@@ -57,7 +67,7 @@ func New(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
 // initiator's signing path into a single round.
 func NewWith(rand io.Reader, store *keys.Keystore, req Request, env Env) (Protocol, error) {
 	if req.Op == OpKeyGen {
-		return newKeygen(rand, store, req)
+		return newKeygen(rand, store, req, env)
 	}
 	k, err := checkedKey(store, req)
 	if err != nil {
@@ -66,7 +76,7 @@ func NewWith(rand io.Reader, store *keys.Keystore, req Request, env Env) (Protoc
 	if req.Op == OpReshare {
 		// Reshares translate senders themselves (dealers are OLD
 		// members; the wrapper maps to the new committee).
-		return newReshare(rand, store, k, req)
+		return newReshare(rand, store, k, req, env)
 	}
 	if req.Op == OpPoolRefill {
 		// Refills run on every committee node, signer or not (public

@@ -7,6 +7,7 @@ import (
 
 	"thetacrypt/internal/dkg"
 	"thetacrypt/internal/group"
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/cks05"
@@ -32,11 +33,23 @@ import (
 // dealer on the receiving node; fewer than t+1 qualified dealers abort
 // the instance (dkg.ErrTooFewDealers).
 //
-// Sub-shares travel inside the broadcast dealing. The reproduction's
-// transports are unauthenticated plaintext, so point-to-point delivery
-// would expose them identically; a production deployment would wrap
-// the mesh in TLS and send each sub-share privately (the full system
-// encrypts them per recipient).
+// The protocol runs in one of two modes, decided by configuration:
+//
+// Legacy (no identity material): sub-shares travel in the clear inside
+// the broadcast dealing, every node verifies all n of them, and the
+// instance is single-round.
+//
+// Sealed (identity-keyed deployments): each dealing carries one ECIES
+// box per recipient — sealed to that recipient's identity key and bound
+// to (instance, dealer, recipient) — so no sub-share bytes ever appear
+// on the wire. Because a node can then verify only its OWN sub-share,
+// the DKG grows GJKR-style complaint (round 2) and justification
+// (round 3) rounds: a recipient whose box is unopenable or whose share
+// fails Feldman verification broadcasts a complaint, the accused dealer
+// must broadcast the disputed sub-share, and dealers whose
+// justifications do not verify are disqualified deterministically by
+// every node. Every node speaks in rounds 2 and 3 (usually with empty
+// lists) so round completion is "heard from everyone", same as round 1.
 type keygenProtocol struct {
 	store  *keys.Keystore
 	scheme schemes.ID
@@ -49,11 +62,23 @@ type keygenProtocol struct {
 	processed map[int]bool // dealers whose dealing was consumed (or rejected)
 	started   bool
 	finalized bool
+
+	// Sealed mode.
+	sealed    bool
+	id        *identity.Key
+	roster    identity.Roster
+	instID    string
+	round     int          // last round this node broadcast
+	heardComp map[int]bool // complaint-round messages consumed
+	heardJust map[int]bool // justification-round messages consumed
 }
 
 // newKeygen builds the DKG instance for an OpKeyGen request. The
-// request payload names the DL group (empty = edwards25519).
-func newKeygen(rand io.Reader, store *keys.Keystore, req Request) (Protocol, error) {
+// request payload names the DL group (empty = edwards25519). When env
+// carries identity material, the instance runs in sealed mode; the
+// roster must then cover the whole deployment, since key generation
+// involves all n nodes.
+func newKeygen(rand io.Reader, store *keys.Keystore, req Request, env Env) (Protocol, error) {
 	if !keys.SupportsDKG(req.Scheme) {
 		return nil, fmt.Errorf("%w: scheme %s is deal-only", ErrKeygenUnsupported, req.Scheme)
 	}
@@ -71,7 +96,7 @@ func newKeygen(rand io.Reader, store *keys.Keystore, req Request) (Protocol, err
 	if err != nil {
 		return nil, fmt.Errorf("protocols keygen: %w", err)
 	}
-	return &keygenProtocol{
+	p := &keygenProtocol{
 		store:     store,
 		scheme:    req.Scheme,
 		keyID:     req.KeyID,
@@ -81,26 +106,89 @@ func newKeygen(rand io.Reader, store *keys.Keystore, req Request) (Protocol, err
 		self:      store.Index,
 		rand:      rand,
 		processed: make(map[int]bool, store.N),
-	}, nil
+	}
+	if env.Identity != nil {
+		for j := 1; j <= store.N; j++ {
+			if _, err := env.Roster.Lookup(j); err != nil {
+				return nil, fmt.Errorf("protocols keygen: sealed dealings need the full roster: %w", err)
+			}
+		}
+		p.sealed = true
+		p.id = env.Identity
+		p.roster = env.Roster
+		p.instID = req.InstanceID()
+		p.heardComp = make(map[int]bool, store.N)
+		p.heardJust = make(map[int]bool, store.N)
+	}
+	return p, nil
 }
 
 func (p *keygenProtocol) DoRound() (*RoundOutput, error) {
 	if p.finalized {
 		return nil, ErrAlreadyFinalized
 	}
-	if p.started {
-		return nil, nil // single-round: nothing to do later
+	if !p.sealed {
+		if p.started {
+			return nil, nil // single-round: nothing to do later
+		}
+		p.started = true
+		dealing, err := p.part.Deal(p.rand)
+		if err != nil {
+			return nil, fmt.Errorf("keygen deal: %w", err)
+		}
+		p.processed[p.self] = true // Deal self-accounts commitment and sub-share
+		return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: marshalDealing(dealing)}, nil
 	}
-	p.started = true
-	dealing, err := p.part.Deal(p.rand)
-	if err != nil {
-		return nil, fmt.Errorf("keygen deal: %w", err)
+	switch p.round {
+	case 0:
+		p.started = true
+		p.round = 1
+		dealing, err := p.part.Deal(p.rand)
+		if err != nil {
+			return nil, fmt.Errorf("keygen deal: %w", err)
+		}
+		if TestFaultDealing != nil {
+			TestFaultDealing(p.self, dealing)
+		}
+		p.processed[p.self] = true
+		recipients := make([]int, p.n)
+		for j := range recipients {
+			recipients[j] = j + 1
+		}
+		boxes, err := sealSubShares(p.rand, p.id, p.roster, "dkg", p.instID, dealing.SubShares, recipients)
+		if err != nil {
+			return nil, fmt.Errorf("keygen seal: %w", err)
+		}
+		return &RoundOutput{Round: 1, Transport: TransportP2P,
+			Payload: marshalSealedDealing(dealing.Commitment.Points, boxes)}, nil
+	case 1:
+		// All dealings heard: broadcast complaints (usually none).
+		p.round = 2
+		p.heardComp[p.self] = true
+		return &RoundOutput{Round: 2, Transport: TransportP2P,
+			Payload: marshalComplaints(p.part.PendingComplaints())}, nil
+	case 2:
+		// All complaints heard: answer the ones against us, and process
+		// our own justifications locally so our complaint ledger matches
+		// our peers' — a dealer that cannot justify disqualifies ITSELF
+		// the same way everyone else disqualifies it.
+		p.round = 3
+		p.heardJust[p.self] = true
+		js := p.part.JustificationShares()
+		for _, s := range js {
+			_ = p.part.ReceiveJustification(p.self, s)
+		}
+		return &RoundOutput{Round: 3, Transport: TransportP2P,
+			Payload: marshalJustifications(js)}, nil
+	default:
+		return nil, nil
 	}
-	p.processed[p.self] = true // Deal self-accounts commitment and sub-share
-	return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: marshalDealing(dealing)}, nil
 }
 
 func (p *keygenProtocol) Update(msg ProtocolMessage) error {
+	if p.sealed {
+		return p.updateSealed(msg)
+	}
 	if p.finalized || p.processed[msg.Sender] {
 		return nil // late or redelivered dealing
 	}
@@ -132,15 +220,111 @@ func (p *keygenProtocol) Update(msg ProtocolMessage) error {
 	return nil
 }
 
-func (p *keygenProtocol) IsReadyForNextRound() bool { return false }
+// updateSealed consumes one sealed-mode broadcast, dispatched on its
+// round: a dealing, a complaint list, or a justification list.
+// Publicly-checkable misbehavior (garbled broadcasts, wrong-degree
+// commitments) excludes the sender immediately and identically on all
+// nodes; privately-detected failures (our box, our share) only record a
+// complaint — the verdict waits for the justification round.
+func (p *keygenProtocol) updateSealed(msg ProtocolMessage) error {
+	if p.finalized {
+		return nil
+	}
+	if msg.Sender < 1 || msg.Sender > p.n {
+		return fmt.Errorf("%w: keygen message from out-of-range node %d", ErrShareRejected, msg.Sender)
+	}
+	switch msg.Round {
+	case 1:
+		if p.processed[msg.Sender] {
+			return nil
+		}
+		p.processed[msg.Sender] = true
+		com, boxes, err := unmarshalSealedDealing(p.g, p.n, msg.Payload)
+		if err != nil {
+			p.part.Exclude(msg.Sender)
+			return fmt.Errorf("%w: sealed dealing from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		if err := p.part.ReceiveCommitment(&dkg.PublicDealing{Dealer: msg.Sender, Commitment: com}); err != nil {
+			return fmt.Errorf("%w: %v", ErrShareRejected, err)
+		}
+		pt, err := p.id.Open(boxContext("dkg", p.instID, msg.Sender, p.self), boxes[p.self-1])
+		if err != nil {
+			p.part.Complain(msg.Sender)
+			return fmt.Errorf("%w: dealer %d box for party %d does not open", ErrShareRejected, msg.Sender, p.self)
+		}
+		s, err := unmarshalSubShare(pt)
+		if err != nil || s.Index != p.self {
+			p.part.Complain(msg.Sender)
+			return fmt.Errorf("%w: dealer %d sealed a malformed sub-share for party %d", ErrShareRejected, msg.Sender, p.self)
+		}
+		if err := p.part.ReceiveSubShare(msg.Sender, s); err != nil {
+			return fmt.Errorf("%w: %v", ErrShareRejected, err)
+		}
+		return nil
+	case 2:
+		if p.heardComp[msg.Sender] {
+			return nil
+		}
+		p.heardComp[msg.Sender] = true
+		dealers, err := unmarshalComplaints(msg.Payload, p.n)
+		if err != nil {
+			p.part.Exclude(msg.Sender)
+			return fmt.Errorf("%w: complaint list from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		for _, d := range dealers {
+			_ = p.part.ReceiveComplaint(msg.Sender, d)
+		}
+		return nil
+	case 3:
+		if p.heardJust[msg.Sender] {
+			return nil
+		}
+		p.heardJust[msg.Sender] = true
+		js, err := unmarshalJustifications(msg.Payload, p.n)
+		if err != nil {
+			p.part.Exclude(msg.Sender)
+			return fmt.Errorf("%w: justification list from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		// An invalid justification is simply not recorded: the complaint
+		// it should have answered stands, and FinishComplaints settles it.
+		for _, s := range js {
+			_ = p.part.ReceiveJustification(msg.Sender, s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: keygen round %d from %d", ErrShareRejected, msg.Round, msg.Sender)
+	}
+}
+
+func (p *keygenProtocol) IsReadyForNextRound() bool {
+	if !p.sealed || p.finalized {
+		return false
+	}
+	switch p.round {
+	case 1:
+		return len(p.processed) == p.n
+	case 2:
+		return len(p.heardComp) == p.n
+	default:
+		return false
+	}
+}
 
 func (p *keygenProtocol) IsReadyToFinalize() bool {
+	if p.sealed {
+		return p.round == 3 && !p.finalized && len(p.heardJust) == p.n
+	}
 	return p.started && !p.finalized && len(p.processed) == p.n
 }
 
 func (p *keygenProtocol) Finalize() ([]byte, error) {
 	if !p.IsReadyToFinalize() {
 		return nil, ErrNotReady
+	}
+	if p.sealed {
+		// Complaints and justifications were all broadcast, so every
+		// node settles the same exclusion set here.
+		p.part.FinishComplaints()
 	}
 	res, err := p.part.Finalize()
 	if err != nil {

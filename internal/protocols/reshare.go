@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strconv"
 
+	"thetacrypt/internal/dkg"
 	"thetacrypt/internal/group"
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/schemes"
 	"thetacrypt/internal/schemes/cks05"
@@ -91,6 +93,15 @@ func (s ReshareSpec) Validate() error {
 // derive the SAME new polynomial — a necessity, not an optimization:
 // different dealer subsets yield different (all valid) sharings.
 //
+// In sealed mode (identity-keyed deployments) the dealing's sub-shares
+// travel as per-recipient ECIES boxes instead, so only the new member a
+// sub-share addresses can check it — and the instance reuses the DKG's
+// complaint machinery: new members broadcast complaints about
+// unopenable or invalid boxes (round 2, everyone speaks), accused
+// dealers broadcast the disputed sub-shares (round 3), and dealers with
+// unanswered complaints are dropped from the qualified set identically
+// on every node before the subset is chosen.
+//
 // The instance result is the new epoch in decimal.
 type reshareProtocol struct {
 	store  *keys.Keystore
@@ -113,6 +124,18 @@ type reshareProtocol struct {
 	dealings  map[int]*sharepkg.ReshareDealing // verified dealings by old share index
 	started   bool
 	finalized bool
+
+	// Sealed mode.
+	sealed    bool
+	id        *identity.Key
+	roster    identity.Roster
+	instID    string
+	round     int          // last round this node broadcast
+	meshN     int          // deployment size: rounds 2 and 3 hear from every node
+	heardComp map[int]bool // complaint-round messages consumed, by mesh node
+	heardJust map[int]bool // justification-round messages consumed, by mesh node
+	mine      map[int]bool // dealers (old share index) this node complains about
+	log       *dkg.ComplaintLog
 }
 
 // newReshare builds the reshare instance for an OpReshare request.
@@ -120,7 +143,7 @@ type reshareProtocol struct {
 // equal the key's current epoch even when zero (a pre-epoch legacy
 // key), so two nodes straddling a previous reshare can never deal from
 // different sharings inside one instance.
-func newReshare(rand io.Reader, store *keys.Keystore, k *keys.Key, req Request) (Protocol, error) {
+func newReshare(rand io.Reader, store *keys.Keystore, k *keys.Key, req Request, env Env) (Protocol, error) {
 	if !keys.SupportsReshare(req.Scheme) {
 		return nil, fmt.Errorf("%w: scheme %s is deal-only", ErrReshareUnsupported, req.Scheme)
 	}
@@ -167,12 +190,33 @@ func newReshare(rand io.Reader, store *keys.Keystore, k *keys.Key, req Request) 
 	if idx, val, ok := dlShare(k); ok {
 		p.myOldIdx, p.myOldVal = idx, val
 	}
+	if env.Identity != nil {
+		// Boxes go to the NEW committee, so those are the roster
+		// entries a sealed reshare needs.
+		for _, m := range spec.Members {
+			if _, err := env.Roster.Lookup(m); err != nil {
+				return nil, fmt.Errorf("%w: sealed reshare dealings need the new committee rostered: %v", ErrReshareUnsupported, err)
+			}
+		}
+		p.sealed = true
+		p.id = env.Identity
+		p.roster = env.Roster
+		p.instID = req.InstanceID()
+		p.meshN = store.N
+		p.heardComp = make(map[int]bool, store.N)
+		p.heardJust = make(map[int]bool, store.N)
+		p.mine = make(map[int]bool)
+		p.log = dkg.NewComplaintLog()
+	}
 	return p, nil
 }
 
 func (p *reshareProtocol) DoRound() (*RoundOutput, error) {
 	if p.finalized {
 		return nil, ErrAlreadyFinalized
+	}
+	if p.sealed {
+		return p.doRoundSealed()
 	}
 	if p.started {
 		return nil, nil // single-round: nothing to do later
@@ -193,7 +237,71 @@ func (p *reshareProtocol) DoRound() (*RoundOutput, error) {
 	return &RoundOutput{Round: 1, Transport: TransportP2P, Payload: marshalReshareDealing(d)}, nil
 }
 
+func (p *reshareProtocol) doRoundSealed() (*RoundOutput, error) {
+	switch p.round {
+	case 0:
+		p.started = true
+		p.round = 1
+		if p.myOldIdx == 0 {
+			// Not an old member: nothing to deal. We still speak in the
+			// complaint and justification rounds like everyone else.
+			return nil, nil
+		}
+		d, err := sharepkg.Reshare(p.rand, p.g, sharepkg.Share{Index: p.myOldIdx, Value: p.myOldVal},
+			p.spec.NewT, len(p.spec.Members))
+		if err != nil {
+			return nil, fmt.Errorf("reshare deal: %w", err)
+		}
+		if TestFaultReshareDealing != nil {
+			TestFaultReshareDealing(p.store.Index, d)
+		}
+		p.processed[p.myOldIdx] = true
+		p.dealings[p.myOldIdx] = d
+		boxes, err := sealSubShares(p.rand, p.id, p.roster, "reshare", p.instID, d.SubShares, p.spec.Members)
+		if err != nil {
+			return nil, fmt.Errorf("reshare seal: %w", err)
+		}
+		return &RoundOutput{Round: 1, Transport: TransportP2P,
+			Payload: marshalSealedDealing(d.Commitment.Points, boxes)}, nil
+	case 1:
+		// Every old dealing heard: broadcast complaints (only new
+		// members can have any; everyone speaks so the round completes).
+		p.round = 2
+		p.heardComp[p.store.Index] = true
+		dealers := make([]int, 0, len(p.mine))
+		for d := range p.mine {
+			dealers = append(dealers, d)
+		}
+		sort.Ints(dealers)
+		return &RoundOutput{Round: 2, Transport: TransportP2P,
+			Payload: marshalComplaints(dealers)}, nil
+	case 2:
+		// Answer the complaints against us as a dealer, and process our
+		// own justifications locally so our ledger matches our peers'.
+		p.round = 3
+		p.heardJust[p.store.Index] = true
+		var js []sharepkg.Share
+		if d := p.dealings[p.myOldIdx]; p.myOldIdx > 0 && d != nil {
+			for _, j := range p.log.Against(p.myOldIdx) {
+				if j >= 1 && j <= len(p.spec.Members) {
+					js = append(js, d.SubShares[j-1].Clone())
+				}
+			}
+		}
+		for _, s := range js {
+			p.receiveJustification(p.myOldIdx, s)
+		}
+		return &RoundOutput{Round: 3, Transport: TransportP2P,
+			Payload: marshalJustifications(js)}, nil
+	default:
+		return nil, nil
+	}
+}
+
 func (p *reshareProtocol) Update(msg ProtocolMessage) error {
+	if p.sealed {
+		return p.updateSealed(msg)
+	}
 	if p.finalized {
 		return nil // late or redelivered dealing
 	}
@@ -233,15 +341,166 @@ func (p *reshareProtocol) Update(msg ProtocolMessage) error {
 	return nil
 }
 
-func (p *reshareProtocol) IsReadyForNextRound() bool { return false }
+// updateSealed consumes one sealed-mode broadcast: a sealed dealing, a
+// complaint list, or a justification list. The split of verdicts
+// mirrors the DKG: publicly-checkable failures (garbled broadcasts, a
+// commitment that does not share the dealer's old share) drop the
+// dealer identically on every node; a box only its recipient can open
+// is judged through the complaint round.
+func (p *reshareProtocol) updateSealed(msg ProtocolMessage) error {
+	if p.finalized {
+		return nil
+	}
+	newN := len(p.spec.Members)
+	switch msg.Round {
+	case 1:
+		oldIdx := memberPos(p.oldMembers, msg.Sender)
+		if oldIdx == 0 {
+			return fmt.Errorf("%w: node %d is not an old committee member", ErrShareRejected, msg.Sender)
+		}
+		if p.processed[oldIdx] {
+			return nil
+		}
+		p.processed[oldIdx] = true
+		com, boxes, err := unmarshalSealedDealing(p.g, newN, msg.Payload)
+		if err != nil {
+			// Never stored: the dealer stays unqualified on all nodes.
+			return fmt.Errorf("%w: sealed reshare dealing from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		d := &sharepkg.ReshareDealing{Dealer: oldIdx, Commitment: com, SubShares: make([]sharepkg.Share, newN)}
+		if err := sharepkg.VerifyReshareDealing(p.g, d, p.oldVK[oldIdx-1], p.spec.NewT); err != nil {
+			return fmt.Errorf("%w: %v", ErrShareRejected, err)
+		}
+		// The commitment is publicly valid: keep the dealing. Our own
+		// sub-share comes out of our box — or, failing that, out of the
+		// dealer's justification.
+		p.dealings[oldIdx] = d
+		if p.myNewIdx > 0 {
+			pt, err := p.id.Open(boxContext("reshare", p.instID, msg.Sender, p.store.Index), boxes[p.myNewIdx-1])
+			if err != nil {
+				p.complain(oldIdx)
+				return fmt.Errorf("%w: dealer %d box for new member %d does not open", ErrShareRejected, oldIdx, p.myNewIdx)
+			}
+			s, err := unmarshalSubShare(pt)
+			if err != nil || s.Index != p.myNewIdx {
+				p.complain(oldIdx)
+				return fmt.Errorf("%w: dealer %d sealed a malformed reshare sub-share", ErrShareRejected, oldIdx)
+			}
+			if !com.VerifyShare(s) {
+				p.complain(oldIdx)
+				return fmt.Errorf("%w: dealer %d sent an invalid reshare sub-share for party %d", ErrShareRejected, oldIdx, p.myNewIdx)
+			}
+			d.SubShares[p.myNewIdx-1] = s
+		}
+		return nil
+	case 2:
+		if p.heardComp[msg.Sender] {
+			return nil
+		}
+		p.heardComp[msg.Sender] = true
+		dealers, err := unmarshalComplaints(msg.Payload, len(p.oldMembers))
+		if err != nil {
+			return fmt.Errorf("%w: reshare complaint list from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		complainer := memberPos(p.spec.Members, msg.Sender)
+		if complainer == 0 {
+			// Only new members hold boxes; a complaint from anyone else
+			// is noise and carries no weight.
+			if len(dealers) > 0 {
+				return fmt.Errorf("%w: node %d complained without being a new member", ErrShareRejected, msg.Sender)
+			}
+			return nil
+		}
+		for _, dealer := range dealers {
+			p.log.Complain(complainer, dealer)
+		}
+		return nil
+	case 3:
+		if p.heardJust[msg.Sender] {
+			return nil
+		}
+		p.heardJust[msg.Sender] = true
+		js, err := unmarshalJustifications(msg.Payload, newN)
+		if err != nil {
+			return fmt.Errorf("%w: reshare justification list from %d: %v", ErrShareRejected, msg.Sender, err)
+		}
+		oldIdx := memberPos(p.oldMembers, msg.Sender)
+		if oldIdx == 0 {
+			if len(js) > 0 {
+				return fmt.Errorf("%w: node %d justified without being a dealer", ErrShareRejected, msg.Sender)
+			}
+			return nil
+		}
+		// Invalid justifications are simply not recorded: the complaint
+		// stands and Finalize drops the dealer.
+		for _, s := range js {
+			p.receiveJustification(oldIdx, s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: reshare round %d from %d", ErrShareRejected, msg.Round, msg.Sender)
+	}
+}
+
+// complain records that dealer oldIdx's box for this node (a new
+// member) is missing or invalid, for broadcast in the complaint round.
+func (p *reshareProtocol) complain(oldIdx int) {
+	if p.myNewIdx == 0 {
+		return
+	}
+	p.mine[oldIdx] = true
+	p.log.Complain(p.myNewIdx, oldIdx)
+}
+
+// receiveJustification verifies a dealer's revealed sub-share against
+// its stored commitment; a verifying share discharges the matching
+// complaint, and one addressed to this node is adopted in place of the
+// box that failed.
+func (p *reshareProtocol) receiveJustification(oldIdx int, s sharepkg.Share) {
+	d := p.dealings[oldIdx]
+	if d == nil || s.Index < 1 || s.Index > len(p.spec.Members) || s.Value == nil {
+		return
+	}
+	if !d.Commitment.VerifyShare(s) {
+		return
+	}
+	p.log.Resolve(oldIdx, s.Index)
+	if s.Index == p.myNewIdx {
+		d.SubShares[p.myNewIdx-1] = s.Clone()
+	}
+}
+
+func (p *reshareProtocol) IsReadyForNextRound() bool {
+	if !p.sealed || p.finalized {
+		return false
+	}
+	switch p.round {
+	case 1:
+		return len(p.processed) == len(p.oldMembers)
+	case 2:
+		return len(p.heardComp) == p.meshN
+	default:
+		return false
+	}
+}
 
 func (p *reshareProtocol) IsReadyToFinalize() bool {
+	if p.sealed {
+		return p.round == 3 && !p.finalized && len(p.heardJust) == p.meshN
+	}
 	return p.started && !p.finalized && len(p.processed) == len(p.oldMembers)
 }
 
 func (p *reshareProtocol) Finalize() ([]byte, error) {
 	if !p.IsReadyToFinalize() {
 		return nil, ErrNotReady
+	}
+	if p.sealed {
+		// Complaints and justifications were all broadcast: every node
+		// drops the same unanswered dealers before choosing the subset.
+		for _, d := range p.log.Unresolved() {
+			delete(p.dealings, d)
+		}
 	}
 	qual := make([]int, 0, len(p.dealings))
 	for d := range p.dealings {
@@ -269,7 +528,13 @@ func (p *reshareProtocol) Finalize() ([]byte, error) {
 	if p.myNewIdx > 0 {
 		subs := make(map[int]sharepkg.Share, len(subset))
 		for _, d := range subset {
-			subs[d] = p.dealings[d].SubShares[p.myNewIdx-1]
+			s := p.dealings[d].SubShares[p.myNewIdx-1]
+			if s.Value == nil {
+				// Cannot happen for a qualified dealer: our box either
+				// opened or the justification we required was adopted.
+				return nil, fmt.Errorf("reshare: no sub-share from qualified dealer %d", d)
+			}
+			subs[d] = s
 		}
 		x, err := sharepkg.CombineReshares(p.g, p.myNewIdx, p.oldT, subs)
 		if err != nil {

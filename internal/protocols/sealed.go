@@ -1,0 +1,208 @@
+package protocols
+
+import (
+	"fmt"
+	"io"
+
+	"thetacrypt/internal/dkg"
+	"thetacrypt/internal/group"
+	"thetacrypt/internal/identity"
+	sharepkg "thetacrypt/internal/share"
+	"thetacrypt/internal/wire"
+)
+
+// sealedWireVersion tags the v2 dealing broadcast: Feldman commitments
+// plus per-recipient ECIES boxes instead of cleartext sub-shares. The
+// tag is a wire-format integrity check, not a negotiation — whether a
+// deployment runs sealed dealings is decided by configuration
+// (identity material present on every node), and mixing sealed and
+// cleartext nodes in one instance is a coordinated-upgrade violation
+// that surfaces as rejected dealings.
+const sealedWireVersion = 2
+
+// Fault-injection seams for the complaint-round conformance tests: when
+// non-nil, they may mutate the named node's dealing between dealing and
+// sealing, so the corrupted sub-share lands in the recipient's box AND
+// in the dealer's own justification — the deterministic-disqualification
+// path. Production code never sets them.
+var (
+	TestFaultDealing        func(node int, d *dkg.Dealing)
+	TestFaultReshareDealing func(node int, d *sharepkg.ReshareDealing)
+)
+
+// boxContext binds a sealed sub-share box to its exact slot: protocol
+// kind, instance, dealer mesh node, and recipient mesh node. A box
+// replayed into any other slot — another instance, another recipient,
+// even the same pair with roles swapped — fails to open.
+func boxContext(kind, instance string, dealer, to int) []byte {
+	return []byte(fmt.Sprintf("thetacrypt/%s/v2/%s/%d/%d", kind, instance, dealer, to))
+}
+
+// marshalSubShare is the box plaintext: one share, index and value.
+func marshalSubShare(s sharepkg.Share) []byte {
+	return wire.NewWriter().Int(s.Index).BigInt(s.Value).Out()
+}
+
+func unmarshalSubShare(data []byte) (sharepkg.Share, error) {
+	r := wire.NewReader(data)
+	s := sharepkg.Share{Index: r.Int(), Value: r.BigInt()}
+	if err := r.Err(); err != nil {
+		return sharepkg.Share{}, err
+	}
+	if s.Index < 1 || s.Value == nil {
+		return sharepkg.Share{}, fmt.Errorf("malformed sub-share")
+	}
+	return s, nil
+}
+
+// sealSubShares boxes each sub-share to its recipient's identity key.
+// recipients[j] is the mesh node receiving subs[j] (share index j+1).
+func sealSubShares(rand io.Reader, id *identity.Key,
+	roster identity.Roster, kind, instance string, subs []sharepkg.Share, recipients []int) ([][]byte, error) {
+	boxes := make([][]byte, len(subs))
+	for j, s := range subs {
+		to, err := roster.Lookup(recipients[j])
+		if err != nil {
+			return nil, fmt.Errorf("seal sub-share for node %d: %w", recipients[j], err)
+		}
+		box, err := identity.Seal(rand, to, boxContext(kind, instance, id.Node, recipients[j]), marshalSubShare(s))
+		if err != nil {
+			return nil, fmt.Errorf("seal sub-share for node %d: %w", recipients[j], err)
+		}
+		boxes[j] = box
+	}
+	return boxes, nil
+}
+
+// marshalSealedDealing encodes a v2 dealing broadcast: the commitment
+// points and one sealed box per recipient. No sub-share bytes appear in
+// the clear.
+func marshalSealedDealing(points []group.Point, boxes [][]byte) []byte {
+	w := wire.NewWriter()
+	w.Int(sealedWireVersion)
+	w.Int(len(points))
+	for _, pt := range points {
+		w.Bytes(pt.Marshal())
+	}
+	w.Int(len(boxes))
+	for _, b := range boxes {
+		w.Bytes(b)
+	}
+	return w.Out()
+}
+
+// unmarshalSealedDealing decodes a v2 dealing; wantBoxes pins the
+// recipient count (n for the DKG, newN for reshares).
+func unmarshalSealedDealing(g group.Group, wantBoxes int, data []byte) (*sharepkg.FeldmanCommitment, [][]byte, error) {
+	r := wire.NewReader(data)
+	if v := r.Int(); r.Err() != nil || v != sealedWireVersion {
+		return nil, nil, fmt.Errorf("sealed dealing version %d, want %d (coordinated upgrade required)", v, sealedWireVersion)
+	}
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if cnt < 1 || cnt > wantBoxes+1 {
+		return nil, nil, fmt.Errorf("sealed dealing with %d commitment points", cnt)
+	}
+	pts := make([]group.Point, cnt)
+	for i := 0; i < cnt; i++ {
+		raw := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		pt, err := g.UnmarshalPoint(raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts[i] = pt
+	}
+	bcnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if bcnt != wantBoxes {
+		return nil, nil, fmt.Errorf("sealed dealing with %d boxes for %d recipients", bcnt, wantBoxes)
+	}
+	boxes := make([][]byte, bcnt)
+	for i := 0; i < bcnt; i++ {
+		boxes[i] = r.Bytes()
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return &sharepkg.FeldmanCommitment{Group: g, Points: pts}, boxes, nil
+}
+
+// marshalComplaints encodes a complaint-round broadcast: the dealers
+// this node accuses (party indices in the DKG, old share indices in a
+// reshare). An empty list is a valid — and the common — message: every
+// node speaks in the complaint round so peers can tell "no complaints"
+// from "not heard yet".
+func marshalComplaints(dealers []int) []byte {
+	w := wire.NewWriter().Int(len(dealers))
+	for _, d := range dealers {
+		w.Int(d)
+	}
+	return w.Out()
+}
+
+func unmarshalComplaints(data []byte, maxDealer int) ([]int, error) {
+	r := wire.NewReader(data)
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cnt < 0 || cnt > maxDealer {
+		return nil, fmt.Errorf("complaint list of %d dealers", cnt)
+	}
+	out := make([]int, cnt)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for _, d := range out {
+		if d < 1 || d > maxDealer {
+			return nil, fmt.Errorf("complaint against out-of-range dealer %d", d)
+		}
+	}
+	return out, nil
+}
+
+// marshalJustifications encodes a justification-round broadcast: the
+// disputed sub-shares the sender reveals as the accused dealer. Like
+// complaints, an empty message is the common case.
+func marshalJustifications(shares []sharepkg.Share) []byte {
+	w := wire.NewWriter().Int(len(shares))
+	for _, s := range shares {
+		w.Int(s.Index)
+		w.BigInt(s.Value)
+	}
+	return w.Out()
+}
+
+func unmarshalJustifications(data []byte, maxIndex int) ([]sharepkg.Share, error) {
+	r := wire.NewReader(data)
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cnt < 0 || cnt > maxIndex {
+		return nil, fmt.Errorf("justification list of %d shares", cnt)
+	}
+	out := make([]sharepkg.Share, cnt)
+	for i := range out {
+		out[i] = sharepkg.Share{Index: r.Int(), Value: r.BigInt()}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for _, s := range out {
+		if s.Index < 1 || s.Index > maxIndex || s.Value == nil {
+			return nil, fmt.Errorf("malformed justification share")
+		}
+	}
+	return out, nil
+}

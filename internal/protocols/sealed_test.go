@@ -1,0 +1,313 @@
+package protocols
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"thetacrypt/internal/dkg"
+	"thetacrypt/internal/identity"
+	"thetacrypt/internal/keys"
+	"thetacrypt/internal/schemes"
+	"thetacrypt/internal/schemes/frost"
+	"thetacrypt/internal/schemes/sg02"
+	sharepkg "thetacrypt/internal/share"
+)
+
+// testEnvs generates per-node identity keys and a shared roster for a
+// sealed-mode deployment of n nodes.
+func testEnvs(t *testing.T, n int) []Env {
+	t.Helper()
+	roster := make(identity.Roster, n)
+	ids := make([]*identity.Key, n)
+	for i := 1; i <= n; i++ {
+		k, err := identity.Generate(rand.Reader, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i-1] = k
+		roster[i] = k.Public()
+	}
+	envs := make([]Env, n)
+	for i := range envs {
+		envs[i] = Env{Identity: ids[i], Roster: roster}
+	}
+	return envs
+}
+
+// TestSealedKeygenHappyPath runs the sealed three-round DKG end to end:
+// every node deals boxes, nobody complains, all four dealers qualify,
+// and the installed key signs.
+func TestSealedKeygenHappyPath(t *testing.T) {
+	nodes := dealNodes(t, 1, 4)
+	envs := testEnvs(t, 4)
+	gen := Request{Scheme: schemes.KG20, KeyID: "sealed-1", Op: OpKeyGen}
+	protos := make([]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := NewWith(rand.Reader, nk, gen, envs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+	}
+	results := drive(t, protos)
+	for i, v := range results {
+		if string(v) != "sealed-1" {
+			t.Fatalf("node %d keygen result %q", i+1, v)
+		}
+	}
+	for i, p := range protos {
+		qual := p.(*keygenProtocol).part.Qualified()
+		if len(qual) != 4 {
+			t.Fatalf("node %d qualified %v, want all four dealers", i+1, qual)
+		}
+	}
+	ref, err := keys.Public[*frost.PublicKey](nodes[0], schemes.KG20, "sealed-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nk := range nodes {
+		pk, err := keys.Public[*frost.PublicKey](nk, schemes.KG20, "sealed-1")
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		if !pk.Y.Equal(ref.Y) {
+			t.Fatalf("node %d public key differs", i+1)
+		}
+	}
+	sign := Request{Scheme: schemes.KG20, KeyID: "sealed-1", Op: OpSign, Payload: []byte("under a sealed DKG key")}
+	sp := make([]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, sign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp[i] = p
+	}
+	out := drive(t, sp)
+	sig, err := frost.UnmarshalSignature(ref.Group, out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frost.Verify(ref, sign.Payload, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSealedDealingCarriesNoPlaintextSubShares captures node 1's actual
+// dealing (via the fault-injection seam, used here only to observe) and
+// asserts the broadcast payload contains none of the sub-share scalars.
+func TestSealedDealingCarriesNoPlaintextSubShares(t *testing.T) {
+	nodes := dealNodes(t, 1, 4)
+	envs := testEnvs(t, 4)
+	var captured *dkg.Dealing
+	TestFaultDealing = func(node int, d *dkg.Dealing) {
+		if node == 1 {
+			captured = d
+		}
+	}
+	defer func() { TestFaultDealing = nil }()
+	p, err := NewWith(rand.Reader, nodes[0], Request{Scheme: schemes.KG20, KeyID: "capture", Op: OpKeyGen}, envs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.DoRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil || out == nil {
+		t.Fatal("no dealing captured")
+	}
+	for j, s := range captured.SubShares {
+		if raw := s.Value.Bytes(); len(raw) > 8 && bytes.Contains(out.Payload, raw) {
+			t.Fatalf("sub-share for party %d appears in the broadcast payload", j+1)
+		}
+	}
+}
+
+// TestSealedKeygenDisqualifiesFaultyDealer corrupts node 2's sub-share
+// for node 3 before sealing. Node 3's box opens but fails Feldman
+// verification, so it complains; node 2's justification reveals the
+// same bad share, fails on every node — including node 2 itself — and
+// the dealer is disqualified deterministically while the run completes
+// with the remaining three dealers.
+func TestSealedKeygenDisqualifiesFaultyDealer(t *testing.T) {
+	nodes := dealNodes(t, 1, 4)
+	envs := testEnvs(t, 4)
+	TestFaultDealing = func(node int, d *dkg.Dealing) {
+		if node == 2 {
+			d.SubShares[2].Value = big.NewInt(42) // f_2(3) forged
+		}
+	}
+	defer func() { TestFaultDealing = nil }()
+	gen := Request{Scheme: schemes.KG20, KeyID: "sealed-faulty", Op: OpKeyGen}
+	protos := make([]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := NewWith(rand.Reader, nk, gen, envs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i] = p
+	}
+	results := drive(t, protos)
+	for i, v := range results {
+		if string(v) != "sealed-faulty" {
+			t.Fatalf("node %d keygen result %q", i+1, v)
+		}
+	}
+	for i, p := range protos {
+		qual := p.(*keygenProtocol).part.Qualified()
+		if len(qual) != 3 || qual[0] != 1 || qual[1] != 3 || qual[2] != 4 {
+			t.Fatalf("node %d qualified %v, want [1 3 4]", i+1, qual)
+		}
+	}
+	ref, err := keys.Public[*frost.PublicKey](nodes[0], schemes.KG20, "sealed-faulty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nk := range nodes {
+		pk, err := keys.Public[*frost.PublicKey](nk, schemes.KG20, "sealed-faulty")
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		if !pk.Y.Equal(ref.Y) {
+			t.Fatalf("node %d public key differs after disqualification", i+1)
+		}
+	}
+}
+
+// TestSealedReshare runs a sealed same-committee refresh: dealings are
+// boxed to the new members, the complaint round is empty, the epoch
+// advances, the public key is preserved, and decryption still works.
+func TestSealedReshare(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.SG02)
+	envs := testEnvs(t, 4)
+	pk := keys.MustPublic[*sg02.PublicKey](nodes[0], schemes.SG02)
+	msg := []byte("sealed reshare keeps the key")
+	ct, err := sg02.Encrypt(rand.Reader, pk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Scheme: schemes.SG02, Op: OpReshare,
+		Payload: identitySpec(1, 4).Marshal(), Epoch: keys.FirstEpoch}
+	protos := make(map[int]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := NewWith(rand.Reader, nk, req, envs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i+1] = p
+	}
+	for idx, val := range driveNodes(t, protos) {
+		if string(val) != "2" {
+			t.Fatalf("node %d reshare result %q, want \"2\"", idx, val)
+		}
+	}
+	for i, nk := range nodes {
+		if !keys.MustPublic[*sg02.PublicKey](nk, schemes.SG02).H.Equal(pk.H) {
+			t.Fatalf("node %d public key changed across the sealed refresh", i+1)
+		}
+	}
+	dec := Request{Scheme: schemes.SG02, Op: OpDecrypt, Payload: ct.Marshal()}
+	decProtos := make(map[int]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decProtos[i+1] = p
+	}
+	for idx, val := range driveNodes(t, decProtos) {
+		if string(val) != string(msg) {
+			t.Fatalf("node %d decrypted %q after sealed refresh", idx, val)
+		}
+	}
+}
+
+// TestSealedReshareDisqualifiesFaultyDealer corrupts old member 2's
+// reshare sub-share for new member 3: the complaint round drops dealer
+// 2 identically on every node, and the refresh completes from the
+// remaining dealers with the public key preserved.
+func TestSealedReshareDisqualifiesFaultyDealer(t *testing.T) {
+	nodes := dealNodes(t, 1, 4, schemes.SG02)
+	envs := testEnvs(t, 4)
+	pk := keys.MustPublic[*sg02.PublicKey](nodes[0], schemes.SG02)
+	TestFaultReshareDealing = func(node int, d *sharepkg.ReshareDealing) {
+		if node == 2 {
+			d.SubShares[2].Value = big.NewInt(42) // sub-share for new member 3 forged
+		}
+	}
+	defer func() { TestFaultReshareDealing = nil }()
+	req := Request{Scheme: schemes.SG02, Op: OpReshare,
+		Payload: identitySpec(1, 4).Marshal(), Epoch: keys.FirstEpoch}
+	protos := make(map[int]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := NewWith(rand.Reader, nk, req, envs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[i+1] = p
+	}
+	for idx, val := range driveNodes(t, protos) {
+		if string(val) != "2" {
+			t.Fatalf("node %d reshare result %q, want \"2\"", idx, val)
+		}
+	}
+	for idx, p := range protos {
+		rp := p.(*reshareProtocol)
+		if _, ok := rp.dealings[2]; ok {
+			t.Fatalf("node %d kept faulty dealer 2 qualified", idx)
+		}
+		if len(rp.dealings) != 3 {
+			t.Fatalf("node %d has %d qualified dealers, want 3", idx, len(rp.dealings))
+		}
+	}
+	for i, nk := range nodes {
+		k, err := nk.Get(schemes.SG02, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Epoch != 2 {
+			t.Fatalf("node %d at epoch %d after reshare", i+1, k.Epoch)
+		}
+		if !keys.MustPublic[*sg02.PublicKey](nk, schemes.SG02).H.Equal(pk.H) {
+			t.Fatalf("node %d public key changed", i+1)
+		}
+	}
+	// The refreshed shares still decrypt.
+	ct, err := sg02.Encrypt(rand.Reader, keys.MustPublic[*sg02.PublicKey](nodes[0], schemes.SG02), []byte("post-complaint"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Request{Scheme: schemes.SG02, Op: OpDecrypt, Payload: ct.Marshal()}
+	decProtos := make(map[int]Protocol, len(nodes))
+	for i, nk := range nodes {
+		p, err := New(rand.Reader, nk, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decProtos[i+1] = p
+	}
+	for idx, val := range driveNodes(t, decProtos) {
+		if string(val) != "post-complaint" {
+			t.Fatalf("node %d decrypted %q", idx, val)
+		}
+	}
+}
+
+// TestSealedKeygenNeedsFullRoster pins the configuration contract: a
+// sealed DKG cannot start unless every deployment node is rostered.
+func TestSealedKeygenNeedsFullRoster(t *testing.T) {
+	nodes := dealNodes(t, 1, 4)
+	envs := testEnvs(t, 4)
+	partial := make(identity.Roster)
+	for i := 1; i <= 3; i++ { // node 4 missing
+		partial[i] = envs[i-1].Roster[i]
+	}
+	env := Env{Identity: envs[0].Identity, Roster: partial}
+	_, err := NewWith(rand.Reader, nodes[0], Request{Scheme: schemes.KG20, KeyID: "short", Op: OpKeyGen}, env)
+	if err == nil {
+		t.Fatal("sealed keygen started with a partial roster")
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"thetacrypt/api"
 	"thetacrypt/internal/committee"
 	"thetacrypt/internal/group"
+	"thetacrypt/internal/identity"
 	"thetacrypt/internal/keys"
 	"thetacrypt/internal/network"
 	"thetacrypt/internal/network/memnet"
+	"thetacrypt/internal/network/securelink"
 	"thetacrypt/internal/network/tcpnet"
 	"thetacrypt/internal/orchestration"
 	"thetacrypt/internal/protocols"
@@ -239,6 +241,12 @@ type ClusterOptions struct {
 	// Transport tunes the simulated per-peer outbound queues (capacity
 	// and full-queue policy; the dial fields do not apply in-process).
 	Transport TransportOptions
+	// Secure switches the cluster to the authenticated mesh: each node
+	// gets a fresh transport identity, the simulated hub enforces the
+	// shared roster (mirroring tcpnet's handshake semantics), and
+	// DKG/reshare dealings ride per-recipient sealed boxes with
+	// complaint rounds instead of plaintext sub-shares.
+	Secure bool
 }
 
 // Cluster is an embedded in-process Θ-network of n nodes: one
@@ -263,6 +271,7 @@ func NewCluster(t, n int, opts ClusterOptions) (*Cluster, error) {
 			AckInterval:   opts.Transport.AckInterval,
 			ResendTimeout: opts.Transport.ResendTimeout,
 		},
+		Secure: opts.Secure,
 	})
 	if err != nil {
 		return nil, err
@@ -404,6 +413,25 @@ func ServiceHandler(svc api.Service) http.Handler {
 // DefaultGroup returns the group used by the DL-based schemes.
 func DefaultGroup() group.Group { return group.Edwards25519() }
 
+// Secure-mesh identity material (see internal/identity).
+type (
+	// IdentityKey is one node's private transport identity: the Ed25519
+	// key that authenticates its links and the X25519 key DKG sub-share
+	// boxes are sealed to.
+	IdentityKey = identity.Key
+	// IdentityRoster maps node index → public identity; it is the
+	// membership authority every secure node enforces.
+	IdentityRoster = identity.Roster
+)
+
+// LoadIdentity reads a private identity file written by
+// cmd/thetakeygen (or IdentityKey.Save).
+func LoadIdentity(path string) (*IdentityKey, error) { return identity.LoadKey(path) }
+
+// LoadRoster reads a roster file written by cmd/thetakeygen (or
+// IdentityRoster.Save).
+func LoadRoster(path string) (IdentityRoster, error) { return identity.LoadRoster(path) }
+
 // NodeConfig configures a standalone deployment member.
 type NodeConfig struct {
 	// Keys is this node's keystore (from cmd/thetakeygen or keys.Deal).
@@ -424,6 +452,18 @@ type NodeConfig struct {
 	// Transport tunes the per-peer outbound pipeline (queue capacity,
 	// full-queue policy, dial backoff).
 	Transport TransportOptions
+	// Identity is this node's private transport identity (from
+	// cmd/thetakeygen's node<i>.id file or identity.Generate). Set
+	// together with Roster it switches the node to secure mode: every
+	// P2P link runs the mutual-authentication handshake and AEAD record
+	// layer, unrostered peers are rejected before any protocol byte
+	// flows, and DKG/reshare dealings ride sealed boxes with complaint
+	// rounds. All nodes of a deployment must agree on the mode — it
+	// changes both the link and the dealing wire format.
+	Identity *IdentityKey
+	// Roster maps node index → public identity for every deployment
+	// member, this node included. Required in secure mode.
+	Roster IdentityRoster
 }
 
 // Node is one standalone Thetacrypt service node over TCP: a
@@ -442,6 +482,17 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			return nil, fmt.Errorf("thetacrypt: persist keystore: %w", err)
 		}
 	}
+	var secure *securelink.Config
+	if cfg.Identity != nil || len(cfg.Roster) > 0 {
+		if cfg.Identity == nil || len(cfg.Roster) == 0 {
+			return nil, fmt.Errorf("thetacrypt: secure mode needs both Identity and Roster")
+		}
+		if cfg.Identity.Node != cfg.Keys.Index {
+			return nil, fmt.Errorf("thetacrypt: identity is for node %d but keystore is node %d",
+				cfg.Identity.Node, cfg.Keys.Index)
+		}
+		secure = &securelink.Config{Key: cfg.Identity, Roster: cfg.Roster}
+	}
 	transport, err := tcpnet.New(tcpnet.Config{
 		Self:           cfg.Keys.Index,
 		ListenAddr:     cfg.ListenAddr,
@@ -453,13 +504,16 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ResendTimeout:  cfg.Transport.ResendTimeout,
 		DialRetry:      cfg.Transport.DialRetry,
 		DialBackoffMax: cfg.Transport.DialBackoffMax,
+		Secure:         secure,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("thetacrypt: transport: %w", err)
 	}
 	engine := orchestration.New(cfg.Engine.engineConfig(orchestration.Config{
-		Keys: cfg.Keys,
-		Net:  transport,
+		Keys:     cfg.Keys,
+		Net:      transport,
+		Identity: cfg.Identity,
+		Roster:   cfg.Roster,
 	}))
 	return &Node{
 		unit:      committee.Unit{Store: cfg.Keys, Engine: engine},
